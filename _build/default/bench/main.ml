@@ -1,0 +1,136 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and runs bechamel
+   microbenchmarks of the runtime-critical primitives.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- T1 F6    # selected experiments
+     dune exec bench/main.exe -- micro    # microbenchmarks only            *)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '#')
+    (Printf.sprintf "## %s" title)
+    (String.make 78 '#')
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (bechamel): the primitives whose speed the paper's
+   design section worries about — the canonical-Huffman DECODE loop, a
+   whole-region decompression, and the simulator's dispatch rate. *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* A canonical code over a realistic opcode-like distribution. *)
+  let freqs = List.init 48 (fun i -> (i, 1 + ((48 - i) * (48 - i)))) in
+  let code = Canonical.of_freqs freqs in
+  let symbols = List.init 512 (fun i -> i * 7 mod 48) in
+  let encoded =
+    let w = Bitio.Writer.create () in
+    List.iter (Canonical.encode code w) symbols;
+    Bitio.Writer.contents w
+  in
+  let decode_512 () =
+    let r = Bitio.Reader.of_string encoded in
+    for _ = 1 to 512 do
+      ignore (Canonical.decode code r)
+    done
+  in
+  (* A squashed workload for decompression and end-to-end timing. *)
+  let prepared = Exp_data.prepare (List.hd Workloads.all) in
+  let result =
+    Exp_data.squash_result prepared
+      { Squash.default_options with Squash.theta = 1.0 }
+  in
+  let sq = result.Squash.squashed in
+  let biggest =
+    Array.fold_left
+      (fun best (img : Rewrite.region_image) ->
+        match best with
+        | Some (b : Rewrite.region_image) when b.Rewrite.buffer_words >= img.Rewrite.buffer_words ->
+          best
+        | _ -> Some img)
+      None sq.Rewrite.images
+    |> Option.get
+  in
+  let decompress_region () =
+    ignore
+      (Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+         ~bit_offset:sq.Rewrite.blob_offsets.(biggest.Rewrite.rid) ())
+  in
+  let huffman_build () = ignore (Canonical.of_freqs freqs) in
+  [
+    Test.make ~name:"canonical-decode-512sym" (Staged.stage decode_512);
+    Test.make ~name:"canonical-build-48sym" (Staged.stage huffman_build);
+    Test.make
+      ~name:(Printf.sprintf "decompress-region-%dw" biggest.Rewrite.buffer_words)
+      (Staged.stage decompress_region);
+  ]
+
+(* The simulator's steady-state dispatch rate, measured over one long run
+   (VM creation allocates the 16 MiB memory image, so per-run timing through
+   bechamel would mostly measure allocation). *)
+let vm_throughput () =
+  let vm_prog =
+    Minic.compile_exn
+      "int main() { int i; int s; s = 0; for (i = 0; i < 2000000; i = i + 1) s = (s + i) ^ (s >> 3); return s & 255; }"
+  in
+  let vm_img = Layout.emit vm_prog in
+  let vm = Vm.of_image ~fuel:100_000_000 vm_img ~input:"" in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Vm.run vm in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-40s %8.1f M instr/s (%d instructions in %.2fs)\n"
+    "vm dispatch rate" 
+    (float_of_int outcome.Vm.icount /. dt /. 1e6)
+    outcome.Vm.icount dt
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Printf.printf "%-40s %s\n" "benchmark" "time per run";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Printf.sprintf "%12.1f ns" est
+        | Some [] | None -> "           n/a"
+      in
+      Printf.printf "%-40s %s\n" name ns)
+    (List.sort compare rows);
+  vm_throughput ();
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst Experiments.all @ [ "micro" ]
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id Experiments.all with
+      | Some f ->
+        hr id;
+        print_string (f ());
+        Printf.printf "[%s done at %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+      | None ->
+        if id = "micro" then begin
+          hr "micro (bechamel)";
+          run_micro ()
+        end
+        else Printf.printf "unknown experiment %s\n" id)
+    requested;
+  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,306 @@
+(* squashc: the command-line front end to the whole pipeline.
+
+     squashc compile prog.mc -o prog.s        MiniC -> SQ32 assembly
+     squashc run prog.mc --input-file in.bin  execute on the simulator
+     squashc profile prog.mc ... -o p.prof    collect a basic-block profile
+     squashc squash prog.mc --profile p.prof --theta 0.001
+                                              compress; report sizes; verify
+     squashc stats prog.mc                    static code statistics
+     squashc workloads                        list the built-in benchmarks
+
+   Programs may be MiniC (.mc) or SQ32 assembly (anything else); the name of
+   a built-in workload (e.g. "gsm") may be used instead of a file, in which
+   case its built-in profiling/timing inputs are the defaults. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Resolve a program argument: workload name, MiniC file, or assembly file. *)
+let load_program arg =
+  match Workloads.find arg with
+  | Some wl -> Ok (Workload.compile wl, Some wl)
+  | None ->
+    if not (Sys.file_exists arg) then
+      Error (Printf.sprintf "no such file or workload: %s" arg)
+    else begin
+      let text = read_file arg in
+      if Filename.check_suffix arg ".mc" then
+        match Minic.compile text with
+        | Ok p -> Ok (p, None)
+        | Error e ->
+          Error (Printf.sprintf "%s:%s" arg (Minic.error_to_string e))
+      else
+        match Asm.parse_program text with
+        | Ok p -> Ok (p, None)
+        | Error e -> Error (Printf.sprintf "%s: %s" arg e)
+    end
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("squashc: " ^ msg);
+    exit 2
+
+let prog_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROG" ~doc:"MiniC file (.mc), SQ32 assembly file, or built-in workload name.")
+
+let input_args =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input-file" ] ~docv:"FILE" ~doc:"Input byte stream for the program.")
+  in
+  let text =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"TEXT" ~doc:"Literal input text for the program.")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing-input" ]
+          ~doc:"For a built-in workload: use its timing input (default is the profiling input).")
+  in
+  Term.(
+    const (fun file text timing -> (file, text, timing)) $ file $ text $ timing)
+
+let resolve_input (file, text, timing) wl =
+  match (file, text, wl) with
+  | Some path, _, _ -> read_file path
+  | None, Some t, _ -> t
+  | None, None, Some wl ->
+    if timing then Workload.timing_input wl else Workload.profiling_input wl
+  | None, None, None -> ""
+
+let squeeze_flag =
+  Arg.(
+    value & flag
+    & info [ "no-squeeze" ] ~doc:"Skip the squeeze compaction pass.")
+
+let prepare prog_name no_squeeze =
+  let prog, wl = or_die (load_program prog_name) in
+  let prog = if no_squeeze then prog else fst (Squeeze.run prog) in
+  (prog, wl)
+
+(* --- compile -------------------------------------------------------- *)
+
+let compile_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the assembly here (default stdout).")
+  in
+  let run prog_name no_squeeze out =
+    let prog, _ = prepare prog_name no_squeeze in
+    let text = Format.asprintf "%a" Asm.pp_program prog in
+    match out with None -> print_string text | Some path -> write_file path text
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC to SQ32 assembly (squeezed by default).")
+    Term.(const run $ prog_arg $ squeeze_flag $ out)
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let fuel =
+    Arg.(
+      value & opt int 2_000_000_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget before aborting.")
+  in
+  let run prog_name no_squeeze inputs fuel =
+    let prog, wl = prepare prog_name no_squeeze in
+    let input = resolve_input inputs wl in
+    let outcome = Vm.run (Vm.of_image ~fuel (Layout.emit prog) ~input) in
+    print_string outcome.Vm.output;
+    Printf.eprintf "[exit %d, %d instructions, %d cycles]\n" outcome.Vm.exit_code
+      outcome.Vm.icount outcome.Vm.cycles;
+    exit outcome.Vm.exit_code
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program on the SQ32 simulator.")
+    Term.(const run $ prog_arg $ squeeze_flag $ input_args $ fuel)
+
+(* --- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the profile here (default stdout).")
+  in
+  let run prog_name no_squeeze inputs out =
+    let prog, wl = prepare prog_name no_squeeze in
+    let input = resolve_input inputs wl in
+    let profile, outcome = Profile.collect prog ~input in
+    Printf.eprintf "[exit %d, %d instructions profiled]\n" outcome.Vm.exit_code
+      outcome.Vm.icount;
+    let text = Profile.to_string profile in
+    match out with None -> print_string text | Some path -> write_file path text
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Collect a basic-block execution profile.")
+    Term.(const run $ prog_arg $ squeeze_flag $ input_args $ out)
+
+(* --- squash ----------------------------------------------------------- *)
+
+let squash_cmd =
+  let theta =
+    Arg.(
+      value & opt float 0.0
+      & info [ "theta" ] ~docv:"T" ~doc:"Cold-code threshold in [0, 1].")
+  in
+  let k_bytes =
+    Arg.(
+      value & opt int 512
+      & info [ "k" ] ~docv:"BYTES" ~doc:"Runtime buffer size bound.")
+  in
+  let profile_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Profile file (from $(b,squashc profile)); collected on the fly otherwise.")
+  in
+  let no_pack = Arg.(value & flag & info [ "no-pack" ] ~doc:"Disable region packing.") in
+  let no_bsafe =
+    Arg.(value & flag & info [ "no-buffer-safe" ] ~doc:"Disable the buffer-safe optimisation.")
+  in
+  let no_unswitch =
+    Arg.(value & flag & info [ "no-unswitch" ] ~doc:"Disable jump-table unswitching.")
+  in
+  let codec =
+    let codec_conv =
+      Arg.enum
+        [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf); ("lzss", `Lzss) ]
+    in
+    Arg.(
+      value & opt codec_conv `Split_stream
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:"Compression backend: $(b,huffman) (split-stream canonical \
+                Huffman, the paper's scheme), $(b,mtf) (move-to-front \
+                variant), or $(b,lzss).")
+  in
+  let linear_regions =
+    Arg.(
+      value & flag
+      & info [ "linear-regions" ]
+          ~doc:"Use linear-scan region formation instead of depth-first growth.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Run the squashed program and check its behaviour against the original.")
+  in
+  let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
+      no_unswitch codec linear_regions verify =
+    let prog, wl = prepare prog_name no_squeeze in
+    let input = resolve_input inputs wl in
+    let profile =
+      match profile_file with
+      | Some path -> or_die (Profile.of_string (read_file path))
+      | None ->
+        let p, _ = Profile.collect prog ~input in
+        p
+    in
+    let options =
+      {
+        Squash.default_options with
+        Squash.theta;
+        k_bytes;
+        pack = not no_pack;
+        use_buffer_safe = not no_bsafe;
+        unswitch = not no_unswitch;
+        codec;
+        regions_strategy = (if linear_regions then `Linear else `Dfs);
+      }
+    in
+    let result = Squash.run ~options prog profile in
+    (match Check.check result.Squash.squashed with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (fun e -> Printf.eprintf "squashc: image check: %s\n" e) es;
+      exit 1);
+    Format.printf "%a@." Squash.pp_summary result;
+    if verify then begin
+      let timing =
+        match wl with Some wl -> Workload.timing_input wl | None -> input
+      in
+      let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
+      let outcome, stats = Runtime.run result.Squash.squashed ~input:timing in
+      if
+        outcome.Vm.output = baseline.Vm.output
+        && outcome.Vm.exit_code = baseline.Vm.exit_code
+      then
+        Format.printf
+          "verified: identical behaviour; %d decompressions, %.2fx cycles@."
+          stats.Runtime.decompressions
+          (float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles)
+      else begin
+        Format.printf "VERIFICATION FAILED: behaviour diverged@.";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "squash" ~doc:"Profile-guided compression; report the footprint.")
+    Term.(
+      const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
+      $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ codec $ linear_regions
+      $ verify)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run prog_name =
+    let prog, _ = or_die (load_program prog_name) in
+    let input = Squeeze.remove_unreachable prog in
+    let squeezed, st = Squeeze.run prog in
+    Printf.printf "functions:            %d\n" (List.length prog.Prog.funcs);
+    Printf.printf "instructions (raw):   %d\n" (Prog.instr_count prog);
+    Printf.printf "instructions (input): %d\n" (Prog.instr_count input);
+    Printf.printf "instructions (squeezed): %d\n" (Prog.instr_count squeezed);
+    Format.printf "%a@." Squeeze.pp_stats st
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Static code statistics before/after squeeze.")
+    Term.(const run $ prog_arg)
+
+(* --- workloads ---------------------------------------------------------- *)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (wl : Workload.t) ->
+        Printf.printf "%-10s %s\n" wl.Workload.name wl.Workload.description)
+      Workloads.all
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the built-in benchmark workloads.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "squashc" ~version:"1.0.0"
+       ~doc:"Profile-guided code compression for the SQ32 embedded target.")
+    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; stats_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval main)

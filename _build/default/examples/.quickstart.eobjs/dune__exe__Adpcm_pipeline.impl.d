@@ -1,0 +1,1 @@
+examples/adpcm_pipeline.ml: Array Compress Format Instr Layout List Option Profile Rewrite Runtime Squash Squeeze Vm Workload Workloads

@@ -1,0 +1,1 @@
+examples/adpcm_pipeline.mli:

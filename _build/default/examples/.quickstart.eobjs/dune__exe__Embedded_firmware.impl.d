@@ -1,0 +1,1 @@
+examples/embedded_firmware.ml: Format Layout List Option Profile Prog Runtime Squash Squeeze Vm Workload Workloads

@@ -1,0 +1,1 @@
+examples/embedded_firmware.mli:

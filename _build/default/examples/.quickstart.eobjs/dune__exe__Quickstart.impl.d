@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Minic Profile Runtime Squash Squeeze String Vm

@@ -1,0 +1,1 @@
+examples/threshold_explorer.ml: Array Layout List Printf Profile Report Runtime Squash Squeeze String Sys Vm Workload Workloads

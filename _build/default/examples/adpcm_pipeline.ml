@@ -1,0 +1,69 @@
+(* A domain walk-through on the speech-codec workload: compress the adpcm
+   program, inspect what squash actually did — regions, entry stubs, the
+   split-stream statistics — and watch a restore stub work when a cold call
+   happens at run time.
+
+     dune exec examples/adpcm_pipeline.exe                                   *)
+
+let () =
+  let wl = Option.get (Workloads.find "adpcm") in
+  let prog, _ = Squeeze.run (Workload.compile wl) in
+  let profile, outcome = Profile.collect prog ~input:(Workload.profiling_input wl) in
+  Format.printf "profiled %s: %d dynamic instructions@." wl.Workload.name
+    outcome.Vm.icount;
+
+  let options = { Squash.default_options with Squash.theta = 1e-3 } in
+  let r = Squash.run ~options prog profile in
+  Format.printf "%a@.@." Squash.pp_summary r;
+
+  (* Where did the space go? *)
+  let b = Squash.breakdown r in
+  Format.printf "breakdown (words): never-compressed %d, stubs %d, decompressor %d,@."
+    b.Squash.never_compressed b.Squash.entry_stubs b.Squash.decompressor;
+  Format.printf "  offset table %d, compressed %d, code tables %d, stub area %d, buffer %d@."
+    b.Squash.offset_table b.Squash.compressed_code b.Squash.code_tables
+    b.Squash.stub_area b.Squash.runtime_buffer;
+
+  (* The split streams: how many distinct values each field type has. *)
+  Format.printf "@.split streams (symbols / max codeword bits):@.";
+  List.iter
+    (fun (name, symbols, maxlen) ->
+      Format.printf "  %-10s %4d symbols, %2.0f bits max@." name symbols maxlen)
+    (Compress.stream_stats r.Squash.squashed.Rewrite.codes);
+
+  (* The largest compressed region, disassembled from its own stream. *)
+  let sq = r.Squash.squashed in
+  let biggest =
+    Array.fold_left
+      (fun (best : Rewrite.region_image) (img : Rewrite.region_image) ->
+        if img.Rewrite.buffer_words > best.Rewrite.buffer_words then img else best)
+      sq.Rewrite.images.(0) sq.Rewrite.images
+  in
+  let instrs, bits =
+    Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+      ~bit_offset:sq.Rewrite.blob_offsets.(biggest.Rewrite.rid) ()
+  in
+  Format.printf "@.largest region: %d buffer words from %d compressed bits (%.2f bits/instr)@."
+    biggest.Rewrite.buffer_words bits
+    (float_of_int bits /. float_of_int (List.length instrs));
+  Format.printf "first instructions of its decompressed image:@.";
+  List.iteri
+    (fun i ins -> if i < 6 then Format.printf "  %s@." (Instr.to_string ins))
+    instrs;
+
+  (* Run the timing input: different speech with loud bursts; the clipping
+     paths were cold during training, so the decompressor fires. *)
+  let timing = Workload.timing_input wl in
+  let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
+  let squashed_outcome, stats = Runtime.run sq ~input:timing in
+  assert (squashed_outcome.Vm.output = baseline.Vm.output);
+  assert (squashed_outcome.Vm.exit_code = baseline.Vm.exit_code);
+  Format.printf
+    "@.timing run verified: %d decompressions (%d bits decoded), %d restore \
+     stubs created, %d reused, max %d live@."
+    stats.Runtime.decompressions stats.Runtime.bits_decoded
+    stats.Runtime.stub_creates stats.Runtime.stub_reuses
+    stats.Runtime.max_live_stubs;
+  Format.printf "cycles: %d vs baseline %d (%.3fx)@." squashed_outcome.Vm.cycles
+    baseline.Vm.cycles
+    (float_of_int squashed_outcome.Vm.cycles /. float_of_int baseline.Vm.cycles)

@@ -1,0 +1,55 @@
+(* The paper's motivating scenario: a program must fit into a fixed program
+   memory (the TMS320C5x DSP the paper cites has 64 Kwords).  Given a
+   firmware image that exceeds its budget, raise the cold-code threshold θ
+   until the squashed footprint fits, then confirm the firmware still meets
+   a responsiveness requirement on its duty cycle.
+
+     dune exec examples/embedded_firmware.exe                                *)
+
+let budget_words = 4450
+
+let () =
+  (* The "firmware": the GSM transcoder workload — a realistic embedded
+     codec with a large cold runtime library linked in. *)
+  let wl = Option.get (Workloads.find "gsm") in
+  let prog, _ = Squeeze.run (Workload.compile wl) in
+  let original = Prog.text_words prog in
+  Format.printf "firmware: %s (%d words; budget %d words)@." wl.Workload.name
+    original budget_words;
+  if original <= budget_words then
+    Format.printf "already fits — nothing to do@."
+  else begin
+    let input = Workload.profiling_input wl in
+    let profile, _ = Profile.collect prog ~input in
+    let timing = Workload.timing_input wl in
+    let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
+    (* Sweep θ upward until the footprint fits the budget. *)
+    let thetas = [ 0.0; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ] in
+    let fitting =
+      List.find_map
+        (fun theta ->
+          let options = { Squash.default_options with Squash.theta = theta } in
+          let r = Squash.run ~options prog profile in
+          Format.printf "  θ=%-8g -> %5d words (%.1f%% smaller)@." theta
+            r.Squash.squashed_words
+            (100.0 *. Squash.size_reduction r);
+          if r.Squash.squashed_words <= budget_words then Some (theta, r) else None)
+        thetas
+    in
+    match fitting with
+    | None ->
+      Format.printf "no threshold fits the budget — a bigger part is needed@."
+    | Some (theta, r) ->
+      let outcome, stats = Runtime.run r.Squash.squashed ~input:timing in
+      assert (outcome.Vm.output = baseline.Vm.output);
+      let slowdown =
+        float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles
+      in
+      Format.printf
+        "fits at θ=%g: %d words in a %d-word part; %.2fx the cycles (%d \
+         decompressions on the duty cycle)@."
+        theta r.Squash.squashed_words budget_words slowdown
+        stats.Runtime.decompressions;
+      if slowdown <= 1.25 then Format.printf "responsiveness requirement met@."
+      else Format.printf "WARNING: slowdown exceeds the 1.25x requirement@."
+  end

@@ -1,0 +1,72 @@
+(* Quickstart: the whole pipeline on a small program, in ~40 lines.
+
+     dune exec examples/quickstart.exe
+
+   Compile MiniC -> compact with squeeze -> profile -> squash -> run the
+   compressed program and check it still behaves identically. *)
+
+let source =
+  {|
+// A toy image filter with a hot inner loop and cold error handling.
+int pixels[256];
+
+int blur(int n) {
+  int i; int acc;
+  acc = 0;
+  for (i = 1; i < n - 1; i = i + 1) {
+    pixels[i] = (pixels[i - 1] + pixels[i] * 2 + pixels[i + 1]) / 4;
+    acc = acc + pixels[i];
+  }
+  return acc;
+}
+
+int report_error(int code) {
+  putint(-1);
+  putint(code);
+  exit(1);
+  return 0;
+}
+
+int main() {
+  int i; int rounds; int acc;
+  rounds = getc();
+  if (rounds < 0) report_error(100);
+  if (rounds > 100) report_error(101);
+  for (i = 0; i < 256; i = i + 1) pixels[i] = (i * 37) & 255;
+  acc = 0;
+  for (i = 0; i < rounds; i = i + 1) acc = acc + blur(256);
+  putint(acc);
+  return 0;
+}
+|}
+
+let () =
+  (* 1. Compile and compact. *)
+  let prog = Minic.compile_exn source in
+  let squeezed, squeeze_stats = Squeeze.run prog in
+  Format.printf "%a@." Squeeze.pp_stats squeeze_stats;
+
+  (* 2. Profile on a training input (here: 5 blur rounds). *)
+  let input = "\005" in
+  let profile, outcome = Profile.collect squeezed ~input in
+  Format.printf "%a@." Profile.pp_summary profile;
+
+  (* 3. Squash: compress cold code under the default θ = 0 (only code that
+     never ran during profiling is compressed — the error paths). *)
+  let result = Squash.run squeezed profile in
+  Format.printf "%a@." Squash.pp_summary result;
+
+  (* 4. Run the squashed program and compare behaviour. *)
+  let squashed_outcome, stats = Runtime.run result.Squash.squashed ~input in
+  assert (squashed_outcome.Vm.output = outcome.Vm.output);
+  assert (squashed_outcome.Vm.exit_code = outcome.Vm.exit_code);
+  Format.printf "squashed run: identical output (%S), %d decompressions@."
+    (String.trim squashed_outcome.Vm.output)
+    stats.Runtime.decompressions;
+
+  (* 5. The compressed error path still works when it is finally needed:
+     a malformed input reaches report_error through the decompressor. *)
+  let bad_outcome, bad_stats = Runtime.run result.Squash.squashed ~input:"\127" in
+  Format.printf "bad input: exit %d after %d decompressions (output %S)@."
+    bad_outcome.Vm.exit_code bad_stats.Runtime.decompressions
+    (String.trim bad_outcome.Vm.output)

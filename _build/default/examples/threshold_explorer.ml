@@ -1,0 +1,44 @@
+(* Explore the size/time frontier of one workload across the cold-code
+   threshold — the trade-off at the heart of the paper (its Figures 6/7).
+
+     dune exec examples/threshold_explorer.exe            # default: jpeg_enc
+     dune exec examples/threshold_explorer.exe -- rasta                      *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "jpeg_enc" in
+  let wl =
+    match Workloads.find name with
+    | Some wl -> wl
+    | None ->
+      Printf.eprintf "unknown workload %s (try: %s)\n" name
+        (String.concat ", " Workloads.names);
+      exit 2
+  in
+  let prog, _ = Squeeze.run (Workload.compile wl) in
+  let profile, _ = Profile.collect prog ~input:(Workload.profiling_input wl) in
+  let timing = Workload.timing_input wl in
+  let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
+  let table =
+    Report.Table.create
+      ~title:(Printf.sprintf "%s: size/time frontier (squeezed = 1.0)" name)
+      [ ("theta", Report.Table.Left); ("size", Report.Table.Right);
+        ("time", Report.Table.Right); ("decompressions", Report.Table.Right);
+        ("max live stubs", Report.Table.Right) ]
+  in
+  List.iter
+    (fun theta ->
+      let options = { Squash.default_options with Squash.theta = theta } in
+      let r = Squash.run ~options prog profile in
+      let outcome, stats = Runtime.run r.Squash.squashed ~input:timing in
+      assert (outcome.Vm.output = baseline.Vm.output);
+      Report.Table.add_row table
+        [ Printf.sprintf "%g" theta;
+          Report.Table.cell_float ~decimals:3
+            (float_of_int r.Squash.squashed_words
+            /. float_of_int r.Squash.original_words);
+          Report.Table.cell_float ~decimals:3
+            (float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles);
+          string_of_int stats.Runtime.decompressions;
+          string_of_int stats.Runtime.max_live_stubs ])
+    [ 0.0; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ];
+  print_string (Report.Table.render table)

@@ -1,0 +1,62 @@
+(** A textual assembler for SQ32 programs.
+
+    The syntax mirrors the {!Prog} structure — functions of labelled basic
+    blocks with explicit terminators — so tests and examples can write small
+    programs without going through the MiniC front end:
+
+    {v
+    ; a comment
+    .entry main
+    .data 16
+    .init 0 42
+
+    func main {
+      .0:
+        lda a0, 7(zero)
+        call double
+      .1:
+        mov v0, a0
+        sys exit
+        halt
+    }
+
+    func double {
+      .0:
+        add a0, a0, v0
+        ret
+    }
+    v}
+
+    Blocks are declared as [.N:] in order.  The last line of a block may be
+    a terminator:
+
+    - [goto .N]
+    - [if COND REG goto .N else .M] with [COND] one of
+      [eq ne lt le gt ge] (register compared against zero)
+    - [call NAME] (optionally [call NAME ra=REG])
+    - [icall (REG)] (optionally with [ra=REG])
+    - [ijump (REG)] or [ijump (REG) table N]
+    - [ret] (returns through [ra]) or [ret (REG)]
+    - [halt] (control does not leave the block; it must end in a
+      non-returning syscall)
+
+    A block without a terminator line falls through to the next block.
+
+    Instructions use Alpha-style operand order (sources first):
+    [add RA, RB, RC] / [add RA, #IMM, RC]; [ldw RA, DISP(RB)];
+    [lda RA, DISP(RB)]; [sys NAME].  Pseudo-instructions: [mov RA, RC],
+    [li RC, VALUE] (expands to [lda]/[ldah]), [la RC, &NAME] and
+    [la RC, &tableN] (code-address loads). *)
+
+val parse_program : string -> (Prog.t, string) result
+(** Parse and validate a whole program.  Errors carry a line number. *)
+
+val parse_func : string -> (Prog.Func.t, string) result
+(** Parse a single [func NAME { ... }] definition. *)
+
+val pp_program : Format.formatter -> Prog.t -> unit
+(** Render a program back to parseable source. *)
+
+val disassemble : int array -> base:int -> string
+(** Disassemble raw words for debugging; undecodable words are shown as
+    [.word 0x...]. *)

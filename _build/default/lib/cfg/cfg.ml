@@ -1,0 +1,213 @@
+module Regset = struct
+  type t = int
+
+  let empty = 0
+  let add r s = if r = Reg.zero then s else s lor (1 lsl r)
+  let mem r s = s land (1 lsl r) <> 0
+  let union a b = a lor b
+  let diff a b = a land lnot b
+  let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+
+  let elements s =
+    List.filter (fun r -> mem r s) (List.init Reg.count Fun.id)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%s}"
+      (String.concat ", " (List.map Reg.name (elements s)))
+end
+
+let preds (f : Prog.Func.t) =
+  let n = Array.length f.blocks in
+  let p = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun s -> if s >= 0 && s < n then p.(s) <- i :: p.(s))
+      (Prog.successors f i)
+  done;
+  Array.map List.rev p
+
+let reachable (f : Prog.Func.t) =
+  let n = Array.length f.blocks in
+  let seen = Array.make n false in
+  let rec go i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (Prog.successors f i)
+    end
+  in
+  go 0;
+  seen
+
+let dfs_order (f : Prog.Func.t) =
+  let n = Array.length f.blocks in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      order := i :: !order;
+      List.iter go (Prog.successors f i)
+    end
+  in
+  go 0;
+  List.rev !order
+
+(* Caller-saved registers clobbered by any call. *)
+let caller_saved =
+  Regset.of_list
+    (Reg.rv :: Reg.ra :: (Reg.temps @ Reg.args))
+  |> Regset.add Reg.stub_scratch
+
+let arg_regs = Regset.of_list Reg.args
+let syscall_args = Regset.of_list [ 16; 17; 18 ]
+
+let operand_uses = function
+  | Instr.Reg r -> Regset.add r Regset.empty
+  | Instr.Imm _ -> Regset.empty
+
+let instr_defs_uses (ins : Instr.t) =
+  let open Regset in
+  match ins with
+  | Instr.Sys _ -> (add Reg.rv empty, syscall_args)
+  | Instr.Nop | Instr.Sentinel -> (empty, empty)
+  | Instr.Lda { ra; rb; _ } | Instr.Ldah { ra; rb; _ } -> (add ra empty, add rb empty)
+  | Instr.Opr { ra; rb; rc; _ } ->
+    (add rc empty, union (add ra empty) (operand_uses rb))
+  | Instr.Mem { op = Instr.Ldw | Instr.Ldb; ra; rb; _ } -> (add ra empty, add rb empty)
+  | Instr.Mem { op = Instr.Stw | Instr.Stb; ra; rb; _ } ->
+    (empty, union (add ra empty) (add rb empty))
+  | Instr.Cbr { ra; _ } -> (empty, add ra empty)
+  | Instr.Br { ra; _ } | Instr.Bsr { ra; _ } | Instr.Bsrx { ra; _ } -> (add ra empty, empty)
+  | Instr.Jmp { ra; rb; _ } | Instr.Jsr { ra; rb; _ } | Instr.Ret { ra; rb; _ } ->
+    (add ra empty, add rb empty)
+
+let item_defs_uses = function
+  | Prog.Instr ins -> instr_defs_uses ins
+  | Prog.Load_addr (r, _) -> (Regset.add r Regset.empty, Regset.empty)
+
+let return_uses =
+  Regset.union
+    (Regset.of_list (Reg.rv :: Reg.sp :: Reg.saved))
+    Regset.empty
+
+let term_defs_uses (t : Prog.term) =
+  let open Regset in
+  match t with
+  | Prog.Fallthrough _ | Prog.Jump _ -> (empty, empty)
+  | Prog.Branch (_, ra, _, _) -> (empty, add ra empty)
+  | Prog.Call { ra; _ } -> (union caller_saved (add ra empty), arg_regs)
+  | Prog.Call_indirect { ra; rb; _ } ->
+    (union caller_saved (add ra empty), add rb arg_regs)
+  | Prog.Jump_indirect { rb; _ } -> (empty, add rb empty)
+  | Prog.Return { rb } -> (empty, add rb return_uses)
+  | Prog.No_return -> (empty, syscall_args)
+
+type liveness = { live_in : Regset.t array; live_out : Regset.t array }
+
+let block_transfer (b : Prog.Block.t) live_out =
+  let apply (defs, uses) live = Regset.union uses (Regset.diff live defs) in
+  let after_items = apply (term_defs_uses b.term) live_out in
+  List.fold_right (fun item live -> apply (item_defs_uses item) live) b.items after_items
+
+let liveness (f : Prog.Func.t) =
+  let n = Array.length f.blocks in
+  let live_in = Array.make n Regset.empty in
+  let live_out = Array.make n Regset.empty in
+  let p = preds f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Regset.union acc live_in.(s))
+          Regset.empty (Prog.successors f i)
+      in
+      let inn = block_transfer f.blocks.(i) out in
+      if out <> live_out.(i) || inn <> live_in.(i) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  ignore p;
+  { live_in; live_out }
+
+let free_regs_at_entry lv i =
+  let live = lv.live_in.(i) in
+  let candidates =
+    Reg.stub_scratch
+    :: List.filter
+         (fun r -> r <> Reg.stub_scratch)
+         (List.init Reg.count Fun.id)
+  in
+  List.filter
+    (fun r ->
+      r <> Reg.zero && r <> Reg.sp && not (Regset.mem r live))
+    candidates
+
+module Callgraph = struct
+  type info = {
+    callees : string list;
+    mutable callers : string list;
+    has_indirect : bool;
+  }
+
+  type t = { info : (string, info) Hashtbl.t; taken : (string, unit) Hashtbl.t }
+
+  let of_prog (p : Prog.t) =
+    let info = Hashtbl.create 64 in
+    let taken = Hashtbl.create 16 in
+    List.iter
+      (fun (f : Prog.Func.t) ->
+        let callees = ref [] in
+        let has_indirect = ref false in
+        Array.iter
+          (fun (b : Prog.Block.t) ->
+            List.iter
+              (function
+                | Prog.Load_addr (_, Prog.Func_addr g) -> Hashtbl.replace taken g ()
+                | Prog.Load_addr (_, Prog.Table_addr _) | Prog.Instr _ -> ())
+              b.items;
+            match b.term with
+            | Prog.Call { callee; _ } -> callees := callee :: !callees
+            | Prog.Call_indirect _ -> has_indirect := true
+            | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Jump_indirect _
+            | Prog.Return _ | Prog.No_return ->
+              ())
+          f.blocks;
+        Hashtbl.replace info f.name
+          {
+            callees = List.sort_uniq String.compare !callees;
+            callers = [];
+            has_indirect = !has_indirect;
+          })
+      p.funcs;
+    Hashtbl.iter
+      (fun caller i ->
+        List.iter
+          (fun callee ->
+            match Hashtbl.find_opt info callee with
+            | Some ci -> ci.callers <- caller :: ci.callers
+            | None -> ())
+          i.callees)
+      info;
+    { info; taken }
+
+  let callees t f =
+    match Hashtbl.find_opt t.info f with Some i -> i.callees | None -> []
+
+  let callers t f =
+    match Hashtbl.find_opt t.info f with
+    | Some i -> List.sort_uniq String.compare i.callers
+    | None -> []
+
+  let has_indirect_call t f =
+    match Hashtbl.find_opt t.info f with Some i -> i.has_indirect | None -> false
+
+  let address_taken t f = Hashtbl.mem t.taken f
+
+  let functions t =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.info [] |> List.sort String.compare
+end

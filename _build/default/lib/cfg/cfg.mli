@@ -1,0 +1,77 @@
+(** Control-flow-graph algorithms over {!Prog.Func.t}.
+
+    Register sets are represented as 32-bit masks (bit [r] set means
+    register [r] is in the set); {!Regset} provides the few operations
+    needed.  The zero register never appears in any set. *)
+
+module Regset : sig
+  type t = int
+
+  val empty : t
+  val add : Reg.t -> t -> t
+  val mem : Reg.t -> t -> bool
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val of_list : Reg.t list -> t
+  val elements : t -> Reg.t list
+  val pp : Format.formatter -> t -> unit
+end
+
+val preds : Prog.Func.t -> int list array
+(** Intra-function predecessors of each block (derived from
+    {!Prog.successors}, so unknown indirect jumps make everything a
+    successor). *)
+
+val reachable : Prog.Func.t -> bool array
+(** Blocks reachable from the entry block. *)
+
+val dfs_order : Prog.Func.t -> int list
+(** Reachable blocks in depth-first (preorder) from the entry. *)
+
+(** {1 Def/use sets} *)
+
+val item_defs_uses : Prog.item -> Regset.t * Regset.t
+(** [(defs, uses)] of a straight-line item.  System calls conservatively use
+    the three argument registers and define [v0]. *)
+
+val term_defs_uses : Prog.term -> Regset.t * Regset.t
+(** [(defs, uses)] of a terminator.  Calls define all caller-saved registers
+    and use the argument registers; returns use the result register, the
+    callee-saved registers and the stack pointer, keeping the analysis sound
+    intraprocedurally. *)
+
+(** {1 Liveness} *)
+
+type liveness = { live_in : Regset.t array; live_out : Regset.t array }
+
+val liveness : Prog.Func.t -> liveness
+(** Backward may-analysis to a fixed point. *)
+
+val free_regs_at_entry : liveness -> int -> Reg.t list
+(** Registers not live at the entry of a block, excluding [sp] and [zero];
+    {!Reg.stub_scratch} is listed first when available.  This is what squash
+    uses to pick an entry stub's return-address register (paper,
+    Section 2.3). *)
+
+(** {1 Call graph} *)
+
+module Callgraph : sig
+  type t
+
+  val of_prog : Prog.t -> t
+  val callees : t -> string -> string list
+  (** Direct callees, deduplicated. *)
+
+  val callers : t -> string -> string list
+
+  val has_indirect_call : t -> string -> bool
+  (** Does the function contain any indirect call?  Its possible targets are
+      unknown, which matters to the buffer-safe analysis. *)
+
+  val address_taken : t -> string -> bool
+  (** Is the function's address materialised anywhere ([Load_addr] of
+      [Func_addr])?  Such functions are possible targets of indirect
+      calls. *)
+
+  val functions : t -> string list
+end

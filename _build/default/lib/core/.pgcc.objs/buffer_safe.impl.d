@@ -1,0 +1,1 @@
+lib/core/buffer_safe.ml: Array Cfg Hashtbl List Option Prog String

@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Compress Easm Format Hashtbl Instr Layout List Reg Rewrite String

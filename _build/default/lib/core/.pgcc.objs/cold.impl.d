@@ -1,0 +1,1 @@
+lib/core/cold.ml: Array Hashtbl List Option Profile Prog

@@ -1,0 +1,1 @@
+lib/core/cold.mli: Profile Prog

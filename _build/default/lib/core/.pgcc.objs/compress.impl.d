@@ -1,0 +1,1 @@
+lib/core/compress.ml: Array Bitio Buffer Canonical Char Hashtbl Huffman Instr List Lzss Mtf Option String

@@ -1,0 +1,1 @@
+lib/core/regions.ml: Array Cfg Fun Hashtbl Lazy List Option Prog

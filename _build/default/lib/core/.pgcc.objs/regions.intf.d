@@ -1,0 +1,1 @@
+lib/core/regions.mli: Hashtbl Prog

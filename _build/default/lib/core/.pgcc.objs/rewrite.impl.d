@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Array Buffer_safe Cfg Compress Easm Hashtbl Instr Layout Lazy List Printf Prog Reg Regions String

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Buffer_safe Compress Easm Hashtbl Instr Prog Reg Regions

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Char Compress Cost Easm Hashtbl Instr Layout List Prog Reg Rewrite String Vm Word

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Cost Rewrite Vm

@@ -1,0 +1,1 @@
+lib/core/squash.ml: Array Buffer_safe Cold Compress Format Hashtbl Instr List Profile Prog Regions Rewrite String Syscall Unswitch

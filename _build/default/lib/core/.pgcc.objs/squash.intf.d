@@ -1,0 +1,1 @@
+lib/core/squash.mli: Buffer_safe Cold Compress Format Profile Prog Regions Rewrite

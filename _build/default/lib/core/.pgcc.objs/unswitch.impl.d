@@ -1,0 +1,1 @@
+lib/core/unswitch.ml: Array Hashtbl Instr List Option Prog Reg

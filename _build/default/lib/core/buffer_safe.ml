@@ -1,0 +1,54 @@
+type t = (string, bool) Hashtbl.t  (* name -> is buffer-safe *)
+
+let analyze (p : Prog.t) ~has_compressed =
+  let cg = Cfg.Callgraph.of_prog p in
+  let safe : t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      let seed_unsafe = has_compressed f.name || Cfg.Callgraph.has_indirect_call cg f.name in
+      Hashtbl.replace safe f.name (not seed_unsafe))
+    p.funcs;
+  (* Propagate non-safety from callees to callers. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Prog.Func.t) ->
+        if Hashtbl.find safe f.name then
+          let unsafe_callee =
+            List.exists
+              (fun g -> not (Option.value ~default:false (Hashtbl.find_opt safe g)))
+              (Cfg.Callgraph.callees cg f.name)
+          in
+          if unsafe_callee then begin
+            Hashtbl.replace safe f.name false;
+            changed := true
+          end)
+      p.funcs
+  done;
+  safe
+
+let is_safe t name = Option.value ~default:false (Hashtbl.find_opt t name)
+
+let safe_functions t =
+  Hashtbl.fold (fun name ok acc -> if ok then name :: acc else acc) t []
+  |> List.sort String.compare
+
+let stats (p : Prog.t) t ~in_region =
+  let safe_calls = ref 0 and total = ref 0 in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      Array.iteri
+        (fun i (b : Prog.Block.t) ->
+          if in_region f.name i then
+            match b.term with
+            | Prog.Call { callee; _ } ->
+              incr total;
+              if is_safe t callee then incr safe_calls
+            | Prog.Call_indirect _ -> incr total
+            | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Jump_indirect _
+            | Prog.Return _ | Prog.No_return ->
+              ())
+        f.blocks)
+    p.funcs;
+  (`Safe_calls !safe_calls, `Total_calls !total)

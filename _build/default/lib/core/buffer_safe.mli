@@ -1,0 +1,27 @@
+(** Buffer-safety analysis (paper, Section 6.1).
+
+    A function is {e buffer-safe} when neither it nor anything it can call
+    will invoke the decompressor.  A call from compressed code to a
+    buffer-safe callee can be left as a plain [bsr]: the runtime buffer
+    cannot be overwritten during the call, so no restore stub and no extra
+    buffer instruction are needed.
+
+    The analysis is the paper's iterative marking, at function granularity:
+    functions containing compressed blocks, or indirect calls (whose targets
+    may be anything), start out non-safe, and non-safety propagates from
+    callees to callers until a fixed point. *)
+
+type t
+
+val analyze : Prog.t -> has_compressed:(string -> bool) -> t
+val is_safe : t -> string -> bool
+
+val safe_functions : t -> string list
+(** Sorted. *)
+
+val stats :
+  Prog.t -> t -> in_region:(string -> int -> bool) ->
+  [ `Safe_calls of int ] * [ `Total_calls of int ]
+(** Of the direct call sites inside compressed regions, how many have a
+    buffer-safe callee (the call sites the optimisation actually
+    rewrites). *)

@@ -1,0 +1,146 @@
+let check (sq : Rewrite.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let nregions = Array.length sq.Rewrite.images in
+
+  (* --- function offset table ------------------------------------- *)
+  let blob_bits = 8 * String.length sq.Rewrite.blob in
+  Array.iteri
+    (fun i off ->
+      if off < 0 || off > blob_bits then err "region %d: offset %d outside blob" i off;
+      if i > 0 && off < sq.Rewrite.blob_offsets.(i - 1) then
+        err "offset table not sorted at region %d" i)
+    sq.Rewrite.blob_offsets;
+  if Array.length sq.Rewrite.blob_offsets <> nregions then
+    err "offset table has %d entries for %d regions"
+      (Array.length sq.Rewrite.blob_offsets)
+      nregions;
+
+  (* --- entry stubs ------------------------------------------------ *)
+  let text = sq.Rewrite.text.Easm.words in
+  let word_at addr =
+    let idx = (addr - Layout.text_base) / 4 in
+    if idx < 0 || idx >= Array.length text then None else Some text.(idx)
+  in
+  let is_decomp_entry addr ~push =
+    if push then addr = Rewrite.decomp_entry_push sq
+    else
+      addr >= Rewrite.decomp_entry sq 0
+      && addr <= Rewrite.decomp_entry sq (Reg.count - 1)
+      && (addr - Rewrite.decomp_entry sq 0) land 3 = 0
+  in
+  let check_tag key addr =
+    match word_at addr with
+    | None -> err "stub for %s.%d: tag out of text" (fst key) (snd key)
+    | Some tag ->
+      let rid = tag lsr 16 and off = tag land 0xFFFF in
+      if rid >= nregions then
+        err "stub for %s.%d: tag names region %d of %d" (fst key) (snd key) rid nregions
+      else begin
+        let img = sq.Rewrite.images.(rid) in
+        let is_block_head =
+          Hashtbl.fold (fun _ o acc -> acc || o = off) img.Rewrite.block_offset false
+        in
+        if not is_block_head then
+          err "stub for %s.%d: offset %d is not a block head of region %d" (fst key)
+            (snd key) off rid;
+        if Hashtbl.find_opt img.Rewrite.block_offset key <> Some off then
+          err "stub for %s.%d: tag points at a different block" (fst key) (snd key)
+      end
+  in
+  List.iter
+    (fun (key, addr) ->
+      match word_at addr with
+      | None -> err "stub for %s.%d: address outside text" (fst key) (snd key)
+      | Some w -> (
+        match Instr.decode w with
+        | Ok (Instr.Bsr { disp; _ }) ->
+          let target = addr + 4 + (4 * disp) in
+          if not (is_decomp_entry target ~push:false) then
+            err "stub for %s.%d: bsr does not target a decompressor entry" (fst key)
+              (snd key)
+          else check_tag key (addr + 4)
+        | Ok (Instr.Mem { op = Instr.Stw; rb; disp = -4; _ }) when rb = Reg.sp -> (
+          (* 3-word push form. *)
+          match word_at (addr + 4) with
+          | Some w2 -> (
+            match Instr.decode w2 with
+            | Ok (Instr.Bsr { disp; _ }) ->
+              let target = addr + 8 + (4 * disp) in
+              if not (is_decomp_entry target ~push:true) then
+                err "stub for %s.%d: push form does not target the push entry"
+                  (fst key) (snd key)
+              else check_tag key (addr + 8)
+            | _ -> err "stub for %s.%d: push form lacks its bsr" (fst key) (snd key))
+          | None -> err "stub for %s.%d: truncated push form" (fst key) (snd key))
+        | Ok _ | Error _ ->
+          err "stub for %s.%d: does not start with bsr or push" (fst key) (snd key)))
+    sq.Rewrite.stub_addrs;
+
+  (* --- region images and streams ---------------------------------- *)
+  Array.iteri
+    (fun rid (img : Rewrite.region_image) ->
+      if img.Rewrite.buffer_words + 2 > sq.Rewrite.buffer_words then
+        err "region %d needs %d words, buffer holds %d" rid img.Rewrite.buffer_words
+          (sq.Rewrite.buffer_words - 2);
+      (* The stream must round-trip. *)
+      let bit_end =
+        if rid + 1 < nregions then Some sq.Rewrite.blob_offsets.(rid + 1) else None
+      in
+      (match
+         Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+           ~bit_offset:sq.Rewrite.blob_offsets.(rid) ?bit_end ()
+       with
+      | decoded, _ ->
+        if not (List.equal Instr.equal decoded img.Rewrite.stream) then
+          err "region %d: compressed stream does not decode to its image" rid
+      | exception Failure msg -> err "region %d: decode failed: %s" rid msg);
+      (* Image structure. *)
+      let block_heads =
+        Hashtbl.fold (fun _ o acc -> o :: acc) img.Rewrite.block_offset []
+      in
+      let pos = ref 0 in
+      List.iter
+        (fun w ->
+          (match w with
+          | Rewrite.Plain (Instr.Bsrx _) ->
+            err "region %d: raw Bsrx marker in image at %d" rid !pos
+          | Rewrite.Plain (Instr.Jsr { hint = 1; _ }) ->
+            err "region %d: raw Jsr marker in image at %d" rid !pos
+          | Rewrite.Plain Instr.Sentinel ->
+            err "region %d: sentinel inside image at %d" rid !pos
+          | Rewrite.Plain (Instr.Cbr { disp; _ } | Instr.Br { disp; _ }) ->
+            (* Intra-buffer transfers must land on a block head. *)
+            let target_words = !pos + 1 + disp in
+            if target_words >= 0 && target_words < img.Rewrite.buffer_words then
+              if not (List.mem target_words block_heads) then
+                err "region %d: branch at %d targets mid-block offset %d" rid !pos
+                  target_words
+          | Rewrite.Plain _ | Rewrite.Expand_call _ | Rewrite.Expand_calli _ -> ());
+          pos :=
+            !pos
+            + (match w with
+              | Rewrite.Plain _ -> 1
+              | Rewrite.Expand_call _ | Rewrite.Expand_calli _ -> 2))
+        img.Rewrite.words;
+      if !pos <> img.Rewrite.buffer_words then
+        err "region %d: image words sum to %d, recorded %d" rid !pos
+          img.Rewrite.buffer_words)
+    sq.Rewrite.images;
+
+  (* --- footprint consistency --------------------------------------- *)
+  let parts =
+    Rewrite.never_compressed_words sq + Rewrite.offset_table_words sq
+    + Rewrite.blob_words sq + Rewrite.code_table_words sq
+    + (sq.Rewrite.max_stubs * 4) + sq.Rewrite.buffer_words
+  in
+  if parts <> Rewrite.total_words sq then
+    err "footprint parts sum to %d, total_words says %d" parts
+      (Rewrite.total_words sq);
+
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn sq =
+  match check sq with
+  | Ok () -> ()
+  | Error es -> failwith ("Check.check failed:\n" ^ String.concat "\n" es)

@@ -1,0 +1,25 @@
+(** A static verifier for squashed images — the kind of [--check] mode a
+    binary-rewriting tool ships so that a bad image is rejected before it
+    runs.
+
+    The checks cover the squash-specific invariants that the type system
+    cannot enforce:
+
+    - every entry stub is well-formed: a [bsr] into a decompressor entry
+      point (or the 3-word push form) followed by a tag whose region id and
+      buffer offset are valid, with the offset naming a real block of that
+      region;
+    - the function offset table is sorted and within the blob;
+    - every region's compressed stream decodes back to exactly its buffer
+      image, contains no stray sentinel, and fits the allocated buffer;
+    - markers ([Bsrx], [Jsr] with hint 1) appear only where the decompressor
+      expands them, and plain image words never contain them;
+    - intra-buffer control transfers land on block heads of the same
+      region;
+    - the footprint accounting is internally consistent. *)
+
+val check : Rewrite.t -> (unit, string list) result
+(** All violations found, or [Ok ()]. *)
+
+val check_exn : Rewrite.t -> unit
+(** @raise Failure with the violations joined by newlines. *)

@@ -1,0 +1,75 @@
+type t = {
+  cold : (string * int, unit) Hashtbl.t;
+  cutoff : int;
+  cold_blocks : int;
+  total_blocks : int;
+  cold_instrs : int;
+  total_instrs : int;
+}
+
+let identify (p : Prog.t) prof ~theta =
+  if theta < 0.0 || theta > 1.0 then invalid_arg "Cold.identify: theta out of range";
+  let all_blocks =
+    List.concat_map
+      (fun (f : Prog.Func.t) ->
+        List.init (Array.length f.blocks) (fun i ->
+            (f.name, i, Prog.Block.instr_count f.blocks.(i))))
+      p.funcs
+  in
+  let budget = theta *. float_of_int (Profile.total_weight prof) in
+  (* Sweep blocks in increasing frequency order, accumulating weight, to find
+     the largest admissible frequency cutoff N. *)
+  (* Group weights by frequency, then admit whole frequency classes in
+     increasing order while the cumulative weight stays within budget. *)
+  let weight_by_freq = Hashtbl.create 64 in
+  List.iter
+    (fun (f, b, _) ->
+      let freq = Profile.freq prof f b in
+      let w = Profile.weight prof f b in
+      Hashtbl.replace weight_by_freq freq
+        (w + Option.value ~default:0 (Hashtbl.find_opt weight_by_freq freq)))
+    all_blocks;
+  let classes =
+    Hashtbl.fold (fun freq w acc -> (freq, w) :: acc) weight_by_freq []
+    |> List.sort compare
+  in
+  let cutoff =
+    let rec sweep acc best = function
+      | [] -> best
+      | (freq, w) :: rest ->
+        let acc = acc +. float_of_int w in
+        if acc <= budget then sweep acc freq rest else best
+    in
+    if theta >= 1.0 then max_int else sweep 0.0 (-1) classes
+  in
+  let cutoff = max cutoff 0 in
+  let cold = Hashtbl.create 256 in
+  let cold_blocks = ref 0 and cold_instrs = ref 0 and total_instrs = ref 0 in
+  List.iter
+    (fun (f, b, size) ->
+      total_instrs := !total_instrs + size;
+      if Profile.freq prof f b <= cutoff then begin
+        Hashtbl.replace cold (f, b) ();
+        incr cold_blocks;
+        cold_instrs := !cold_instrs + size
+      end)
+    all_blocks;
+  {
+    cold;
+    cutoff;
+    cold_blocks = !cold_blocks;
+    total_blocks = List.length all_blocks;
+    cold_instrs = !cold_instrs;
+    total_instrs = !total_instrs;
+  }
+
+let max_cold_freq t = t.cutoff
+let is_cold t f b = Hashtbl.mem t.cold (f, b)
+let cold_block_count t = t.cold_blocks
+let total_block_count t = t.total_blocks
+let cold_instr_count t = t.cold_instrs
+let total_instr_count t = t.total_instrs
+
+let cold_fraction t =
+  if t.total_instrs = 0 then 0.0
+  else float_of_int t.cold_instrs /. float_of_int t.total_instrs

@@ -1,0 +1,28 @@
+(** Cold-code identification (paper, Section 5).
+
+    Given a threshold [θ ∈ [0, 1]], find the largest execution frequency [N]
+    such that the blocks with frequency at most [N] together account for at
+    most [θ · tot_instr_ct] dynamic instructions; every block with frequency
+    ≤ N is cold.  With [θ = 0] only never-executed code is cold; with
+    [θ = 1] everything is. *)
+
+type t
+
+val identify : Prog.t -> Profile.t -> theta:float -> t
+
+val max_cold_freq : t -> int
+(** The cutoff frequency [N]; [max_int] when everything is cold. *)
+
+val is_cold : t -> string -> int -> bool
+
+val cold_block_count : t -> int
+val total_block_count : t -> int
+
+val cold_instr_count : t -> int
+(** Static instructions in cold blocks (canonical block sizes). *)
+
+val total_instr_count : t -> int
+
+val cold_fraction : t -> float
+(** Static cold instructions / total instructions — the quantity plotted in
+    the paper's Figure 4. *)

@@ -1,0 +1,61 @@
+(** Compression of instruction sequences, with three interchangeable
+    backends:
+
+    - [`Split_stream] (the paper's scheme, Section 3): each of the 15
+      instruction field types gets its own canonical Huffman code, built
+      over all compressible regions at once.  Because the opcode determines
+      the remaining fields of an instruction, the per-stream codeword
+      sequences merge into a single bitstream per region.
+    - [`Split_stream_mtf] (the paper's move-to-front variant): each stream
+      is move-to-front transformed before Huffman coding.  The recency
+      lists reset at every region boundary so regions stay independently
+      decodable.  It trades better compression on some streams for a
+      larger, slower decompressor — exactly the trade-off the paper notes.
+    - [`Lzss] (the "other algorithms" of the future-work section): the
+      encoded instruction words of a region, as little-endian bytes,
+      compressed with byte-oriented LZSS.
+
+    Each region's stream ends with an encoded [Sentinel], at which
+    decompression stops (paper, Section 2.1). *)
+
+type backend = [ `Split_stream | `Split_stream_mtf | `Lzss ]
+
+type codes
+
+val build_codes : ?backend:backend -> Instr.t list array -> codes
+(** Build the codec state from all region instruction sequences (the
+    sentinels are added internally).  Default backend: [`Split_stream]. *)
+
+val backend_of : codes -> backend
+
+val encode_regions : codes -> Instr.t list array -> string * int array
+(** [(blob, offsets)]: the compressed bytes and each region's starting bit
+    offset (always byte-aligned for [`Lzss]). *)
+
+val decode_region :
+  codes -> string -> bit_offset:int -> ?bit_end:int -> unit -> Instr.t list * int
+(** Decode one region (the sentinel is consumed but not returned).  Returns
+    the instructions and the decoder {e work units} — DECODE-loop
+    iterations, plus move-to-front list steps, plus LZSS copy steps — which
+    the runtime converts into cycles.  [bit_end] bounds the region's bytes
+    (required information for [`Lzss]; ignored by the Huffman backends,
+    which stop at the sentinel).
+    @raise Failure on a corrupt stream. *)
+
+val table_bits : codes -> int
+(** Footprint of the code representations that must ship with the blob:
+    [N]/[D] arrays per stream (plus the move-to-front alphabets); 0 for
+    [`Lzss]. *)
+
+val compressed_bits : codes -> Instr.t list array -> int
+(** Total encoded size of the given regions in bits (whole bytes),
+    excluding tables. *)
+
+val stream_stats : codes -> (string * int * float) list
+(** Per stream: name, distinct symbols, max codeword length.  Empty for
+    [`Lzss]. *)
+
+val mtf_gain_bits : Instr.t list array -> (string * int) list
+(** For each stream, the change in total Huffman-coded bits if the stream
+    were move-to-front transformed first (negative = MTF helps).  Used by
+    the ablation bench. *)

@@ -1,0 +1,422 @@
+type region = { id : int; blocks : (string * int) list }
+
+type t = {
+  regions : region array;
+  region_of : (string * int, int) Hashtbl.t;
+  entries : (string * int, unit) Hashtbl.t;
+  rejected_blocks : int;
+}
+
+type strategy = [ `Dfs | `Linear ]
+
+type params = { k_bytes : int; gamma : float; pack : bool; strategy : strategy }
+
+let default_params = { k_bytes = 512; gamma = 0.66; pack = true; strategy = `Dfs }
+
+let entry_stub_words = 2
+
+(* Conservative buffer-image size of a block: its canonical size plus slack
+   for a materialised boundary jump or an expanded call. *)
+let block_cost (f : Prog.Func.t) i = Prog.Block.instr_count f.blocks.(i) + 2
+
+(* ------------------------------------------------------------------ *)
+
+type facts = {
+  prog : Prog.t;
+  func_of : (string, Prog.Func.t) Hashtbl.t;
+  preds : (string, int list array) Hashtbl.t;
+  callers_of_entry : (string, (string * int) list) Hashtbl.t;
+      (* direct call sites per callee, as (caller function, caller block) *)
+  address_taken : (string, unit) Hashtbl.t;
+  table_targets : (string * int, unit) Hashtbl.t;
+      (* blocks that a retained jump table can reach *)
+}
+
+let gather_facts (p : Prog.t) =
+  let func_of = Hashtbl.create 64 in
+  let preds = Hashtbl.create 64 in
+  let callers_of_entry = Hashtbl.create 64 in
+  let address_taken = Hashtbl.create 16 in
+  let table_targets = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      Hashtbl.replace func_of f.name f;
+      Hashtbl.replace preds f.name (Cfg.preds f);
+      Array.iter
+        (fun (b : Prog.Block.t) ->
+          List.iter
+            (function
+              | Prog.Load_addr (_, Prog.Func_addr g) -> Hashtbl.replace address_taken g ()
+              | Prog.Load_addr (_, Prog.Table_addr _) | Prog.Instr _ -> ())
+            b.items;
+          ())
+        f.blocks;
+      Array.iteri
+        (fun i (b : Prog.Block.t) ->
+          match b.term with
+          | Prog.Call { callee; _ } ->
+            Hashtbl.replace callers_of_entry callee
+              ((f.name, i)
+              :: Option.value ~default:[] (Hashtbl.find_opt callers_of_entry callee))
+          | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Call_indirect _
+          | Prog.Jump_indirect _ | Prog.Return _ | Prog.No_return ->
+            ())
+        f.blocks;
+      Array.iter
+        (fun entries ->
+          Array.iter (fun d -> Hashtbl.replace table_targets (f.name, d) ()) entries)
+        f.tables)
+    p.funcs;
+  { prog = p; func_of; preds; callers_of_entry; address_taken; table_targets }
+
+(* Some rid when every block of the function lies in region rid. *)
+let fully_in_region facts region_of fname =
+  match Hashtbl.find_opt facts.func_of fname with
+  | None -> None
+  | Some f -> (
+    match Hashtbl.find_opt region_of (fname, 0) with
+    | None -> None
+    | Some rid ->
+      let ok = ref true in
+      Array.iteri
+        (fun i _ ->
+          if Hashtbl.find_opt region_of (fname, i) <> Some rid then ok := false)
+        f.Prog.Func.blocks;
+      if !ok then Some rid else None)
+
+(* A block needs an entry stub iff control can reach it from outside its
+   region.  A called function's entry can only go stub-less when the callee
+   is entirely inside one region and every direct call site sits in that
+   same region — the condition under which {!Rewrite} emits the call as a
+   plain intra-buffer [bsr]. *)
+let compute_entries facts region_of =
+  let entries = Hashtbl.create 64 in
+  let in_same_region key other = Hashtbl.find_opt region_of key = Hashtbl.find_opt region_of other in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      let preds = Hashtbl.find facts.preds f.name in
+      let fully = lazy (fully_in_region facts region_of f.name) in
+      Array.iteri
+        (fun i _ ->
+          let key = (f.name, i) in
+          if Hashtbl.mem region_of key then begin
+            let external_pred =
+              List.exists (fun p -> not (in_same_region key (f.name, p))) preds.(i)
+            in
+            let func_entry_reachable =
+              i = 0
+              && (List.exists
+                    (fun site ->
+                      match Lazy.force fully with
+                      | None -> true
+                      | Some rid -> Hashtbl.find_opt region_of site <> Some rid)
+                    (Option.value ~default:[]
+                       (Hashtbl.find_opt facts.callers_of_entry f.name))
+                 || Hashtbl.mem facts.address_taken f.name
+                 || f.name = facts.prog.Prog.entry)
+            in
+            let table_target = Hashtbl.mem facts.table_targets key in
+            if external_pred || func_entry_reachable || table_target then
+              Hashtbl.replace entries key ()
+          end)
+        f.blocks)
+    facts.prog.Prog.funcs;
+  entries
+
+(* Calls whose caller block and callee entry block could fall in different
+   regions; used by the packing gain. *)
+let direct_calls (p : Prog.t) =
+  List.concat_map
+    (fun (f : Prog.Func.t) ->
+      List.filteri (fun _ x -> x <> None)
+        (Array.to_list
+           (Array.mapi
+              (fun i (b : Prog.Block.t) ->
+                match b.term with
+                | Prog.Call { callee; _ } -> Some ((f.name, i), (callee, 0))
+                | _ -> None)
+              f.blocks))
+      |> List.map Option.get)
+    p.funcs
+
+(* ------------------------------------------------------------------ *)
+
+let build (p : Prog.t) ~compressible ~params =
+  let facts = gather_facts p in
+  let k_words = max 4 (params.k_bytes / 4) in
+  let region_of = Hashtbl.create 256 in
+  let regions = ref [] in
+  let no_restart = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let rejected = ref 0 in
+  (* Phase 1: grow DFS trees of compressible blocks, one function at a
+     time. *)
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      let n = Array.length f.blocks in
+      let taken = Array.make n false in
+      Array.iteri
+        (fun root _ ->
+          if
+            compressible f.name root
+            && (not taken.(root))
+            && (not (Hashtbl.mem region_of (f.name, root)))
+            && not (Hashtbl.mem no_restart (f.name, root))
+          then begin
+            (* Depth-first growth bounded by the buffer budget.
+
+               A call-terminated block is only usable together with its
+               lexical continuation: the hardware return address is [pc+4],
+               so the continuation must sit immediately after the call in
+               the buffer image.  We therefore grow in atomic "call chains"
+               — maximal runs [i, i+1, ...] where each block but the last
+               ends in a call — and add a chain either whole or not at
+               all. *)
+            let members = ref [] in
+            let size = ref 0 in
+            let visited = Array.make n false in
+            let admissible i =
+              i >= 0 && i < n
+              && (not visited.(i))
+              && compressible f.name i
+              && (not taken.(i))
+              && not (Hashtbl.mem region_of (f.name, i))
+            in
+            let rec chain_of i acc =
+              (* return_to is always i+1 (validated), so chains are finite. *)
+              match f.blocks.(i).Prog.Block.term with
+              | Prog.Call { return_to; _ } | Prog.Call_indirect { return_to; _ } ->
+                chain_of return_to (i :: acc)
+              | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _
+              | Prog.Jump_indirect _ | Prog.Return _ | Prog.No_return ->
+                List.rev (i :: acc)
+            in
+            (* Try to add the whole call chain rooted at [i]; true on
+               success. *)
+            let try_add_chain i =
+              let chain = chain_of i [] in
+              if List.for_all admissible chain then begin
+                let c = List.fold_left (fun acc j -> acc + block_cost f j) 0 chain in
+                if !size + c <= k_words then begin
+                  size := !size + c;
+                  List.iter
+                    (fun j ->
+                      visited.(j) <- true;
+                      members := j :: !members)
+                    chain;
+                  Some (List.nth chain (List.length chain - 1))
+                end
+                else None
+              end
+              else begin
+                (* The chain is blocked (its tail is hot, oversized or
+                   already claimed); never retry from this head. *)
+                visited.(i) <- true;
+                None
+              end
+            in
+            let rec grow i =
+              if admissible i then
+                match try_add_chain i with
+                | Some last ->
+                  (* Only the last chain block has successors other than a
+                     call continuation. *)
+                  List.iter grow (Prog.successors f last)
+                | None -> ()
+            in
+            (* Linear scan: take consecutive admissible chains in block
+               order until one no longer fits (the paper's future-work
+               "other algorithms for constructing regions"). *)
+            let rec linear i =
+              if i < n && admissible i then
+                match try_add_chain i with
+                | Some last -> linear (last + 1)
+                | None -> ()
+            in
+            (match params.strategy with `Dfs -> grow root | `Linear -> linear root);
+            let members = List.rev !members in
+            match members with
+            | [] -> Hashtbl.replace no_restart (f.name, root) ()
+            | _ :: _ ->
+              (* Profitability: entry stubs cost E, compression saves
+                 (1-γ)·I. *)
+              let instrs =
+                List.fold_left
+                  (fun acc i -> acc + Prog.Block.instr_count f.blocks.(i))
+                  0 members
+              in
+              let tentative = Hashtbl.create 8 in
+              List.iter (fun i -> Hashtbl.replace tentative (f.name, i) !next_id) members;
+              let entry_count =
+                let preds = Hashtbl.find facts.preds f.name in
+                List.length
+                  (List.filter
+                     (fun i ->
+                       let external_pred =
+                         List.exists
+                           (fun pr -> not (Hashtbl.mem tentative (f.name, pr)))
+                           preds.(i)
+                       in
+                       external_pred
+                       || (i = 0 && not (Hashtbl.mem tentative (f.name, i)))
+                       || (i = 0
+                          && (Hashtbl.mem facts.callers_of_entry f.name
+                             || Hashtbl.mem facts.address_taken f.name
+                             || f.name = facts.prog.Prog.entry))
+                       || Hashtbl.mem facts.table_targets (f.name, i))
+                     members)
+              in
+              let stub_words = entry_stub_words * entry_count in
+              if
+                float_of_int stub_words
+                < (1.0 -. params.gamma) *. float_of_int instrs
+              then begin
+                List.iter
+                  (fun i -> Hashtbl.replace region_of (f.name, i) !next_id)
+                  members;
+                regions :=
+                  { id = !next_id; blocks = List.map (fun i -> (f.name, i)) members }
+                  :: !regions;
+                incr next_id
+              end
+              else begin
+                rejected := !rejected + List.length members;
+                Hashtbl.replace no_restart (f.name, root) ()
+              end
+          end)
+        f.blocks)
+    p.funcs;
+  let regions = ref (List.rev !regions) in
+  (* Phase 2: packing.  Merge the pair with the best stub savings until no
+     profitable pair fits the bound. *)
+  if params.pack then begin
+    let calls = direct_calls p in
+    let cost_of r =
+      List.fold_left
+        (fun acc (fname, i) ->
+          acc + block_cost (Hashtbl.find facts.func_of fname) i)
+        0 r.blocks
+    in
+    let continue = ref true in
+    while !continue do
+      let rs = Array.of_list !regions in
+      let entries = compute_entries facts region_of in
+      let costs = Array.map cost_of rs in
+      (* Gain of merging regions a and b. *)
+      let gain ai bi =
+        let a = rs.(ai) and b = rs.(bi) in
+        let member key =
+          match Hashtbl.find_opt region_of key with
+          | Some id -> id = a.id || id = b.id
+          | None -> false
+        in
+        (* Entry stubs that disappear: entry blocks of a∪b all of whose
+           reasons to be an entry come from the partner region. *)
+        let stub_gain =
+          List.fold_left
+            (fun acc (fname, i) ->
+              if not (Hashtbl.mem entries (fname, i)) then acc
+              else begin
+                let f = Hashtbl.find facts.func_of fname in
+                let preds = (Hashtbl.find facts.preds fname).(i) in
+                let still_entry =
+                  (* Heuristic mirror of compute_entries: after the merge,
+                     call sites in either region count as in-region only if
+                     the callee would be fully inside the merged region. *)
+                  List.exists (fun pr -> not (member (fname, pr))) preds
+                  || (i = 0
+                     && (List.exists
+                           (fun site -> not (member site))
+                           (Option.value ~default:[]
+                              (Hashtbl.find_opt facts.callers_of_entry fname))
+                        || (match Hashtbl.find_opt facts.func_of fname with
+                           | None -> true
+                           | Some callee ->
+                             (* the callee must lie fully in the merged
+                                region for its entry stub to disappear *)
+                             Array.exists
+                               (fun j -> not (member (fname, j)))
+                               (Array.init (Array.length callee.Prog.Func.blocks)
+                                  Fun.id))
+                        || Hashtbl.mem facts.address_taken fname
+                        || fname = p.Prog.entry))
+                  || Hashtbl.mem facts.table_targets (fname, i)
+                in
+                ignore f;
+                if still_entry then acc else acc + entry_stub_words
+              end)
+            0 (a.blocks @ b.blocks)
+        in
+        (* Calls between the two regions stop needing restore stubs. *)
+        let call_gain =
+          List.fold_left
+            (fun acc (caller, (callee, _)) ->
+              let caller_in id = Hashtbl.find_opt region_of caller = Some id in
+              let callee_in id =
+                Hashtbl.find_opt region_of (callee, 0) = Some id
+              in
+              if
+                (caller_in a.id && callee_in b.id)
+                || (caller_in b.id && callee_in a.id)
+              then acc + 2
+              else acc)
+            0 calls
+        in
+        stub_gain + call_gain
+      in
+      let best = ref None in
+      let nr = Array.length rs in
+      for ai = 0 to nr - 1 do
+        for bi = ai + 1 to nr - 1 do
+          if costs.(ai) + costs.(bi) <= k_words then begin
+            let g = gain ai bi in
+            if g > 0 then
+              match !best with
+              | Some (bg, _, _) when bg >= g -> ()
+              | _ -> best := Some (g, ai, bi)
+          end
+        done
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (_, ai, bi) ->
+        let a = rs.(ai) and b = rs.(bi) in
+        let merged = { id = a.id; blocks = a.blocks @ b.blocks } in
+        List.iter (fun key -> Hashtbl.replace region_of key a.id) b.blocks;
+        regions :=
+          merged
+          :: List.filter (fun r -> r.id <> a.id && r.id <> b.id) !regions
+    done
+  end;
+  (* Renumber densely in a stable order. *)
+  let ordered =
+    List.sort (fun r1 r2 -> compare r1.id r2.id) !regions
+    |> List.mapi (fun i r -> { r with id = i })
+  in
+  Hashtbl.reset region_of;
+  List.iter
+    (fun r -> List.iter (fun key -> Hashtbl.replace region_of key r.id) r.blocks)
+    ordered;
+  let entries = compute_entries facts region_of in
+  {
+    regions = Array.of_list ordered;
+    region_of;
+    entries;
+    rejected_blocks = !rejected;
+  }
+
+let region_blocks t id = t.regions.(id).blocks
+let block_region t f b = Hashtbl.find_opt t.region_of (f, b)
+let is_entry t f b = Hashtbl.mem t.entries (f, b)
+
+let compressed_instr_count (p : Prog.t) t =
+  List.fold_left
+    (fun acc (f : Prog.Func.t) ->
+      let sub = ref 0 in
+      Array.iteri
+        (fun i b ->
+          if Hashtbl.mem t.region_of (f.name, i) then
+            sub := !sub + Prog.Block.instr_count b)
+        f.blocks;
+      acc + !sub)
+    0 p.funcs

@@ -1,0 +1,96 @@
+(** Construction of the squashed executable image (paper, Section 2).
+
+    Memory map of a squashed program (byte addresses):
+
+    {v
+    0x01_0000  never-compressed code, entry stubs, retained jump
+               tables, then the decompressor's code area (whose entry
+               points the VM hooks; its words are sentinels so that a
+               stray jump into it traps)
+    0x20_0000  function offset table (one word per region), then the
+               compressed code as raw words
+    0x30_0000  restore-stub area (max_stubs slots of 4 words)
+    0x31_0000  runtime buffer
+    0x40_0000  data segment (unchanged)
+    v}
+
+    Entry stubs are emitted {e in place} — at the position their block
+    would have occupied — so fallthrough edges and call-return paths from
+    never-compressed code land on the right stub with no extra jumps.  A
+    2-word stub uses a register that the liveness analysis proves dead at
+    the block entry; when none exists the 3-word push form is used
+    (paper, Section 2.3). *)
+
+type image_word =
+  | Plain of Instr.t  (** 1 word in the stream, 1 in the buffer. *)
+  | Expand_call of { ra : Reg.t; br_disp : int }
+      (** Stored as [Bsrx] (1 word); materialised as
+          [bsr ra, CreateStub ; br +br_disp] (2 words). *)
+  | Expand_calli of { ra : Reg.t; rb : Reg.t }
+      (** Stored as [Jsr ~hint:1]; materialised as
+          [bsr ra, CreateStub ; jmp (rb)]. *)
+
+type region_image = {
+  rid : int;
+  words : image_word list;
+  buffer_words : int;  (** Total buffer words needed (expansions counted). *)
+  stream : Instr.t list;  (** The marker form fed to the compressor. *)
+  block_offset : (string * int, int) Hashtbl.t;
+}
+
+type t = {
+  prog : Prog.t;  (** The (unswitched) program the image was built from. *)
+  text : Easm.image;
+  images : region_image array;
+  blob : string;  (** Compressed bitstream bytes. *)
+  blob_offsets : int array;  (** Bit offset of each region. *)
+  codes : Compress.codes;
+  regions : Regions.t;
+  (* Fixed addresses: *)
+  blob_base : int;
+  stub_base : int;
+  max_stubs : int;
+  buffer_base : int;
+  buffer_words : int;  (** Allocated buffer size (max region + 2). *)
+  decomp_base : int;
+  decomp_words : int;
+  entry_addr : int;
+  (* Stub accounting: *)
+  entry_stub_words : int;  (** Total words spent on entry stubs. *)
+  push_form_stubs : int;  (** Entry stubs that had to use the 3-word form. *)
+  stub_addrs : ((string * int) * int) list;
+      (** Address of each entry point's stub, keyed by (function, block). *)
+}
+
+val decomp_entry : t -> Reg.t -> int
+(** Address of the decompressor entry point for return-address register
+    [r]. *)
+
+val decomp_entry_push : t -> int
+val create_stub_entry : t -> Reg.t -> int
+
+val blob_base : int
+val stub_base : int
+val buffer_base : int
+val default_decomp_words : int
+val default_max_stubs : int
+
+val build :
+  Prog.t ->
+  regions:Regions.t ->
+  buffer_safe:Buffer_safe.t ->
+  ?decomp_words:int ->
+  ?max_stubs:int ->
+  ?codec:Compress.backend ->
+  unit ->
+  t
+
+val blob_words : t -> int
+val offset_table_words : t -> int
+val code_table_words : t -> int
+val never_compressed_words : t -> int
+(** Includes entry stubs, retained tables and the decompressor area. *)
+
+val total_words : t -> int
+(** The full squashed footprint in words: never-compressed part, offset
+    table, compressed code, code tables, stub area, runtime buffer. *)

@@ -1,0 +1,217 @@
+type stats = {
+  mutable decompressions : int;
+  mutable bits_decoded : int;
+  mutable words_materialised : int;
+  mutable stub_creates : int;
+  mutable stub_reuses : int;
+  mutable stub_frees : int;
+  mutable live_stubs : int;
+  mutable max_live_stubs : int;
+  per_region : int array;
+}
+
+type stub_slot = { mutable key : int * int; mutable count : int }
+(* key = (region id, return address); count = 0 means free *)
+
+type state = {
+  sq : Rewrite.t;
+  cost : Cost.model;
+  stats : stats;
+  slots : stub_slot array;
+  by_key : (int * int, int) Hashtbl.t;  (* key -> slot index *)
+  mutable current_region : int;  (* region currently in the buffer; -1 if none *)
+}
+
+let stub_addr st slot = st.sq.Rewrite.stub_base + (16 * slot)
+
+(* Materialise region [rid] into the runtime buffer and charge cycles. *)
+let decompress st vm rid =
+  let sq = st.sq in
+  let offsets = sq.Rewrite.blob_offsets in
+  let bit_end =
+    if rid + 1 < Array.length offsets then Some offsets.(rid + 1) else None
+  in
+  let instrs, bits =
+    Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+      ~bit_offset:offsets.(rid) ?bit_end ()
+  in
+  let pos = ref 0 in
+  let put w =
+    Vm.store_word vm (sq.Rewrite.buffer_base + (4 * !pos)) w;
+    incr pos
+  in
+  let pc_rel_to target =
+    (* Displacement for an instruction being placed at position !pos. *)
+    (target - (sq.Rewrite.buffer_base + (4 * (!pos + 1)))) asr 2
+  in
+  List.iter
+    (fun ins ->
+      match ins with
+      | Instr.Bsrx { ra; disp } ->
+        (* Expand: bsr ra, CreateStub(ra) ; br zero, disp. *)
+        put
+          (Instr.encode
+             (Instr.Bsr { ra; disp = pc_rel_to (Rewrite.create_stub_entry sq ra) }));
+        put (Instr.encode (Instr.Br { ra = Reg.zero; disp }))
+      | Instr.Jsr { ra; rb; hint = 1 } ->
+        put
+          (Instr.encode
+             (Instr.Bsr { ra; disp = pc_rel_to (Rewrite.create_stub_entry sq ra) }));
+        put (Instr.encode (Instr.Jmp { ra = Reg.zero; rb; hint = 0 }))
+      | ins -> put (Instr.encode ins))
+    instrs;
+  st.current_region <- rid;
+  st.stats.decompressions <- st.stats.decompressions + 1;
+  st.stats.bits_decoded <- st.stats.bits_decoded + bits;
+  st.stats.words_materialised <- st.stats.words_materialised + !pos;
+  st.stats.per_region.(rid) <- st.stats.per_region.(rid) + 1;
+  Vm.add_cycles vm
+    (st.cost.Cost.decomp_invoke
+    + (bits * st.cost.Cost.decomp_per_bit)
+    + (!pos * st.cost.Cost.decomp_per_instr)
+    + st.cost.Cost.icache_flush)
+
+let in_stub_area st addr =
+  addr >= st.sq.Rewrite.stub_base
+  && addr < st.sq.Rewrite.stub_base + (16 * st.sq.Rewrite.max_stubs)
+
+(* Decompressor entry for return-address register [r]; [push_form] marks the
+   entry used by 3-word stubs that saved the caller's ra below sp. *)
+let decomp_hook st ~r ~push_form vm =
+  let tag_addr = Vm.reg vm r in
+  let tag = Vm.load_word vm tag_addr in
+  let rid = tag lsr 16 and off = tag land 0xFFFF in
+  if rid >= Array.length st.sq.Rewrite.images then
+    raise (Vm.Trap { pc = Vm.pc vm; reason = "decompressor: bad region tag" });
+  if in_stub_area st tag_addr then begin
+    (* Invoked through a restore stub: release one reference. *)
+    let slot = (tag_addr - 4 - st.sq.Rewrite.stub_base) / 16 in
+    let s = st.slots.(slot) in
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      Vm.store_word vm (stub_addr st slot + 8) s.count;
+      if s.count = 0 then begin
+        Hashtbl.remove st.by_key s.key;
+        st.stats.stub_frees <- st.stats.stub_frees + 1;
+        st.stats.live_stubs <- st.stats.live_stubs - 1
+      end
+    end
+  end;
+  if push_form then begin
+    (* The stub stored the original ra just below the stack pointer. *)
+    let saved = Vm.load_word vm (Vm.reg vm Reg.sp - 4) in
+    Vm.set_reg vm Reg.ra saved
+  end;
+  decompress st vm rid;
+  Vm.set_pc vm (st.sq.Rewrite.buffer_base + (4 * off))
+
+(* CreateStub entry for return-address register [r] (paper, Fig. 2): called
+   from the buffer just before an outgoing call; redirects the call's return
+   address to a (new or reference-bumped) restore stub. *)
+let create_stub_hook st ~r vm =
+  let ret = Vm.reg vm r in
+  (* ret points at the br/jmp word following the bsr in the buffer. *)
+  let resume_off = ((ret - st.sq.Rewrite.buffer_base) / 4) + 1 in
+  let key = (st.current_region, ret) in
+  let slot =
+    match Hashtbl.find_opt st.by_key key with
+    | Some slot ->
+      let s = st.slots.(slot) in
+      s.count <- s.count + 1;
+      Vm.store_word vm (stub_addr st slot + 8) s.count;
+      st.stats.stub_reuses <- st.stats.stub_reuses + 1;
+      slot
+    | None ->
+      let slot =
+        let rec find i =
+          if i >= Array.length st.slots then
+            raise
+              (Vm.Trap { pc = Vm.pc vm; reason = "createstub: stub area exhausted" })
+          else if st.slots.(i).count = 0 then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let s = st.slots.(slot) in
+      s.key <- key;
+      s.count <- 1;
+      Hashtbl.replace st.by_key key slot;
+      let base = stub_addr st slot in
+      let bsr_disp = (Rewrite.decomp_entry st.sq r - (base + 4)) asr 2 in
+      Vm.store_word vm base (Instr.encode (Instr.Bsr { ra = r; disp = bsr_disp }));
+      if st.current_region > 0xFFFF || resume_off > 0xFFFF then
+        raise (Vm.Trap { pc = Vm.pc vm; reason = "createstub: tag overflow" });
+      Vm.store_word vm (base + 4) ((st.current_region lsl 16) lor resume_off);
+      Vm.store_word vm (base + 8) 1;
+      Vm.store_word vm (base + 12) (ret land Word.mask);
+      st.stats.stub_creates <- st.stats.stub_creates + 1;
+      st.stats.live_stubs <- st.stats.live_stubs + 1;
+      if st.stats.live_stubs > st.stats.max_live_stubs then
+        st.stats.max_live_stubs <- st.stats.live_stubs;
+      slot
+  in
+  Vm.set_reg vm r (stub_addr st slot);
+  (* CreateStub itself is short; charge a flat handful of cycles. *)
+  Vm.add_cycles vm 20;
+  Vm.set_pc vm ret
+
+let launch ?(cost = Cost.default) ?fuel (sq : Rewrite.t) ~input =
+  let nregions = Array.length sq.Rewrite.images in
+  (* Assemble the loadable text: the Easm image, plus the offset table and
+     blob words at blob_base.  Both live inside one flat array starting at
+     text_base (the gap is zero words). *)
+  let text_words = sq.Rewrite.text.Easm.words in
+  let text_end = Layout.text_base + (4 * Array.length text_words) in
+  if text_end > Rewrite.blob_base then failwith "Runtime.launch: text overflows into blob";
+  let blob_word_count = ((String.length sq.Rewrite.blob + 3) / 4) + nregions in
+  let total_words = ((Rewrite.blob_base - Layout.text_base) / 4) + blob_word_count in
+  let flat = Array.make total_words 0 in
+  Array.blit text_words 0 flat 0 (Array.length text_words);
+  let blob_idx = (Rewrite.blob_base - Layout.text_base) / 4 in
+  Array.iteri (fun i off -> flat.(blob_idx + i) <- off) sq.Rewrite.blob_offsets;
+  String.iteri
+    (fun i c ->
+      let w = blob_idx + nregions + (i / 4) in
+      flat.(w) <- flat.(w) lor (Char.code c lsl (8 * (i land 3))))
+    sq.Rewrite.blob;
+  let vm =
+    Vm.create ~cost ?fuel ~text_base:Layout.text_base ~text:flat
+      ~entry:sq.Rewrite.entry_addr ~data_base:Layout.data_base
+      ~data_words:sq.Rewrite.prog.Prog.data_words
+      ~data_init:sq.Rewrite.prog.Prog.data_init ~input ()
+  in
+  let stats =
+    {
+      decompressions = 0;
+      bits_decoded = 0;
+      words_materialised = 0;
+      stub_creates = 0;
+      stub_reuses = 0;
+      stub_frees = 0;
+      live_stubs = 0;
+      max_live_stubs = 0;
+      per_region = Array.make (max 1 nregions) 0;
+    }
+  in
+  let st =
+    {
+      sq;
+      cost;
+      stats;
+      slots = Array.init sq.Rewrite.max_stubs (fun _ -> { key = (-1, -1); count = 0 });
+      by_key = Hashtbl.create 16;
+      current_region = -1;
+    }
+  in
+  for r = 0 to Reg.count - 1 do
+    Vm.install_hook vm ~addr:(Rewrite.decomp_entry sq r)
+      (decomp_hook st ~r ~push_form:false);
+    Vm.install_hook vm ~addr:(Rewrite.create_stub_entry sq r) (create_stub_hook st ~r)
+  done;
+  Vm.install_hook vm ~addr:(Rewrite.decomp_entry_push sq)
+    (decomp_hook st ~r:Reg.ra ~push_form:true);
+  (vm, stats)
+
+let run ?cost ?fuel sq ~input =
+  let vm, stats = launch ?cost ?fuel sq ~input in
+  (Vm.run vm, stats)

@@ -1,0 +1,31 @@
+(** The squash runtime: the software decompressor and the restore-stub
+    machinery (paper, Sections 2.2–2.3), mounted into a {!Vm.t} as
+    intrinsics at the decompressor's entry addresses.
+
+    The engine performs the real work against simulated memory — canonical
+    Huffman decoding from the compressed bitstream, materialising
+    instruction words into the runtime buffer (which invalidates the VM's
+    decode cache, standing in for the instruction-cache flush), creating
+    and reference-counting restore stubs in the stub area — and charges
+    simulated cycles derived from that work via the {!Cost.model}:
+    [decomp_invoke + bits·decomp_per_bit + words·decomp_per_instr +
+    icache_flush] per decompression. *)
+
+type stats = {
+  mutable decompressions : int;
+  mutable bits_decoded : int;
+  mutable words_materialised : int;
+  mutable stub_creates : int;
+  mutable stub_reuses : int;
+  mutable stub_frees : int;
+  mutable live_stubs : int;
+  mutable max_live_stubs : int;  (** Paper: at most 9 at θ = 0.01. *)
+  per_region : int array;  (** Decompression count per region. *)
+}
+
+val launch : ?cost:Cost.model -> ?fuel:int -> Rewrite.t -> input:string -> Vm.t * stats
+(** Create a VM loaded with the squashed image (text, offset table,
+    compressed blob, stub area, buffer) and hook the runtime in. *)
+
+val run : ?cost:Cost.model -> ?fuel:int -> Rewrite.t -> input:string -> Vm.outcome * stats
+(** [launch] then {!Vm.run}. *)

@@ -1,0 +1,155 @@
+type result = {
+  prog : Prog.t;
+  rewritten : (string * int) list;
+  unmatched : string list;
+}
+
+(* The registers the MiniC code generator reserves for address arithmetic;
+   they carry no value across block boundaries (the "$at" convention), so
+   the chain blocks may clobber them freely. *)
+let chain_temp : Reg.t = 27
+
+(* Match the dispatch idiom and return (prefix items, index register). *)
+let match_dispatch (b : Prog.Block.t) tid =
+  let rec split4 acc = function
+    | [ i1; i2; i3; i4 ] -> Some (List.rev acc, i1, i2, i3, i4)
+    | x :: rest -> split4 (x :: acc) rest
+    | [] -> None
+  in
+  match split4 [] b.items with
+  | Some
+      ( prefix,
+        Prog.Load_addr (r1, Prog.Table_addr tid'),
+        Prog.Instr (Instr.Opr { op = Instr.Sll; ra = idx; rb = Instr.Imm 2; rc = t1 }),
+        Prog.Instr (Instr.Opr { op = Instr.Add; ra = a1; rb = Instr.Reg a2; rc = t2 }),
+        Prog.Instr (Instr.Mem { op = Instr.Ldw; ra = l1; rb = l2; disp = 0 }) )
+    when tid' = tid
+         && ((a1 = r1 && a2 = t1) || (a1 = t1 && a2 = r1))
+         && l2 = t2
+         && (match b.term with
+            | Prog.Jump_indirect { rb; _ } -> rb = l1
+            | _ -> false) ->
+    Some (prefix, idx)
+  | Some _ | None -> None
+
+let unswitch_func (f : Prog.Func.t) ~is_cold =
+  let n = Array.length f.blocks in
+  let rewritten = ref [] in
+  let unmatched = ref false in
+  (* Which dispatches to rewrite. *)
+  let targets = Array.make n None in
+  Array.iteri
+    (fun i (b : Prog.Block.t) ->
+      if is_cold f.name i then
+        match b.term with
+        | Prog.Jump_indirect { table = Some tid; _ } -> (
+          match match_dispatch b tid with
+          | Some (prefix, idx) -> targets.(i) <- Some (tid, prefix, idx)
+          | None -> unmatched := true)
+        | Prog.Jump_indirect { table = None; _ } -> unmatched := true
+        | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Call _
+        | Prog.Call_indirect _ | Prog.Return _ | Prog.No_return ->
+          ())
+    f.blocks;
+  if !unmatched || Array.for_all Option.is_none targets then
+    (f, [], !unmatched)
+  else begin
+    let new_blocks = ref [] in
+    let next_index = ref n in
+    let append block =
+      new_blocks := block :: !new_blocks;
+      incr next_index;
+      !next_index - 1
+    in
+    let removed_tables = Hashtbl.create 4 in
+    let blocks =
+      Array.mapi
+        (fun i (b : Prog.Block.t) ->
+          match targets.(i) with
+          | None -> b
+          | Some (tid, prefix, idx) ->
+            Hashtbl.replace removed_tables tid ();
+            rewritten := (f.name, i) :: !rewritten;
+            let entries = f.tables.(tid) in
+            let ncases = Array.length entries in
+            let first_chain =
+              if ncases = 1 then
+                append { Prog.Block.items = []; term = Prog.Jump entries.(0) }
+              else begin
+                (* Allocate chain blocks contiguously: test blocks for cases
+                   0..ncases-2, then a final jump to the last case. *)
+                let base = !next_index in
+                for k = 0 to ncases - 2 do
+                  let fall = base + k + 1 in
+                  ignore
+                    (append
+                       {
+                         Prog.Block.items =
+                           [
+                             Prog.Instr
+                               (Instr.Lda { ra = chain_temp; rb = idx; disp = -k });
+                           ];
+                         term = Prog.Branch (Instr.Eq, chain_temp, entries.(k), fall);
+                       })
+                done;
+                ignore
+                  (append { Prog.Block.items = []; term = Prog.Jump entries.(ncases - 1) });
+                base
+              end
+            in
+            { Prog.Block.items = prefix; term = Prog.Jump first_chain })
+        f.blocks
+    in
+    let blocks = Array.append blocks (Array.of_list (List.rev !new_blocks)) in
+    (* Renumber the surviving tables. *)
+    let table_remap = Array.make (Array.length f.tables) (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun tid _ ->
+        if not (Hashtbl.mem removed_tables tid) then begin
+          table_remap.(tid) <- !next;
+          incr next
+        end)
+      f.tables;
+    let blocks =
+      Array.map
+        (fun (b : Prog.Block.t) ->
+          let items =
+            List.map
+              (function
+                | Prog.Load_addr (r, Prog.Table_addr t) when table_remap.(t) >= 0 ->
+                  Prog.Load_addr (r, Prog.Table_addr table_remap.(t))
+                | item -> item)
+              b.items
+          in
+          let term =
+            match b.term with
+            | Prog.Jump_indirect { rb; table = Some t } when table_remap.(t) >= 0 ->
+              Prog.Jump_indirect { rb; table = Some table_remap.(t) }
+            | t -> t
+          in
+          { Prog.Block.items; term })
+        blocks
+    in
+    let tables =
+      Array.to_list f.tables
+      |> List.filteri (fun tid _ -> not (Hashtbl.mem removed_tables tid))
+      |> Array.of_list
+    in
+    ({ f with blocks; tables }, !rewritten, false)
+  end
+
+let run (p : Prog.t) ~is_cold =
+  let rewritten = ref [] in
+  let unmatched = ref [] in
+  let funcs =
+    List.map
+      (fun f ->
+        let f', rw, um = unswitch_func f ~is_cold in
+        rewritten := rw @ !rewritten;
+        if um then unmatched := f.Prog.Func.name :: !unmatched;
+        f')
+      p.funcs
+  in
+  { prog = { p with Prog.funcs }; rewritten = List.rev !rewritten;
+    unmatched = List.rev !unmatched }

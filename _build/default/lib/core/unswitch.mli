@@ -1,0 +1,31 @@
+(** Jump-table unswitching (paper, Section 6.2).
+
+    A region of code that contains an indirect jump through a jump table
+    cannot be moved into the runtime buffer as-is: the table's absolute
+    addresses would be wrong.  The paper's implementation replaces the
+    indirect jump by a chain of conditional branches, after which the jump
+    table's space is reclaimed.
+
+    We rewrite the dispatch idiom the MiniC code generator emits —
+
+    {v  la r, &table ; sll idx, #2, t ; add r, t, t ; ldw t, 0(t) ; jmp (t)  v}
+
+    — into a compare-and-branch chain over the table's entries, appended as
+    new blocks at the end of the function (so existing block indices are
+    stable).  Blocks whose dispatch does not match the idiom are left alone
+    and their whole function is reported in [unmatched]: the caller must
+    exclude those functions from compression, mirroring the paper's "if we
+    are unable to determine the extent of the jump table" case. *)
+
+type result = {
+  prog : Prog.t;
+  rewritten : (string * int) list;  (** Dispatch blocks that were unswitched. *)
+  unmatched : string list;
+      (** Functions containing a cold analysable dispatch that did not match
+          the idiom (or an unanalysable [table = None] jump). *)
+}
+
+val run : Prog.t -> is_cold:(string -> int -> bool) -> result
+(** Unswitch every cold dispatch block.  Hot dispatches keep their tables
+    (their entries are later redirected to entry stubs if they target
+    compressed blocks). *)

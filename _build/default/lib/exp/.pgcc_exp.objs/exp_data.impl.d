@@ -1,0 +1,1 @@
+lib/exp/exp_data.ml: Hashtbl Layout Lazy Printf Profile Prog Runtime Squash Squeeze Vm Workload

@@ -1,0 +1,1 @@
+lib/exp/exp_data.mli: Lazy Profile Prog Runtime Squash Squeeze Vm Workload

@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Array Buffer_safe Cold Compress Exp_data Hashtbl Lazy List Option Printf Prog Regions Report Rewrite Runtime Squash String Vm Workload Workloads

@@ -1,0 +1,77 @@
+type prepared = {
+  wl : Workload.t;
+  input_prog : Prog.t;
+  squeezed : Prog.t;
+  squeeze_stats : Squeeze.stats;
+  profile : Profile.t;
+  profile_outcome : Vm.outcome;
+  baseline_timing : Vm.outcome Lazy.t;
+}
+
+let fuel = 2_000_000_000
+
+let prepared_cache : (string, prepared) Hashtbl.t = Hashtbl.create 16
+
+let prepare (wl : Workload.t) =
+  match Hashtbl.find_opt prepared_cache wl.Workload.name with
+  | Some p -> p
+  | None ->
+    let compiled = Workload.compile wl in
+    let input_prog = Squeeze.remove_unreachable compiled in
+    let squeezed, squeeze_stats = Squeeze.run compiled in
+    let profile, profile_outcome =
+      Profile.collect ~fuel squeezed ~input:(Workload.profiling_input wl)
+    in
+    let baseline_timing =
+      lazy
+        (Vm.run
+           (Vm.of_image ~fuel (Layout.emit squeezed)
+              ~input:(Workload.timing_input wl)))
+    in
+    let p =
+      {
+        wl;
+        input_prog;
+        squeezed;
+        squeeze_stats;
+        profile;
+        profile_outcome;
+        baseline_timing;
+      }
+    in
+    Hashtbl.replace prepared_cache wl.Workload.name p;
+    p
+
+let squash_cache : (string * Squash.options, Squash.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let squash_result p options =
+  let key = (p.wl.Workload.name, options) in
+  match Hashtbl.find_opt squash_cache key with
+  | Some r -> r
+  | None ->
+    let r = Squash.run ~options p.squeezed p.profile in
+    Hashtbl.replace squash_cache key r;
+    r
+
+let timing_run p (r : Squash.result) =
+  let input = Workload.timing_input p.wl in
+  let outcome, stats = Runtime.run ~fuel r.Squash.squashed ~input in
+  let baseline = Lazy.force p.baseline_timing in
+  if
+    outcome.Vm.output <> baseline.Vm.output
+    || outcome.Vm.exit_code <> baseline.Vm.exit_code
+  then
+    failwith
+      (Printf.sprintf "%s: squashed program diverged from baseline (θ=%g)"
+         p.wl.Workload.name r.Squash.options.Squash.theta);
+  (outcome, stats)
+
+let theta_grid = [ 0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ]
+
+let fig7_thetas = [ ("0.0", 0.0); ("1e-5", 1e-4); ("5e-5", 1e-3) ]
+
+let theta_label theta =
+  if theta = 0.0 then "0.0"
+  else if theta >= 0.01 then Printf.sprintf "%g" theta
+  else Printf.sprintf "%.0e" theta

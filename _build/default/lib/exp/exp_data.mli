@@ -1,0 +1,44 @@
+(** Memoized per-workload pipeline artifacts shared by the experiment
+    harness: each workload is compiled, compacted and profiled once, and
+    each distinct squash configuration is built once.
+
+    The θ scale: the paper's thresholds are fractions of the {e profiled}
+    dynamic instruction count, and its profiling runs execute billions of
+    instructions, so interesting thresholds sit at 1e-5..5e-5.  Our
+    profiling inputs run 0.3–15 million instructions, so the same
+    "a block executed a handful of times is still cold" cutoff corresponds
+    to θ about two orders of magnitude larger.  {!theta_grid} spans both
+    regimes; {!fig7_thetas} are the three paper points mapped to our
+    scale. *)
+
+type prepared = {
+  wl : Workload.t;
+  input_prog : Prog.t;
+      (** After unreachable-code and no-op elimination only — the paper's
+          Table 1 "Input" column. *)
+  squeezed : Prog.t;
+  squeeze_stats : Squeeze.stats;
+  profile : Profile.t;
+  profile_outcome : Vm.outcome;
+  baseline_timing : Vm.outcome Lazy.t;
+      (** The squeezed program on the timing input. *)
+}
+
+val prepare : Workload.t -> prepared
+(** Memoized by workload name. *)
+
+val squash_result : prepared -> Squash.options -> Squash.result
+(** Memoized by (workload, options). *)
+
+val timing_run : prepared -> Squash.result -> Vm.outcome * Runtime.stats
+(** Run the squashed program on the timing input, checking that its output
+    matches the baseline exactly.  @raise Failure on a behaviour
+    mismatch. *)
+
+val theta_grid : float list
+(** [0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0] *)
+
+val fig7_thetas : (string * float) list
+(** Paper label → our θ: [("0.0", 0.0); ("1e-5", 1e-4); ("5e-5", 1e-3)]. *)
+
+val theta_label : float -> string

@@ -1,0 +1,434 @@
+let opts theta = { Squash.default_options with Squash.theta }
+
+let with_all f = List.map (fun wl -> f (Exp_data.prepare wl)) Workloads.all
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let t =
+    Report.Table.create ~title:"Table 1: code size data for the benchmarks (instructions)"
+      [ ("Program", Report.Table.Left); ("Input", Report.Table.Right);
+        ("Squeeze", Report.Table.Right); ("Reduction", Report.Table.Right) ]
+  in
+  let rows =
+    with_all (fun p ->
+        let input = Prog.instr_count p.Exp_data.input_prog in
+        let squeezed = Prog.instr_count p.Exp_data.squeezed in
+        Report.Table.add_row t
+          [ p.Exp_data.wl.Workload.name; string_of_int input; string_of_int squeezed;
+            Report.Table.cell_percent
+              (float_of_int (input - squeezed) /. float_of_int input) ];
+        float_of_int squeezed /. float_of_int input)
+  in
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    [ "geo. mean"; ""; "";
+      Report.Table.cell_percent (1.0 -. Report.gmean rows) ];
+  Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let fig3_ks = [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+let fig3_thetas = [ 0.0; 1e-4; 1e-3 ]
+
+let fig3 () =
+  let size_ratio p theta k =
+    let r =
+      Exp_data.squash_result p { (opts theta) with Squash.k_bytes = k }
+    in
+    float_of_int r.Squash.squashed_words /. float_of_int r.Squash.original_words
+  in
+  let chart =
+    Report.Chart.create
+      ~title:
+        "Figure 3: effect of the buffer size bound K on code size\n\
+         (squashed size / squeezed size; geometric mean over all benchmarks)"
+      ~x_labels:(List.map string_of_int fig3_ks) ~height:14 ()
+  in
+  let t =
+    Report.Table.create ~title:"Figure 3 data (squashed/squeezed, geometric mean)"
+      (("theta \\ K", Report.Table.Left)
+      :: List.map (fun k -> (string_of_int k, Report.Table.Right)) fig3_ks)
+  in
+  List.iter
+    (fun theta ->
+      let means =
+        List.map
+          (fun k -> Report.gmean (with_all (fun p -> size_ratio p theta k)))
+          fig3_ks
+      in
+      Report.Chart.add_series chart ~name:("theta=" ^ Exp_data.theta_label theta) means;
+      Report.Table.add_row t
+        (Exp_data.theta_label theta :: List.map (Report.Table.cell_float ~decimals:3) means))
+    fig3_thetas;
+  let overall =
+    List.map
+      (fun k ->
+        Report.gmean
+          (List.concat_map
+             (fun theta -> with_all (fun p -> size_ratio p theta k))
+             fig3_thetas))
+      fig3_ks
+  in
+  Report.Chart.add_series chart ~name:"mean" overall;
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    ("mean" :: List.map (Report.Table.cell_float ~decimals:3) overall);
+  Report.Chart.render chart ^ "\n" ^ Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  let chart =
+    Report.Chart.create
+      ~title:
+        "Figure 4: amount of cold and compressible code (fraction of all\n\
+         instructions; geometric mean over all benchmarks)"
+      ~x_labels:(List.map Exp_data.theta_label Exp_data.theta_grid) ~height:12 ()
+  in
+  let t =
+    Report.Table.create ~title:"Figure 4 data"
+      (("fraction \\ theta", Report.Table.Left)
+      :: List.map
+           (fun th -> (Exp_data.theta_label th, Report.Table.Right))
+           Exp_data.theta_grid)
+  in
+  let cold_fracs =
+    List.map
+      (fun theta ->
+        Report.gmean
+          (with_all (fun p ->
+               let r = Exp_data.squash_result p (opts theta) in
+               Cold.cold_fraction r.Squash.cold)))
+      Exp_data.theta_grid
+  in
+  let compressible_fracs =
+    List.map
+      (fun theta ->
+        Report.gmean
+          (with_all (fun p ->
+               let r = Exp_data.squash_result p (opts theta) in
+               float_of_int (Squash.compressed_instr_count r)
+               /. float_of_int (Cold.total_instr_count r.Squash.cold))))
+      Exp_data.theta_grid
+  in
+  Report.Chart.add_series chart ~name:"cold" cold_fracs;
+  Report.Chart.add_series chart ~name:"compressible" compressible_fracs;
+  Report.Table.add_row t
+    ("cold" :: List.map (Report.Table.cell_float ~decimals:3) cold_fracs);
+  Report.Table.add_row t
+    ("compressible" :: List.map (Report.Table.cell_float ~decimals:3) compressible_fracs);
+  Report.Chart.render chart ^ "\n" ^ Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  let t =
+    Report.Table.create ~title:"Figure 5: inputs used for profiling and timing runs"
+      [ ("Program", Report.Table.Left); ("Profiling input (bytes)", Report.Table.Right);
+        ("Timing input (bytes)", Report.Table.Right);
+        ("Ratio", Report.Table.Right) ]
+  in
+  List.iter
+    (fun (wl : Workload.t) ->
+      let p = String.length (Workload.profiling_input wl) in
+      let tm = String.length (Workload.timing_input wl) in
+      Report.Table.add_row t
+        [ wl.Workload.name; string_of_int p; string_of_int tm;
+          Report.Table.cell_float ~decimals:1 (float_of_int tm /. float_of_int p) ])
+    Workloads.all;
+  Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  let t =
+    Report.Table.create
+      ~title:"Figure 6: code size reduction due to profile-guided compression (vs squeezed)"
+      (("Program", Report.Table.Left)
+      :: List.map
+           (fun th -> ("θ=" ^ Exp_data.theta_label th, Report.Table.Right))
+           Exp_data.theta_grid)
+  in
+  let per_theta = Hashtbl.create 16 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let cells =
+        List.map
+          (fun theta ->
+            let r = Exp_data.squash_result p (opts theta) in
+            let red = Squash.size_reduction r in
+            Hashtbl.replace per_theta theta
+              (red :: Option.value ~default:[] (Hashtbl.find_opt per_theta theta));
+            Report.Table.cell_percent red)
+          Exp_data.theta_grid
+      in
+      Report.Table.add_row t (wl.Workload.name :: cells))
+    Workloads.all;
+  Report.Table.add_separator t;
+  let means =
+    List.map
+      (fun theta ->
+        let rs = Option.value ~default:[] (Hashtbl.find_opt per_theta theta) in
+        let ratios = List.map (fun red -> 1.0 -. red) rs in
+        1.0 -. Report.gmean ratios)
+      Exp_data.theta_grid
+  in
+  Report.Table.add_row t ("geo. mean" :: List.map Report.Table.cell_percent means);
+  let chart =
+    Report.Chart.create ~title:"Figure 6 (mean size reduction vs θ)"
+      ~x_labels:(List.map Exp_data.theta_label Exp_data.theta_grid) ~height:10 ()
+  in
+  Report.Chart.add_series chart ~name:"mean reduction" means;
+  Report.Table.render t ^ "\n" ^ Report.Chart.render chart
+
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  let size_t =
+    Report.Table.create
+      ~title:
+        "Figure 7(a): code size relative to squeezed code\n\
+         (θ labels are the paper's; parenthesised values are our scaled θ)"
+      (("Program", Report.Table.Left)
+      :: List.map
+           (fun (label, th) ->
+             (Printf.sprintf "θ=%s (%g)" label th, Report.Table.Right))
+           Exp_data.fig7_thetas)
+  in
+  let time_t =
+    Report.Table.create
+      ~title:"Figure 7(b): execution time relative to squeezed code (simulated cycles)"
+      (("Program", Report.Table.Left)
+      :: List.map
+           (fun (label, th) ->
+             (Printf.sprintf "θ=%s (%g)" label th, Report.Table.Right))
+           Exp_data.fig7_thetas
+      @ [ ("decompressions θ_max", Report.Table.Right) ])
+  in
+  let size_ratios = Hashtbl.create 8 and time_ratios = Hashtbl.create 8 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let baseline = Lazy.force p.Exp_data.baseline_timing in
+      let size_cells, time_cells, last_stats =
+        List.fold_left
+          (fun (sc, tc, _) (label, theta) ->
+            let r = Exp_data.squash_result p (opts theta) in
+            let outcome, stats = Exp_data.timing_run p r in
+            let sratio =
+              float_of_int r.Squash.squashed_words
+              /. float_of_int r.Squash.original_words
+            in
+            let tratio =
+              float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles
+            in
+            Hashtbl.replace size_ratios label
+              (sratio :: Option.value ~default:[] (Hashtbl.find_opt size_ratios label));
+            Hashtbl.replace time_ratios label
+              (tratio :: Option.value ~default:[] (Hashtbl.find_opt time_ratios label));
+            ( Report.Table.cell_float ~decimals:3 sratio :: sc,
+              Report.Table.cell_float ~decimals:3 tratio :: tc,
+              Some stats ))
+          ([], [], None) Exp_data.fig7_thetas
+      in
+      Report.Table.add_row size_t (wl.Workload.name :: List.rev size_cells);
+      Report.Table.add_row time_t
+        (wl.Workload.name :: List.rev time_cells
+        @ [ string_of_int
+              (match last_stats with
+              | Some s -> s.Runtime.decompressions
+              | None -> 0) ]))
+    Workloads.all;
+  let add_means tbl ratios extra =
+    Report.Table.add_separator tbl;
+    Report.Table.add_row tbl
+      ("geo. mean"
+      :: List.map
+           (fun (label, _) ->
+             Report.Table.cell_float ~decimals:3
+               (Report.gmean (Option.value ~default:[] (Hashtbl.find_opt ratios label))))
+           Exp_data.fig7_thetas
+      @ extra)
+  in
+  add_means size_t size_ratios [];
+  add_means time_t time_ratios [ "" ];
+  Report.Table.render size_t ^ "\n" ^ Report.Table.render time_t
+
+(* ------------------------------------------------------------------ *)
+
+let gamma () =
+  let t =
+    Report.Table.create
+      ~title:
+        "Section 3: achieved compression factor γ (compressed size incl. code\n\
+         tables / original size of compressed regions); paper reports ≈ 0.66"
+      [ ("Program", Report.Table.Left); ("γ at θ=1.0", Report.Table.Right);
+        ("regions", Report.Table.Right); ("entries", Report.Table.Right) ]
+  in
+  let gs =
+    with_all (fun p ->
+        let r = Exp_data.squash_result p (opts 1.0) in
+        let g = Squash.gamma_achieved r in
+        Report.Table.add_row t
+          [ p.Exp_data.wl.Workload.name; Report.Table.cell_float g;
+            string_of_int (Array.length r.Squash.regions.Regions.regions);
+            string_of_int (Hashtbl.length r.Squash.regions.Regions.entries) ];
+        g)
+  in
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    [ "geo. mean"; Report.Table.cell_float (Report.gmean gs); ""; "" ];
+  Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let stubs () =
+  let theta_aggressive = 0.01 in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Section 2.2: restore stubs at θ=%g (paper: compile-time stubs would\n\
+            cost 13-27%% of never-compressed code; max 9 live runtime stubs)"
+           theta_aggressive)
+      [ ("Program", Report.Table.Left);
+        ("compile-time stub share", Report.Table.Right);
+        ("created", Report.Table.Right); ("reused", Report.Table.Right);
+        ("max live", Report.Table.Right) ]
+  in
+  let shares = ref [] in
+  let max_live = ref 0 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let r = Exp_data.squash_result p (opts theta_aggressive) in
+      (* What the compile-time scheme would cost: one 2-word stub per
+         expanding call site in the compressed streams. *)
+      let call_sites =
+        Array.fold_left
+          (fun acc (img : Rewrite.region_image) ->
+            acc
+            + List.length
+                (List.filter
+                   (function
+                     | Rewrite.Expand_call _ | Rewrite.Expand_calli _ -> true
+                     | Rewrite.Plain _ -> false)
+                   img.Rewrite.words))
+          0 r.Squash.squashed.Rewrite.images
+      in
+      let never = Rewrite.never_compressed_words r.Squash.squashed in
+      let share = float_of_int (2 * call_sites) /. float_of_int never in
+      shares := share :: !shares;
+      let _, stats = Exp_data.timing_run p r in
+      max_live := max !max_live stats.Runtime.max_live_stubs;
+      Report.Table.add_row t
+        [ wl.Workload.name; Report.Table.cell_percent share;
+          string_of_int stats.Runtime.stub_creates;
+          string_of_int stats.Runtime.stub_reuses;
+          string_of_int stats.Runtime.max_live_stubs ])
+    Workloads.all;
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    [ "mean / max"; Report.Table.cell_percent
+        (List.fold_left ( +. ) 0.0 !shares /. float_of_int (List.length !shares));
+      ""; ""; string_of_int !max_live ];
+  Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let bsafe () =
+  let t =
+    Report.Table.create
+      ~title:
+        "Section 6.1: buffer-safe analysis at θ=0 (paper: ≈12.5% of regions\n\
+         benefit; gsm and g721_enc the most)"
+      [ ("Program", Report.Table.Left); ("safe funcs", Report.Table.Right);
+        ("total funcs", Report.Table.Right);
+        ("safe call sites in regions", Report.Table.Right);
+        ("total call sites", Report.Table.Right);
+        ("share", Report.Table.Right) ]
+  in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let r = Exp_data.squash_result p (opts 0.0) in
+      let safe = List.length (Buffer_safe.safe_functions r.Squash.buffer_safe) in
+      let total = List.length p.Exp_data.squeezed.Prog.funcs in
+      let `Safe_calls sc, `Total_calls tc =
+        Buffer_safe.stats p.Exp_data.squeezed r.Squash.buffer_safe
+          ~in_region:(fun f b -> Regions.block_region r.Squash.regions f b <> None)
+      in
+      Report.Table.add_row t
+        [ wl.Workload.name; string_of_int safe; string_of_int total;
+          string_of_int sc; string_of_int tc;
+          (if tc = 0 then "-" else Report.Table.cell_percent (float_of_int sc /. float_of_int tc)) ])
+    Workloads.all;
+  Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  let theta = 1e-3 in
+  let base = opts theta in
+  let variants =
+    [ ("default", base);
+      ("packing off", { base with Squash.pack = false });
+      ("buffer-safe off", { base with Squash.use_buffer_safe = false });
+      ("unswitch off", { base with Squash.unswitch = false });
+      ("MTF codec", { base with Squash.codec = `Split_stream_mtf });
+      ("LZSS codec", { base with Squash.codec = `Lzss });
+      ("linear regions", { base with Squash.regions_strategy = `Linear }) ]
+  in
+  let t =
+    Report.Table.create
+      ~title:(Printf.sprintf "Ablation at θ=%g: squashed size / squeezed size" theta)
+      (("Program", Report.Table.Left)
+      :: List.map (fun (name, _) -> (name, Report.Table.Right)) variants
+      @ [ ("MTF Δbits", Report.Table.Right) ])
+  in
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let cells =
+        List.map
+          (fun (name, o) ->
+            let r = Exp_data.squash_result p o in
+            let ratio =
+              float_of_int r.Squash.squashed_words
+              /. float_of_int r.Squash.original_words
+            in
+            Hashtbl.replace sums name
+              (ratio :: Option.value ~default:[] (Hashtbl.find_opt sums name));
+            Report.Table.cell_float ~decimals:3 ratio)
+          variants
+      in
+      let mtf_delta =
+        let r = Exp_data.squash_result p base in
+        let streams =
+          Array.map
+            (fun (img : Rewrite.region_image) -> img.Rewrite.stream)
+            r.Squash.squashed.Rewrite.images
+        in
+        List.fold_left (fun acc (_, d) -> acc + d) 0 (Compress.mtf_gain_bits streams)
+      in
+      Report.Table.add_row t
+        ((wl.Workload.name :: cells) @ [ string_of_int mtf_delta ]))
+    Workloads.all;
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    ("geo. mean"
+    :: List.map
+         (fun (name, _) ->
+           Report.Table.cell_float ~decimals:3
+             (Report.gmean (Option.value ~default:[] (Hashtbl.find_opt sums name))))
+         variants
+    @ [ "" ]);
+  Report.Table.render t
+
+let all =
+  [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);
+    ("F7", fig7); ("S3-gamma", gamma); ("S2-stubs", stubs); ("S6-bsafe", bsafe);
+    ("A1-ablation", ablation) ]

@@ -1,0 +1,49 @@
+(** One driver per table/figure of the paper's evaluation (see DESIGN.md's
+    experiment index).  Each function runs the necessary pipeline stages
+    (memoized in {!Exp_data}) and returns a rendered report.  Timing
+    experiments also verify that every squashed run produces byte-identical
+    output to its baseline. *)
+
+val table1 : unit -> string
+(** Table 1: code size (instructions) per benchmark, before ("Input") and
+    after squeeze. *)
+
+val fig3 : unit -> string
+(** Figure 3: overall squashed size (normalised to squeezed) as the buffer
+    bound K sweeps 64..4096 bytes, at three thresholds plus their mean. *)
+
+val fig4 : unit -> string
+(** Figure 4: normalised amount of cold and compressible code vs θ
+    (geometric mean over the workloads). *)
+
+val fig5 : unit -> string
+(** Figure 5: the profiling and timing inputs (name, kind, size). *)
+
+val fig6 : unit -> string
+(** Figure 6: code-size reduction vs θ for every benchmark, plus the
+    mean. *)
+
+val fig7 : unit -> string
+(** Figure 7: code size and execution time at the paper's three reporting
+    thresholds, relative to squeezed code, with geometric means.  Runs the
+    timing inputs through the squash runtime. *)
+
+val gamma : unit -> string
+(** Section 3's claim: the compressed representation is ≈ 66% of the
+    original size of the compressed code. *)
+
+val stubs : unit -> string
+(** Section 2.2's claims: what compile-time restore stubs would cost, and
+    the maximum number of live runtime stubs at an aggressive threshold. *)
+
+val bsafe : unit -> string
+(** Section 6.1: buffer-safe functions and the share of compressed-region
+    call sites they cover. *)
+
+val ablation : unit -> string
+(** Each design feature toggled off at a mid threshold: packing,
+    buffer-safety, unswitching; plus the move-to-front variant's effect on
+    the compressed size. *)
+
+val all : (string * (unit -> string)) list
+(** Every experiment, keyed by the id used in DESIGN.md. *)

@@ -1,0 +1,1 @@
+lib/huffman/bitio.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/huffman/canonical.ml: Array Bitio Hashtbl Huffman List Printf

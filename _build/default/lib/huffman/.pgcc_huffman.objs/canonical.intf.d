@@ -1,0 +1,1 @@
+lib/huffman/canonical.mli: Bitio

@@ -1,0 +1,1 @@
+lib/huffman/huffman.mli:

@@ -1,0 +1,1 @@
+lib/huffman/lzss.ml: Buffer Char Hashtbl List Option String

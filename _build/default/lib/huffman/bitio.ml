@@ -1,0 +1,52 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nacc : int; mutable bits : int }
+
+  let create () = { buf = Buffer.create 256; acc = 0; nacc = 0; bits = 0 }
+
+  let put_bit t b =
+    t.acc <- (t.acc lsl 1) lor (b land 1);
+    t.nacc <- t.nacc + 1;
+    t.bits <- t.bits + 1;
+    if t.nacc = 8 then begin
+      Buffer.add_char t.buf (Char.chr t.acc);
+      t.acc <- 0;
+      t.nacc <- 0
+    end
+
+  let put t ~bits v =
+    if bits < 0 || bits > 62 then invalid_arg "Bitio.Writer.put: bad width";
+    for i = bits - 1 downto 0 do
+      put_bit t ((v lsr i) land 1)
+    done
+
+  let length_bits t = t.bits
+
+  let contents t =
+    let s = Buffer.contents t.buf in
+    if t.nacc = 0 then s
+    else s ^ String.make 1 (Char.chr (t.acc lsl (8 - t.nacc)))
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string ?(start_bit = 0) data = { data; pos = start_bit }
+
+  let next_bit t =
+    let byte = t.pos lsr 3 in
+    if byte >= String.length t.data then invalid_arg "Bitio.Reader: past end of stream";
+    let bit = (Char.code t.data.[byte] lsr (7 - (t.pos land 7))) land 1 in
+    t.pos <- t.pos + 1;
+    bit
+
+  let read t ~bits =
+    let v = ref 0 in
+    for _ = 1 to bits do
+      v := (!v lsl 1) lor next_bit t
+    done;
+    !v
+
+  let pos t = t.pos
+  let seek t p = t.pos <- p
+  let remaining_bits t = (8 * String.length t.data) - t.pos
+end

@@ -1,0 +1,35 @@
+(** Bit-level I/O.  Bits are written and read MSB-first within each byte,
+    matching the order in which canonical Huffman codewords are compared in
+    the DECODE loop. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val put : t -> bits:int -> int -> unit
+  (** Append the low [bits] bits of the value, most significant first.
+      [bits] may be 0 (writes nothing). *)
+
+  val put_bit : t -> int -> unit
+  val length_bits : t -> int
+
+  val contents : t -> string
+  (** The bit string padded with zero bits to a whole number of bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?start_bit:int -> string -> t
+
+  val next_bit : t -> int
+  (** @raise Invalid_argument when reading past the end. *)
+
+  val read : t -> bits:int -> int
+  val pos : t -> int
+  (** Current position in bits from the start of the string. *)
+
+  val seek : t -> int -> unit
+  val remaining_bits : t -> int
+end

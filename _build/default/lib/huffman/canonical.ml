@@ -1,0 +1,64 @@
+type t = {
+  n : int array;  (* n.(i) = number of codewords of length i; n.(0) = 0 *)
+  d : int array;  (* symbols in codeword order *)
+  enc : (int, int * int) Hashtbl.t;
+  max_len : int;
+}
+
+let of_lengths lengths =
+  let sorted = List.sort (fun (s1, l1) (s2, l2) -> compare (l1, s1) (l2, s2)) lengths in
+  let max_len = List.fold_left (fun acc (_, l) -> max acc l) 0 sorted in
+  let n = Array.make (max_len + 1) 0 in
+  List.iter
+    (fun (_, l) ->
+      if l < 1 then invalid_arg "Canonical.of_lengths: length < 1";
+      n.(l) <- n.(l) + 1)
+    sorted;
+  let d = Array.of_list (List.map fst sorted) in
+  (* First codeword of each length: b.(1) = 0, b.(i) = 2 (b.(i-1) + n.(i-1)). *)
+  let b = Array.make (max_len + 2) 0 in
+  for i = 2 to max_len do
+    b.(i) <- 2 * (b.(i - 1) + n.(i - 1))
+  done;
+  let enc = Hashtbl.create (Array.length d) in
+  let next = Array.copy b in
+  List.iter
+    (fun (s, l) ->
+      Hashtbl.replace enc s (next.(l), l);
+      next.(l) <- next.(l) + 1)
+    sorted;
+  { n; d; enc; max_len }
+
+let of_freqs freqs = of_lengths (Huffman.code_lengths freqs)
+let symbol_count t = Array.length t.d
+let max_length t = t.max_len
+let counts t = Array.copy t.n
+let symbols t = Array.copy t.d
+let codeword t s = Hashtbl.find_opt t.enc s
+
+let encode t w s =
+  match Hashtbl.find_opt t.enc s with
+  | Some (code, len) -> Bitio.Writer.put w ~bits:len code
+  | None -> invalid_arg (Printf.sprintf "Canonical.encode: symbol %d not in alphabet" s)
+
+(* The paper's DECODE(), with N.(0) = 0:
+     v <- 0, b <- 0, j <- 0, i <- 0
+     do  v <- 2v + NEXTBIT(); b <- 2(b + N[i]); j <- j + N[i]; i <- i + 1
+     while (v >= b + N[i])
+     return D[j + v - b]                                                   *)
+let decode t r =
+  if Array.length t.d = 0 then failwith "Canonical.decode: empty code";
+  let v = ref 0 and b = ref 0 and j = ref 0 and i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    v := (2 * !v) + Bitio.Reader.next_bit r;
+    b := 2 * (!b + t.n.(!i));
+    j := !j + t.n.(!i);
+    incr i;
+    if !v < !b + t.n.(!i) then continue := false
+    else if !i >= t.max_len then failwith "Canonical.decode: corrupt stream"
+  done;
+  (t.d.(!j + !v - !b), !i)
+
+let table_bits ~value_bits t =
+  6 + (16 * t.max_len) + (value_bits * Array.length t.d)

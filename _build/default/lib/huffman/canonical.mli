@@ -1,0 +1,45 @@
+(** Canonical Huffman codes (paper, Section 3).
+
+    A canonical code is fully determined by [N.(i)] — the number of
+    codewords of each length [i] — plus the symbol array [D] ordered by
+    codeword value.  Codewords of length [i] are the consecutive [i]-bit
+    values [b_i, b_i + 1, ...] where [b_1 = 0] and
+    [b_i = 2 (b_(i-1) + N.(i-1))].  Decoding uses the paper's DECODE loop,
+    which consumes one bit per iteration and needs no pointer-based tree. *)
+
+type t
+
+val of_lengths : (int * int) list -> t
+(** Build from [(symbol, length)] pairs as returned by
+    {!Huffman.code_lengths} (sorted by (length, symbol); lengths ≥ 1). *)
+
+val of_freqs : (int * int) list -> t
+(** [of_lengths (Huffman.code_lengths freqs)]. *)
+
+val symbol_count : t -> int
+val max_length : t -> int
+
+val counts : t -> int array
+(** [N]: index [i] holds the number of codewords of length [i]; index 0 is
+    0.  Length [max_length t + 1] array... the array has
+    [max_length t + 1] entries. *)
+
+val symbols : t -> int array
+(** [D]: symbols in codeword order. *)
+
+val codeword : t -> int -> (int * int) option
+(** [(code, length)] for a symbol, if the symbol is in the alphabet. *)
+
+val encode : t -> Bitio.Writer.t -> int -> unit
+(** Append a symbol's codeword.
+    @raise Invalid_argument on a symbol outside the alphabet. *)
+
+val decode : t -> Bitio.Reader.t -> int * int
+(** [decode t r] returns [(symbol, bits)] where [bits] is the number of bits
+    consumed (equal to the number of DECODE-loop iterations, used for cycle
+    accounting).  @raise Failure on a corrupt stream. *)
+
+val table_bits : value_bits:int -> t -> int
+(** Size of the code representation that must ship with the compressed
+    stream: the [N] array (16 bits per entry plus a 6-bit length count) and
+    the [D] array at [value_bits] bits per symbol. *)

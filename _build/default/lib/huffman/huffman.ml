@@ -1,0 +1,83 @@
+(* A small leftist-ish pairing heap specialised to (weight, tree) pairs.
+   The tie-break on insertion order keeps construction deterministic. *)
+
+type tree = Leaf of int | Node of tree * tree
+
+module Heap = struct
+  type elt = { weight : int; order : int; tree : tree }
+  (* Sorted association list; inputs are small (a few thousand symbols at
+     most), so O(n) insertion is fine. *)
+  type t = elt list ref
+
+  let create () : t = ref []
+
+  let add h e =
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: rest ->
+        if (e.weight, e.order) < (x.weight, x.order) then e :: x :: rest
+        else x :: insert rest
+    in
+    h := insert !h
+
+  let pop h =
+    match !h with
+    | [] -> None
+    | x :: rest ->
+      h := rest;
+      Some x
+
+  let size h = List.length !h
+end
+
+let rec assign_lengths depth tree acc =
+  match tree with
+  | Leaf s -> (s, max 1 depth) :: acc
+  | Node (l, r) -> assign_lengths (depth + 1) l (assign_lengths (depth + 1) r acc)
+
+let code_lengths freqs =
+  List.iter
+    (fun (_, c) -> if c <= 0 then invalid_arg "Huffman.code_lengths: count <= 0")
+    freqs;
+  match freqs with
+  | [] -> []
+  | _ :: _ ->
+    let h = Heap.create () in
+    let next_order = ref 0 in
+    let order () =
+      incr next_order;
+      !next_order
+    in
+    List.iter
+      (fun (s, c) -> Heap.add h { Heap.weight = c; order = order (); tree = Leaf s })
+      (List.sort compare freqs);
+    while Heap.size h > 1 do
+      match (Heap.pop h, Heap.pop h) with
+      | Some a, Some b ->
+        Heap.add h
+          {
+            Heap.weight = a.Heap.weight + b.Heap.weight;
+            order = order ();
+            tree = Node (a.Heap.tree, b.Heap.tree);
+          }
+      | _ -> assert false
+    done;
+    let root = match Heap.pop h with Some e -> e.Heap.tree | None -> assert false in
+    assign_lengths 0 root []
+    |> List.sort (fun (s1, l1) (s2, l2) -> compare (l1, s1) (l2, s2))
+
+let entropy_bits freqs =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 freqs in
+  if total = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc (_, c) ->
+        let p = float_of_int c /. float_of_int total in
+        acc -. (p *. (log p /. log 2.0)))
+      0.0 freqs
+
+let total_encoded_bits freqs =
+  let lengths = code_lengths freqs in
+  let len_of = Hashtbl.create 64 in
+  List.iter (fun (s, l) -> Hashtbl.replace len_of s l) lengths;
+  List.fold_left (fun acc (s, c) -> acc + (c * Hashtbl.find len_of s)) 0 freqs

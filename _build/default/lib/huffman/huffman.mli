@@ -1,0 +1,16 @@
+(** Huffman code construction: from symbol frequencies to optimal codeword
+    lengths.  Only the lengths matter — the actual codewords are assigned
+    canonically by {!Canonical}. *)
+
+val code_lengths : (int * int) list -> (int * int) list
+(** [code_lengths freqs] takes [(symbol, count)] pairs (counts > 0, symbols
+    distinct) and returns [(symbol, length)] pairs for an optimal prefix
+    code.  A single-symbol alphabet gets length 1; an empty input yields
+    [].  The result is sorted by (length, symbol). *)
+
+val entropy_bits : (int * int) list -> float
+(** Shannon entropy of the frequency distribution, in bits per symbol. *)
+
+val total_encoded_bits : (int * int) list -> int
+(** Total bits needed to encode the whole input with the returned code:
+    [sum count*length]. *)

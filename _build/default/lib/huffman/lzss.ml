@@ -1,0 +1,117 @@
+let min_match = 3
+let max_match = 18
+let window = 4096
+
+(* Greedy parse with a 3-byte hash chain. *)
+let compress input =
+  let n = String.length input in
+  let out = Buffer.create (n / 2) in
+  let head = Hashtbl.create 1024 in  (* 3-byte key -> positions, newest first *)
+  let key i =
+    Char.code input.[i]
+    lor (Char.code input.[i + 1] lsl 8)
+    lor (Char.code input.[i + 2] lsl 16)
+  in
+  let record i =
+    if i + 2 < n then
+      Hashtbl.replace head (key i)
+        (i :: Option.value ~default:[] (Hashtbl.find_opt head (key i)))
+  in
+  let find_match i =
+    if i + min_match > n then None
+    else
+      let candidates = Option.value ~default:[] (Hashtbl.find_opt head (key i)) in
+      let best = ref None in
+      List.iteri
+        (fun rank j ->
+          if rank < 16 && j >= i - window then begin
+            let len = ref 0 in
+            while
+              !len < max_match && i + !len < n && input.[j + !len] = input.[i + !len]
+            do
+              incr len
+            done;
+            match !best with
+            | Some (_, blen) when blen >= !len -> ()
+            | _ -> if !len >= min_match then best := Some (j, !len)
+          end)
+        candidates;
+      !best
+  in
+  let items = Buffer.create 16 in
+  let flags = ref 0 in
+  let nitems = ref 0 in
+  let flush () =
+    if !nitems > 0 then begin
+      Buffer.add_char out (Char.chr !flags);
+      Buffer.add_buffer out items;
+      Buffer.clear items;
+      flags := 0;
+      nitems := 0
+    end
+  in
+  let add_literal c =
+    Buffer.add_char items c;
+    incr nitems;
+    if !nitems = 8 then flush ()
+  in
+  let add_ref ~offset ~len =
+    flags := !flags lor (1 lsl !nitems);
+    let v = ((offset - 1) lsl 4) lor (len - min_match) in
+    Buffer.add_char items (Char.chr (v land 0xFF));
+    Buffer.add_char items (Char.chr ((v lsr 8) land 0xFF));
+    incr nitems;
+    if !nitems = 8 then flush ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match find_match !i with
+    | Some (j, len) ->
+      add_ref ~offset:(!i - j) ~len;
+      for k = !i to !i + len - 1 do
+        record k
+      done;
+      i := !i + len
+    | None ->
+      add_literal input.[!i];
+      record !i;
+      incr i)
+  done;
+  flush ();
+  Buffer.contents out
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (2 * n) in
+  let steps = ref 0 in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let flags = Char.code input.[!i] in
+       incr i;
+       let item = ref 0 in
+       while !item < 8 && !i < n do
+         if flags land (1 lsl !item) = 0 then begin
+           Buffer.add_char out input.[!i];
+           incr i;
+           incr steps
+         end
+         else begin
+           if !i + 1 >= n then failwith "Lzss.decompress: truncated reference";
+           let v = Char.code input.[!i] lor (Char.code input.[!i + 1] lsl 8) in
+           i := !i + 2;
+           let offset = (v lsr 4) + 1 in
+           let len = (v land 0xF) + min_match in
+           let start = Buffer.length out - offset in
+           if start < 0 then failwith "Lzss.decompress: reference before start";
+           for k = 0 to len - 1 do
+             (* Self-overlapping copies are valid (runs). *)
+             Buffer.add_char out (Buffer.nth out (start + k));
+             incr steps
+           done
+         end;
+         incr item
+       done
+     done
+   with Invalid_argument _ -> failwith "Lzss.decompress: corrupt stream");
+  (Buffer.contents out, !steps)

@@ -1,0 +1,19 @@
+(** Byte-oriented LZSS, the "other compression algorithm" comparator the
+    paper's future-work section calls for.
+
+    Format: groups of eight items preceded by a flag byte (LSB first);
+    a clear flag bit is a literal byte, a set bit is a 2-byte reference
+    [(offset << 4) | (len - min_match)] into a 4096-byte window with match
+    lengths 3..18.  Offsets count back from the current position
+    (1-based). *)
+
+val min_match : int
+val max_match : int
+val window : int
+
+val compress : string -> string
+
+val decompress : string -> string * int
+(** Returns the original bytes and the number of decoder steps (one per
+    literal plus one per copied byte), used for cycle accounting.
+    @raise Failure on a corrupt stream. *)

@@ -1,0 +1,34 @@
+let move_to_front x table =
+  let rec remove acc = function
+    | [] -> invalid_arg "Mtf: symbol not in alphabet"
+    | y :: rest -> if y = x then List.rev_append acc rest else remove (y :: acc) rest
+  in
+  x :: remove [] table
+
+let encode ~alphabet symbols =
+  let rec go table acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let rank =
+        let rec find i = function
+          | [] -> invalid_arg "Mtf.encode: symbol not in alphabet"
+          | y :: ys -> if y = s then i else find (i + 1) ys
+        in
+        find 0 table
+      in
+      go (move_to_front s table) (rank :: acc) rest
+  in
+  go alphabet [] symbols
+
+let decode ~alphabet ranks =
+  let rec go table acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      let s =
+        match List.nth_opt table r with
+        | Some s -> s
+        | None -> invalid_arg "Mtf.decode: rank out of range"
+      in
+      go (move_to_front s table) (s :: acc) rest
+  in
+  go alphabet [] ranks

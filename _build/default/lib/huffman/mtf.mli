@@ -1,0 +1,15 @@
+(** Move-to-front coding, the optional pre-pass of the paper's Section 3
+    ("we can achieve somewhat better compression for some streams using
+    move-to-front coding prior to Huffman coding").
+
+    The coder transforms a symbol sequence into a sequence of ranks relative
+    to a recency list seeded with [alphabet]; both sides must use the same
+    alphabet (in practice: the sorted distinct symbols of the stream, which
+    travel with the compressed data as the [D] array does). *)
+
+val encode : alphabet:int list -> int list -> int list
+(** @raise Invalid_argument if a symbol is not in the alphabet. *)
+
+val decode : alphabet:int list -> int list -> int list
+(** Inverse of {!encode}.  @raise Invalid_argument on an out-of-range
+    rank. *)

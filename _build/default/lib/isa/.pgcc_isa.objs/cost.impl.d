@@ -1,0 +1,1 @@
+lib/isa/cost.pp.ml: Instr

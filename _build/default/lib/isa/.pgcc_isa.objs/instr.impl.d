@@ -1,0 +1,1 @@
+lib/isa/instr.pp.ml: Format Ppx_deriving_runtime Printf Reg Result Word

@@ -1,0 +1,1 @@
+lib/isa/instr.pp.mli: Format Reg Word

@@ -1,0 +1,1 @@
+lib/isa/reg.pp.ml: Format Int Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/isa/syscall.pp.ml: Format

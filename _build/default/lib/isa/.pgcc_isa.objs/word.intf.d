@@ -1,0 +1,1 @@
+lib/isa/word.pp.mli: Format

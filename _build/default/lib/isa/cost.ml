@@ -1,0 +1,42 @@
+type model = {
+  alu : int;
+  mul : int;
+  div : int;
+  mem : int;
+  branch : int;
+  branch_taken : int;
+  syscall : int;
+  decomp_invoke : int;
+  decomp_per_bit : int;
+  decomp_per_instr : int;
+  icache_flush : int;
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 8;
+    div = 24;
+    mem = 2;
+    branch = 1;
+    branch_taken = 3;
+    syscall = 30;
+    decomp_invoke = 150;
+    decomp_per_bit = 4;
+    decomp_per_instr = 12;
+    icache_flush = 200;
+  }
+
+let instr_cost m instr ~taken =
+  match instr with
+  | Instr.Sys _ -> m.syscall
+  | Instr.Nop -> m.alu
+  | Instr.Lda _ | Instr.Ldah _ -> m.alu
+  | Instr.Opr { op = Instr.Mul; _ } -> m.mul
+  | Instr.Opr { op = Instr.Div | Instr.Rem; _ } -> m.div
+  | Instr.Opr _ -> m.alu
+  | Instr.Mem _ -> m.mem
+  | Instr.Cbr _ -> if taken then m.branch_taken else m.branch
+  | Instr.Br _ | Instr.Bsr _ | Instr.Bsrx _ -> m.branch_taken
+  | Instr.Jmp _ | Instr.Jsr _ | Instr.Ret _ -> m.branch_taken
+  | Instr.Sentinel -> m.alu

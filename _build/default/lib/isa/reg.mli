@@ -1,0 +1,46 @@
+(** SQ32 register file and calling convention.
+
+    There are 32 general-purpose registers.  [r31] always reads as zero and
+    ignores writes, like the Alpha's [$31]. *)
+
+type t = int
+(** A register number in [0, 31]. *)
+
+val count : int
+(** 32. *)
+
+val zero : t
+(** [r31]: hardwired zero. *)
+
+val sp : t
+(** [r30]: stack pointer. *)
+
+val ra : t
+(** [r26]: standard return-address (link) register. *)
+
+val rv : t
+(** [r0]: function return value. *)
+
+val stub_scratch : t
+(** [r25]: the register that entry stubs prefer when the liveness analysis
+    finds it free; also used by the assembler's pseudo-instructions. *)
+
+val args : t list
+(** [r16]..[r21]: the six argument registers, in order. *)
+
+val temps : t list
+(** Caller-saved temporaries available to code generators. *)
+
+val saved : t list
+(** Callee-saved registers. *)
+
+val is_valid : int -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val name : t -> string
+(** Symbolic name, e.g. ["sp"], ["ra"], ["a0"], ["t3"], ["zero"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}; also accepts the raw ["r17"] spellings. *)

@@ -1,0 +1,37 @@
+type t = Exit | Getc | Putc | Putint | Sbrk | Setjmp | Longjmp | Getw | Putw
+
+let to_code = function
+  | Exit -> 0
+  | Getc -> 1
+  | Putc -> 2
+  | Putint -> 3
+  | Sbrk -> 4
+  | Setjmp -> 5
+  | Longjmp -> 6
+  | Getw -> 7
+  | Putw -> 8
+
+let of_code = function
+  | 0 -> Some Exit
+  | 1 -> Some Getc
+  | 2 -> Some Putc
+  | 3 -> Some Putint
+  | 4 -> Some Sbrk
+  | 5 -> Some Setjmp
+  | 6 -> Some Longjmp
+  | 7 -> Some Getw
+  | 8 -> Some Putw
+  | _ -> None
+
+let name = function
+  | Exit -> "exit"
+  | Getc -> "getc"
+  | Putc -> "putc"
+  | Putint -> "putint"
+  | Sbrk -> "sbrk"
+  | Setjmp -> "setjmp"
+  | Longjmp -> "longjmp"
+  | Getw -> "getw"
+  | Putw -> "putw"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

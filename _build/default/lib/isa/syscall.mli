@@ -1,0 +1,22 @@
+(** System-call numbering shared by the code generator and the VM.
+
+    Arguments are passed in [a0]..[a2] (registers r16..r18) and the result is
+    returned in [v0] (r0), following the normal calling convention. *)
+
+type t =
+  | Exit  (** [exit a0]: terminate with exit code [a0]. *)
+  | Getc  (** [v0 := next input byte], or -1 at end of input. *)
+  | Putc  (** Append byte [a0 land 0xFF] to the output. *)
+  | Putint  (** Append the decimal rendering of [a0] and a newline. *)
+  | Sbrk  (** Grow the heap by [a0] bytes; [v0 := old break]. *)
+  | Setjmp
+      (** Save PC/SP into the 8-word buffer at address [a0]; [v0 := 0].
+          A later [Longjmp] returns here with [v0 := a1]. *)
+  | Longjmp  (** Restore the context saved at [a0]; does not return. *)
+  | Getw  (** [v0 := next 4 input bytes, little-endian], or -1 at EOF. *)
+  | Putw  (** Append [a0] to the output as 4 little-endian bytes. *)
+
+val to_code : t -> int
+val of_code : int -> t option
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/minic/mc_ast.mli: Format

@@ -1,0 +1,1 @@
+lib/minic/mc_codegen.ml: Array Easm Format Hashtbl Instr Layout List Mc_ast Mc_sema Option Prog Reg Syscall Word

@@ -1,0 +1,1 @@
+lib/minic/mc_codegen.mli: Mc_sema Prog

@@ -1,0 +1,1 @@
+lib/minic/mc_interp.ml: Array Buffer Char Format Hashtbl Layout List Mc_ast Mc_parser Mc_sema Option String Syscall Word

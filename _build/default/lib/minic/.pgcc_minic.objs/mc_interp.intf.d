@@ -1,0 +1,1 @@
+lib/minic/mc_interp.mli: Mc_sema

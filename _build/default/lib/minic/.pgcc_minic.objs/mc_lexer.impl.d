@@ -1,0 +1,1 @@
+lib/minic/mc_lexer.ml: Buffer Char Format List Mc_ast Printf String

@@ -1,0 +1,1 @@
+lib/minic/mc_lexer.mli: Mc_ast

@@ -1,0 +1,1 @@
+lib/minic/mc_parser.ml: Format List Mc_ast Mc_lexer

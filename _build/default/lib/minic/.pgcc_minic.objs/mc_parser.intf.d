@@ -1,0 +1,1 @@
+lib/minic/mc_parser.mli: Mc_ast

@@ -1,0 +1,1 @@
+lib/minic/mc_sema.ml: Array Buffer Char Format Hashtbl Layout List Mc_ast Option String Syscall Word

@@ -1,0 +1,1 @@
+lib/minic/mc_sema.mli: Mc_ast Syscall

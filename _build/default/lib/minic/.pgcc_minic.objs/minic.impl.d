@@ -1,0 +1,1 @@
+lib/minic/minic.ml: List Mc_ast Mc_codegen Mc_lexer Mc_parser Mc_sema Printf Prog

@@ -1,0 +1,605 @@
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Block builder: emit items and symbolic terminators against labels,
+   then resolve labels to block indices. *)
+
+module Builder = struct
+  type label = int
+
+  type term_sym =
+    | SJump of label
+    | SBranch of Instr.cond * Reg.t * label * label  (* taken, fallthrough *)
+    | SCall of { ra : Reg.t; callee : string }
+    | SCall_indirect of { ra : Reg.t; rb : Reg.t }
+    | SJump_indirect of { rb : Reg.t; table : int option }
+    | SRet of Reg.t
+    | SNoret
+
+  type closed = { items : Prog.item list; term : term_sym option }
+  (* [term = None] means the block fell through to the next one. *)
+
+  type t = {
+    mutable closed : closed list;  (* reversed *)
+    mutable open_items : Prog.item list option;  (* reversed; None = no open block *)
+    mutable label_target : (int, int) Hashtbl.t;  (* label -> block index *)
+    mutable next_label : int;
+    mutable pending : label list;  (* labels to bind to the next block *)
+    mutable tables : label array list;  (* reversed *)
+  }
+
+  let create () =
+    {
+      closed = [];
+      open_items = Some [];
+      label_target = Hashtbl.create 64;
+      next_label = 0;
+      pending = [];
+      tables = [];
+    }
+
+  let new_label b =
+    let l = b.next_label in
+    b.next_label <- l + 1;
+    l
+
+  let new_table b labels =
+    b.tables <- labels :: b.tables;
+    List.length b.tables - 1
+
+  let block_index b = List.length b.closed
+
+  let ensure_open b =
+    match b.open_items with
+    | Some _ -> ()
+    | None ->
+      List.iter
+        (fun l -> Hashtbl.replace b.label_target l (block_index b))
+        b.pending;
+      b.pending <- [];
+      b.open_items <- Some []
+
+  let emit b item =
+    ensure_open b;
+    match b.open_items with
+    | Some items -> b.open_items <- Some (item :: items)
+    | None -> assert false
+
+  let close b term =
+    ensure_open b;
+    (match b.open_items with
+    | Some items -> b.closed <- { items = List.rev items; term = Some term } :: b.closed
+    | None -> assert false);
+    b.open_items <- None
+
+  (* Bind a label here.  If a block is open it falls through. *)
+  let place b l =
+    (match b.open_items with
+    | Some items ->
+      b.closed <- { items = List.rev items; term = None } :: b.closed;
+      b.open_items <- None
+    | None -> ());
+    b.pending <- l :: b.pending;
+    ensure_open b
+
+  let finish b name =
+    (match b.open_items with
+    | Some items -> b.closed <- { items = List.rev items; term = None } :: b.closed
+    | None -> ());
+    List.iter (fun l -> Hashtbl.replace b.label_target l (block_index b)) b.pending;
+    b.pending <- [];
+    let blocks = Array.of_list (List.rev b.closed) in
+    let n = Array.length blocks in
+    let dest l =
+      match Hashtbl.find_opt b.label_target l with
+      | Some i when i < n -> i
+      | Some _ ->
+        (* A label bound past the last block (e.g. loop end at function end
+           with nothing after it): point at the final block, which the
+           finisher below guarantees is a terminated epilogue. *)
+        n - 1
+      | None -> fail "%s: unbound label %d" name l
+    in
+    let prog_blocks =
+      Array.mapi
+        (fun i c ->
+          let term =
+            match c.term with
+            | None -> Prog.Fallthrough (min (i + 1) (n - 1))
+            | Some (SJump l) -> Prog.Jump (dest l)
+            | Some (SBranch (op, r, taken, fall)) ->
+              Prog.Branch (op, r, dest taken, dest fall)
+            | Some (SCall { ra; callee }) -> Prog.Call { ra; callee; return_to = i + 1 }
+            | Some (SCall_indirect { ra; rb }) ->
+              Prog.Call_indirect { ra; rb; return_to = i + 1 }
+            | Some (SJump_indirect { rb; table }) -> Prog.Jump_indirect { rb; table }
+            | Some (SRet rb) -> Prog.Return { rb }
+            | Some SNoret -> Prog.No_return
+          in
+          { Prog.Block.items = c.items; term })
+        blocks
+    in
+    let tables = Array.of_list (List.rev_map (Array.map dest) b.tables) in
+    { Prog.Func.name; blocks = prog_blocks; tables }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Frame layout (word offsets from sp):
+     0         saved ra
+     1 .. 11   call-spill area for the 11 register slots
+     12 .. 27  extended evaluation slots (depths 11..26)
+     28 ..     named locals                                            *)
+
+let temps = [| 1; 2; 3; 4; 5; 6; 7; 8; 22; 23; 24 |]
+let num_temps = Array.length temps
+let max_depth = num_temps + 16
+let scratch1 : Reg.t = 27
+let scratch2 : Reg.t = 28
+let spill_off j = 4 * (1 + j)
+let ext_off d = 4 * (12 + (d - num_temps))
+let locals_base_word = 28
+
+let switch_table_min_cases = 4
+let switch_table_max_range = 512
+
+type fstate = {
+  b : Builder.t;
+  local_off : int array;  (* byte offset from sp of each local slot *)
+  frame_bytes : int;
+  epilogue : Builder.label;
+  mutable break_to : Builder.label list;
+  mutable continue_to : Builder.label list;
+}
+
+let emit_i st i = Builder.emit st.b (Prog.Instr i)
+
+(* Load slot [d] into a register: the slot's own register, or [scratch]. *)
+let slot_to_reg st d ~scratch =
+  if d < num_temps then temps.(d)
+  else begin
+    emit_i st (Instr.Mem { op = Instr.Ldw; ra = scratch; rb = Reg.sp; disp = ext_off d });
+    scratch
+  end
+
+(* Store register [src] into slot [d] (no-op move if it is the slot's own
+   register). *)
+let reg_to_slot st d ~src =
+  if d < num_temps then begin
+    if not (Reg.equal src temps.(d)) then
+      emit_i st (Instr.Opr { op = Instr.Or; ra = src; rb = Instr.Reg Reg.zero; rc = temps.(d) })
+  end
+  else emit_i st (Instr.Mem { op = Instr.Stw; ra = src; rb = Reg.sp; disp = ext_off d })
+
+(* The register an operation should compute into so that the result lands in
+   slot [d]: the slot register, or a scratch that [flush_slot] then spills. *)
+let slot_dst d ~scratch = if d < num_temps then temps.(d) else scratch
+
+let flush_slot st d ~src =
+  if d >= num_temps then
+    emit_i st (Instr.Mem { op = Instr.Stw; ra = src; rb = Reg.sp; disp = ext_off d })
+
+(* Materialise a 32-bit constant into a register. *)
+let load_const st ~dst v =
+  let v = Word.of_int v in
+  let hi, lo = Easm.split_const v in
+  if hi = 0 then emit_i st (Instr.Lda { ra = dst; rb = Reg.zero; disp = lo })
+  else begin
+    emit_i st (Instr.Ldah { ra = dst; rb = Reg.zero; disp = hi });
+    if lo <> 0 then emit_i st (Instr.Lda { ra = dst; rb = dst; disp = lo })
+  end
+
+let global_addr off = Layout.data_base + (4 * off)
+
+let check_depth d = if d >= max_depth then fail "expression too deep (max %d slots)" max_depth
+
+(* Save/restore the register slots 0..n-1 around a call. *)
+let save_temps st n =
+  for j = 0 to min n num_temps - 1 do
+    emit_i st (Instr.Mem { op = Instr.Stw; ra = temps.(j); rb = Reg.sp; disp = spill_off j })
+  done
+
+let restore_temps st n =
+  for j = 0 to min n num_temps - 1 do
+    emit_i st (Instr.Mem { op = Instr.Ldw; ra = temps.(j); rb = Reg.sp; disp = spill_off j })
+  done
+
+let arg_reg i = List.nth Reg.args i
+
+let rec eval st (e : Mc_sema.rexpr) d =
+  check_depth d;
+  match e with
+  | Mc_sema.RInt v ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    load_const st ~dst v;
+    flush_slot st d ~src:dst
+  | Mc_sema.RLocal slot ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    emit_i st (Instr.Mem { op = Instr.Ldw; ra = dst; rb = Reg.sp; disp = st.local_off.(slot) });
+    flush_slot st d ~src:dst
+  | Mc_sema.RLocal_addr slot ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    emit_i st (Instr.Lda { ra = dst; rb = Reg.sp; disp = st.local_off.(slot) });
+    flush_slot st d ~src:dst
+  | Mc_sema.RGlobal off ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    let hi, lo = Easm.split_addr (global_addr off) in
+    emit_i st (Instr.Ldah { ra = scratch2; rb = Reg.zero; disp = hi });
+    emit_i st (Instr.Mem { op = Instr.Ldw; ra = dst; rb = scratch2; disp = lo });
+    flush_slot st d ~src:dst
+  | Mc_sema.RGlobal_addr off ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    load_const st ~dst (global_addr off);
+    flush_slot st d ~src:dst
+  | Mc_sema.RFunc_addr f ->
+    let dst = slot_dst d ~scratch:scratch1 in
+    Builder.emit st.b (Prog.Load_addr (dst, Prog.Func_addr f));
+    flush_slot st d ~src:dst
+  | Mc_sema.RIndex (base, idx) ->
+    eval st base d;
+    eval st idx (d + 1);
+    let rb = slot_to_reg st d ~scratch:scratch1 in
+    let ri = slot_to_reg st (d + 1) ~scratch:scratch2 in
+    emit_i st (Instr.Opr { op = Instr.Sll; ra = ri; rb = Instr.Imm 2; rc = scratch2 });
+    emit_i st (Instr.Opr { op = Instr.Add; ra = rb; rb = Instr.Reg scratch2; rc = scratch2 });
+    let dst = slot_dst d ~scratch:scratch1 in
+    emit_i st (Instr.Mem { op = Instr.Ldw; ra = dst; rb = scratch2; disp = 0 });
+    flush_slot st d ~src:dst
+  | Mc_sema.RUnop (op, e1) ->
+    eval st e1 d;
+    let r = slot_to_reg st d ~scratch:scratch1 in
+    let dst = slot_dst d ~scratch:scratch1 in
+    (match op with
+    | Mc_ast.Neg ->
+      emit_i st (Instr.Opr { op = Instr.Sub; ra = Reg.zero; rb = Instr.Reg r; rc = dst })
+    | Mc_ast.Not ->
+      emit_i st (Instr.Opr { op = Instr.Cmpeq; ra = r; rb = Instr.Imm 0; rc = dst })
+    | Mc_ast.Bnot ->
+      load_const st ~dst:scratch2 (-1);
+      emit_i st (Instr.Opr { op = Instr.Xor; ra = r; rb = Instr.Reg scratch2; rc = dst }));
+    flush_slot st d ~src:dst
+  | Mc_sema.RBinop (Mc_ast.Land, e1, e2) -> eval_short_circuit st ~is_and:true e1 e2 d
+  | Mc_sema.RBinop (Mc_ast.Lor, e1, e2) -> eval_short_circuit st ~is_and:false e1 e2 d
+  | Mc_sema.RBinop (op, e1, e2) ->
+    eval st e1 d;
+    eval st e2 (d + 1);
+    let r1 = slot_to_reg st d ~scratch:scratch1 in
+    let r2 = slot_to_reg st (d + 1) ~scratch:scratch2 in
+    let dst = slot_dst d ~scratch:scratch1 in
+    let simple alu =
+      emit_i st (Instr.Opr { op = alu; ra = r1; rb = Instr.Reg r2; rc = dst })
+    in
+    let swapped alu =
+      emit_i st (Instr.Opr { op = alu; ra = r2; rb = Instr.Reg r1; rc = dst })
+    in
+    (match op with
+    | Mc_ast.Add -> simple Instr.Add
+    | Mc_ast.Sub -> simple Instr.Sub
+    | Mc_ast.Mul -> simple Instr.Mul
+    | Mc_ast.Div -> simple Instr.Div
+    | Mc_ast.Rem -> simple Instr.Rem
+    | Mc_ast.And -> simple Instr.And
+    | Mc_ast.Or -> simple Instr.Or
+    | Mc_ast.Xor -> simple Instr.Xor
+    | Mc_ast.Shl -> simple Instr.Sll
+    | Mc_ast.Shr -> simple Instr.Sra
+    | Mc_ast.Lshr -> simple Instr.Srl
+    | Mc_ast.Eq -> simple Instr.Cmpeq
+    | Mc_ast.Ne -> simple Instr.Cmpne
+    | Mc_ast.Lt -> simple Instr.Cmplt
+    | Mc_ast.Le -> simple Instr.Cmple
+    | Mc_ast.Gt -> swapped Instr.Cmplt
+    | Mc_ast.Ge -> swapped Instr.Cmple
+    | Mc_ast.Land | Mc_ast.Lor -> assert false);
+    flush_slot st d ~src:dst
+  | Mc_sema.RAssign_local (slot, rhs) ->
+    eval st rhs d;
+    let r = slot_to_reg st d ~scratch:scratch1 in
+    emit_i st (Instr.Mem { op = Instr.Stw; ra = r; rb = Reg.sp; disp = st.local_off.(slot) })
+  | Mc_sema.RAssign_global (off, rhs) ->
+    eval st rhs d;
+    let r = slot_to_reg st d ~scratch:scratch1 in
+    let hi, lo = Easm.split_addr (global_addr off) in
+    emit_i st (Instr.Ldah { ra = scratch2; rb = Reg.zero; disp = hi });
+    emit_i st (Instr.Mem { op = Instr.Stw; ra = r; rb = scratch2; disp = lo })
+  | Mc_sema.RAssign_index (base, idx, rhs) ->
+    eval st base d;
+    eval st idx (d + 1);
+    eval st rhs (d + 2);
+    let rb = slot_to_reg st d ~scratch:scratch1 in
+    let ri = slot_to_reg st (d + 1) ~scratch:scratch2 in
+    emit_i st (Instr.Opr { op = Instr.Sll; ra = ri; rb = Instr.Imm 2; rc = scratch2 });
+    emit_i st (Instr.Opr { op = Instr.Add; ra = rb; rb = Instr.Reg scratch2; rc = scratch2 });
+    let rv = slot_to_reg st (d + 2) ~scratch:scratch1 in
+    emit_i st (Instr.Mem { op = Instr.Stw; ra = rv; rb = scratch2; disp = 0 });
+    (* The value of the assignment is the stored value, left in slot d. *)
+    reg_to_slot st d ~src:rv
+  | Mc_sema.RCall (f, args) ->
+    eval_args st args d;
+    save_temps st d;
+    Builder.close st.b (Builder.SCall { ra = Reg.ra; callee = f });
+    restore_temps st d;
+    reg_to_slot st d ~src:Reg.rv
+  | Mc_sema.RCall_indirect (target, args) ->
+    eval st target d;
+    eval_args st args (d + 1);
+    let rt = slot_to_reg st d ~scratch:scratch1 in
+    if not (Reg.equal rt scratch1) then
+      emit_i st
+        (Instr.Opr { op = Instr.Or; ra = rt; rb = Instr.Reg Reg.zero; rc = scratch1 });
+    save_temps st d;
+    Builder.close st.b (Builder.SCall_indirect { ra = Reg.ra; rb = scratch1 });
+    restore_temps st d;
+    reg_to_slot st d ~src:Reg.rv
+  | Mc_sema.RBuiltin (Mc_sema.Bsys sc, args) ->
+    eval_args st args d;
+    emit_i st (Instr.Sys (Syscall.to_code sc));
+    (match sc with
+    | Syscall.Exit | Syscall.Longjmp ->
+      Builder.close st.b Builder.SNoret;
+      let dst = slot_dst d ~scratch:scratch1 in
+      load_const st ~dst 0;
+      flush_slot st d ~src:dst
+    | Syscall.Getc | Syscall.Putc | Syscall.Putint | Syscall.Sbrk | Syscall.Setjmp
+    | Syscall.Getw | Syscall.Putw ->
+      reg_to_slot st d ~src:Reg.rv)
+  | Mc_sema.RBuiltin (Mc_sema.Bloadb, args) -> (
+    match args with
+    | [ a ] ->
+      eval st a d;
+      let r = slot_to_reg st d ~scratch:scratch1 in
+      let dst = slot_dst d ~scratch:scratch1 in
+      emit_i st (Instr.Mem { op = Instr.Ldb; ra = dst; rb = r; disp = 0 });
+      flush_slot st d ~src:dst
+    | _ -> fail "loadb expects one argument")
+  | Mc_sema.RBuiltin (Mc_sema.Bstoreb, args) -> (
+    match args with
+    | [ a; v ] ->
+      eval st a d;
+      eval st v (d + 1);
+      let ra = slot_to_reg st d ~scratch:scratch1 in
+      let rv = slot_to_reg st (d + 1) ~scratch:scratch2 in
+      emit_i st (Instr.Mem { op = Instr.Stb; ra = rv; rb = ra; disp = 0 });
+      reg_to_slot st d ~src:rv
+    | _ -> fail "storeb expects two arguments")
+
+(* Evaluate call arguments into slots d, d+1, ... then move them into the
+   argument registers. *)
+and eval_args st args d =
+  List.iteri (fun i a -> eval st a (d + i)) args;
+  List.iteri
+    (fun i _ ->
+      let r = slot_to_reg st (d + i) ~scratch:scratch1 in
+      let dst = arg_reg i in
+      emit_i st (Instr.Opr { op = Instr.Or; ra = r; rb = Instr.Reg Reg.zero; rc = dst }))
+    args
+
+and eval_short_circuit st ~is_and e1 e2 d =
+  let l_shortcut = Builder.new_label st.b in
+  let l_end = Builder.new_label st.b in
+  let l_cont = Builder.new_label st.b in
+  eval st e1 d;
+  let r1 = slot_to_reg st d ~scratch:scratch1 in
+  (* For &&: a zero first operand short-circuits to 0.
+     For ||: a non-zero first operand short-circuits to 1. *)
+  let cond = if is_and then Instr.Eq else Instr.Ne in
+  Builder.close st.b (Builder.SBranch (cond, r1, l_shortcut, l_cont));
+  Builder.place st.b l_cont;
+  eval st e2 d;
+  let r2 = slot_to_reg st d ~scratch:scratch1 in
+  let dst = slot_dst d ~scratch:scratch1 in
+  emit_i st (Instr.Opr { op = Instr.Cmpne; ra = r2; rb = Instr.Imm 0; rc = dst });
+  flush_slot st d ~src:dst;
+  Builder.close st.b (Builder.SJump l_end);
+  Builder.place st.b l_shortcut;
+  let dst = slot_dst d ~scratch:scratch1 in
+  load_const st ~dst (if is_and then 0 else 1);
+  flush_slot st d ~src:dst;
+  Builder.place st.b l_end
+
+let rec gen_stmt st (s : Mc_sema.rstmt) =
+  match s with
+  | Mc_sema.RExpr e -> eval st e 0
+  | Mc_sema.RIf (c, then_, else_) ->
+    let l_else = Builder.new_label st.b in
+    let l_end = Builder.new_label st.b in
+    let l_then = Builder.new_label st.b in
+    eval st c 0;
+    let r = slot_to_reg st 0 ~scratch:scratch1 in
+    Builder.close st.b (Builder.SBranch (Instr.Eq, r, l_else, l_then));
+    Builder.place st.b l_then;
+    List.iter (gen_stmt st) then_;
+    Builder.close st.b (Builder.SJump l_end);
+    Builder.place st.b l_else;
+    List.iter (gen_stmt st) else_;
+    Builder.place st.b l_end
+  | Mc_sema.RLoop { pre_cond; body; post_cond; step } ->
+    let l_head = Builder.new_label st.b in
+    let l_step = Builder.new_label st.b in
+    let l_end = Builder.new_label st.b in
+    let l_body = Builder.new_label st.b in
+    Builder.place st.b l_head;
+    (match pre_cond with
+    | None -> ()
+    | Some c ->
+      eval st c 0;
+      let r = slot_to_reg st 0 ~scratch:scratch1 in
+      Builder.close st.b (Builder.SBranch (Instr.Eq, r, l_end, l_body));
+      Builder.place st.b l_body);
+    st.break_to <- l_end :: st.break_to;
+    st.continue_to <- l_step :: st.continue_to;
+    List.iter (gen_stmt st) body;
+    st.break_to <- List.tl st.break_to;
+    st.continue_to <- List.tl st.continue_to;
+    Builder.place st.b l_step;
+    (match step with None -> () | Some e -> eval st e 0);
+    (match post_cond with
+    | None -> Builder.close st.b (Builder.SJump l_head)
+    | Some c ->
+      eval st c 0;
+      let r = slot_to_reg st 0 ~scratch:scratch1 in
+      Builder.close st.b (Builder.SBranch (Instr.Ne, r, l_head, l_end)));
+    Builder.place st.b l_end
+  | Mc_sema.RSwitch (scrut, cases) -> gen_switch st scrut cases
+  | Mc_sema.RReturn e ->
+    (match e with
+    | Some e ->
+      eval st e 0;
+      let r = slot_to_reg st 0 ~scratch:scratch1 in
+      if not (Reg.equal r Reg.rv) then
+        emit_i st (Instr.Opr { op = Instr.Or; ra = r; rb = Instr.Reg Reg.zero; rc = Reg.rv })
+    | None -> load_const st ~dst:Reg.rv 0);
+    Builder.close st.b (Builder.SJump st.epilogue)
+  | Mc_sema.RBreak -> (
+    match st.break_to with
+    | l :: _ -> Builder.close st.b (Builder.SJump l)
+    | [] -> fail "break outside loop")
+  | Mc_sema.RContinue -> (
+    match st.continue_to with
+    | l :: _ -> Builder.close st.b (Builder.SJump l)
+    | [] -> fail "continue outside loop")
+
+and gen_switch st scrut cases =
+  let l_end = Builder.new_label st.b in
+  let case_labels = List.map (fun _ -> Builder.new_label st.b) cases in
+  let default_label =
+    let rec find cs ls =
+      match (cs, ls) with
+      | ({ Mc_sema.is_default = true; _ } : Mc_sema.rcase) :: _, l :: _ -> Some l
+      | _ :: cs, _ :: ls -> find cs ls
+      | _, _ -> None
+    in
+    find cases case_labels
+  in
+  let l_default = Option.value default_label ~default:l_end in
+  let values = List.concat_map (fun (c : Mc_sema.rcase) -> c.values) cases in
+  eval st scrut 0;
+  let r = slot_to_reg st 0 ~scratch:scratch1 in
+  (* Dispatch. *)
+  (match values with
+  | [] -> Builder.close st.b (Builder.SJump l_default)
+  | _ :: _ ->
+    let vmin = List.fold_left min (List.hd values) values in
+    let vmax = List.fold_left max (List.hd values) values in
+    let range = vmax - vmin + 1 in
+    let dense =
+      List.length values >= switch_table_min_cases
+      && range <= switch_table_max_range
+      && range <= 3 * List.length values
+    in
+    if dense then begin
+      (* Jump table over [vmin, vmax]; missing values map to default. *)
+      let by_value = Hashtbl.create 16 in
+      List.iter2
+        (fun (c : Mc_sema.rcase) l -> List.iter (fun v -> Hashtbl.replace by_value v l) c.values)
+        cases case_labels;
+      let entries =
+        Array.init range (fun k ->
+            Option.value (Hashtbl.find_opt by_value (vmin + k)) ~default:l_default)
+      in
+      let tid = Builder.new_table st.b entries in
+      let l_in_range = Builder.new_label st.b in
+      (* index = scrut - vmin; bound check; indirect jump. *)
+      load_const st ~dst:scratch2 vmin;
+      emit_i st
+        (Instr.Opr { op = Instr.Sub; ra = r; rb = Instr.Reg scratch2; rc = scratch2 });
+      if range <= 255 then
+        emit_i st
+          (Instr.Opr { op = Instr.Cmpult; ra = scratch2; rb = Instr.Imm range; rc = scratch1 })
+      else begin
+        load_const st ~dst:scratch1 range;
+        emit_i st
+          (Instr.Opr
+             { op = Instr.Cmpult; ra = scratch2; rb = Instr.Reg scratch1; rc = scratch1 })
+      end;
+      Builder.close st.b (Builder.SBranch (Instr.Eq, scratch1, l_default, l_in_range));
+      Builder.place st.b l_in_range;
+      Builder.emit st.b (Prog.Load_addr (scratch1, Prog.Table_addr tid));
+      emit_i st (Instr.Opr { op = Instr.Sll; ra = scratch2; rb = Instr.Imm 2; rc = scratch2 });
+      emit_i st
+        (Instr.Opr { op = Instr.Add; ra = scratch1; rb = Instr.Reg scratch2; rc = scratch1 });
+      emit_i st (Instr.Mem { op = Instr.Ldw; ra = scratch1; rb = scratch1; disp = 0 });
+      Builder.close st.b (Builder.SJump_indirect { rb = scratch1; table = Some tid })
+    end
+    else begin
+      (* Compare-and-branch chain. *)
+      List.iter2
+        (fun (c : Mc_sema.rcase) l ->
+          List.iter
+            (fun v ->
+              let l_next = Builder.new_label st.b in
+              if v >= 0 && v <= 255 then
+                emit_i st
+                  (Instr.Opr { op = Instr.Cmpeq; ra = r; rb = Instr.Imm v; rc = scratch1 })
+              else begin
+                load_const st ~dst:scratch2 v;
+                emit_i st
+                  (Instr.Opr
+                     { op = Instr.Cmpeq; ra = r; rb = Instr.Reg scratch2; rc = scratch1 })
+              end;
+              Builder.close st.b (Builder.SBranch (Instr.Ne, scratch1, l, l_next));
+              Builder.place st.b l_next)
+            c.values)
+        cases case_labels;
+      Builder.close st.b (Builder.SJump l_default)
+    end);
+  (* Case bodies in order, with C fallthrough between them. *)
+  st.break_to <- l_end :: st.break_to;
+  List.iter2
+    (fun (c : Mc_sema.rcase) l ->
+      Builder.place st.b l;
+      List.iter (gen_stmt st) c.cbody)
+    cases case_labels;
+  st.break_to <- List.tl st.break_to;
+  Builder.place st.b l_end
+
+let gen_func (f : Mc_sema.rfunc) : Prog.Func.t =
+  let b = Builder.create () in
+  let nlocals = Array.length f.locals in
+  let local_off = Array.make nlocals 0 in
+  let word = ref locals_base_word in
+  Array.iteri
+    (fun i size ->
+      local_off.(i) <- 4 * !word;
+      word := !word + size)
+    f.locals;
+  let frame_bytes = 4 * !word in
+  if frame_bytes >= 32768 then fail "%s: frame too large (%d bytes)" f.name frame_bytes;
+  let epilogue = Builder.new_label b in
+  let st = { b; local_off; frame_bytes; epilogue; break_to = []; continue_to = [] } in
+  (* Prologue. *)
+  emit_i st (Instr.Lda { ra = Reg.sp; rb = Reg.sp; disp = -frame_bytes });
+  emit_i st (Instr.Mem { op = Instr.Stw; ra = Reg.ra; rb = Reg.sp; disp = 0 });
+  List.iteri
+    (fun i r ->
+      if i < f.nparams then
+        emit_i st (Instr.Mem { op = Instr.Stw; ra = r; rb = Reg.sp; disp = local_off.(i) }))
+    Reg.args;
+  (* Body. *)
+  List.iter (gen_stmt st) f.body;
+  (* Implicit [return 0] for functions that fall off the end. *)
+  load_const st ~dst:Reg.rv 0;
+  Builder.place st.b epilogue;
+  emit_i st (Instr.Mem { op = Instr.Ldw; ra = Reg.ra; rb = Reg.sp; disp = 0 });
+  emit_i st (Instr.Lda { ra = Reg.sp; rb = Reg.sp; disp = frame_bytes });
+  Builder.close st.b (Builder.SRet Reg.ra);
+  Builder.finish b f.name
+
+let start_func () : Prog.Func.t =
+  let b = Builder.create () in
+  Builder.close b (Builder.SCall { ra = Reg.ra; callee = "main" });
+  Builder.emit b
+    (Prog.Instr (Instr.Opr { op = Instr.Or; ra = Reg.rv; rb = Instr.Reg Reg.zero; rc = 16 }));
+  Builder.emit b (Prog.Instr (Instr.Sys (Syscall.to_code Syscall.Exit)));
+  Builder.close b Builder.SNoret;
+  Builder.finish b "_start"
+
+let generate (rp : Mc_sema.rprogram) : Prog.t =
+  let funcs = start_func () :: List.map gen_func rp.funcs in
+  {
+    Prog.funcs;
+    entry = "_start";
+    data_words = rp.data_words;
+    data_init = List.map (fun (o, v) -> (o, Word.of_int v)) rp.data_init;
+  }

@@ -1,0 +1,29 @@
+(** Code generation from the resolved MiniC IR to the {!Prog} IR.
+
+    The generator is deliberately naive — in the paper's experimental frame
+    it plays the role of the vendor compiler's [-O1] output, leaving
+    redundancy for the squeeze compactor to remove:
+
+    - every named local lives in a frame slot; parameters are stored to
+      their slots in the prologue;
+    - expressions evaluate into a stack of temporary registers (spilled to
+      dedicated frame slots across calls, and overflowing into frame slots
+      beyond depth 11);
+    - [ra] is saved and restored in every function, leaf or not;
+    - dense [switch] statements compile to an indirect jump through a
+      jump table placed after the function's code (the analysable pattern
+      that squash's unswitching pass rewrites); sparse ones compile to
+      compare-and-branch chains. *)
+
+exception Codegen_error of string
+
+val generate : Mc_sema.rprogram -> Prog.t
+(** Produce a program with a synthesised [_start] entry function that calls
+    [main] and exits with its result.
+    @raise Codegen_error on an over-deep expression (beyond 27 slots). *)
+
+val switch_table_min_cases : int
+(** Minimum number of distinct case labels for jump-table dispatch (4). *)
+
+val switch_table_max_range : int
+(** Maximum label range covered by one jump table (512). *)

@@ -1,0 +1,294 @@
+exception Runtime_error of string
+exception Unsupported of string
+
+type outcome = { exit_code : int; output : string }
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Memory model: a flat word array, byte-addressed at the interface, with
+   the same segment layout idea as the VM (globals low, heap above them,
+   frames high, growing down) but independent concrete addresses. *)
+
+(* The language ABI fixes the data segment's address (string literals and
+   global addresses are compile-time constants produced by Mc_sema), so the
+   interpreter uses the same memory map constants as the simulator.  This is
+   shared specification, not shared implementation. *)
+let mem_words = Layout.mem_bytes / 4
+let data_base = Layout.data_base
+let stack_top = Layout.stack_top
+
+type state = {
+  mem : int array;
+  mutable sp : int;  (* byte address of the current frame base *)
+  mutable brk : int;  (* heap break, bytes *)
+  mutable fuel : int;
+  input : string;
+  mutable in_pos : int;
+  out : Buffer.t;
+  funcs : (string, Mc_sema.rfunc) Hashtbl.t;
+}
+
+(* Control-flow signals. *)
+exception Break_signal
+exception Continue_signal
+exception Return_signal of int
+exception Exit_signal of int
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then err "out of fuel"
+
+let check_word _st a =
+  if a land 3 <> 0 then err "unaligned word access at %d" a;
+  let idx = a lsr 2 in
+  if idx < 0 || idx >= mem_words then err "word access out of range at %d" a;
+  idx
+
+let load_word st a = st.mem.(check_word st a)
+let store_word st a v = st.mem.(check_word st a) <- v land Word.mask
+
+let load_byte st a =
+  if a < 0 || a >= 4 * mem_words then err "byte access out of range at %d" a;
+  (st.mem.(a lsr 2) lsr (8 * (a land 3))) land 0xFF
+
+let store_byte st a v =
+  if a < 0 || a >= 4 * mem_words then err "byte access out of range at %d" a;
+  let idx = a lsr 2 in
+  let shift = 8 * (a land 3) in
+  st.mem.(idx) <- st.mem.(idx) land lnot (0xFF lsl shift) lor ((v land 0xFF) lsl shift)
+
+(* A frame maps local slots to byte addresses within the frame. *)
+type frame = { base : int; offsets : int array }
+
+let binop op a b =
+  let bool_ c = if c then 1 else 0 in
+  match (op : Mc_ast.binop) with
+  | Mc_ast.Add -> Word.add a b
+  | Mc_ast.Sub -> Word.sub a b
+  | Mc_ast.Mul -> Word.mul a b
+  | Mc_ast.Div -> (
+    try Word.sdiv a b with Word.Division_trap -> err "division by zero")
+  | Mc_ast.Rem -> (
+    try Word.srem a b with Word.Division_trap -> err "division by zero")
+  | Mc_ast.And -> Word.logand a b
+  | Mc_ast.Or -> Word.logor a b
+  | Mc_ast.Xor -> Word.logxor a b
+  | Mc_ast.Shl -> Word.shift_left a (b land 31)
+  | Mc_ast.Shr -> Word.shift_right_arith a (b land 31)
+  | Mc_ast.Lshr -> Word.shift_right_logical a (b land 31)
+  | Mc_ast.Eq -> bool_ (Word.eq a b)
+  | Mc_ast.Ne -> bool_ (not (Word.eq a b))
+  | Mc_ast.Lt -> bool_ (Word.slt a b)
+  | Mc_ast.Le -> bool_ (Word.sle a b)
+  | Mc_ast.Gt -> bool_ (Word.slt b a)
+  | Mc_ast.Ge -> bool_ (Word.sle b a)
+  | Mc_ast.Land | Mc_ast.Lor -> assert false (* short-circuit, handled below *)
+
+let rec eval st (fr : frame) (e : Mc_sema.rexpr) : int =
+  tick st;
+  match e with
+  | Mc_sema.RInt v -> Word.of_int v
+  | Mc_sema.RLocal slot -> load_word st (fr.base + fr.offsets.(slot))
+  | Mc_sema.RLocal_addr slot -> Word.of_int (fr.base + fr.offsets.(slot))
+  | Mc_sema.RGlobal off -> load_word st (data_base + (4 * off))
+  | Mc_sema.RGlobal_addr off -> Word.of_int (data_base + (4 * off))
+  | Mc_sema.RFunc_addr name -> raise (Unsupported ("address of function " ^ name))
+  | Mc_sema.RIndex (b, i) ->
+    let base = eval st fr b in
+    let idx = eval st fr i in
+    load_word st (Word.to_signed base + (4 * Word.to_signed idx))
+  | Mc_sema.RBinop (Mc_ast.Land, a, b) ->
+    if eval st fr a = 0 then 0 else if eval st fr b = 0 then 0 else 1
+  | Mc_sema.RBinop (Mc_ast.Lor, a, b) ->
+    if eval st fr a <> 0 then 1 else if eval st fr b <> 0 then 1 else 0
+  | Mc_sema.RBinop (op, a, b) ->
+    let va = eval st fr a in
+    let vb = eval st fr b in
+    binop op va vb
+  | Mc_sema.RUnop (Mc_ast.Neg, a) -> Word.sub 0 (eval st fr a)
+  | Mc_sema.RUnop (Mc_ast.Not, a) -> if eval st fr a = 0 then 1 else 0
+  | Mc_sema.RUnop (Mc_ast.Bnot, a) -> Word.lognot (eval st fr a)
+  | Mc_sema.RAssign_local (slot, rhs) ->
+    let v = eval st fr rhs in
+    store_word st (fr.base + fr.offsets.(slot)) v;
+    v
+  | Mc_sema.RAssign_global (off, rhs) ->
+    let v = eval st fr rhs in
+    store_word st (data_base + (4 * off)) v;
+    v
+  | Mc_sema.RAssign_index (b, i, rhs) ->
+    let base = eval st fr b in
+    let idx = eval st fr i in
+    let v = eval st fr rhs in
+    store_word st (Word.to_signed base + (4 * Word.to_signed idx)) v;
+    v
+  | Mc_sema.RCall (name, args) ->
+    let vals = List.map (eval st fr) args in
+    call st name vals
+  | Mc_sema.RCall_indirect _ -> raise (Unsupported "indirect call")
+  | Mc_sema.RBuiltin (b, args) ->
+    let vals = List.map (eval st fr) args in
+    builtin st b vals
+
+and builtin st b vals =
+  match (b, vals) with
+  | Mc_sema.Bsys sc, _ -> (
+    let arg i = List.nth_opt vals i |> Option.value ~default:0 in
+    match sc with
+    | Syscall.Exit -> raise (Exit_signal (Word.to_signed (arg 0) land 0xFF))
+    | Syscall.Getc ->
+      if st.in_pos < String.length st.input then begin
+        let c = Char.code st.input.[st.in_pos] in
+        st.in_pos <- st.in_pos + 1;
+        c
+      end
+      else Word.of_int (-1)
+    | Syscall.Putc ->
+      Buffer.add_char st.out (Char.chr (arg 0 land 0xFF));
+      arg 0
+    | Syscall.Putint ->
+      Buffer.add_string st.out (string_of_int (Word.to_signed (arg 0)));
+      Buffer.add_char st.out '\n';
+      arg 0
+    | Syscall.Getw ->
+      if st.in_pos + 4 <= String.length st.input then begin
+        let byte i = Char.code st.input.[st.in_pos + i] in
+        let v = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
+        st.in_pos <- st.in_pos + 4;
+        v
+      end
+      else Word.of_int (-1)
+    | Syscall.Putw ->
+      for i = 0 to 3 do
+        Buffer.add_char st.out (Char.chr ((arg 0 lsr (8 * i)) land 0xFF))
+      done;
+      arg 0
+    | Syscall.Sbrk ->
+      let old = st.brk in
+      let nbrk = old + Word.to_signed (arg 0) in
+      if nbrk < 0 || nbrk >= st.sp then err "sbrk: out of memory";
+      st.brk <- nbrk;
+      Word.of_int old
+    | Syscall.Setjmp | Syscall.Longjmp -> raise (Unsupported "setjmp/longjmp"))
+  | Mc_sema.Bloadb, [ a ] -> load_byte st (Word.to_signed a)
+  | Mc_sema.Bstoreb, [ a; v ] ->
+    store_byte st (Word.to_signed a) v;
+    v
+  | (Mc_sema.Bloadb | Mc_sema.Bstoreb), _ -> err "builtin arity"
+
+and call st name vals =
+  let f =
+    match Hashtbl.find_opt st.funcs name with
+    | Some f -> f
+    | None -> err "undefined function %s" name
+  in
+  let saved_sp = st.sp in
+  let fr = push_frame_sized st f in
+  List.iteri
+    (fun i v -> if i < f.nparams then store_word st (fr.base + fr.offsets.(i)) v)
+    vals;
+  let result =
+    try
+      List.iter (exec st fr) f.body;
+      0
+    with Return_signal v -> v
+  in
+  st.sp <- saved_sp;
+  result
+
+and push_frame_sized st (f : Mc_sema.rfunc) =
+  let offsets = Array.make (Array.length f.locals) 0 in
+  let words = ref 0 in
+  Array.iteri
+    (fun i size ->
+      offsets.(i) <- 4 * !words;
+      words := !words + size)
+    f.locals;
+  let bytes = 4 * max 1 !words in
+  let base = st.sp - bytes in
+  if base <= st.brk then err "stack overflow";
+  st.sp <- base;
+  { base; offsets }
+
+and exec st fr (s : Mc_sema.rstmt) =
+  tick st;
+  match s with
+  | Mc_sema.RExpr e -> ignore (eval st fr e)
+  | Mc_sema.RIf (c, t, f) ->
+    if eval st fr c <> 0 then List.iter (exec st fr) t else List.iter (exec st fr) f
+  | Mc_sema.RLoop { pre_cond; body; post_cond; step } ->
+    let continue = ref true in
+    while !continue do
+      tick st;
+      (match pre_cond with
+      | Some c when eval st fr c = 0 -> continue := false
+      | Some _ | None -> ());
+      if !continue then begin
+        (try List.iter (exec st fr) body with
+        | Break_signal -> continue := false
+        | Continue_signal -> ());
+        if !continue then begin
+          (match step with Some e -> ignore (eval st fr e) | None -> ());
+          match post_cond with
+          | Some c when eval st fr c = 0 -> continue := false
+          | Some _ | None -> ()
+        end
+      end
+    done
+  | Mc_sema.RSwitch (scrut, cases) ->
+    let v = Word.to_signed (eval st fr scrut) in
+    (* C semantics: dispatch to the exact case if any, else to default, with
+       fallthrough into the following cases. *)
+    let rec find_exact = function
+      | [] -> None
+      | (c : Mc_sema.rcase) :: rest ->
+        if List.mem v c.values then Some (c :: rest) else find_exact rest
+    in
+    let rec find_default = function
+      | [] -> None
+      | (c : Mc_sema.rcase) :: rest ->
+        if c.is_default then Some (c :: rest) else find_default rest
+    in
+    let matching =
+      match find_exact cases with
+      | Some tail -> tail
+      | None -> Option.value ~default:[] (find_default cases)
+    in
+    (try
+       List.iter
+         (fun (c : Mc_sema.rcase) -> List.iter (exec st fr) c.cbody)
+         matching
+     with Break_signal -> ())
+  | Mc_sema.RReturn (Some e) -> raise (Return_signal (eval st fr e))
+  | Mc_sema.RReturn None -> raise (Return_signal 0)
+  | Mc_sema.RBreak -> raise Break_signal
+  | Mc_sema.RContinue -> raise Continue_signal
+
+let run ?(fuel = 100_000_000) (rp : Mc_sema.rprogram) ~input =
+  let st =
+    {
+      mem = Array.make mem_words 0;
+      sp = stack_top;
+      brk = data_base + (4 * rp.data_words);
+      fuel;
+      input;
+      in_pos = 0;
+      out = Buffer.create 1024;
+      funcs = Hashtbl.create 64;
+    }
+  in
+  List.iter (fun (f : Mc_sema.rfunc) -> Hashtbl.replace st.funcs f.name f) rp.funcs;
+  List.iter
+    (fun (off, v) -> store_word st (data_base + (4 * off)) (Word.of_int v))
+    rp.data_init;
+  let exit_code =
+    try
+      let v = call st "main" [] in
+      Word.to_signed (Word.of_int v) land 0xFF
+    with Exit_signal code -> code
+  in
+  { exit_code; output = Buffer.contents st.out }
+
+let run_source ?fuel src ~input =
+  let rp = Mc_sema.analyze (Mc_parser.parse src) in
+  run ?fuel rp ~input

@@ -1,0 +1,173 @@
+type token =
+  | INT_LIT of int
+  | STR_LIT of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; pos : Mc_ast.pos }
+
+exception Lex_error of Mc_ast.pos * string
+
+let keywords =
+  [ "int"; "if"; "else"; "while"; "do"; "for"; "switch"; "case"; "default";
+    "return"; "break"; "continue"; "const" ]
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [ ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; ":" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let toks = ref [] in
+  let pos () = { Mc_ast.line = !line; col = !col } in
+  let err p fmt = Format.kasprintf (fun s -> raise (Lex_error (p, s))) fmt in
+  let advance k =
+    for j = !i to !i + k - 1 do
+      if j < n && src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let starts_with s =
+    let l = String.length s in
+    !i + l <= n && String.sub src !i l = s
+  in
+  while !i < n do
+    let p = pos () in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance 1
+    else if starts_with "//" then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if starts_with "/*" then begin
+      advance 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if starts_with "*/" then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then err p "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if starts_with "0x" || starts_with "0X" then begin
+        advance 2;
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (Char.lowercase_ascii src.[!i] >= 'a' && Char.lowercase_ascii src.[!i] <= 'f'))
+        do
+          advance 1
+        done
+      end
+      else
+        while !i < n && is_digit src.[!i] do
+          advance 1
+        done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> toks := { tok = INT_LIT v; pos = p } :: !toks
+      | None -> err p "bad integer literal %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      let tok = if List.mem text keywords then KW text else IDENT text in
+      toks := { tok; pos = p } :: !toks
+    end
+    else if c = '\'' then begin
+      advance 1;
+      if !i >= n then err p "unterminated character literal";
+      let v =
+        if src.[!i] = '\\' then begin
+          advance 1;
+          if !i >= n then err p "unterminated character literal";
+          let c = src.[!i] in
+          advance 1;
+          match c with
+          | 'n' -> 10
+          | 't' -> 9
+          | 'r' -> 13
+          | '0' -> 0
+          | '\\' -> 92
+          | '\'' -> 39
+          | c -> err p "unknown escape '\\%c'" c
+        end
+        else begin
+          let v = Char.code src.[!i] in
+          advance 1;
+          v
+        end
+      in
+      if !i >= n || src.[!i] <> '\'' then err p "unterminated character literal";
+      advance 1;
+      toks := { tok = INT_LIT v; pos = p } :: !toks
+    end
+    else if c = '"' then begin
+      advance 1;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then begin
+          advance 1;
+          closed := true
+        end
+        else if src.[!i] = '\\' then begin
+          advance 1;
+          if !i >= n then err p "unterminated string";
+          (match src.[!i] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '0' -> Buffer.add_char buf '\000'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> err p "unknown escape '\\%c'" c);
+          advance 1
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          advance 1
+        end
+      done;
+      if not !closed then err p "unterminated string";
+      toks := { tok = STR_LIT (Buffer.contents buf); pos = p } :: !toks
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some s ->
+        advance (String.length s);
+        toks := { tok = PUNCT s; pos = p } :: !toks
+      | None -> err p "unexpected character %C" c
+    end
+  done;
+  List.rev ({ tok = EOF; pos = pos () } :: !toks)
+
+let token_name = function
+  | INT_LIT v -> string_of_int v
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"

@@ -1,0 +1,19 @@
+(** MiniC lexer. *)
+
+type token =
+  | INT_LIT of int
+  | STR_LIT of string
+  | IDENT of string
+  | KW of string  (** int, if, else, while, do, for, switch, case, default,
+                      return, break, continue, const *)
+  | PUNCT of string  (** operators and punctuation, longest-match *)
+  | EOF
+
+type lexed = { tok : token; pos : Mc_ast.pos }
+
+exception Lex_error of Mc_ast.pos * string
+
+val tokenize : string -> lexed list
+(** @raise Lex_error on malformed input. *)
+
+val token_name : token -> string

@@ -1,0 +1,428 @@
+open Mc_ast
+
+exception Sema_error of pos * string
+
+let err p fmt = Format.kasprintf (fun s -> raise (Sema_error (p, s))) fmt
+
+type builtin = Bsys of Syscall.t | Bloadb | Bstoreb
+
+type rexpr =
+  | RInt of int
+  | RLocal of int
+  | RLocal_addr of int
+  | RGlobal of int
+  | RGlobal_addr of int
+  | RFunc_addr of string
+  | RIndex of rexpr * rexpr
+  | RBinop of Mc_ast.binop * rexpr * rexpr
+  | RUnop of Mc_ast.unop * rexpr
+  | RAssign_local of int * rexpr
+  | RAssign_global of int * rexpr
+  | RAssign_index of rexpr * rexpr * rexpr
+  | RCall of string * rexpr list
+  | RCall_indirect of rexpr * rexpr list
+  | RBuiltin of builtin * rexpr list
+
+type rstmt =
+  | RExpr of rexpr
+  | RIf of rexpr * rstmt list * rstmt list
+  | RLoop of {
+      pre_cond : rexpr option;
+      body : rstmt list;
+      post_cond : rexpr option;
+      step : rexpr option;
+    }
+  | RSwitch of rexpr * rcase list
+  | RReturn of rexpr option
+  | RBreak
+  | RContinue
+
+and rcase = { values : int list; is_default : bool; cbody : rstmt list }
+
+type rfunc = {
+  name : string;
+  nparams : int;
+  locals : int array;
+  body : rstmt list;
+  calls_setjmp : bool;
+}
+
+type rprogram = { funcs : rfunc list; data_words : int; data_init : (int * int) list }
+
+let builtins =
+  [
+    ("getc", Bsys Syscall.Getc, 0);
+    ("putc", Bsys Syscall.Putc, 1);
+    ("putint", Bsys Syscall.Putint, 1);
+    ("getw", Bsys Syscall.Getw, 0);
+    ("putw", Bsys Syscall.Putw, 1);
+    ("exit", Bsys Syscall.Exit, 1);
+    ("sbrk", Bsys Syscall.Sbrk, 1);
+    ("setjmp", Bsys Syscall.Setjmp, 1);
+    ("longjmp", Bsys Syscall.Longjmp, 2);
+    ("loadb", Bloadb, 1);
+    ("storeb", Bstoreb, 2);
+  ]
+
+type global_info = { goffset : int; gwords : int }
+
+type env = {
+  consts : (string, int) Hashtbl.t;
+  globals : (string, global_info) Hashtbl.t;
+  func_arity : (string, int) Hashtbl.t;
+  strings : (string, int) Hashtbl.t;  (* literal -> byte address *)
+  mutable string_bytes : string list;  (* collected literals, reversed *)
+  mutable string_next : int;  (* next free byte offset within the string area *)
+  globals_words : int;
+}
+
+(* Constant expression evaluation (array sizes, case labels, initialisers). *)
+let rec const_eval env (e : expr) =
+  match e.desc with
+  | Int v -> Word.of_int v
+  | Var name -> (
+    match Hashtbl.find_opt env.consts name with
+    | Some v -> v
+    | None -> err e.pos "%s is not a compile-time constant" name)
+  | Unop (Neg, e1) -> Word.of_int (-Word.to_signed (const_eval env e1))
+  | Unop (Bnot, e1) -> Word.lognot (const_eval env e1)
+  | Unop (Not, e1) -> if const_eval env e1 = 0 then 1 else 0
+  | Binop (op, e1, e2) -> (
+    let a = const_eval env e1 and b = const_eval env e2 in
+    let bool_ c = if c then 1 else 0 in
+    match op with
+    | Add -> Word.add a b
+    | Sub -> Word.sub a b
+    | Mul -> Word.mul a b
+    | Div ->
+      if b = 0 then err e.pos "division by zero in constant expression"
+      else Word.sdiv a b
+    | Rem ->
+      if b = 0 then err e.pos "division by zero in constant expression"
+      else Word.srem a b
+    | And -> Word.logand a b
+    | Or -> Word.logor a b
+    | Xor -> Word.logxor a b
+    | Shl -> Word.shift_left a (b land 31)
+    | Shr -> Word.shift_right_arith a (b land 31)
+    | Lshr -> Word.shift_right_logical a (b land 31)
+    | Eq -> bool_ (Word.eq a b)
+    | Ne -> bool_ (not (Word.eq a b))
+    | Lt -> bool_ (Word.slt a b)
+    | Le -> bool_ (Word.sle a b)
+    | Gt -> bool_ (Word.slt b a)
+    | Ge -> bool_ (Word.sle b a)
+    | Land -> bool_ (a <> 0 && b <> 0)
+    | Lor -> bool_ (a <> 0 || b <> 0))
+  | Str _ | Addr_of _ | Index _ | Assign _ | Call _ ->
+    err e.pos "expression is not a compile-time constant"
+
+let intern_string env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some addr -> addr
+  | None ->
+    let addr = Layout.data_base + (4 * env.globals_words) + env.string_next in
+    Hashtbl.replace env.strings s addr;
+    env.string_bytes <- s :: env.string_bytes;
+    env.string_next <- env.string_next + String.length s + 1;
+    addr
+
+type local_scope = {
+  table : (string, int) Hashtbl.t;  (* name -> local slot *)
+  mutable sizes : int list;  (* reversed slot sizes *)
+  mutable count : int;
+  mutable arrays : (int, unit) Hashtbl.t option;  (* slots that are arrays *)
+}
+
+let new_scope () =
+  { table = Hashtbl.create 16; sizes = []; count = 0; arrays = Some (Hashtbl.create 8) }
+
+let add_local scope pos name words ~is_array =
+  if Hashtbl.mem scope.table name then err pos "duplicate local %s" name;
+  let slot = scope.count in
+  Hashtbl.replace scope.table name slot;
+  scope.sizes <- words :: scope.sizes;
+  scope.count <- scope.count + 1;
+  (match scope.arrays with
+  | Some tbl when is_array -> Hashtbl.replace tbl slot ()
+  | Some _ | None -> ());
+  slot
+
+let is_array_slot scope slot =
+  match scope.arrays with Some tbl -> Hashtbl.mem tbl slot | None -> false
+
+type fctx = {
+  env : env;
+  scope : local_scope;
+  mutable in_loop : int;
+  mutable in_switch : int;
+  mutable saw_setjmp : bool;
+}
+
+let rec resolve_expr ctx (e : expr) : rexpr =
+  let env = ctx.env in
+  match e.desc with
+  | Int v -> RInt (Word.of_int v)
+  | Str s -> RInt (intern_string env s)
+  | Var name -> (
+    match Hashtbl.find_opt ctx.scope.table name with
+    | Some slot ->
+      if is_array_slot ctx.scope slot then RLocal_addr slot else RLocal slot
+    | None -> (
+      match Hashtbl.find_opt env.consts name with
+      | Some v -> RInt v
+      | None -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some g -> if g.gwords > 1 then RGlobal_addr g.goffset else RGlobal g.goffset
+        | None -> err e.pos "undefined variable %s" name)))
+  | Addr_of name -> (
+    if Hashtbl.mem env.func_arity name then RFunc_addr name
+    else
+      match Hashtbl.find_opt ctx.scope.table name with
+      | Some slot -> RLocal_addr slot
+      | None -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some g -> RGlobal_addr g.goffset
+        | None -> err e.pos "cannot take the address of %s" name))
+  | Index (e1, e2) -> RIndex (resolve_expr ctx e1, resolve_expr ctx e2)
+  | Binop (op, e1, e2) -> RBinop (op, resolve_expr ctx e1, resolve_expr ctx e2)
+  | Unop (op, e1) -> RUnop (op, resolve_expr ctx e1)
+  | Assign (Lvar name, rhs) -> (
+    let rhs = resolve_expr ctx rhs in
+    match Hashtbl.find_opt ctx.scope.table name with
+    | Some slot ->
+      if is_array_slot ctx.scope slot then err e.pos "cannot assign to array %s" name;
+      RAssign_local (slot, rhs)
+    | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some g ->
+        if g.gwords > 1 then err e.pos "cannot assign to array %s" name;
+        RAssign_global (g.goffset, rhs)
+      | None -> err e.pos "undefined variable %s" name))
+  | Assign (Lindex (e1, e2), rhs) ->
+    RAssign_index (resolve_expr ctx e1, resolve_expr ctx e2, resolve_expr ctx rhs)
+  | Call (name, args) -> (
+    let rargs = List.map (resolve_expr ctx) args in
+    match Hashtbl.find_opt env.func_arity name with
+    | Some arity ->
+      if List.length args <> arity then
+        err e.pos "%s expects %d arguments, got %d" name arity (List.length args);
+      RCall (name, rargs)
+    | None -> (
+      match List.find_opt (fun (n, _, _) -> n = name) builtins with
+      | Some (_, b, arity) ->
+        if List.length args <> arity then
+          err e.pos "builtin %s expects %d arguments, got %d" name arity
+            (List.length args);
+        if name = "setjmp" then ctx.saw_setjmp <- true;
+        RBuiltin (b, rargs)
+      | None -> (
+        if List.length args > 6 then err e.pos "too many arguments (max 6)";
+        (* Indirect call through a variable holding a function address. *)
+        match Hashtbl.find_opt ctx.scope.table name with
+        | Some slot -> RCall_indirect (RLocal slot, rargs)
+        | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some g when g.gwords = 1 -> RCall_indirect (RGlobal g.goffset, rargs)
+          | Some _ -> err e.pos "cannot call array %s" name
+          | None -> err e.pos "undefined function %s" name))))
+
+let rec resolve_stmt ctx (s : stmt) : rstmt list =
+  match s.sdesc with
+  | Empty -> []
+  | Expr e -> [ RExpr (resolve_expr ctx e) ]
+  | If (c, t, f) ->
+    [
+      RIf
+        ( resolve_expr ctx c,
+          resolve_stmt ctx t,
+          match f with None -> [] | Some f -> resolve_stmt ctx f );
+    ]
+  | While (c, body) ->
+    let c = resolve_expr ctx c in
+    ctx.in_loop <- ctx.in_loop + 1;
+    let body = resolve_stmt ctx body in
+    ctx.in_loop <- ctx.in_loop - 1;
+    [ RLoop { pre_cond = Some c; body; post_cond = None; step = None } ]
+  | Do_while (body, c) ->
+    let c = resolve_expr ctx c in
+    ctx.in_loop <- ctx.in_loop + 1;
+    let body = resolve_stmt ctx body in
+    ctx.in_loop <- ctx.in_loop - 1;
+    [ RLoop { pre_cond = None; body; post_cond = Some c; step = None } ]
+  | For (init, cond, step, body) ->
+    let init = Option.map (resolve_expr ctx) init in
+    let cond = Option.map (resolve_expr ctx) cond in
+    let step = Option.map (resolve_expr ctx) step in
+    ctx.in_loop <- ctx.in_loop + 1;
+    let body = resolve_stmt ctx body in
+    ctx.in_loop <- ctx.in_loop - 1;
+    let loop = RLoop { pre_cond = cond; body; post_cond = None; step } in
+    (match init with None -> [ loop ] | Some e -> [ RExpr e; loop ])
+  | Switch (scrut, cases) ->
+    let scrut = resolve_expr ctx scrut in
+    ctx.in_switch <- ctx.in_switch + 1;
+    let seen = Hashtbl.create 16 in
+    let seen_default = ref false in
+    let rcases =
+      List.map
+        (fun (c : switch_case) ->
+          let values =
+            List.filter_map
+              (function
+                | Case e ->
+                  let v = Word.to_signed (const_eval ctx.env e) in
+                  if Hashtbl.mem seen v then err s.spos "duplicate case label %d" v;
+                  Hashtbl.replace seen v ();
+                  Some v
+                | Default ->
+                  if !seen_default then err s.spos "duplicate default label";
+                  seen_default := true;
+                  None)
+              c.labels
+          in
+          let is_default = List.exists (function Default -> true | Case _ -> false) c.labels in
+          { values; is_default; cbody = List.concat_map (resolve_stmt ctx) c.body })
+        cases
+    in
+    ctx.in_switch <- ctx.in_switch - 1;
+    [ RSwitch (scrut, rcases) ]
+  | Return e -> [ RReturn (Option.map (resolve_expr ctx) e) ]
+  | Break ->
+    if ctx.in_loop = 0 && ctx.in_switch = 0 then err s.spos "break outside loop or switch";
+    [ RBreak ]
+  | Continue ->
+    if ctx.in_loop = 0 then err s.spos "continue outside loop";
+    [ RContinue ]
+  | Block items -> resolve_items ctx items
+
+and resolve_items ctx items =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Stmt s -> resolve_stmt ctx s
+      | Decl d ->
+        let words, is_array =
+          match d.dsize with
+          | None -> (1, false)
+          | Some e ->
+            let v = Word.to_signed (const_eval ctx.env e) in
+            if v <= 0 then err d.dpos "array %s has non-positive size" d.dname;
+            (v, true)
+        in
+        if is_array && d.dinit <> None then
+          err d.dpos "local array %s cannot have an initialiser" d.dname;
+        let slot = add_local ctx.scope d.dpos d.dname words ~is_array in
+        (match d.dinit with
+        | None -> []
+        | Some e -> [ RExpr (RAssign_local (slot, resolve_expr ctx e)) ]))
+    items
+
+let analyze (prog : program) : rprogram =
+  let env =
+    {
+      consts = Hashtbl.create 32;
+      globals = Hashtbl.create 32;
+      func_arity = Hashtbl.create 32;
+      strings = Hashtbl.create 16;
+      string_bytes = [];
+      string_next = 0;
+      globals_words = 0;
+    }
+  in
+  let taken name pos =
+    if
+      Hashtbl.mem env.consts name || Hashtbl.mem env.globals name
+      || Hashtbl.mem env.func_arity name
+      || List.exists (fun (n, _, _) -> n = name) builtins
+    then err pos "duplicate definition of %s" name
+  in
+  (* Pass 1: consts, globals (layout), function signatures. *)
+  let globals_words = ref 0 in
+  let data_init = ref [] in
+  List.iter
+    (fun top ->
+      match top with
+      | Const (name, e, pos) ->
+        taken name pos;
+        Hashtbl.replace env.consts name (const_eval env e)
+      | Global g ->
+        taken g.gname g.gpos;
+        let words =
+          match g.gsize with
+          | None -> 1
+          | Some e ->
+            let v = Word.to_signed (const_eval env e) in
+            if v <= 0 then err g.gpos "array %s has non-positive size" g.gname;
+            v
+        in
+        let offset = !globals_words in
+        (match g.ginit with
+        | None -> ()
+        | Some inits ->
+          if List.length inits > words then
+            err g.gpos "too many initialisers for %s" g.gname;
+          List.iteri
+            (fun i e -> data_init := (offset + i, const_eval env e) :: !data_init)
+            inits);
+        Hashtbl.replace env.globals g.gname { goffset = offset; gwords = words };
+        globals_words := !globals_words + words
+      | Func f ->
+        taken f.fname f.fpos;
+        if List.length f.params > 6 then err f.fpos "too many parameters (max 6)";
+        Hashtbl.replace env.func_arity f.fname (List.length f.params))
+    prog;
+  let env = { env with globals_words = !globals_words } in
+  (* Pass 2: function bodies. *)
+  let funcs =
+    List.filter_map
+      (fun top ->
+        match top with
+        | Const _ | Global _ -> None
+        | Func f ->
+          let scope = new_scope () in
+          List.iter
+            (fun p -> ignore (add_local scope f.fpos p 1 ~is_array:false))
+            f.params;
+          let ctx = { env; scope; in_loop = 0; in_switch = 0; saw_setjmp = false } in
+          let body = resolve_items ctx f.body in
+          Some
+            {
+              name = f.fname;
+              nparams = List.length f.params;
+              locals = Array.of_list (List.rev scope.sizes);
+              body;
+              calls_setjmp = ctx.saw_setjmp;
+            })
+      prog
+  in
+  (match List.find_opt (fun f -> f.name = "main") funcs with
+  | Some f when f.nparams = 0 -> ()
+  | Some _ -> err { line = 1; col = 1 } "main must take no parameters"
+  | None -> err { line = 1; col = 1 } "missing function main");
+  (* Pack string literals into words after the globals. *)
+  let string_area =
+    let bytes = Buffer.create 64 in
+    List.iter
+      (fun s ->
+        Buffer.add_string bytes s;
+        Buffer.add_char bytes '\000')
+      (List.rev env.string_bytes);
+    Buffer.contents bytes
+  in
+  let string_words = (String.length string_area + 3) / 4 in
+  let string_init =
+    List.init string_words (fun w ->
+        let byte i =
+          let idx = (4 * w) + i in
+          if idx < String.length string_area then Char.code string_area.[idx] else 0
+        in
+        ( !globals_words + w,
+          byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) ))
+    |> List.filter (fun (_, v) -> v <> 0)
+  in
+  {
+    funcs;
+    data_words = !globals_words + string_words;
+    data_init = List.rev !data_init @ string_init;
+  }

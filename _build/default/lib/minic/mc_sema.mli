@@ -1,0 +1,71 @@
+(** Semantic analysis: resolve names, evaluate constant expressions, lay out
+    the data segment (globals and string literals), check calls and
+    control-flow context, and produce the resolved IR consumed by
+    {!Mc_codegen}.
+
+    Builtins (checked for arity, compiled to syscalls or single
+    instructions): [getc() putc(c) putint(v) getw() putw(w) exit(c) sbrk(n)
+    setjmp(buf) longjmp(buf, v) loadb(addr) storeb(addr, v)].
+
+    A call [f(...)] is a direct call when [f] is a defined function, a
+    builtin when [f] is one of the names above, and otherwise an indirect
+    call through the value of variable [f] (a function address created with
+    [&f]). *)
+
+exception Sema_error of Mc_ast.pos * string
+
+type builtin =
+  | Bsys of Syscall.t  (** arguments in a0.., result in v0 *)
+  | Bloadb
+  | Bstoreb
+
+type rexpr =
+  | RInt of int
+  | RLocal of int  (** Scalar local: load from frame slot. *)
+  | RLocal_addr of int  (** Address of a local (array base or scalar slot). *)
+  | RGlobal of int  (** Scalar global: load from data word offset. *)
+  | RGlobal_addr of int  (** Address of a global. *)
+  | RFunc_addr of string
+  | RIndex of rexpr * rexpr
+  | RBinop of Mc_ast.binop * rexpr * rexpr
+  | RUnop of Mc_ast.unop * rexpr
+  | RAssign_local of int * rexpr
+  | RAssign_global of int * rexpr
+  | RAssign_index of rexpr * rexpr * rexpr  (** base, index, value *)
+  | RCall of string * rexpr list
+  | RCall_indirect of rexpr * rexpr list
+  | RBuiltin of builtin * rexpr list
+
+type rstmt =
+  | RExpr of rexpr
+  | RIf of rexpr * rstmt list * rstmt list
+  | RLoop of { pre_cond : rexpr option; body : rstmt list; post_cond : rexpr option; step : rexpr option }
+      (** Unified loop: [while] has [pre_cond], [do-while] has [post_cond],
+          [for] has [pre_cond] and [step].  [break]/[continue] target the
+          innermost loop ([continue] runs [step] first). *)
+  | RSwitch of rexpr * rcase list
+      (** Cases in source order with C fallthrough from each case body into
+          the next.  At most one case has [is_default = true]. *)
+  | RReturn of rexpr option
+  | RBreak
+  | RContinue
+
+and rcase = { values : int list; is_default : bool; cbody : rstmt list }
+
+type rfunc = {
+  name : string;
+  nparams : int;  (** Parameters occupy local slots [0 .. nparams-1]. *)
+  locals : int array;  (** Size in words of each local slot. *)
+  body : rstmt list;
+  calls_setjmp : bool;
+}
+
+type rprogram = {
+  funcs : rfunc list;
+  data_words : int;
+  data_init : (int * int) list;
+}
+
+val analyze : Mc_ast.program -> rprogram
+(** @raise Sema_error on any semantic error.  Requires a [main] function
+    with no parameters. *)

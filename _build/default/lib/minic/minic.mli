@@ -1,0 +1,23 @@
+(** The MiniC compiler driver: source text to a {!Prog.t}.
+
+    MiniC is a single-type (32-bit int) C-like language with functions,
+    word arrays, strings, [if]/[while]/[do]/[for]/[switch], short-circuit
+    logical operators, function addresses ([&f]) with indirect calls, and
+    builtins mapping to the VM's system calls.  See {!Mc_ast} and
+    {!Mc_sema} for details. *)
+
+type error = { line : int; col : int; message : string }
+
+val compile : string -> (Prog.t, error) result
+(** Compile source text.  The result includes a synthesised [_start] and
+    passes {!Prog.validate}. *)
+
+val compile_exn : string -> Prog.t
+(** @raise Failure with a formatted message on any compile error. *)
+
+val error_to_string : error -> string
+
+val functions_calling_setjmp : string -> string list
+(** Names of the functions in a source file that call [setjmp]; squash
+    refuses to compress these (paper, Section 2.2).  Raises like
+    {!compile_exn} on bad input. *)

@@ -1,0 +1,107 @@
+type entry = { mutable freq : int; mutable weight : int }
+
+type t = { table : (string * int, entry) Hashtbl.t; mutable total : int }
+
+let empty = { table = Hashtbl.create 1; total = 0 }
+
+let entry_of t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+    let e = { freq = 0; weight = 0 } in
+    Hashtbl.replace t.table key e;
+    e
+
+let collect ?fuel (p : Prog.t) ~input =
+  let img = Layout.emit p in
+  let vm = Vm.of_image ?fuel ~profile:true img ~input in
+  let outcome = Vm.run vm in
+  let counts = Option.get (Vm.counts vm) in
+  let t = { table = Hashtbl.create 512; total = 0 } in
+  (* Weight: every executed word counts toward its owner block. *)
+  Array.iteri
+    (fun i owner ->
+      match owner with
+      | None -> ()
+      | Some key ->
+        if counts.(i) > 0 then begin
+          let e = entry_of t key in
+          e.weight <- e.weight + counts.(i);
+          t.total <- t.total + counts.(i)
+        end)
+    img.Layout.owners;
+  (* Frequency: executions of the block's first word. *)
+  Hashtbl.iter
+    (fun key addr ->
+      let idx = (addr - img.Layout.text_base) / 4 in
+      if idx >= 0 && idx < Array.length counts && counts.(idx) > 0 then
+        (entry_of t key).freq <- counts.(idx))
+    img.Layout.block_addr;
+  (t, outcome)
+
+let freq t f b = match Hashtbl.find_opt t.table (f, b) with Some e -> e.freq | None -> 0
+
+let weight t f b =
+  match Hashtbl.find_opt t.table (f, b) with Some e -> e.weight | None -> 0
+
+let total_weight t = t.total
+
+let merge a b =
+  let t = { table = Hashtbl.create (Hashtbl.length a.table); total = a.total + b.total } in
+  let add src =
+    Hashtbl.iter
+      (fun key (e : entry) ->
+        let dst = entry_of t key in
+        dst.freq <- dst.freq + e.freq;
+        dst.weight <- dst.weight + e.weight)
+      src.table
+  in
+  add a;
+  add b;
+  t
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "total %d\n" t.total);
+  let entries =
+    Hashtbl.fold (fun (f, b) e acc -> (f, b, e.freq, e.weight) :: acc) t.table []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (f, b, freq, weight) ->
+      Buffer.add_string buf (Printf.sprintf "%s %d %d %d\n" f b freq weight))
+    entries;
+  Buffer.contents buf
+
+let of_string s =
+  let t = { table = Hashtbl.create 512; total = 0 } in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let parse_line line =
+    match String.split_on_char ' ' line with
+    | [ "total"; n ] -> (
+      match int_of_string_opt n with
+      | Some n ->
+        t.total <- n;
+        Ok ()
+      | None -> Error (Printf.sprintf "bad total %S" n))
+    | [ f; b; fr; w ] -> (
+      match (int_of_string_opt b, int_of_string_opt fr, int_of_string_opt w) with
+      | Some b, Some fr, Some w ->
+        Hashtbl.replace t.table (f, b) { freq = fr; weight = w };
+        Ok ()
+      | _ -> Error (Printf.sprintf "bad profile line %S" line))
+    | _ -> Error (Printf.sprintf "bad profile line %S" line)
+  in
+  let rec go = function
+    | [] -> Ok t
+    | line :: rest -> ( match parse_line line with Ok () -> go rest | Error e -> Error e)
+  in
+  go lines
+
+let pp_summary ppf t =
+  let blocks = Hashtbl.length t.table in
+  let executed =
+    Hashtbl.fold (fun _ e acc -> if e.freq > 0 then acc + 1 else acc) t.table 0
+  in
+  Format.fprintf ppf "profile: %d blocks recorded, %d executed, %d dynamic instructions"
+    blocks executed t.total

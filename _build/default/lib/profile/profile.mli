@@ -1,0 +1,36 @@
+(** Basic-block execution profiles (paper, Section 5).
+
+    A profile records, for every basic block, its execution frequency and
+    its {e weight} — the number of dynamic instructions it contributed
+    (frequency × size, measured exactly from per-word execution counts).
+    The total weight is the program's total dynamic instruction count,
+    [tot_instr_ct] in the paper. *)
+
+type t
+
+val collect : ?fuel:int -> Prog.t -> input:string -> t * Vm.outcome
+(** Run the program under the profiling VM and aggregate counts per block.
+    @raise Vm.Trap if the program traps. *)
+
+val empty : t
+(** The all-zero profile ([freq] and [weight] are 0 everywhere): everything
+    is cold, as with [θ = 1.0] in spirit. *)
+
+val freq : t -> string -> int -> int
+(** Execution count of (function, block); 0 if never executed. *)
+
+val weight : t -> string -> int -> int
+(** Dynamic instructions attributed to (function, block). *)
+
+val total_weight : t -> int
+
+val merge : t -> t -> t
+(** Pointwise sum — combine profiles from several training inputs. *)
+
+val to_string : t -> string
+(** Serialise (one [func block freq weight] line per block, plus a total
+    line). *)
+
+val of_string : string -> (t, string) result
+
+val pp_summary : Format.formatter -> t -> unit

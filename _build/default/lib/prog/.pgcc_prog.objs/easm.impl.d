@@ -1,0 +1,1 @@
+lib/prog/easm.pp.ml: Array Instr List Option Printf Reg Word

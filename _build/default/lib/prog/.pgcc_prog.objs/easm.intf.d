@@ -1,0 +1,1 @@
+lib/prog/easm.pp.mli: Instr Reg Word

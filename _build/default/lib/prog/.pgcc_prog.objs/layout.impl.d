@@ -1,0 +1,1 @@
+lib/prog/layout.pp.ml: Array Easm Hashtbl Instr List Printf Prog Reg Word

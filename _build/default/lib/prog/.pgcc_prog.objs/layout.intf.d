@@ -1,0 +1,1 @@
+lib/prog/layout.pp.mli: Hashtbl Prog Word

@@ -1,0 +1,1 @@
+lib/prog/prog.pp.ml: Array Format Fun Instr Int List Printf Reg Result Seq String Syscall Word

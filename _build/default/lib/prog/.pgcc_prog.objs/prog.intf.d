@@ -1,0 +1,1 @@
+lib/prog/prog.pp.mli: Format Instr Reg Syscall Word

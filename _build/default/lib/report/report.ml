@@ -1,0 +1,153 @@
+let gmean values =
+  let positive = List.filter (fun v -> v > 0.0) values in
+  match positive with
+  | [] -> 0.0
+  | _ :: _ ->
+    let n = float_of_int (List.length positive) in
+    exp (List.fold_left (fun acc v -> acc +. log v) 0.0 positive /. n)
+
+module Table = struct
+  type align = Left | Right
+
+  type t = {
+    title : string;
+    headers : (string * align) list;
+    mutable rows : [ `Row of string list | `Sep ] list;  (* reversed *)
+  }
+
+  let create ~title headers = { title; headers; rows = [] }
+
+  let add_row t cells =
+    if List.length cells <> List.length t.headers then
+      invalid_arg "Report.Table.add_row: wrong number of cells";
+    t.rows <- `Row cells :: t.rows
+
+  let add_separator t = t.rows <- `Sep :: t.rows
+
+  let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+  let cell_percent ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (100.0 *. v)
+
+  let render t =
+    let rows = List.rev t.rows in
+    let ncols = List.length t.headers in
+    let widths = Array.make ncols 0 in
+    List.iteri (fun i (h, _) -> widths.(i) <- String.length h) t.headers;
+    List.iter
+      (function
+        | `Sep -> ()
+        | `Row cells ->
+          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+      rows;
+    let buf = Buffer.create 1024 in
+    let pad align width s =
+      let fill = String.make (max 0 (width - String.length s)) ' ' in
+      match align with Left -> s ^ fill | Right -> fill ^ s
+    in
+    let total_width =
+      Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+    in
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make total_width '=');
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun i (h, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) h))
+      t.headers;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (function
+        | `Sep ->
+          Buffer.add_string buf (String.make total_width '-');
+          Buffer.add_char buf '\n'
+        | `Row cells ->
+          List.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_string buf "  ";
+              let _, align = List.nth t.headers i in
+              Buffer.add_string buf (pad align widths.(i) c))
+            cells;
+          Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+end
+
+module Chart = struct
+  type t = {
+    title : string;
+    x_labels : string list;
+    height : int;
+    mutable series : (string * float list) list;  (* reversed *)
+  }
+
+  let create ~title ~x_labels ~height () = { title; x_labels; height; series = [] }
+
+  let add_series t ~name values =
+    if List.length values <> List.length t.x_labels then
+      invalid_arg "Report.Chart.add_series: wrong number of points";
+    t.series <- (name, values) :: t.series
+
+  let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+  let render t =
+    let series = List.rev t.series in
+    let all_values =
+      List.concat_map (fun (_, vs) -> List.filter (fun v -> not (Float.is_nan v)) vs) series
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n';
+    (match all_values with
+    | [] -> Buffer.add_string buf "  (no data)\n"
+    | _ :: _ ->
+      let vmin = List.fold_left min infinity all_values in
+      let vmax = List.fold_left max neg_infinity all_values in
+      let span = if vmax -. vmin < 1e-9 then 1.0 else vmax -. vmin in
+      let nx = List.length t.x_labels in
+      let col_width = 7 in
+      let row_of v =
+        int_of_float
+          (Float.round ((v -. vmin) /. span *. float_of_int (t.height - 1)))
+      in
+      let grid = Array.make_matrix t.height (nx * col_width) ' ' in
+      List.iteri
+        (fun si (_, vs) ->
+          let mark = marks.(si mod Array.length marks) in
+          List.iteri
+            (fun xi v ->
+              if not (Float.is_nan v) then begin
+                let r = t.height - 1 - row_of v in
+                let c = (xi * col_width) + (col_width / 2) in
+                if grid.(r).(c) = ' ' then grid.(r).(c) <- mark
+                else grid.(r).(c) <- '?'  (* collision *)
+              end)
+            vs)
+        series;
+      for r = 0 to t.height - 1 do
+        let frac = float_of_int (t.height - 1 - r) /. float_of_int (t.height - 1) in
+        let label = vmin +. (frac *. span) in
+        Buffer.add_string buf (Printf.sprintf "%10.3f |" label);
+        Buffer.add_string buf (String.init (nx * col_width) (fun c -> grid.(r).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make 12 ' ');
+      Buffer.add_string buf (String.make (nx * col_width) '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make 12 ' ');
+      List.iter
+        (fun l ->
+          let l = if String.length l > col_width - 1 then String.sub l 0 (col_width - 1) else l in
+          Buffer.add_string buf l;
+          Buffer.add_string buf (String.make (col_width - String.length l) ' '))
+        t.x_labels;
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun si (name, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %c %s\n" marks.(si mod Array.length marks) name))
+        series);
+    Buffer.contents buf
+end

@@ -1,0 +1,37 @@
+(** Table and chart rendering for the experiment harness: aligned ASCII
+    tables (the paper's tables) and simple line charts (its figures), plus
+    the geometric-mean helper the paper uses for its summary bars. *)
+
+val gmean : float list -> float
+(** Geometric mean; ignores non-positive values (which would otherwise
+    poison the product — the paper's means are over positive ratios). *)
+
+module Table : sig
+  type align = Left | Right
+
+  type t
+
+  val create : title:string -> (string * align) list -> t
+  val add_row : t -> string list -> unit
+  val add_separator : t -> unit
+  val render : t -> string
+
+  val cell_float : ?decimals:int -> float -> string
+  val cell_percent : ?decimals:int -> float -> string
+  (** [cell_percent 0.137 = "13.7%"]. *)
+end
+
+module Chart : sig
+  (** A small ASCII line chart: one column per x value, series plotted with
+      distinct marks, y axis auto-scaled. *)
+
+  type t
+
+  val create :
+    title:string -> x_labels:string list -> height:int -> unit -> t
+
+  val add_series : t -> name:string -> float list -> unit
+  (** One value per x label ([nan] for missing points). *)
+
+  val render : t -> string
+end

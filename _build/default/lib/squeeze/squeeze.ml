@@ -1,0 +1,405 @@
+type stats = {
+  funcs_removed : int;
+  blocks_removed : int;
+  instrs_removed : int;
+  instrs_before : int;
+  instrs_after : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Unreachable-function removal: closure over direct calls plus every
+   address-taken function (a potential indirect-call target). *)
+
+let live_functions (p : Prog.t) =
+  let cg = Cfg.Callgraph.of_prog p in
+  let live = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue f =
+    if not (Hashtbl.mem live f) then begin
+      Hashtbl.replace live f ();
+      Queue.push f queue
+    end
+  in
+  enqueue p.entry;
+  while not (Queue.is_empty queue) do
+    let f = Queue.pop queue in
+    List.iter enqueue (Cfg.Callgraph.callees cg f);
+    (* Any function whose address is taken inside a live function may be
+       called indirectly; conservatively keep all address-taken functions
+       referenced anywhere live.  We approximate by keeping address-taken
+       functions once their taker is live. *)
+    match Prog.find_func p f with
+    | None -> ()
+    | Some func ->
+      Array.iter
+        (fun (b : Prog.Block.t) ->
+          List.iter
+            (function
+              | Prog.Load_addr (_, Prog.Func_addr g) -> enqueue g
+              | Prog.Load_addr (_, Prog.Table_addr _) | Prog.Instr _ -> ())
+            b.items)
+        func.blocks
+  done;
+  live
+
+(* ------------------------------------------------------------------ *)
+(* Per-function unreachable-block removal, with block and table
+   renumbering. *)
+
+let remove_unreachable_blocks (f : Prog.Func.t) : Prog.Func.t =
+  let reach = Cfg.reachable f in
+  let n = Array.length f.blocks in
+  if Array.for_all Fun.id reach then f
+  else begin
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if reach.(i) then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    done;
+    let live_tables =
+      (* A table is kept iff some reachable block still jumps through it or
+         materialises its address. *)
+      Array.mapi
+        (fun tid _ ->
+          Array.exists Fun.id
+            (Array.mapi
+               (fun i (b : Prog.Block.t) ->
+                 reach.(i)
+                 && (List.exists
+                       (function
+                         | Prog.Load_addr (_, Prog.Table_addr t) -> t = tid
+                         | Prog.Load_addr (_, Prog.Func_addr _) | Prog.Instr _ -> false)
+                       b.items
+                    ||
+                    match b.term with
+                    | Prog.Jump_indirect { table = Some t; _ } -> t = tid
+                    | _ -> false))
+               f.blocks))
+        f.tables
+    in
+    let table_remap = Array.make (Array.length f.tables) (-1) in
+    let tnext = ref 0 in
+    Array.iteri
+      (fun tid live ->
+        if live then begin
+          table_remap.(tid) <- !tnext;
+          incr tnext
+        end)
+      live_tables;
+    let remap_dest what d =
+      if remap.(d) < 0 then
+        failwith (Printf.sprintf "squeeze: %s target .%d became unreachable" what d)
+      else remap.(d)
+    in
+    let blocks =
+      Array.to_list f.blocks
+      |> List.filteri (fun i _ -> reach.(i))
+      |> List.map (fun (b : Prog.Block.t) ->
+             let items =
+               List.map
+                 (function
+                   | Prog.Load_addr (r, Prog.Table_addr tid) ->
+                     Prog.Load_addr (r, Prog.Table_addr table_remap.(tid))
+                   | item -> item)
+                 b.items
+             in
+             let term =
+               match b.term with
+               | Prog.Fallthrough d -> Prog.Fallthrough (remap_dest "fallthrough" d)
+               | Prog.Jump d -> Prog.Jump (remap_dest "jump" d)
+               | Prog.Branch (c, r, t, fl) ->
+                 Prog.Branch (c, r, remap_dest "branch" t, remap_dest "branch" fl)
+               | Prog.Call c ->
+                 Prog.Call { c with return_to = remap_dest "call" c.return_to }
+               | Prog.Call_indirect c ->
+                 Prog.Call_indirect { c with return_to = remap_dest "call" c.return_to }
+               | Prog.Jump_indirect { rb; table } ->
+                 Prog.Jump_indirect
+                   { rb; table = Option.map (fun t -> table_remap.(t)) table }
+               | Prog.Return _ | Prog.No_return -> b.term
+             in
+             { Prog.Block.items; term })
+      |> Array.of_list
+    in
+    let tables =
+      Array.to_list f.tables
+      |> List.filteri (fun tid _ -> live_tables.(tid))
+      |> List.map (Array.map (remap_dest "table"))
+      |> Array.of_list
+    in
+    { f with blocks; tables }
+  end
+
+let remove_nops (f : Prog.Func.t) : Prog.Func.t =
+  let blocks =
+    Array.map
+      (fun (b : Prog.Block.t) ->
+        {
+          b with
+          Prog.Block.items =
+            List.filter
+              (function Prog.Instr Instr.Nop -> false | Prog.Instr _ | Prog.Load_addr _ -> true)
+              b.items;
+        })
+      f.blocks
+  in
+  { f with blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Local copy propagation + sp-slot store-to-load forwarding. *)
+
+module Local = struct
+  type state = {
+    copies : int array;  (* canonical source register of each register *)
+    slots : (int, Reg.t) Hashtbl.t;  (* sp offset -> register holding value *)
+  }
+
+  let create () = { copies = Array.init Reg.count Fun.id; slots = Hashtbl.create 16 }
+
+  let resolve st r = if r = Reg.zero then Reg.zero else st.copies.(r)
+
+  (* Register [d] is redefined: drop copy facts and slot facts involving it. *)
+  let kill st d =
+    if d <> Reg.zero then begin
+      st.copies.(d) <- d;
+      Array.iteri (fun r src -> if src = d && r <> d then st.copies.(r) <- r) st.copies;
+      Hashtbl.iter (fun off r -> if r = d then Hashtbl.remove st.slots off) st.slots;
+      if d = Reg.sp then Hashtbl.reset st.slots
+    end
+
+  let rewrite_operand st = function
+    | Instr.Reg r -> Instr.Reg (resolve st r)
+    | Instr.Imm v -> Instr.Imm v
+
+  (* Rewrite one item's uses, update the state, and return the replacement
+     items ([] to delete, singleton otherwise). *)
+  let step st (item : Prog.item) : Prog.item list =
+    match item with
+    | Prog.Load_addr (r, sym) ->
+      kill st r;
+      [ Prog.Load_addr (r, sym) ]
+    | Prog.Instr ins -> (
+      match ins with
+      | Instr.Nop | Instr.Sentinel -> [ item ]
+      | Instr.Sys code ->
+        kill st Reg.rv;
+        [ Prog.Instr (Instr.Sys code) ]
+      | Instr.Lda { ra; rb; disp } ->
+        let rb = resolve st rb in
+        kill st ra;
+        [ Prog.Instr (Instr.Lda { ra; rb; disp }) ]
+      | Instr.Ldah { ra; rb; disp } ->
+        let rb = resolve st rb in
+        kill st ra;
+        [ Prog.Instr (Instr.Ldah { ra; rb; disp }) ]
+      | Instr.Opr { op = Instr.Or; ra; rb = Instr.Reg z; rc } when z = Reg.zero ->
+        (* A register move. *)
+        let src = resolve st ra in
+        if src = rc then begin
+          kill st rc;
+          if rc = Reg.zero then []
+          else begin
+            (* mov r, r after rewriting: delete, but the value is unchanged
+               so no kill is actually needed; be conservative. *)
+            []
+          end
+        end
+        else begin
+          kill st rc;
+          if rc <> Reg.zero && src <> Reg.zero then st.copies.(rc) <- src;
+          [ Prog.Instr (Instr.Opr { op = Instr.Or; ra = src; rb = Instr.Reg Reg.zero; rc }) ]
+        end
+      | Instr.Opr { op; ra; rb; rc } ->
+        let ra = resolve st ra in
+        let rb = rewrite_operand st rb in
+        kill st rc;
+        [ Prog.Instr (Instr.Opr { op; ra; rb; rc }) ]
+      | Instr.Mem { op = (Instr.Ldw | Instr.Ldb) as op; ra; rb; disp } -> (
+        let rb = resolve st rb in
+        match op with
+        | Instr.Ldw when rb = Reg.sp && Hashtbl.mem st.slots disp ->
+          let src = Hashtbl.find st.slots disp in
+          if src = ra then []
+          else begin
+            kill st ra;
+            if ra <> Reg.zero then st.copies.(ra) <- resolve st src;
+            [
+              Prog.Instr
+                (Instr.Opr { op = Instr.Or; ra = src; rb = Instr.Reg Reg.zero; rc = ra });
+            ]
+          end
+        | _ ->
+          kill st ra;
+          [ Prog.Instr (Instr.Mem { op; ra; rb; disp }) ])
+      | Instr.Mem { op = (Instr.Stw | Instr.Stb) as op; ra; rb; disp } ->
+        let ra = resolve st ra in
+        let rb = resolve st rb in
+        if rb = Reg.sp then begin
+          if op = Instr.Stw then Hashtbl.replace st.slots disp ra
+          else Hashtbl.remove st.slots disp
+        end
+        else
+          (* A store through an arbitrary pointer may alias the stack
+             frame (MiniC permits &local). *)
+          Hashtbl.reset st.slots;
+        [ Prog.Instr (Instr.Mem { op; ra; rb; disp }) ]
+      | Instr.Cbr _ | Instr.Br _ | Instr.Bsr _ | Instr.Bsrx _ | Instr.Jmp _
+      | Instr.Jsr _ | Instr.Ret _ ->
+        (* Control transfers never appear as block items. *)
+        [ item ])
+
+  let rewrite_term st (t : Prog.term) : Prog.term =
+    match t with
+    | Prog.Branch (c, r, d1, d2) -> Prog.Branch (c, resolve st r, d1, d2)
+    | Prog.Call_indirect c -> Prog.Call_indirect { c with rb = resolve st c.rb }
+    | Prog.Jump_indirect j -> Prog.Jump_indirect { j with rb = resolve st j.rb }
+    | Prog.Return r -> Prog.Return { rb = resolve st r.rb }
+    | Prog.Fallthrough _ | Prog.Jump _ | Prog.Call _ | Prog.No_return -> t
+
+  let run_block (b : Prog.Block.t) : Prog.Block.t =
+    let st = create () in
+    let items = List.concat_map (step st) b.items in
+    { Prog.Block.items; term = rewrite_term st b.term }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness-based dead-instruction elimination. *)
+
+let is_pure_def (item : Prog.item) : Reg.t option =
+  match item with
+  | Prog.Load_addr (r, _) -> Some r
+  | Prog.Instr ins -> (
+    match ins with
+    | Instr.Lda { ra; _ } | Instr.Ldah { ra; _ } -> Some ra
+    | Instr.Opr { op = Instr.Div | Instr.Rem; _ } -> None  (* may trap *)
+    | Instr.Opr { rc; _ } -> Some rc
+    | Instr.Mem { op = Instr.Ldw | Instr.Ldb; ra; _ } -> Some ra
+    | Instr.Mem { op = Instr.Stw | Instr.Stb; _ }
+    | Instr.Sys _ | Instr.Nop | Instr.Sentinel | Instr.Cbr _ | Instr.Br _
+    | Instr.Bsr _ | Instr.Bsrx _ | Instr.Jmp _ | Instr.Jsr _ | Instr.Ret _ ->
+      None)
+
+let dce_func (f : Prog.Func.t) : Prog.Func.t * int =
+  let lv = Cfg.liveness f in
+  let removed = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun i (b : Prog.Block.t) ->
+        let tdefs, tuses = Cfg.term_defs_uses b.term in
+        let live0 = Cfg.Regset.union tuses (Cfg.Regset.diff lv.Cfg.live_out.(i) tdefs) in
+        let rev_items = List.rev b.items in
+        let kept, _ =
+          List.fold_left
+            (fun (kept, live) item ->
+              let defs, uses = Cfg.item_defs_uses item in
+              match is_pure_def item with
+              | Some r when r = Reg.zero ->
+                incr removed;
+                (kept, live)
+              | Some r when not (Cfg.Regset.mem r live) ->
+                incr removed;
+                (kept, live)
+              | Some _ | None ->
+                (item :: kept, Cfg.Regset.union uses (Cfg.Regset.diff live defs)))
+            ([], live0) rev_items
+        in
+        { b with Prog.Block.items = kept })
+      f.blocks
+  in
+  ({ f with blocks }, !removed)
+
+(* ------------------------------------------------------------------ *)
+(* Branch simplification and jump chaining. *)
+
+let simplify_branches (f : Prog.Func.t) : Prog.Func.t =
+  let n = Array.length f.blocks in
+  (* Follow chains of empty blocks ending in an unconditional jump. *)
+  let rec chase visited d =
+    if List.mem d visited || d < 0 || d >= n then d
+    else
+      let b = f.blocks.(d) in
+      if b.Prog.Block.items <> [] then d
+      else
+        match b.Prog.Block.term with
+        | Prog.Jump e | Prog.Fallthrough e -> chase (d :: visited) e
+        | _ -> d
+  in
+  let chase d = chase [] d in
+  let blocks =
+    Array.mapi
+      (fun i (b : Prog.Block.t) ->
+        let term =
+          match b.Prog.Block.term with
+          | Prog.Jump d ->
+            let d = chase d in
+            if d = i + 1 then Prog.Fallthrough d else Prog.Jump d
+          | Prog.Fallthrough d -> Prog.Fallthrough (chase d)
+          | Prog.Branch (c, r, t, fl) ->
+            let t = chase t and fl = chase fl in
+            if t = fl then if t = i + 1 then Prog.Fallthrough t else Prog.Jump t
+            else Prog.Branch (c, r, t, fl)
+          | t -> t
+        in
+        { b with Prog.Block.term = term })
+      f.blocks
+  in
+  let tables = Array.map (Array.map chase) f.tables in
+  { f with blocks; tables }
+
+(* ------------------------------------------------------------------ *)
+
+let map_funcs p g = { p with Prog.funcs = List.map g p.Prog.funcs }
+
+let remove_unreachable (p : Prog.t) : Prog.t =
+  let live = live_functions p in
+  let p = { p with Prog.funcs = List.filter (fun (f : Prog.Func.t) -> Hashtbl.mem live f.name) p.Prog.funcs } in
+  map_funcs p (fun f -> remove_nops (remove_unreachable_blocks f))
+
+let one_round (p : Prog.t) : Prog.t * int =
+  let p = remove_unreachable p in
+  let removed = ref 0 in
+  let p =
+    map_funcs p (fun f ->
+        let f = { f with Prog.Func.blocks = Array.map Local.run_block f.Prog.Func.blocks } in
+        let f, r = dce_func f in
+        removed := !removed + r;
+        simplify_branches f)
+  in
+  (remove_unreachable p, !removed)
+
+let run (p : Prog.t) : Prog.t * stats =
+  let instrs_before = Prog.instr_count p in
+  let funcs_before = List.length p.Prog.funcs in
+  let blocks_before =
+    List.fold_left (fun acc (f : Prog.Func.t) -> acc + Array.length f.blocks) 0 p.Prog.funcs
+  in
+  let rec fixpoint p removed rounds =
+    if rounds = 0 then (p, removed)
+    else begin
+      let p', r = one_round p in
+      if r = 0 && Prog.instr_count p' = Prog.instr_count p then (p', removed)
+      else fixpoint p' (removed + r) (rounds - 1)
+    end
+  in
+  let p', instrs_removed = fixpoint p 0 6 in
+  let blocks_after =
+    List.fold_left (fun acc (f : Prog.Func.t) -> acc + Array.length f.blocks) 0 p'.Prog.funcs
+  in
+  ( p',
+    {
+      funcs_removed = funcs_before - List.length p'.Prog.funcs;
+      blocks_removed = blocks_before - blocks_after;
+      instrs_removed;
+      instrs_before;
+      instrs_after = Prog.instr_count p';
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "squeeze: %d -> %d instructions (%.1f%%), %d funcs and %d blocks removed"
+    s.instrs_before s.instrs_after
+    (100.0 *. float_of_int (s.instrs_before - s.instrs_after) /. float_of_int (max 1 s.instrs_before))
+    s.funcs_removed s.blocks_removed

@@ -1,0 +1,36 @@
+(** A simplified reimplementation of {e squeeze}, the authors' link-time
+    code compactor (Debray et al., TOPLAS 2000).  The paper's experimental
+    baseline is squeezed code: squash's size reductions are measured
+    relative to it, so we reproduce the same frame — our naive MiniC code
+    plays the role of [cc -O1] output, and this pass plays squeeze.
+
+    Implemented (a useful subset of the original):
+    - unreachable-code elimination (blocks and whole functions, via the
+      call graph with address-taken functions kept);
+    - no-op elimination;
+    - local copy propagation and stack-slot store-to-load forwarding
+      (conservative about aliasing: any store through a non-[sp] base
+      invalidates all tracked slots);
+    - liveness-based dead-instruction elimination;
+    - branch simplification and jump chaining.
+
+    Not implemented from the original: procedural abstraction and
+    interprocedural strength reduction (they would only move the baseline;
+    the squash-relative measurements are unaffected). *)
+
+type stats = {
+  funcs_removed : int;
+  blocks_removed : int;
+  instrs_removed : int;  (** Dead/forwarded instructions deleted. *)
+  instrs_before : int;
+  instrs_after : int;
+}
+
+val run : Prog.t -> Prog.t * stats
+(** The full pipeline, iterated to a fixed point (bounded). *)
+
+val remove_unreachable : Prog.t -> Prog.t
+(** Only unreachable-code and no-op elimination — this produces the
+    "Input" baseline of the paper's Table 1. *)
+
+val pp_stats : Format.formatter -> stats -> unit

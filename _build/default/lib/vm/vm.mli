@@ -1,0 +1,82 @@
+(** The SQ32 simulator.
+
+    The VM executes a loaded image word by word, counting dynamic
+    instructions and cycles (using a {!Cost.model}).  Three features exist
+    specifically for this paper's system:
+
+    - {b self-modifying text}: stores may target the text segment (the
+      squash runtime buffer lives there); a per-word decode cache is
+      invalidated on writes;
+    - {b hooks}: an address range can be registered so that fetching from it
+      runs an OCaml intrinsic instead of decoding a word — squash mounts its
+      decompressor/CreateStub runtime this way while still charging
+      simulated cycles;
+    - {b profiling}: optional per-text-word execution counts, from which
+      {!Profile} derives basic-block frequencies. *)
+
+type t
+
+exception Trap of { pc : int; reason : string }
+
+(** {1 Construction} *)
+
+val create :
+  ?cost:Cost.model ->
+  ?fuel:int ->
+  ?profile:bool ->
+  text_base:int ->
+  text:int array ->
+  entry:int ->
+  data_base:int ->
+  data_words:int ->
+  data_init:(int * Word.t) list ->
+  input:string ->
+  unit ->
+  t
+(** [fuel] bounds the number of executed instructions (default 1e9);
+    exceeding it raises [Trap].  [input] is the byte stream served by the
+    [getc]/[getw] syscalls. *)
+
+val of_image : ?cost:Cost.model -> ?fuel:int -> ?profile:bool -> Layout.image -> input:string -> t
+
+(** {1 Execution} *)
+
+type outcome = {
+  exit_code : int;
+  output : string;
+  icount : int;  (** Dynamic instructions executed (hooks not included). *)
+  cycles : int;  (** Simulated cycles, including cycles charged by hooks. *)
+}
+
+val run : t -> outcome
+(** Execute until the program exits.  @raise Trap on any machine trap. *)
+
+val step : t -> bool
+(** Execute one instruction (or one hook invocation); [false] once the
+    program has exited. *)
+
+(** {1 State access (used by the squash runtime and by tests)} *)
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+val reg : t -> Reg.t -> Word.t
+val set_reg : t -> Reg.t -> Word.t -> unit
+val load_word : t -> int -> Word.t
+val store_word : t -> int -> Word.t -> unit
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+val add_cycles : t -> int -> unit
+val icount : t -> int
+val cycles : t -> int
+val exited : t -> int option
+
+val install_hook : t -> addr:int -> (t -> unit) -> unit
+(** Register an intrinsic at a word-aligned text address.  When the PC
+    reaches it the intrinsic runs instead of an instruction fetch; it must
+    set the PC itself. *)
+
+val counts : t -> int array option
+(** Per-text-word execution counts when created with [~profile:true];
+    index [i] counts executions of the word at [text_base + 4*i]. *)
+
+val output_so_far : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/wl_adpcm.ml: Wl_input Wl_lib Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_epic.ml: Wl_input Wl_lib Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_g721_common.ml:

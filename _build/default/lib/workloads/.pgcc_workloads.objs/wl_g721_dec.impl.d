@@ -1,0 +1,1 @@
+lib/workloads/wl_g721_dec.ml: Wl_g721_common Wl_g721_enc Wl_input Wl_lib Workload

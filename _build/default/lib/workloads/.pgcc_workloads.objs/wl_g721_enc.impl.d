@@ -1,0 +1,1 @@
+lib/workloads/wl_g721_enc.ml: Layout Vm Wl_g721_common Wl_input Wl_lib Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_input.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/workloads/wl_jpeg_common.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/wl_jpeg_dec.ml: Wl_input Wl_jpeg_common Wl_jpeg_enc Wl_lib Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_jpeg_enc.ml: Layout Vm Wl_input Wl_jpeg_common Wl_lib Workload

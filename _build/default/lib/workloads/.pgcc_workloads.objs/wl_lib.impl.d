@@ -1,0 +1,1 @@
+lib/workloads/wl_lib.ml: Wl_lib2 Wl_lib3

@@ -1,0 +1,1 @@
+lib/workloads/wl_lib3.ml:

@@ -1,0 +1,1 @@
+lib/workloads/wl_mpeg2_common.ml: Wl_jpeg_common

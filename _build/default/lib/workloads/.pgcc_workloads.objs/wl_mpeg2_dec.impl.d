@@ -1,0 +1,1 @@
+lib/workloads/wl_mpeg2_dec.ml: Wl_input Wl_lib Wl_mpeg2_common Wl_mpeg2_enc Workload

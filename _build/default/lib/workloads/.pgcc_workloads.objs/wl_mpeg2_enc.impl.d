@@ -1,0 +1,1 @@
+lib/workloads/wl_mpeg2_enc.ml: Layout Vm Wl_input Wl_lib Wl_mpeg2_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_pgp.ml: Char List String Wl_input Wl_lib Workload

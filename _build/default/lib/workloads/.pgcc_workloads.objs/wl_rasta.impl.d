@@ -1,0 +1,1 @@
+lib/workloads/wl_rasta.ml: Wl_input Wl_lib Workload

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Wl_adpcm Wl_epic Wl_g721_dec Wl_g721_enc Wl_gsm Wl_jpeg_dec Wl_jpeg_enc Wl_mpeg2_dec Wl_mpeg2_enc Wl_pgp Wl_rasta Workload

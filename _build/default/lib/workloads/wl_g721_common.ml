@@ -1,0 +1,260 @@
+(* The shared ADPCM transcoder core of the g721_enc / g721_dec pair: an
+   adaptive 4-bit quantizer over a two-pole adaptive predictor, in the style
+   of the CCITT G.721 reference code (fixed-point throughout).  Each of the
+   two workloads appends its own [main] and mode driver, as the MediaBench
+   originals are separate programs built from one reference codebase. *)
+
+let codec =
+  {|
+// ------------------------------------------------------------------
+// g721-style codec state
+// ------------------------------------------------------------------
+
+int g_a1; int g_a2;          // predictor coefficients (Q14)
+int g_s1; int g_s2;          // reconstructed signal history
+int g_y;                     // quantizer scale (Q4 log-ish domain)
+int g_clips; int g_resets;
+
+// Quantizer decision thresholds and inverse levels, scaled by y.
+int quant_thresh[7] = { 124, 262, 429, 655, 994, 1540, 2953 };
+int quant_level[8] = { 63, 189, 348, 540, 790, 1148, 1767, 3200 };
+int scale_adjust[8] = { -12, -8, -4, -1, 2, 6, 12, 20 };
+
+int g721_reset() {
+  g_a1 = 0; g_a2 = 0;
+  g_s1 = 0; g_s2 = 0;
+  g_y = 256;
+  g_resets = g_resets + 1;
+  return 0;
+}
+
+int g721_predict() {
+  return (g_a1 * g_s1 + g_a2 * g_s2) >> 14;
+}
+
+int g721_clamp16(int v) {
+  if (v > 32767) { g_clips = g_clips + 1; return 32767; }
+  if (v < -32768) { g_clips = g_clips + 1; return -32768; }
+  return v;
+}
+
+// Quantize difference d against the current scale; returns a 4-bit code.
+int g721_quantize(int d) {
+  int sign; int mag; int code; int i; int t;
+  sign = 0;
+  if (d < 0) { sign = 8; d = -d; }
+  mag = (d << 6) / (g_y + 1);
+  code = 7;
+  for (i = 0; i < 7; i = i + 1) {
+    t = quant_thresh[i];
+    if (mag < t) { code = i; break; }
+  }
+  return sign | code;
+}
+
+int g721_dequantize(int code) {
+  int mag;
+  mag = (quant_level[code & 7] * (g_y + 1)) >> 6;
+  if (code & 8) return -mag;
+  return mag;
+}
+
+// Predictor adaptation (sign-sign LMS with leakage), shared by every
+// transmission rate.
+int g721_adapt_predictor(int dq, int r) {
+  int leak1; int leak2; int sgn;
+  leak1 = g_a1 - (g_a1 >> 8);
+  leak2 = g_a2 - (g_a2 >> 8);
+  sgn = 0;
+  if (dq > 0) sgn = 1;
+  if (dq < 0) sgn = -1;
+  if (g_s1 > 0) g_a1 = leak1 + sgn * 96;
+  else if (g_s1 < 0) g_a1 = leak1 - sgn * 96;
+  else g_a1 = leak1;
+  if (g_s2 > 0) g_a2 = leak2 + sgn * 32;
+  else if (g_s2 < 0) g_a2 = leak2 - sgn * 32;
+  else g_a2 = leak2;
+  if (g_a1 > 12288) g_a1 = 12288;
+  if (g_a1 < -12288) g_a1 = -12288;
+  if (g_a2 > 8192) g_a2 = 8192;
+  if (g_a2 < -8192) g_a2 = -8192;
+  g_s2 = g_s1;
+  g_s1 = r;
+  return 0;
+}
+
+// Scale and predictor adaptation of the default 32 kbps (4-bit) rate.
+int g721_adapt(int code, int dq, int r) {
+  g_y = g_y + scale_adjust[code & 7] + ((1024 - g_y) >> 8);
+  if (g_y < 32) g_y = 32;
+  if (g_y > 16384) g_y = 16384;
+  g721_adapt_predictor(dq, r);
+  return 0;
+}
+
+int g721_encode(int x) {
+  int pred; int d; int code; int dq; int r;
+  pred = g721_predict();
+  d = x - pred;
+  code = g721_quantize(d);
+  dq = g721_dequantize(code);
+  r = g721_clamp16(pred + dq);
+  g721_adapt(code, dq, r);
+  return code;
+}
+
+int g721_decode(int code) {
+  int pred; int dq; int r;
+  pred = g721_predict();
+  dq = g721_dequantize(code);
+  r = g721_clamp16(pred + dq);
+  g721_adapt(code, dq, r);
+  return r;
+}
+
+// Sign-extend a 16-bit sample.
+int g721_sext16(int v) {
+  v = v & 65535;
+  if (v & 32768) return v - 65536;
+  return v;
+}
+
+// ------------------------------------------------------------------
+// the other transmission rates of the G.726 family (16/24/40 kbps):
+// 2-, 3- and 5-bit quantisers over the same adaptive predictor.  The
+// reference distribution ships them as sibling coders (g723_24 etc.);
+// they are linked here and stay cold unless the rate modes are used.
+// ------------------------------------------------------------------
+
+int quant_thresh_2[1] = { 261 };
+int quant_level_2[2] = { 116, 1035 };
+int scale_adjust_2[2] = { -4, 16 };
+
+int quant_thresh_3[3] = { 193, 491, 1087 };
+int quant_level_3[4] = { 91, 330, 736, 1435 };
+int scale_adjust_3[4] = { -8, -2, 6, 18 };
+
+int quant_thresh_5[15] = { 62, 128, 199, 276, 362, 457, 564, 687, 830, 1000,
+                           1208, 1473, 1828, 2345, 3258 };
+int quant_level_5[16] = { 30, 94, 163, 237, 318, 408, 509, 624, 757, 913,
+                          1101, 1336, 1645, 2080, 2795, 3600 };
+int scale_adjust_5[16] = { -14, -12, -10, -8, -6, -4, -2, 0, 2, 4, 6, 9, 12,
+                           16, 21, 27 };
+
+// Generic quantiser over explicit tables; nlevels = 2^(bits-1).
+int g72x_quantize(int d, int thresh, int nlevels) {
+  int sign; int mag; int code; int i;
+  sign = nlevels;                 // the sign bit sits above the magnitude
+  if (d < 0) { d = -d; } else { sign = 0; }
+  mag = (d << 6) / (g_y + 1);
+  code = nlevels - 1;
+  for (i = 0; i < nlevels - 1; i = i + 1) {
+    if (mag < thresh[i]) { code = i; break; }
+  }
+  return sign | code;
+}
+
+int g72x_dequantize(int code, int level, int nlevels) {
+  int mag;
+  mag = (level[code & (nlevels - 1)] * (g_y + 1)) >> 6;
+  if (code & nlevels) return -mag;
+  return mag;
+}
+
+int g72x_adapt_rate(int code, int adjust, int nlevels, int dq, int r) {
+  g_y = g_y + adjust[code & (nlevels - 1)] + ((1024 - g_y) >> 8);
+  if (g_y < 32) g_y = 32;
+  if (g_y > 16384) g_y = 16384;
+  // Reuse the predictor update with a synthetic 4-bit code whose sign
+  // matches; only the scale table differs between rates.
+  g721_adapt_predictor(dq, r);
+  return 0;
+}
+
+int g72x_encode_rate(int x, int bits) {
+  int pred; int d; int code; int dq; int r;
+  pred = g721_predict();
+  d = x - pred;
+  if (bits == 2) {
+    code = g72x_quantize(d, quant_thresh_2, 2);
+    dq = g72x_dequantize(code, quant_level_2, 2);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_2, 2, dq, r);
+  } else if (bits == 3) {
+    code = g72x_quantize(d, quant_thresh_3, 4);
+    dq = g72x_dequantize(code, quant_level_3, 4);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_3, 4, dq, r);
+  } else {
+    code = g72x_quantize(d, quant_thresh_5, 16);
+    dq = g72x_dequantize(code, quant_level_5, 16);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_5, 16, dq, r);
+  }
+  return code;
+}
+
+int g72x_decode_rate(int code, int bits) {
+  int pred; int dq; int r;
+  pred = g721_predict();
+  if (bits == 2) {
+    dq = g72x_dequantize(code, quant_level_2, 2);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_2, 2, dq, r);
+  } else if (bits == 3) {
+    dq = g72x_dequantize(code, quant_level_3, 4);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_3, 4, dq, r);
+  } else {
+    dq = g72x_dequantize(code, quant_level_5, 16);
+    r = g721_clamp16(pred + dq);
+    g72x_adapt_rate(code, scale_adjust_5, 16, dq, r);
+  }
+  return r;
+}
+
+int g72x_check_rate_tables() {
+  int i;
+  for (i = 1; i < 3; i = i + 1)
+    lib_assert(quant_thresh_3[i] > quant_thresh_3[i - 1], "3-bit thresholds");
+  for (i = 1; i < 15; i = i + 1)
+    lib_assert(quant_thresh_5[i] > quant_thresh_5[i - 1], "5-bit thresholds");
+  for (i = 1; i < 16; i = i + 1)
+    lib_assert(quant_level_5[i] > quant_level_5[i - 1], "5-bit levels");
+  return 0;
+}
+
+// --- cold diagnostics ----------------------------------------------
+
+int g721_dump_state(int tag) {
+  out_str("g721 state ");
+  out_dec(tag);
+  out_nl();
+  out_kv("  a1", g_a1);
+  out_kv("  a2", g_a2);
+  out_kv("  s1", g_s1);
+  out_kv("  s2", g_s2);
+  out_kv("  y", g_y);
+  out_kv("  clips", g_clips);
+  out_kv("  resets", g_resets);
+  return 0;
+}
+
+int g721_check_tables() {
+  int i;
+  for (i = 1; i < 7; i = i + 1)
+    lib_assert(quant_thresh[i] > quant_thresh[i - 1], "thresholds not monotone");
+  for (i = 1; i < 8; i = i + 1)
+    lib_assert(quant_level[i] > quant_level[i - 1], "levels not monotone");
+  return 0;
+}
+
+int g721_validate(int mode, int count, int lo, int hi) {
+  if (mode < lo) lib_panic("g721: bad mode", 11);
+  if (mode > hi) lib_panic("g721: bad mode", 12);
+  if (count < 1) lib_panic("g721: empty input", 13);
+  if (count > 2097152) lib_panic("g721: oversized input", 14);
+  g721_check_tables();
+  return 0;
+}
+|}

@@ -1,0 +1,107 @@
+(* g721_dec: the decoder half of the G.721-style voice codec.
+
+   Its inputs are genuine encoded streams, produced by running the
+   g721_enc program (mode 2) inside the VM — the analogue of MediaBench's
+   clinton.g721 file, which is itself the encoder's output.
+
+   Input words: [mode][count][packed codes...].
+   Mode 1: decode and CRC the samples.
+   Mode 2: decode with waveform statistics (energy, zero crossings, peak)
+           and a state dump — the verbose path is cold during profiling. *)
+
+let source =
+  {|
+int dec_checksum;
+int dec_energy; int dec_crossings; int dec_peak; int dec_prev;
+
+int dec_mix(int v) {
+  dec_checksum = ((dec_checksum * 41) ^ (v & 1048575)) & 1073741823;
+  return dec_checksum;
+}
+
+int dec_note_sample(int s) {
+  dec_energy = (dec_energy + ((s * s) >> 8)) & 1073741823;
+  if (s > dec_peak) dec_peak = s;
+  if (-s > dec_peak) dec_peak = -s;
+  if (s > 0 && dec_prev <= 0) dec_crossings = dec_crossings + 1;
+  if (s < 0 && dec_prev >= 0) dec_crossings = dec_crossings + 1;
+  dec_prev = s;
+  return 0;
+}
+
+int dec_stream(int count, int stats) {
+  int words; int i; int j; int packed; int code; int s; int done;
+  words = (count + 7) / 8;
+  done = 0;
+  for (i = 0; i < words; i = i + 1) {
+    packed = getw();
+    for (j = 7; j >= 0; j = j - 1) {
+      if (done < count) {
+        code = (packed >>> (j * 4)) & 15;
+        s = g721_decode(code);
+        dec_mix(s);
+        if (stats) dec_note_sample(s);
+        done = done + 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int dec_report() {
+  out_kv("energy", dec_energy);
+  out_kv("crossings", dec_crossings);
+  out_kv("peak", dec_peak);
+  g721_dump_state(-2);
+  return 0;
+}
+
+// Decode a stream at one of the other rates (codes arrive one per word).
+int dec_stream_rate(int count, int bits) {
+  int i; int code; int s;
+  g72x_check_rate_tables();
+  for (i = 0; i < count; i = i + 1) {
+    code = getw() & ((1 << bits) - 1);
+    s = g72x_decode_rate(code, bits);
+    dec_mix(s);
+  }
+  out_kv("rate-bits", bits);
+  return 0;
+}
+
+int main() {
+  int mode; int count;
+  dec_checksum = 2166136261;
+  mode = getw();
+  count = getw();
+  g721_validate(mode, count, 1, 5);
+  g721_reset();
+  if (mode == 1) dec_stream(count, 0);
+  if (mode == 2) { dec_stream(count, 1); dec_report(); }
+  if (mode == 3) dec_stream_rate(count, 2);
+  if (mode == 4) dec_stream_rate(count, 3);
+  if (mode == 5) dec_stream_rate(count, 5);
+  out_kv("samples-crc", dec_checksum);
+  return dec_checksum & 255;
+}
+|}
+
+let full_source = source ^ Wl_g721_common.codec ^ Wl_lib.source
+
+(* The encoder's mode-2 output starts with a count word followed by the
+   packed code words; prepend our mode word. *)
+let dec_input ~mode ~seed ~samples =
+  let stream = Wl_g721_enc.encoded_stream ~seed ~samples in
+  Wl_input.word_string [ mode ] ^ stream
+
+let profiling_input = lazy (dec_input ~mode:2 ~seed:23 ~samples:1500)
+let timing_input = lazy (dec_input ~mode:2 ~seed:93 ~samples:9000)
+
+let workload =
+  {
+    Workload.name = "g721_dec";
+    description = "G.721-style adaptive-predictor ADPCM decoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

@@ -1,0 +1,103 @@
+(* g721_enc: the encoder half of the G.721-style voice codec.
+
+   Input words: [mode][count][samples...].
+   Mode 1: encode, print CRC of the packed code stream.
+   Mode 2: encode and emit the packed codes with putw (this mode produces
+           the g721_dec workload's inputs).
+   Mode 3: encode with per-block state dumps (verbose; cold).  *)
+
+let source =
+  {|
+int enc_checksum;
+
+int enc_mix(int v) {
+  enc_checksum = ((enc_checksum * 37) ^ (v & 1048575)) & 1073741823;
+  return enc_checksum;
+}
+
+// Pack eight 4-bit codes per word, most recent in the low nibble.
+int enc_stream(int count, int emit, int verbose) {
+  int i; int x; int code; int packed; int n;
+  packed = 0; n = 0;
+  for (i = 0; i < count; i = i + 1) {
+    x = g721_sext16(getw());
+    code = g721_encode(x);
+    packed = (packed << 4) | code;
+    n = n + 1;
+    if (n == 8) {
+      enc_mix(packed);
+      if (emit) putw(packed);
+      packed = 0;
+      n = 0;
+    }
+    if (verbose) {
+      if ((i & 1023) == 0) g721_dump_state(i);
+    }
+  }
+  if (n != 0) {
+    packed = packed << (4 * (8 - n));
+    enc_mix(packed);
+    if (emit) putw(packed);
+  }
+  return 0;
+}
+
+// Encode at one of the other G.726 rates (16/24/40 kbps); cold unless a
+// rate mode is requested.
+int enc_stream_rate(int count, int bits) {
+  int i; int x; int code;
+  g72x_check_rate_tables();
+  for (i = 0; i < count; i = i + 1) {
+    x = g721_sext16(getw());
+    code = g72x_encode_rate(x, bits);
+    enc_mix((bits << 8) | code);
+  }
+  out_kv("rate-bits", bits);
+  return 0;
+}
+
+int main() {
+  int mode; int count;
+  enc_checksum = 5381;
+  mode = getw();
+  count = getw();
+  g721_validate(mode, count, 1, 6);
+  g721_reset();
+  if (mode == 1) enc_stream(count, 0, 0);
+  if (mode == 2) { putw(count); enc_stream(count, 1, 0); }
+  if (mode == 3) { enc_stream(count, 0, 1); g721_dump_state(-1); }
+  if (mode == 4) enc_stream_rate(count, 2);
+  if (mode == 5) enc_stream_rate(count, 3);
+  if (mode == 6) enc_stream_rate(count, 5);
+  if (mode != 2) {
+    out_kv("codes-crc", enc_checksum);
+    out_kv("clips", g_clips);
+  }
+  return enc_checksum & 255;
+}
+|}
+
+let full_source = source ^ Wl_g721_common.codec ^ Wl_lib.source
+
+let profiling_input =
+  lazy (Wl_input.word_string (3 :: 1500 :: Wl_input.speech ~seed:21 ~samples:1500))
+
+let timing_input =
+  lazy (Wl_input.word_string (3 :: 8000 :: Wl_input.speech ~seed:91 ~samples:8000))
+
+let workload =
+  {
+    Workload.name = "g721_enc";
+    description = "G.721-style adaptive-predictor ADPCM encoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }
+
+(* Encode a speech waveform through the VM to produce a real code stream
+   (used by g721_dec's input generators). *)
+let encoded_stream ~seed ~samples =
+  let input = Wl_input.word_string (2 :: samples :: Wl_input.speech ~seed ~samples) in
+  let prog = Workload.compile workload in
+  let outcome = Vm.run (Vm.of_image ~fuel:200_000_000 (Layout.emit prog) ~input) in
+  outcome.Vm.output

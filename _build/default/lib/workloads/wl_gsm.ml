@@ -1,0 +1,316 @@
+(* gsm: a full-rate-style speech transcoder in the spirit of GSM 06.10.
+
+   Per 160-sample frame: preemphasis, autocorrelation, reflection
+   coefficients by the Schur recursion (fixed point), LAR-style
+   quantisation, a long-term-prediction pitch search against the previous
+   frame's short-term residual, and grid selection for the RPE part.
+   Frames classified as silence take a separate (rarely-executed) path, and
+   a comfort-noise/DTX path exists that the profiling input never reaches.
+
+   Input words: [mode][nframes][160*nframes samples...].
+   Mode 1: transcode, CRC the parameters.
+   Mode 2: transcode with the DTX/comfort-noise machinery enabled.  *)
+
+let source =
+  {|
+const FRAME = 160;
+const NCOEF = 8;
+
+int frame[160];
+int residual[160];
+int prev_residual[160];
+int autocorr[9];
+int refl[8];
+int lar[8];
+
+int gsm_checksum;
+int silent_frames; int voiced_frames; int dtx_blocks;
+int pre_state;
+
+int gsm_mix(int v) {
+  gsm_checksum = ((gsm_checksum * 31) ^ (v & 2097151)) & 1073741823;
+  return gsm_checksum;
+}
+
+int sext16w(int v) {
+  v = v & 65535;
+  if (v & 32768) return v - 65536;
+  return v;
+}
+
+// Preemphasis filter s'[n] = s[n] - (28180/32768) s[n-1].
+int preemphasis() {
+  int i; int s; int t;
+  for (i = 0; i < FRAME; i = i + 1) {
+    s = frame[i];
+    t = s - ((pre_state * 28180) >> 15);
+    pre_state = s;
+    frame[i] = iclamp(t, -32768, 32767);
+  }
+  return 0;
+}
+
+// Scale the frame so autocorrelation cannot overflow, then correlate.
+int autocorrelate() {
+  int i; int k; int peak; int shift; int acc;
+  peak = 0;
+  for (i = 0; i < FRAME; i = i + 1) peak = imax(peak, iabs(frame[i]));
+  shift = 0;
+  while (peak >= 1024) { peak = peak >> 1; shift = shift + 1; }
+  for (k = 0; k <= NCOEF; k = k + 1) {
+    acc = 0;
+    for (i = k; i < FRAME; i = i + 1)
+      acc = acc + ((frame[i] >> shift) * (frame[i - k] >> shift));
+    autocorr[k] = acc;
+  }
+  return shift;
+}
+
+// Schur-style recursion for reflection coefficients in Q12.
+int schur() {
+  int p[9];
+  int k[9];
+  int i; int n; int r; int denom; int t;
+  for (i = 0; i <= NCOEF; i = i + 1) { p[i] = autocorr[i]; k[i] = 0; }
+  for (n = 0; n < NCOEF; n = n + 1) {
+    denom = p[0];
+    if (denom < 16) { refl[n] = 0; k[n] = 0; continue; }
+    r = -(p[n + 1] << 12) / denom;
+    r = iclamp(r, -4095, 4095);
+    refl[n] = r;
+    // Update the error terms (only what later iterations need).
+    for (i = 0; i + n + 1 <= NCOEF; i = i + 1) {
+      t = p[i + n + 1] + ((r * p[i]) >> 12);
+      p[i + n + 1] = t;
+    }
+    p[0] = p[0] + ((r * p[n + 1]) >> 12);
+  }
+  return 0;
+}
+
+// LAR-ish companding of reflection coefficients.
+int quantize_lars() {
+  int i; int r; int a;
+  for (i = 0; i < NCOEF; i = i + 1) {
+    r = refl[i];
+    a = iabs(r);
+    if (a < 2048) lar[i] = r;
+    else if (a < 3584) { if (r > 0) lar[i] = 2048 + (r - 2048) * 2; else lar[i] = -2048 + (r + 2048) * 2; }
+    else { if (r > 0) lar[i] = 5120 + (r - 3584) * 4; else lar[i] = -5120 + (r + 3584) * 4; }
+    lar[i] = lar[i] >> 6;
+    gsm_mix(lar[i]);
+  }
+  return 0;
+}
+
+// Short-term analysis filtering through the reflection lattice.
+int short_term_residual() {
+  int u[9];
+  int i; int n; int din; int dout; int t;
+  for (i = 0; i <= NCOEF; i = i + 1) u[i] = 0;
+  for (i = 0; i < FRAME; i = i + 1) {
+    din = frame[i];
+    for (n = 0; n < NCOEF; n = n + 1) {
+      dout = din + ((refl[n] * u[n]) >> 12);
+      t = u[n] + ((refl[n] * din) >> 12);
+      u[n] = iclamp(t, -32768, 32767);
+      din = iclamp(dout, -32768, 32767);
+      t = u[n];
+      u[n] = t;
+    }
+    residual[i] = din;
+  }
+  // Shift the lattice memory into natural order for the next frame.
+  for (n = NCOEF; n > 0; n = n - 1) u[n] = u[n - 1];
+  return 0;
+}
+
+// Long-term prediction: best lag in [40, 120] against the previous frame's
+// residual, evaluated on 40-sample subframes.
+int ltp_search(int sub) {
+  int base; int lag; int best_lag; int best_score; int score; int i; int idx;
+  base = sub * 40;
+  best_lag = 40; best_score = -2147483647;
+  for (lag = 40; lag <= 120; lag = lag + 1) {
+    score = 0;
+    for (i = 0; i < 40; i = i + 1) {
+      idx = base + i - lag;
+      if (idx < 0) score = score + ((residual[base + i] * prev_residual[160 + idx]) >> 8);
+      else score = score + ((residual[base + i] * residual[idx]) >> 8);
+    }
+    if (score > best_score) { best_score = score; best_lag = lag; }
+  }
+  gsm_mix(best_lag);
+  gsm_mix(best_score & 65535);
+  return best_lag;
+}
+
+// RPE grid selection: pick the densest of 4 decimation phases.
+int rpe_grid(int sub) {
+  int base; int phase; int best; int best_e; int e; int i;
+  base = sub * 40;
+  best = 0; best_e = -1;
+  for (phase = 0; phase < 4; phase = phase + 1) {
+    e = 0;
+    for (i = phase; i < 40; i = i + 4) e = e + ((residual[base + i] * residual[base + i]) >> 10);
+    if (e > best_e) { best_e = e; best = phase; }
+  }
+  gsm_mix(best);
+  return best;
+}
+
+int frame_energy() {
+  int i; int e;
+  e = 0;
+  for (i = 0; i < FRAME; i = i + 1) e = e + ((frame[i] * frame[i]) >> 12);
+  return e;
+}
+
+// ------------------------------------------------------------------
+// the synthesis half (decoder): inverse lattice filter and deemphasis.
+// Mode 3 re-synthesises each frame from its own analysis parameters and
+// reports the reconstruction error — the codec self-check that ships in
+// the reference sources.  Cold in the normal transcoding modes.
+// ------------------------------------------------------------------
+
+int synth[160];
+int de_state;
+
+// Inverse of the short-term lattice: rebuild the signal from residual.
+int short_term_synthesis() {
+  int v[9];
+  int i; int n; int sri;
+  for (i = 0; i <= NCOEF; i = i + 1) v[i] = 0;
+  for (i = 0; i < FRAME; i = i + 1) {
+    sri = residual[i];
+    for (n = NCOEF - 1; n >= 0; n = n - 1) {
+      sri = sri - ((refl[n] * v[n]) >> 12);
+      sri = iclamp(sri, -65536, 65535);
+      v[n + 1] = iclamp(v[n] + ((refl[n] * sri) >> 12), -32768, 32767);
+    }
+    v[0] = iclamp(sri, -32768, 32767);
+    synth[i] = v[0];
+  }
+  return 0;
+}
+
+// Inverse of the preemphasis filter.
+int deemphasis() {
+  int i; int s;
+  for (i = 0; i < FRAME; i = i + 1) {
+    s = synth[i] + ((de_state * 28180) >> 15);
+    s = iclamp(s, -32768, 32767);
+    de_state = s;
+    synth[i] = s;
+  }
+  return 0;
+}
+
+int synthesis_check(int fno) {
+  int i; int err; int energy;
+  short_term_synthesis();
+  deemphasis();
+  err = 0; energy = 1;
+  for (i = 0; i < FRAME; i = i + 1) {
+    err = err + (iabs(frame[i] - synth[i]) >> 2);
+    energy = energy + (iabs(frame[i]) >> 2);
+  }
+  // Report a crude reconstruction SNR proxy once in a while.
+  if ((fno & 7) == 0) out_fmt2("frame %d recon-err-ratio-q8 %d\n", fno,
+                               (err << 8) / energy);
+  gsm_mix(err & 65535);
+  return err;
+}
+
+// --- cold paths -----------------------------------------------------
+
+int comfort_noise(int level) {
+  // DTX: synthesise a comfort-noise parameter set (cold: only mode 2 on
+  // silent stretches).
+  int i;
+  dtx_blocks = dtx_blocks + 1;
+  lib_srand(level + dtx_blocks);
+  for (i = 0; i < NCOEF; i = i + 1) gsm_mix(lib_rand_range(16) - 8);
+  return 0;
+}
+
+int dump_frame_params(int fno) {
+  int i;
+  out_str("frame ");
+  out_dec(fno);
+  out_str(" lars:");
+  for (i = 0; i < NCOEF; i = i + 1) { out_char(' '); out_dec(lar[i]); }
+  out_nl();
+  return 0;
+}
+
+int report() {
+  out_kv("voiced", voiced_frames);
+  out_kv("silent", silent_frames);
+  out_kv("dtx", dtx_blocks);
+  out_kv("crc", gsm_checksum);
+  return 0;
+}
+
+int validate(int mode, int nframes) {
+  if (mode < 1 || mode > 3) lib_panic("gsm: bad mode", 11);
+  if (nframes < 1 || nframes > 4096) lib_panic("gsm: bad frame count", 12);
+  return 0;
+}
+
+// --- driver ----------------------------------------------------------
+
+int encode_frame(int fno, int dtx, int check) {
+  int i; int sub; int energy;
+  for (i = 0; i < FRAME; i = i + 1) frame[i] = sext16w(getw());
+  preemphasis();
+  energy = frame_energy();
+  if (energy < 40) {
+    silent_frames = silent_frames + 1;
+    if (dtx) { comfort_noise(energy); return 0; }
+    if ((silent_frames & 31) == 1) dump_frame_params(fno);
+  } else {
+    voiced_frames = voiced_frames + 1;
+  }
+  autocorrelate();
+  schur();
+  quantize_lars();
+  short_term_residual();
+  for (sub = 0; sub < 4; sub = sub + 1) {
+    ltp_search(sub);
+    rpe_grid(sub);
+  }
+  if (check) synthesis_check(fno);
+  wcopy(prev_residual, residual, FRAME);
+  return 0;
+}
+
+int main() {
+  int mode; int nframes; int f;
+  gsm_checksum = 7; pre_state = 0;
+  mode = getw();
+  nframes = getw();
+  validate(mode, nframes);
+  wfill(prev_residual, 0, FRAME);
+  for (f = 0; f < nframes; f = f + 1) encode_frame(f, mode == 2, mode == 3);
+  report();
+  return gsm_checksum & 255;
+}
+|}
+
+let full_source = source ^ Wl_lib.source
+
+let profiling_input =
+  lazy (Wl_input.word_string (2 :: 8 :: Wl_input.speech ~seed:31 ~samples:(8 * 160)))
+
+let timing_input =
+  lazy (Wl_input.word_string (2 :: 32 :: Wl_input.speech ~seed:95 ~samples:(32 * 160)))
+
+let workload =
+  {
+    Workload.name = "gsm";
+    description = "GSM 06.10-style full-rate speech transcoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

@@ -1,0 +1,141 @@
+type rng = { mutable s : int }
+
+let rng seed = { s = (seed * 2654435761) land 0x7FFF_FFFF lor 1 }
+
+let next r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) land 0x7FFF_FFFF in
+  let s = s lxor (s lsr 17) in
+  let s = s lxor (s lsl 5) land 0x7FFF_FFFF in
+  r.s <- s;
+  s
+
+let range r n = if n <= 0 then 0 else next r mod n
+
+let word_string words =
+  let b = Buffer.create (4 * List.length words) in
+  List.iter
+    (fun w ->
+      let w = w land 0xFFFF_FFFF in
+      Buffer.add_char b (Char.chr (w land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 8) land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 16) land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 24) land 0xFF)))
+    words;
+  Buffer.contents b
+
+let words_of_string s =
+  let n = String.length s / 4 in
+  List.init n (fun i ->
+      let b j = Char.code s.[(4 * i) + j] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+
+(* Integer sine via a 64-entry quarter-wave table, amplitude 1024. *)
+let sin_table =
+  [| 0; 25; 50; 75; 100; 125; 150; 175; 199; 223; 247; 270; 292; 314; 336; 357;
+     377; 397; 416; 434; 452; 468; 484; 499; 514; 527; 539; 551; 561; 571; 580;
+     587; 594; 600; 604; 608; 611; 612; 613; 612; 611; 608; 604; 600; 594; 587;
+     580; 571; 561; 551; 539; 527; 514; 499; 484; 468; 452; 434; 416; 397; 377;
+     357; 336; 314 |]
+
+let isin phase =
+  (* phase in [0, 256) covers a full period; amplitude ~613. *)
+  let p = phase land 255 in
+  if p < 64 then sin_table.(p)
+  else if p < 128 then sin_table.(127 - p)
+  else if p < 192 then -sin_table.(p - 128)
+  else -sin_table.(255 - p)
+
+let clamp16 v = if v > 32767 then 32767 else if v < -32768 then -32768 else v
+
+let speech ~seed ~samples =
+  let r = rng seed in
+  let out = ref [] in
+  let produced = ref 0 in
+  while !produced < samples do
+    let seg = min (200 + range r 400) (samples - !produced) in
+    let kind = range r 10 in
+    if kind < 4 then begin
+      (* Voiced: fundamental + harmonics, slowly varying pitch. *)
+      let pitch = 2 + range r 6 in
+      let amp = 4 + range r 24 in
+      for i = 0 to seg - 1 do
+        let v =
+          (amp * isin (i * pitch))
+          + (amp / 2 * isin (i * pitch * 2))
+          + (amp / 3 * isin ((i * pitch * 3) + 17))
+          + (range r 64 - 32)
+        in
+        out := clamp16 v :: !out
+      done
+    end
+    else if kind < 7 then
+      (* Unvoiced: shaped noise. *)
+      let amp = 1 + range r 6 in
+      let prev = ref 0 in
+      for _ = 1 to seg do
+        let v = ((!prev * 3) + (amp * (range r 2048 - 1024))) / 4 in
+        prev := v;
+        out := clamp16 v :: !out
+      done
+    else if kind < 9 then
+      (* Near-silence. *)
+      for _ = 1 to seg do
+        out := (range r 17 - 8) :: !out
+      done
+    else
+      (* Loud burst (exercises clipping paths). *)
+      for i = 0 to seg - 1 do
+        out := clamp16 (60 * isin (i * 11) * 9 / 10) :: !out
+      done;
+    produced := !produced + seg
+  done;
+  List.rev !out |> List.map (fun v -> v land 0xFFFF_FFFF)
+
+let image ~seed ~width ~height =
+  let r = rng seed in
+  let edge_x = width / 3 and edge_y = (2 * height) / 3 in
+  List.concat
+    (List.init height (fun y ->
+         List.init width (fun x ->
+             let smooth = (x * 160 / width) + (y * 60 / height) in
+             let texture = range r 24 in
+             let edge = if x > edge_x && y < edge_y then 48 else 0 in
+             let blob =
+               let dx = x - (width / 2) and dy = y - (height / 2) in
+               if (dx * dx) + (dy * dy) < width * height / 24 then 30 else 0
+             in
+             (smooth + texture + edge + blob) land 0xFF)))
+
+let video ~seed ~width ~height ~frames =
+  let r = rng seed in
+  let base = Array.of_list (image ~seed:(seed + 1) ~width ~height) in
+  let out = ref [] in
+  for f = 0 to frames - 1 do
+    let dx = (f * 2) mod 7 and dy = f mod 5 in
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        let sx = (x + dx) mod width and sy = (y + dy) mod height in
+        let noise = range r 8 in
+        out := ((base.((sy * width) + sx) + noise) land 0xFF) :: !out
+      done
+    done
+  done;
+  List.rev !out
+
+let document ~seed ~bytes =
+  let r = rng seed in
+  let b = Buffer.create bytes in
+  let vocab =
+    [| "the"; "compression"; "profile"; "guided"; "region"; "buffer"; "stub";
+       "decompress"; "huffman"; "canonical"; "embedded"; "memory"; "footprint";
+       "threshold"; "cold"; "code" |]
+  in
+  while Buffer.length b < bytes do
+    Buffer.add_string b vocab.(range r (Array.length vocab));
+    (match range r 12 with
+    | 0 -> Buffer.add_string b ".\n"
+    | 1 -> Buffer.add_string b ", "
+    | _ -> Buffer.add_char b ' ')
+  done;
+  String.sub (Buffer.contents b) 0 bytes

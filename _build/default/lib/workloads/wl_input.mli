@@ -1,0 +1,41 @@
+(** Deterministic synthetic input generation for the workload suite.
+
+    The paper's benchmarks consume audio (PCM speech), images, video and
+    documents (Figure 5).  Those files are not redistributable, so each
+    workload here gets synthetic inputs with similar statistical character:
+    band-limited "speech" waveforms with silence and bursts, smooth images
+    with texture and edges, video as a sequence of drifting frames, and
+    text-like byte streams.  All generation is seeded and reproducible.
+
+    Inputs are byte strings; numeric payloads are encoded as 32-bit
+    little-endian words read by the [getw] builtin. *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int
+(** 31-bit non-negative pseudo-random value (xorshift). *)
+
+val range : rng -> int -> int
+(** Uniform in [0, n). *)
+
+val word_string : int list -> string
+(** Encode words as 4-byte little-endian each. *)
+
+val words_of_string : string -> int list
+(** Inverse (for tests). *)
+
+val speech : seed:int -> samples:int -> int list
+(** 16-bit signed "speech" samples: voiced segments (harmonic), unvoiced
+    segments (noise), silence, and occasional clipping bursts. *)
+
+val image : seed:int -> width:int -> height:int -> int list
+(** 8-bit pixels, row-major: smooth gradients, texture and hard edges. *)
+
+val video : seed:int -> width:int -> height:int -> frames:int -> int list
+(** A sequence of frames where each drifts from the previous one (so motion
+    search finds real matches). *)
+
+val document : seed:int -> bytes:int -> string
+(** Text-like bytes with word-ish structure and punctuation, for the
+    crypto workload. *)

@@ -1,0 +1,115 @@
+(* Shared pieces of the jpeg_enc / jpeg_dec pair: an orthonormal integer
+   8x8 DCT basis (generated here, scaled by 256), the standard luminance
+   quantisation table, and the zig-zag order. *)
+
+let dct_basis =
+  (* B.(u).(x) = round(256 * c(u) * sqrt(1/8)... i.e. the orthonormal 1-D
+     DCT matrix scaled by 256: A[u][x] = c(u) * sqrt(2/8) * cos((2x+1)uπ/16)
+     with c(0) = 1/sqrt(2), c(u) = 1 otherwise. *)
+  Array.init 8 (fun u ->
+      Array.init 8 (fun x ->
+          let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+          let v =
+            cu *. sqrt (2.0 /. 8.0)
+            *. cos (Float.pi *. float_of_int ((2 * x) + 1) *. float_of_int u /. 16.0)
+          in
+          int_of_float (Float.round (256.0 *. v))))
+
+let basis_initialiser =
+  let entries =
+    Array.to_list dct_basis
+    |> List.concat_map Array.to_list
+    |> List.map string_of_int
+    |> String.concat ", "
+  in
+  Printf.sprintf "int dct_basis[64] = { %s };" entries
+
+let quant_table =
+  "int quant_tab[64] = {\n\
+  \  16, 11, 10, 16, 24, 40, 51, 61,\n\
+  \  12, 12, 14, 19, 26, 58, 60, 55,\n\
+  \  14, 13, 16, 24, 40, 57, 69, 56,\n\
+  \  14, 17, 22, 29, 51, 87, 80, 62,\n\
+  \  18, 22, 37, 56, 68, 109, 103, 77,\n\
+  \  24, 35, 55, 64, 81, 104, 113, 92,\n\
+  \  49, 64, 78, 87, 103, 121, 120, 101,\n\
+  \  72, 92, 95, 98, 112, 100, 103, 99 };"
+
+let zigzag =
+  "int zigzag[64] = {\n\
+  \  0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,\n\
+  \  12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,\n\
+  \  35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,\n\
+  \  58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63 };"
+
+(* Forward/backward 2-D DCT over the 64-word block array [blk], using
+   [dct_basis]; both are MiniC functions shared by encoder and decoder. *)
+let transform_code =
+  {|
+int blk[64];
+int blk_tmp[64];
+
+// One 1-D pass: out[u] = sum_x in[x] * B[u][x] >> 8, rows then columns.
+int dct_rows_fwd() {
+  int y; int u; int x; int acc;
+  for (y = 0; y < 8; y = y + 1)
+    for (u = 0; u < 8; u = u + 1) {
+      acc = 0;
+      for (x = 0; x < 8; x = x + 1)
+        acc = acc + blk[y * 8 + x] * dct_basis[u * 8 + x];
+      blk_tmp[y * 8 + u] = (acc + 128) >> 8;
+    }
+  return 0;
+}
+
+int dct_cols_fwd() {
+  int x; int u; int y; int acc;
+  for (x = 0; x < 8; x = x + 1)
+    for (u = 0; u < 8; u = u + 1) {
+      acc = 0;
+      for (y = 0; y < 8; y = y + 1)
+        acc = acc + blk_tmp[y * 8 + x] * dct_basis[u * 8 + y];
+      blk[u * 8 + x] = (acc + 128) >> 8;
+    }
+  return 0;
+}
+
+int dct_forward() {
+  dct_rows_fwd();
+  dct_cols_fwd();
+  return 0;
+}
+
+// Inverse: f[x] = sum_u F[u] * B[u][x] >> 8 (the basis is orthonormal).
+int dct_rows_inv() {
+  int y; int x; int u; int acc;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      acc = 0;
+      for (u = 0; u < 8; u = u + 1)
+        acc = acc + blk[y * 8 + u] * dct_basis[u * 8 + x];
+      blk_tmp[y * 8 + x] = (acc + 128) >> 8;
+    }
+  return 0;
+}
+
+int dct_cols_inv() {
+  int x; int y; int u; int acc;
+  for (x = 0; x < 8; x = x + 1)
+    for (y = 0; y < 8; y = y + 1) {
+      acc = 0;
+      for (u = 0; u < 8; u = u + 1)
+        acc = acc + blk_tmp[u * 8 + x] * dct_basis[u * 8 + y];
+      blk[y * 8 + x] = (acc + 128) >> 8;
+    }
+  return 0;
+}
+
+int dct_inverse() {
+  dct_rows_inv();
+  dct_cols_inv();
+  return 0;
+}
+|}
+
+let tables = basis_initialiser ^ "\n" ^ quant_table ^ "\n" ^ zigzag ^ "\n"

@@ -1,0 +1,153 @@
+(* jpeg_dec: the decoder: reads zig-zagged quantised coefficient blocks (a
+   real stream produced by running jpeg_enc mode 2 in the VM), dequantises,
+   runs the inverse DCT, reassembles the image, and reports statistics.
+   Mode 2 additionally runs a deblocking smoothness analysis — cold at
+   profiling time.
+
+   Input words: [mode][width][height][64-word blocks...]. *)
+
+let source =
+  {|
+const MAXW = 96;
+const MAXH = 96;
+
+int image[9216];
+int width; int height;
+
+int jpd_checksum;
+int blocks_done; int clipped_pixels;
+
+int jpd_mix(int v) {
+  jpd_checksum = ((jpd_checksum * 137) ^ (v & 16777215)) & 1073741823;
+  return jpd_checksum;
+}
+
+int read_block() {
+  int i; int scanned[64];
+  for (i = 0; i < 64; i = i + 1) scanned[i] = getw();
+  // De-zig-zag into natural order.
+  for (i = 0; i < 64; i = i + 1) blk[zigzag[i]] = scanned[i];
+  return 0;
+}
+
+int dequantize_block() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) blk[i] = blk[i] * quant_tab[i];
+  return 0;
+}
+
+int store_block(int bx, int by) {
+  int y; int x; int v;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      v = blk[y * 8 + x] + 128;
+      if (v < 0) { v = 0; clipped_pixels = clipped_pixels + 1; }
+      if (v > 255) { v = 255; clipped_pixels = clipped_pixels + 1; }
+      image[(by * 8 + y) * MAXW + bx * 8 + x] = v;
+      jpd_mix(v);
+    }
+  return 0;
+}
+
+int decode_image() {
+  int by; int bx;
+  for (by = 0; by < height / 8; by = by + 1)
+    for (bx = 0; bx < width / 8; bx = bx + 1) {
+      read_block();
+      dequantize_block();
+      dct_inverse();
+      store_block(bx, by);
+      blocks_done = blocks_done + 1;
+    }
+  return 0;
+}
+
+// --- cold analysis ----------------------------------------------------
+
+// Blockiness metric: average absolute step across 8-pixel boundaries
+// compared with the average interior gradient.
+int blockiness_report() {
+  int y; int x; int edge; int interior; int ne; int ni; int d;
+  edge = 0; interior = 0; ne = 0; ni = 0;
+  for (y = 0; y < height; y = y + 1)
+    for (x = 1; x < width; x = x + 1) {
+      d = iabs(image[y * MAXW + x] - image[y * MAXW + x - 1]);
+      if ((x & 7) == 0) { edge = edge + d; ne = ne + 1; }
+      else { interior = interior + d; ni = ni + 1; }
+    }
+  out_kv("edge-grad-q8", (edge << 8) / (ne + (ne == 0)));
+  out_kv("interior-grad-q8", (interior << 8) / (ni + (ni == 0)));
+  hist_reset();
+  for (y = 0; y < height; y = y + 8)
+    for (x = 0; x < width; x = x + 8) hist_add(image[y * MAXW + x]);
+  hist_dump("corner luminance");
+  return 0;
+}
+
+// Colour conversion sweep (mode 3): treat the decoded plane as luma,
+// synthesise flat chroma, and run the integer YCbCr->RGB conversion the
+// reference decoder ships.  Only the conversion arithmetic matters here.
+int color_convert_sweep() {
+  int y; int x; int yy; int cb; int cr; int r; int g; int b; int acc;
+  acc = 0;
+  cb = 16; cr = -24;
+  for (y = 0; y < height; y = y + 1)
+    for (x = 0; x < width; x = x + 1) {
+      yy = image[y * MAXW + x];
+      r = yy + ((91881 * cr) >> 16);
+      g = yy - ((22554 * cb + 46802 * cr) >> 16);
+      b = yy + ((116130 * cb) >> 16);
+      r = iclamp(r, 0, 255);
+      g = iclamp(g, 0, 255);
+      b = iclamp(b, 0, 255);
+      acc = (acc + r + g * 2 + b * 3) & 16777215;
+      jpd_mix((r << 16) | (g << 8) | b);
+    }
+  out_kv("rgb-acc", acc);
+  return acc;
+}
+
+int validate(int mode, int w, int h) {
+  if (mode < 1 || mode > 3) lib_panic("jpegd: bad mode", 11);
+  if (w < 8 || w > MAXW || (w & 7) != 0) lib_panic("jpegd: bad width", 12);
+  if (h < 8 || h > MAXH || (h & 7) != 0) lib_panic("jpegd: bad height", 13);
+  return 0;
+}
+
+int main() {
+  int mode; int w; int h;
+  jpd_checksum = 55;
+  mode = getw();
+  w = getw();
+  h = getw();
+  validate(mode, w, h);
+  width = w; height = h;
+  decode_image();
+  out_kv("blocks", blocks_done);
+  out_kv("clipped", clipped_pixels);
+  if (mode == 2) blockiness_report();
+  if (mode == 3) { blockiness_report(); color_convert_sweep(); }
+  out_kv("crc", jpd_checksum);
+  return jpd_checksum & 255;
+}
+|}
+
+let full_source =
+  source ^ Wl_jpeg_common.tables ^ Wl_jpeg_common.transform_code ^ Wl_lib.source
+
+(* jpeg_enc mode 2 emits [width][height][blocks...]; prepend our mode. *)
+let dec_input ~mode ~seed ~width ~height =
+  let stream = Wl_jpeg_enc.encoded_stream ~seed ~width ~height in
+  Wl_input.word_string [ mode ] ^ stream
+
+let profiling_input = lazy (dec_input ~mode:2 ~seed:53 ~width:48 ~height:48)
+let timing_input = lazy (dec_input ~mode:2 ~seed:101 ~width:96 ~height:96)
+
+let workload =
+  {
+    Workload.name = "jpeg_dec";
+    description = "baseline-JPEG-style image decoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

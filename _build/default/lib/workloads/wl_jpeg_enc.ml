@@ -1,0 +1,272 @@
+(* jpeg_enc: baseline-JPEG-style image compression — 8x8 blocks, level
+   shift, integer DCT, quantisation (with quality scaling on a cold path),
+   zig-zag, and run/category entropy statistics.
+
+   Input words: [mode][quality][width][height][pixels...].
+   Mode 1: encode at the default quality (quality word present but 50).
+   Mode 2: encode and emit quantised coefficient blocks with putw (feeds
+           jpeg_dec).
+   Mode 3: encode with a non-default quality — the quant-table rescaling
+           path is cold during profiling — and dump rate statistics. *)
+
+let source =
+  {|
+const MAXW = 96;
+const MAXH = 96;
+
+int image[9216];
+int qtab_active[64];
+int width; int height;
+
+int jpg_checksum;
+int total_bits; int nonzero_coeffs; int blocks_done; int dc_prev;
+
+// Per-category base code lengths, a stand-in for the Huffman AC table.
+int cat_bits[12] = { 2, 3, 4, 6, 7, 8, 10, 12, 14, 16, 18, 20 };
+
+int jpg_mix(int v) {
+  jpg_checksum = ((jpg_checksum * 131) ^ (v & 16777215)) & 1073741823;
+  return jpg_checksum;
+}
+
+// --- quality scaling (cold unless mode 3) ----------------------------
+
+int scale_quality(int quality) {
+  int i; int s; int v;
+  if (quality < 1 || quality > 100) lib_panic("jpeg: bad quality", 21);
+  if (quality < 50) s = 5000 / quality;
+  else s = 200 - quality * 2;
+  for (i = 0; i < 64; i = i + 1) {
+    v = (quant_tab[i] * s + 50) / 100;
+    qtab_active[i] = iclamp(v, 1, 255);
+  }
+  return 0;
+}
+
+// --- block pipeline ---------------------------------------------------
+
+int load_block(int bx, int by) {
+  int y; int x; int px; int py;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      px = bx * 8 + x;
+      py = by * 8 + y;
+      blk[y * 8 + x] = image[py * MAXW + px] - 128;   // level shift
+    }
+  return 0;
+}
+
+int quantize_block() {
+  int i; int v; int q;
+  for (i = 0; i < 64; i = i + 1) {
+    v = blk[i];
+    q = qtab_active[i];
+    if (v >= 0) blk[i] = (v + q / 2) / q;
+    else blk[i] = -((-v + q / 2) / q);
+  }
+  return 0;
+}
+
+int category_of(int v) {
+  int c;
+  v = iabs(v);
+  c = 0;
+  while (v != 0) { v = v >> 1; c = c + 1; }
+  if (c > 11) lib_panic("jpeg: coefficient too large", 22);
+  return c;
+}
+
+// Entropy statistics over the zig-zag scan: (run, category) pairs as in
+// baseline JPEG, with DC coded differentially.
+int entropy_block(int emit) {
+  int i; int v; int run; int cat; int dc;
+  dc = blk[0];
+  cat = category_of(dc - dc_prev);
+  total_bits = total_bits + cat_bits[cat] + cat;
+  jpg_mix(dc - dc_prev);
+  dc_prev = dc;
+  run = 0;
+  for (i = 1; i < 64; i = i + 1) {
+    v = blk[zigzag[i]];
+    if (v == 0) { run = run + 1; continue; }
+    while (run >= 16) { total_bits = total_bits + 11; run = run - 16; }  // ZRL
+    cat = category_of(v);
+    hist_add(cat);
+    total_bits = total_bits + cat_bits[cat] + cat + (run & 15);
+    jpg_mix((run << 16) | (v & 65535));
+    nonzero_coeffs = nonzero_coeffs + 1;
+    run = 0;
+  }
+  if (run > 0) total_bits = total_bits + 4;  // EOB
+  if (emit) {
+    for (i = 0; i < 64; i = i + 1) putw(blk[zigzag[i]]);
+  }
+  return 0;
+}
+
+int encode_image(int emit) {
+  int by; int bx;
+  dc_prev = 0;
+  for (by = 0; by < height / 8; by = by + 1)
+    for (bx = 0; bx < width / 8; bx = bx + 1) {
+      load_block(bx, by);
+      dct_forward();
+      quantize_block();
+      entropy_block(emit);
+      blocks_done = blocks_done + 1;
+    }
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// colour path (mode 4): synthesise Cb/Cr planes from the luma (the test
+// tool's stand-in for real colour input), subsample 4:2:0, and encode the
+// chroma planes against the standard chroma quantisation table.
+// ------------------------------------------------------------------
+
+int chroma_tab[64] = {
+  17, 18, 24, 47, 99, 99, 99, 99,
+  18, 21, 26, 66, 99, 99, 99, 99,
+  24, 26, 56, 99, 99, 99, 99, 99,
+  47, 66, 99, 99, 99, 99, 99, 99,
+  99, 99, 99, 99, 99, 99, 99, 99,
+  99, 99, 99, 99, 99, 99, 99, 99,
+  99, 99, 99, 99, 99, 99, 99, 99,
+  99, 99, 99, 99, 99, 99, 99, 99 };
+
+int chroma[2304];     // (MAXW/2) * (MAXH/2)
+
+// Derive one chroma plane: a phase-shifted, smoothed copy of the luma,
+// downsampled 2x2.
+int make_chroma_plane(int phase) {
+  int y; int x; int cw; int a; int b; int c; int d;
+  cw = width / 2;
+  for (y = 0; y < height / 2; y = y + 1)
+    for (x = 0; x < cw; x = x + 1) {
+      a = image[(2 * y) * MAXW + 2 * x];
+      b = image[(2 * y) * MAXW + imin(2 * x + phase, width - 1)];
+      c = image[imin(2 * y + 1, height - 1) * MAXW + 2 * x];
+      d = image[imin(2 * y + phase, height - 1) * MAXW + 2 * x];
+      chroma[y * 48 + x] = ((a + b + c + d) / 4) ^ (phase * 85);
+    }
+  return 0;
+}
+
+int load_chroma_block(int bx, int by) {
+  int y; int x;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1)
+      blk[y * 8 + x] = (chroma[(by * 8 + y) * 48 + bx * 8 + x] & 255) - 128;
+  return 0;
+}
+
+int quantize_chroma_block() {
+  int i; int v; int q;
+  for (i = 0; i < 64; i = i + 1) {
+    v = blk[i];
+    q = chroma_tab[i];
+    if (v >= 0) blk[i] = (v + q / 2) / q;
+    else blk[i] = -((-v + q / 2) / q);
+  }
+  return 0;
+}
+
+int encode_chroma(int phase) {
+  int by; int bx;
+  make_chroma_plane(phase);
+  dc_prev = 0;
+  for (by = 0; by < height / 16; by = by + 1)
+    for (bx = 0; bx < width / 16; bx = bx + 1) {
+      load_chroma_block(bx, by);
+      dct_forward();
+      quantize_chroma_block();
+      entropy_block(0);
+      blocks_done = blocks_done + 1;
+    }
+  return 0;
+}
+
+// --- cold reporting ---------------------------------------------------
+
+int rate_report() {
+  int pixels;
+  pixels = width * height;
+  out_kv("blocks", blocks_done);
+  out_kv("nonzero", nonzero_coeffs);
+  out_kv("bits", total_bits);
+  out_kv("bpp-q8", (total_bits << 8) / (pixels + (pixels == 0)));
+  hist_dump("coefficient categories");
+  return 0;
+}
+
+int validate(int mode, int quality, int w, int h) {
+  if (mode < 1 || mode > 4) lib_panic("jpeg: bad mode", 11);
+  if (w < 8 || w > MAXW || (w & 7) != 0) lib_panic("jpeg: bad width", 12);
+  if (h < 8 || h > MAXH || (h & 7) != 0) lib_panic("jpeg: bad height", 13);
+  if (quality != 50) {
+    if (mode != 3 && mode != 4) lib_panic("jpeg: quality needs mode 3", 14);
+  }
+  return 0;
+}
+
+int main() {
+  int mode; int quality; int w; int h; int y; int x;
+  jpg_checksum = 77;
+  mode = getw();
+  quality = getw();
+  w = getw();
+  h = getw();
+  validate(mode, quality, w, h);
+  width = w; height = h;
+  for (y = 0; y < height; y = y + 1)
+    for (x = 0; x < width; x = x + 1) image[y * MAXW + x] = getw() & 255;
+  if (quality == 50) wcopy(qtab_active, quant_tab, 64);
+  else scale_quality(quality);
+  if (mode == 2) {
+    putw(width); putw(height);
+    encode_image(1);
+  } else {
+    encode_image(0);
+  }
+  if (mode == 4) {
+    encode_chroma(1);
+    encode_chroma(3);
+    out_kv("chroma-blocks", blocks_done);
+  }
+  if (mode == 3) rate_report();
+  out_kv("crc", jpg_checksum);
+  return jpg_checksum & 255;
+}
+|}
+
+let full_source =
+  source ^ Wl_jpeg_common.tables ^ Wl_jpeg_common.transform_code ^ Wl_lib.source
+
+let profiling_input =
+  lazy
+    (Wl_input.word_string
+       ((3 :: 75 :: 48 :: 48 :: Wl_input.image ~seed:51 ~width:48 ~height:48)))
+
+let timing_input =
+  lazy
+    (Wl_input.word_string
+       ((3 :: 75 :: 96 :: 96 :: Wl_input.image ~seed:99 ~width:96 ~height:96)))
+
+let workload =
+  {
+    Workload.name = "jpeg_enc";
+    description = "baseline-JPEG-style image encoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }
+
+(* Produce a coefficient stream for jpeg_dec by running mode 2 in the VM. *)
+let encoded_stream ~seed ~width ~height =
+  let input =
+    Wl_input.word_string
+      ((2 :: 50 :: width :: height :: Wl_input.image ~seed ~width ~height))
+  in
+  let prog = Workload.compile workload in
+  let outcome = Vm.run (Vm.of_image ~fuel:400_000_000 (Layout.emit prog) ~input) in
+  outcome.Vm.output

@@ -1,0 +1,371 @@
+(* The MiniC runtime library linked into every workload.
+
+   The paper's benchmarks are statically linked Alpha executables, so a
+   large share of their text is C library code that rarely runs — prime
+   cold-code material.  This module plays libc: formatted output, string
+   and word-block utilities, integer math, a table-driven CRC, a PRNG and
+   sorting.  Workloads append [source] to their own program text; squeeze's
+   unreachable-function elimination then plays the linker, keeping exactly
+   the functions a workload references. *)
+
+let source =
+  {|
+// ------------------------------------------------------------------
+// lib: output formatting
+// ------------------------------------------------------------------
+
+int lib_out_count;
+
+int out_char(int c) {
+  putc(c);
+  lib_out_count = lib_out_count + 1;
+  return c;
+}
+
+int out_str(int s) {
+  int c;
+  while (1) {
+    c = loadb(s);
+    if (c == 0) break;
+    out_char(c);
+    s = s + 1;
+  }
+  return 0;
+}
+
+int out_dec(int v) {
+  int digits[12];
+  int n; int neg;
+  neg = 0;
+  if (v < 0) {
+    // INT_MIN has no positive counterpart; special-case it.
+    if (v == 0 - 2147483647 - 1) { out_str("-2147483648"); return 0; }
+    neg = 1; v = -v;
+  }
+  n = 0;
+  do {
+    digits[n] = v % 10;
+    v = v / 10;
+    n = n + 1;
+  } while (v != 0);
+  if (neg) out_char('-');
+  while (n > 0) {
+    n = n - 1;
+    out_char('0' + digits[n]);
+  }
+  return 0;
+}
+
+int out_dec_pad(int v, int width) {
+  int w; int t;
+  w = 1;
+  t = v;
+  if (t < 0) { w = w + 1; t = -t; }
+  while (t >= 10) { w = w + 1; t = t / 10; }
+  while (w < width) { out_char(' '); w = w + 1; }
+  out_dec(v);
+  return 0;
+}
+
+int out_hex(int v) {
+  int i; int d;
+  out_str("0x");
+  for (i = 7; i >= 0; i = i - 1) {
+    d = (v >>> (i * 4)) & 15;
+    if (d < 10) out_char('0' + d);
+    else out_char('a' + d - 10);
+  }
+  return 0;
+}
+
+int out_nl() { out_char(10); return 0; }
+
+int out_kv(int key, int v) {
+  out_str(key);
+  out_str(": ");
+  out_dec(v);
+  out_nl();
+  return 0;
+}
+
+int lib_panic(int msg, int code) {
+  out_str("panic: ");
+  out_str(msg);
+  out_str(" (");
+  out_dec(code);
+  out_str(")");
+  out_nl();
+  lib_diagnostics(code);
+  exit(code & 255);
+  return 0;
+}
+
+int lib_assert(int cond, int msg) {
+  if (!cond) lib_panic(msg, 99);
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// lib: word-block and string utilities
+// ------------------------------------------------------------------
+
+int wcopy(int dst, int src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) dst[i] = src[i];
+  return dst;
+}
+
+int wfill(int dst, int v, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) dst[i] = v;
+  return dst;
+}
+
+int wcmp(int a, int b, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+int wsum(int a, int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) s = s + a[i];
+  return s;
+}
+
+int wmax_index(int a, int n) {
+  int i; int best;
+  best = 0;
+  for (i = 1; i < n; i = i + 1) if (a[i] > a[best]) best = i;
+  return best;
+}
+
+int wreverse(int a, int n) {
+  int i; int t;
+  for (i = 0; i < n / 2; i = i + 1) {
+    t = a[i];
+    a[i] = a[n - 1 - i];
+    a[n - 1 - i] = t;
+  }
+  return 0;
+}
+
+int str_len(int s) {
+  int n;
+  n = 0;
+  while (loadb(s + n) != 0) n = n + 1;
+  return n;
+}
+
+int str_eq(int a, int b) {
+  int i; int ca; int cb;
+  i = 0;
+  while (1) {
+    ca = loadb(a + i);
+    cb = loadb(b + i);
+    if (ca != cb) return 0;
+    if (ca == 0) return 1;
+    i = i + 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// lib: integer math
+// ------------------------------------------------------------------
+
+int iabs(int v) { if (v < 0) return -v; return v; }
+int imin(int a, int b) { if (a < b) return a; return b; }
+int imax(int a, int b) { if (a > b) return a; return b; }
+
+int iclamp(int v, int lo, int hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+int isqrt(int v) {
+  // Integer square root by binary search; v must be non-negative.
+  int lo; int hi; int mid;
+  if (v < 0) lib_panic("isqrt of negative", 41);
+  if (v < 2) return v;
+  lo = 1;
+  hi = 46341;               // floor(sqrt(2^31)) + 1
+  while (lo + 1 < hi) {
+    mid = (lo + hi) / 2;
+    if (mid * mid <= v) lo = mid;
+    else hi = mid;
+  }
+  return lo;
+}
+
+int ilog2(int v) {
+  int n;
+  if (v <= 0) lib_panic("ilog2 of non-positive", 42);
+  n = 0;
+  while (v > 1) { v = v >>> 1; n = n + 1; }
+  return n;
+}
+
+int ipow(int base, int e) {
+  int r;
+  r = 1;
+  while (e > 0) {
+    if (e & 1) r = r * base;
+    base = base * base;
+    e = e >> 1;
+  }
+  return r;
+}
+
+int igcd(int a, int b) {
+  int t;
+  a = iabs(a); b = iabs(b);
+  while (b != 0) { t = a % (b + (b == 0)); a = b; b = t; }
+  return a;
+}
+
+int idiv_round(int a, int b) {
+  // Rounded division; b must be positive.
+  if (b <= 0) lib_panic("idiv_round by non-positive", 43);
+  if (a >= 0) return (a + b / 2) / b;
+  return -((-a + b / 2) / b);
+}
+
+// ------------------------------------------------------------------
+// lib: pseudo-random numbers (deterministic LCG)
+// ------------------------------------------------------------------
+
+int lib_rand_state;
+
+int lib_srand(int seed) {
+  lib_rand_state = (seed ^ 2463534242) | 1;
+  return 0;
+}
+
+int lib_rand() {
+  lib_rand_state = (lib_rand_state * 1103515245 + 12345) & 2147483647;
+  return lib_rand_state >>> 7;
+}
+
+int lib_rand_range(int n) {
+  if (n <= 0) return 0;
+  return lib_rand() % n;
+}
+
+// ------------------------------------------------------------------
+// lib: CRC-32 (table driven; the table is built on first use)
+// ------------------------------------------------------------------
+
+int crc_table[256];
+int crc_table_ready;
+
+int crc_init() {
+  int i; int j; int c;
+  for (i = 0; i < 256; i = i + 1) {
+    c = i;
+    for (j = 0; j < 8; j = j + 1) {
+      if (c & 1) c = (c >>> 1) ^ (0 - 306674912);  // 0xEDB88320
+      else c = c >>> 1;
+    }
+    crc_table[i] = c;
+  }
+  crc_table_ready = 1;
+  return 0;
+}
+
+int crc_word(int crc, int w) {
+  if (!crc_table_ready) crc_init();
+  crc = crc_table[(crc ^ w) & 255] ^ (crc >>> 8);
+  crc = crc_table[(crc ^ (w >>> 8)) & 255] ^ (crc >>> 8);
+  crc = crc_table[(crc ^ (w >>> 16)) & 255] ^ (crc >>> 8);
+  crc = crc_table[(crc ^ (w >>> 24)) & 255] ^ (crc >>> 8);
+  return crc;
+}
+
+int crc_block(int a, int n) {
+  int i; int crc;
+  crc = 0 - 1;
+  for (i = 0; i < n; i = i + 1) crc = crc_word(crc, a[i]);
+  return crc ^ (0 - 1);
+}
+
+// ------------------------------------------------------------------
+// lib: sorting (iterative quicksort with insertion-sort finish)
+// ------------------------------------------------------------------
+
+int wsort(int a, int n) {
+  int stack[64];
+  int sp; int lo; int hi; int i; int j; int p; int t;
+  if (n < 2) return 0;
+  sp = 0;
+  stack[0] = 0;
+  stack[1] = n - 1;
+  sp = 2;
+  while (sp > 0) {
+    hi = stack[sp - 1];
+    lo = stack[sp - 2];
+    sp = sp - 2;
+    if (hi - lo < 8) {
+      for (i = lo + 1; i <= hi; i = i + 1) {
+        t = a[i];
+        j = i - 1;
+        while (j >= lo && a[j] > t) { a[j + 1] = a[j]; j = j - 1; }
+        a[j + 1] = t;
+      }
+    } else {
+      p = a[(lo + hi) / 2];
+      i = lo; j = hi;
+      while (i <= j) {
+        while (a[i] < p) i = i + 1;
+        while (a[j] > p) j = j - 1;
+        if (i <= j) {
+          t = a[i]; a[i] = a[j]; a[j] = t;
+          i = i + 1; j = j - 1;
+        }
+      }
+      if (sp > 60) lib_panic("wsort stack overflow", 44);
+      if (lo < j) { stack[sp] = lo; stack[sp + 1] = j; sp = sp + 2; }
+      if (i < hi) { stack[sp] = i; stack[sp + 1] = hi; sp = sp + 2; }
+    }
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// lib: histogram and simple statistics (used by verbose/debug paths)
+// ------------------------------------------------------------------
+
+int lib_hist[32];
+
+int hist_reset() { wfill(lib_hist, 0, 32); return 0; }
+
+int hist_add(int v) {
+  int bucket;
+  bucket = iclamp(ilog2(iabs(v) + 1), 0, 31);
+  lib_hist[bucket] = lib_hist[bucket] + 1;
+  return bucket;
+}
+
+int hist_dump(int label) {
+  int i;
+  out_str(label);
+  out_nl();
+  for (i = 0; i < 32; i = i + 1) {
+    if (lib_hist[i] != 0) {
+      out_str("  2^");
+      out_dec(i);
+      out_str(" ");
+      out_dec(lib_hist[i]);
+      out_nl();
+    }
+  }
+  return 0;
+}
+|}
+
+let source = source ^ Wl_lib2.source ^ Wl_lib3.source

@@ -1,0 +1,584 @@
+(* The second half of the MiniC runtime library: a printf-style formatter,
+   a free-list heap allocator, fixed-point trigonometry, emulated 64-bit
+   arithmetic, bit-level I/O, string buffers and a self-test battery.
+
+   Real statically-linked binaries carry all of this whether or not a given
+   run touches it; the panic/diagnostic paths of every workload reference
+   these entry points, so the code is linked (reachable) but cold — the
+   situation squash exploits. *)
+
+let source =
+  {|
+// ------------------------------------------------------------------
+// lib2: printf-style formatter
+//   directives: %d %u %x %c %s %b (binary) %% with optional width and
+//   zero padding, e.g. %08x.  Arguments come from a word array.
+// ------------------------------------------------------------------
+
+int fmt_emit_dec_u(int v, int width, int zero) {
+  // Unsigned decimal; negative signed values are the range [2^31, 2^32).
+  int digits[12];
+  int n;
+  n = 0;
+  if (v >= 0) {
+    do { digits[n] = v % 10; v = v / 10; n = n + 1; } while (v != 0);
+  } else {
+    // v in [2^31, 2^32): v = q*10 + r computed via halving.
+    int half; int q; int r;
+    half = v >>> 1;
+    q = half / 5;
+    r = v - q * 10;
+    if (r >= 10) { r = r - 10; q = q + 1; }
+    digits[0] = r;
+    n = 1;
+    v = q;
+    while (v != 0) { digits[n] = v % 10; v = v / 10; n = n + 1; }
+  }
+  while (width > n) {
+    if (zero) out_char('0'); else out_char(' ');
+    width = width - 1;
+  }
+  while (n > 0) { n = n - 1; out_char('0' + digits[n]); }
+  return 0;
+}
+
+int fmt_emit_dec(int v, int width, int zero) {
+  if (v < 0) {
+    out_char('-');
+    if (v == 0 - 2147483647 - 1) { out_str("2147483648"); return 0; }
+    return fmt_emit_dec_u(-v, width - 1, zero);
+  }
+  return fmt_emit_dec_u(v, width, zero);
+}
+
+int fmt_emit_hex(int v, int width, int zero) {
+  int digits[8];
+  int n; int d;
+  n = 0;
+  do {
+    d = v & 15;
+    if (d < 10) digits[n] = '0' + d;
+    else digits[n] = 'a' + d - 10;
+    v = v >>> 4;
+    n = n + 1;
+  } while (v != 0);
+  while (width > n) {
+    if (zero) out_char('0'); else out_char(' ');
+    width = width - 1;
+  }
+  while (n > 0) { n = n - 1; out_char(digits[n]); }
+  return 0;
+}
+
+int fmt_emit_bin(int v, int width, int zero) {
+  int digits[32];
+  int n;
+  n = 0;
+  do { digits[n] = '0' + (v & 1); v = v >>> 1; n = n + 1; } while (v != 0);
+  while (width > n) {
+    if (zero) out_char('0'); else out_char(' ');
+    width = width - 1;
+  }
+  while (n > 0) { n = n - 1; out_char(digits[n]); }
+  return 0;
+}
+
+// out_fmt("x=%d hex=%08x s=%s\n", args) with args a word array.
+int out_fmt(int fmt, int args) {
+  int i; int ai; int c; int width; int zero;
+  i = 0; ai = 0;
+  while (1) {
+    c = loadb(fmt + i);
+    if (c == 0) break;
+    if (c != '%') { out_char(c); i = i + 1; continue; }
+    i = i + 1;
+    c = loadb(fmt + i);
+    zero = 0; width = 0;
+    if (c == '0') { zero = 1; i = i + 1; c = loadb(fmt + i); }
+    while (c >= '0' && c <= '9') {
+      width = width * 10 + c - '0';
+      i = i + 1;
+      c = loadb(fmt + i);
+    }
+    if (c == 'd') fmt_emit_dec(args[ai], width, zero);
+    else if (c == 'u') fmt_emit_dec_u(args[ai], width, zero);
+    else if (c == 'x') fmt_emit_hex(args[ai], width, zero);
+    else if (c == 'b') fmt_emit_bin(args[ai], width, zero);
+    else if (c == 'c') out_char(args[ai]);
+    else if (c == 's') out_str(args[ai]);
+    else if (c == '%') { out_char('%'); i = i + 1; continue; }
+    else lib_panic("out_fmt: unknown directive", 51);
+    ai = ai + 1;
+    i = i + 1;
+  }
+  return ai;
+}
+
+int fmt1[1];
+int fmt2[2];
+int fmt3[3];
+
+int out_fmt1(int fmt, int a) { fmt1[0] = a; return out_fmt(fmt, fmt1); }
+int out_fmt2(int fmt, int a, int b) { fmt2[0] = a; fmt2[1] = b; return out_fmt(fmt, fmt2); }
+int out_fmt3(int fmt, int a, int b, int c) {
+  fmt3[0] = a; fmt3[1] = b; fmt3[2] = c;
+  return out_fmt(fmt, fmt3);
+}
+
+// ------------------------------------------------------------------
+// lib2: free-list heap allocator over sbrk
+//   blocks carry a one-word header: size in words (header included),
+//   low bit set when free.  Free blocks form a singly-linked list and
+//   adjacent free blocks are coalesced on free.
+// ------------------------------------------------------------------
+
+int heap_base; int heap_limit; int heap_free_list;
+int heap_allocs; int heap_frees; int heap_failures;
+
+int heap_init(int words) {
+  if (words < 16) lib_panic("heap_init: too small", 52);
+  heap_base = sbrk(words * 4 + 8);
+  heap_limit = heap_base + words * 4;
+  heap_base[0] = (words << 1) | 1;          // one big free block
+  heap_base[1] = 0;                         // next free
+  heap_free_list = heap_base;
+  heap_allocs = 0; heap_frees = 0; heap_failures = 0;
+  return heap_base;
+}
+
+int heap_alloc(int words) {
+  int need; int p; int prev; int size; int rest;
+  if (heap_base == 0) heap_init(4096);
+  if (words < 1) words = 1;
+  need = words + 1;                         // header
+  prev = 0;
+  p = heap_free_list;
+  while (p != 0) {
+    size = p[0] >> 1;
+    if (size >= need) {
+      rest = size - need;
+      if (rest >= 4) {
+        // Split: keep the tail free.
+        int q;
+        q = p + need * 4;
+        q[0] = (rest << 1) | 1;
+        q[1] = p[1];
+        if (prev == 0) heap_free_list = q;
+        else prev[1] = q;
+        p[0] = need << 1;                   // allocated, low bit clear
+      } else {
+        if (prev == 0) heap_free_list = p[1];
+        else prev[1] = p[1];
+        p[0] = size << 1;
+      }
+      heap_allocs = heap_allocs + 1;
+      return p + 4;
+    }
+    prev = p;
+    p = p[1];
+  }
+  heap_failures = heap_failures + 1;
+  lib_panic("heap_alloc: out of memory", 53);
+  return 0;
+}
+
+int heap_free(int user) {
+  int p; int size; int q;
+  if (user == 0) return 0;
+  p = user - 4;
+  if (p[0] & 1) lib_panic("heap_free: double free", 54);
+  size = p[0] >> 1;
+  // Coalesce with an adjacent free successor if it is the free-list head
+  // (cheap partial coalescing; full coalescing would sort the list).
+  q = p + size * 4;
+  if (q < heap_limit) {
+    if ((q[0] & 1) && q == heap_free_list) {
+      size = size + (q[0] >> 1);
+      heap_free_list = q[1];
+    }
+  }
+  p[0] = (size << 1) | 1;
+  p[1] = heap_free_list;
+  heap_free_list = p;
+  heap_frees = heap_frees + 1;
+  return 0;
+}
+
+int heap_report() {
+  int p; int free_words; int blocks;
+  free_words = 0; blocks = 0;
+  p = heap_free_list;
+  while (p != 0) {
+    free_words = free_words + (p[0] >> 1);
+    blocks = blocks + 1;
+    p = p[1];
+  }
+  out_fmt3("heap: %d allocs, %d frees, %d failures\n", heap_allocs, heap_frees,
+           heap_failures);
+  out_fmt2("heap: %d free words in %d blocks\n", free_words, blocks);
+  return free_words;
+}
+
+// ------------------------------------------------------------------
+// lib2: fixed-point trigonometry (Q14, full circle = 1024 units)
+// ------------------------------------------------------------------
+
+// Quarter-wave sine table, 64 entries, Q14.
+int sin_q14[65] = {
+  0, 402, 804, 1205, 1606, 2006, 2404, 2801, 3196, 3590, 3981, 4370, 4756,
+  5139, 5520, 5897, 6270, 6639, 7005, 7366, 7723, 8076, 8423, 8765, 9102,
+  9434, 9760, 10080, 10394, 10702, 11003, 11297, 11585, 11866, 12140, 12406,
+  12665, 12916, 13160, 13395, 13623, 13842, 14053, 14256, 14449, 14635,
+  14811, 14978, 15137, 15286, 15426, 15557, 15679, 15791, 15893, 15986,
+  16069, 16143, 16207, 16261, 16305, 16340, 16364, 16379, 16384 };
+
+int fx_sin(int angle) {
+  // angle in 1024ths of a circle; returns Q14 in [-16384, 16384].
+  int a; int quadrant; int idx; int frac; int base; int next; int v;
+  a = angle & 1023;
+  quadrant = a >> 8;
+  idx = (a & 255) >> 2;
+  frac = a & 3;
+  if (quadrant == 1 || quadrant == 3) idx = 63 - idx;
+  base = sin_q14[idx];
+  next = sin_q14[idx + 1];
+  if (quadrant == 1 || quadrant == 3) v = next + ((base - next) * frac >> 2);
+  else v = base + ((next - base) * frac >> 2);
+  if (quadrant >= 2) return -v;
+  return v;
+}
+
+int fx_cos(int angle) { return fx_sin(angle + 256); }
+
+// atan2 in 1024ths of a circle, octant decomposition with a small rational
+// approximation inside each octant.
+int fx_atan2(int y, int x) {
+  int ax; int ay; int swap; int ratio; int angle;
+  if (x == 0 && y == 0) return 0;
+  ax = iabs(x); ay = iabs(y);
+  swap = 0;
+  if (ay > ax) { int t; t = ax; ax = ay; ay = t; swap = 1; }
+  // ratio in Q10, <= 1024.
+  ratio = (ay << 10) / (ax + (ax == 0));
+  // atan(r) ~ r * (128 - 35 * r^2 / 2^20) / 804 of a circle-1024... use a
+  // two-term fit: angle_octant = ratio*128/1024 - correction.
+  angle = (ratio * 128) >> 10;
+  angle = angle - ((ratio * ratio >> 10) * 20 >> 10);
+  if (angle < 0) angle = 0;
+  if (swap) angle = 256 - angle;
+  if (x < 0) angle = 512 - angle;
+  if (y < 0) angle = 1024 - angle;
+  return angle & 1023;
+}
+
+// Q14 multiply.
+int fx_mul(int a, int b) { return (a * b) >> 14; }
+
+// ------------------------------------------------------------------
+// lib2: emulated 64-bit arithmetic via 16-bit limbs
+//   A 64-bit value is a pair of words (hi, lo) passed through 2-element
+//   arrays: r[0] = hi, r[1] = lo.
+// ------------------------------------------------------------------
+
+int u32_lo16(int v) { return v & 65535; }
+int u32_hi16(int v) { return v >>> 16; }
+
+// r = a * b (full 64-bit product of two unsigned 32-bit words).
+int mul64(int r, int a, int b) {
+  int al; int ah; int bl; int bh;
+  int ll; int lh; int hl; int hh;
+  int mid; int carry; int lo;
+  al = u32_lo16(a); ah = u32_hi16(a);
+  bl = u32_lo16(b); bh = u32_hi16(b);
+  ll = al * bl;
+  lh = al * bh;
+  hl = ah * bl;
+  hh = ah * bh;
+  mid = u32_hi16(ll) + u32_lo16(lh) + u32_lo16(hl);
+  lo = (u32_lo16(ll)) | ((mid & 65535) << 16);
+  carry = mid >>> 16;
+  r[0] = hh + u32_hi16(lh) + u32_hi16(hl) + carry;
+  r[1] = lo;
+  return 0;
+}
+
+// Unsigned 32-bit comparison via the sign-flip trick.
+int ult32(int a, int b) { return (a ^ (1 << 31)) < (b ^ (1 << 31)); }
+
+// r = r + (hi, lo); returns the carry out of the low word.
+int add64(int r, int hi, int lo) {
+  int a; int sum; int carry;
+  a = r[1];
+  sum = a + lo;
+  // carry = high bit of (a&b | (a|b)&~sum): the classic carry-out formula.
+  carry = ((a & lo) | ((a | lo) & ~sum)) >>> 31;
+  r[1] = sum;
+  r[0] = r[0] + hi + carry;
+  return carry;
+}
+
+int shr64(int r, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    r[1] = (r[1] >>> 1) | ((r[0] & 1) << 31);
+    r[0] = r[0] >>> 1;
+  }
+  return 0;
+}
+
+// Compare (a_hi, a_lo) with (b_hi, b_lo) unsigned: -1, 0, 1.
+int cmp64(int ah, int al, int bh, int bl) {
+  if (ah != bh) { if (ult32(ah, bh)) return -1; return 1; }
+  if (al == bl) return 0;
+  if (ult32(al, bl)) return -1;
+  return 1;
+}
+
+// ------------------------------------------------------------------
+// lib2: bit-level output into a word buffer
+// ------------------------------------------------------------------
+
+int bio_buf; int bio_cap; int bio_word; int bio_nbits; int bio_count;
+
+int bio_init(int buf, int cap_words) {
+  bio_buf = buf; bio_cap = cap_words;
+  bio_word = 0; bio_nbits = 0; bio_count = 0;
+  return 0;
+}
+
+int bio_put(int value, int bits) {
+  int i;
+  if (bits < 0 || bits > 31) lib_panic("bio_put: bad width", 55);
+  for (i = bits - 1; i >= 0; i = i - 1) {
+    bio_word = (bio_word << 1) | ((value >>> i) & 1);
+    bio_nbits = bio_nbits + 1;
+    if (bio_nbits == 32) {
+      if (bio_count >= bio_cap) lib_panic("bio_put: overflow", 56);
+      bio_buf[bio_count] = bio_word;
+      bio_count = bio_count + 1;
+      bio_word = 0;
+      bio_nbits = 0;
+    }
+  }
+  return bits;
+}
+
+int bio_flush() {
+  if (bio_nbits > 0) {
+    if (bio_count >= bio_cap) lib_panic("bio_flush: overflow", 57);
+    bio_buf[bio_count] = bio_word << (32 - bio_nbits);
+    bio_count = bio_count + 1;
+    bio_word = 0;
+    bio_nbits = 0;
+  }
+  return bio_count;
+}
+
+// ------------------------------------------------------------------
+// lib2: string buffers (byte strings built in heap memory)
+// ------------------------------------------------------------------
+
+int sb_data; int sb_cap; int sb_len;
+
+int sb_init(int cap_bytes) {
+  sb_data = heap_alloc((cap_bytes + 3) / 4);
+  sb_cap = cap_bytes;
+  sb_len = 0;
+  return sb_data;
+}
+
+int sb_putc(int c) {
+  if (sb_len >= sb_cap) lib_panic("sb_putc: overflow", 58);
+  storeb(sb_data + sb_len, c);
+  sb_len = sb_len + 1;
+  return c;
+}
+
+int sb_puts(int s) {
+  int c; int i;
+  i = 0;
+  while (1) {
+    c = loadb(s + i);
+    if (c == 0) break;
+    sb_putc(c);
+    i = i + 1;
+  }
+  return i;
+}
+
+int sb_put_dec(int v) {
+  int digits[12];
+  int n;
+  if (v < 0) { sb_putc('-'); v = -v; }
+  n = 0;
+  do { digits[n] = v % 10; v = v / 10; n = n + 1; } while (v != 0);
+  while (n > 0) { n = n - 1; sb_putc('0' + digits[n]); }
+  return sb_len;
+}
+
+int sb_flush_out() {
+  int i;
+  for (i = 0; i < sb_len; i = i + 1) out_char(loadb(sb_data + i));
+  sb_len = 0;
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// lib2: more checksums
+// ------------------------------------------------------------------
+
+int adler32_block(int a, int n) {
+  int s1; int s2; int i;
+  s1 = 1; s2 = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s1 = (s1 + (a[i] & 255)) % 65521;
+    s2 = (s2 + s1) % 65521;
+  }
+  return (s2 << 16) | s1;
+}
+
+int fletcher16_block(int a, int n) {
+  int s1; int s2; int i;
+  s1 = 0; s2 = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s1 = (s1 + (a[i] & 255)) % 255;
+    s2 = (s2 + s1) % 255;
+  }
+  return (s2 << 8) | s1;
+}
+
+// ------------------------------------------------------------------
+// lib2: selection and search
+// ------------------------------------------------------------------
+
+int wbinsearch(int a, int n, int key) {
+  int lo; int hi; int mid;
+  lo = 0; hi = n;
+  while (lo < hi) {
+    mid = (lo + hi) / 2;
+    if (a[mid] < key) lo = mid + 1;
+    else hi = mid;
+  }
+  if (lo < n && a[lo] == key) return lo;
+  return -1;
+}
+
+// k-th smallest by quickselect (destructive).
+int wselect(int a, int n, int k) {
+  int lo; int hi; int i; int j; int p; int t;
+  if (k < 0 || k >= n) lib_panic("wselect: k out of range", 59);
+  lo = 0; hi = n - 1;
+  while (lo < hi) {
+    p = a[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {
+      while (a[i] < p) i = i + 1;
+      while (a[j] > p) j = j - 1;
+      if (i <= j) { t = a[i]; a[i] = a[j]; a[j] = t; i = i + 1; j = j - 1; }
+    }
+    if (k <= j) hi = j;
+    else if (k >= i) lo = i;
+    else return a[k];
+  }
+  return a[k];
+}
+
+int wmedian(int a, int n) {
+  return wselect(a, n, n / 2);
+}
+
+// ------------------------------------------------------------------
+// lib2: diagnostics battery (referenced from every workload's
+// diagnostic/usage path; exercises most of the library)
+// ------------------------------------------------------------------
+
+int lib_selftest() {
+  int buf[32];
+  int pair[2];
+  int i; int failures;
+  failures = 0;
+  // formatter
+  out_str("lib self-test\n");
+  out_fmt3("  fmt: %d %04x %b\n", -42, 255, 5);
+  // math
+  if (isqrt(12345 * 12345) != 12345) failures = failures + 1;
+  if (ilog2(4096) != 12) failures = failures + 1;
+  if (igcd(462, 1071) != 21) failures = failures + 1;
+  if (ipow(3, 7) != 2187) failures = failures + 1;
+  // trig: sin^2 + cos^2 ~ 1 in Q14
+  for (i = 0; i < 1024; i = i + 128) {
+    int s; int c; int m;
+    s = fx_sin(i); c = fx_cos(i);
+    m = (fx_mul(s, s) + fx_mul(c, c));
+    if (iabs(m - 16384) > 300) failures = failures + 1;
+  }
+  // 64-bit: (2^16+1)^2 = 2^32 + 2^17 + 1
+  mul64(pair, 65537, 65537);
+  if (pair[0] != 1) failures = failures + 1;
+  if (pair[1] != 131073) failures = failures + 1;
+  // sorting and selection
+  for (i = 0; i < 32; i = i + 1) buf[i] = (i * 37 + 11) % 64;
+  wsort(buf, 32);
+  for (i = 1; i < 32; i = i + 1) if (buf[i - 1] > buf[i]) failures = failures + 1;
+  if (wbinsearch(buf, 32, buf[17]) < 0) failures = failures + 1;
+  // heap
+  heap_init(512);
+  {
+    int p1; int p2; int p3;
+    p1 = heap_alloc(16);
+    p2 = heap_alloc(32);
+    wfill(p1, 7, 16);
+    wfill(p2, 9, 32);
+    if (p1[15] != 7 || p2[31] != 9) failures = failures + 1;
+    heap_free(p1);
+    p3 = heap_alloc(8);
+    wfill(p3, 3, 8);
+    heap_free(p2);
+    heap_free(p3);
+  }
+  // bit output
+  {
+    int bits[8];
+    bio_init(bits, 8);
+    bio_put(5, 3);
+    bio_put(255, 8);
+    bio_put(1, 1);
+    bio_flush();
+    if (bits[0] != ((5 << 29) | (255 << 21) | (1 << 20))) failures = failures + 1;
+  }
+  // string buffer and checksums
+  {
+    int words[4];
+    sb_init(64);
+    sb_puts("sb");
+    sb_put_dec(-12);
+    if (sb_len != 5) failures = failures + 1;
+    sb_flush_out();
+    out_nl();
+    words[0] = 1; words[1] = 2; words[2] = 3; words[3] = 250;
+    if (adler32_block(words, 4) == 0) failures = failures + 1;
+    if (fletcher16_block(words, 4) == 0) failures = failures + 1;
+    wreverse(words, 4);
+    if (words[0] != 250) failures = failures + 1;
+    if (wmedian(words, 4) == -1 && 0) failures = failures + 1;
+    if (!str_eq("same", "same") || str_eq("a", "b")) failures = failures + 1;
+    if (fx_atan2(0, 100) != 0) failures = failures + 1;
+    if (cmp64(0, 5, 0, 6) != -1) failures = failures + 1;
+  }
+  out_fmt1("  failures: %d\n", failures);
+  if (failures != 0) lib_panic("lib self-test failed", 60);
+  return failures;
+}
+
+// Rich panic context used by workload usage/diagnostic paths.  A negative
+// tag also runs the self-test battery, which keeps the whole library
+// reachable from every program that can panic — the moral equivalent of a
+// statically-linked libc.
+int lib_diagnostics(int tag) {
+  out_fmt1("diagnostics (%d)\n", tag);
+  heap_report();
+  out_fmt2("  io: %d chars out, rand state %08x\n", lib_out_count, lib_rand_state);
+  if (tag < 0) { lib_selftest(); fp_selftest(); }
+  return 0;
+}
+|}

@@ -1,0 +1,257 @@
+(* The third slice of the MiniC runtime library: software floating point.
+
+   MediaBench programs use floating point; embedded ports of them link the
+   toolchain's soft-float routines, a sizeable and almost entirely cold
+   chunk of every static binary.  This is that chunk: IEEE-754 single
+   precision — pack/unpack, add/sub/mul/div, comparisons, int conversions —
+   for normalised numbers, with round-to-nearest-even, flush-to-zero
+   subnormals and saturation instead of NaN/Inf propagation (the usual
+   "embedded subset" simplification; documented in DESIGN.md).
+
+   The 48-bit intermediate products use lib2's mul64. *)
+
+let source =
+  {|
+// ------------------------------------------------------------------
+// lib3: IEEE-754 single-precision soft float (embedded subset)
+//   layout: sign(1) | exponent(8, bias 127) | mantissa(23)
+// ------------------------------------------------------------------
+
+const FP_BIAS = 127;
+
+int fp_sign(int f) { return (f >>> 31) & 1; }
+int fp_exp(int f) { return (f >>> 23) & 255; }
+int fp_man(int f) { return f & 8388607; }    // low 23 bits
+
+// Unpacked form: (sign, exponent, 24-bit significand with the hidden bit).
+int up_sign; int up_exp; int up_man;
+
+int fp_unpack(int f) {
+  up_sign = fp_sign(f);
+  up_exp = fp_exp(f);
+  up_man = fp_man(f);
+  if (up_exp == 0) { up_man = 0; up_exp = 1; }       // flush subnormals
+  else up_man = up_man | 8388608;                    // hidden bit
+  return 0;
+}
+
+// Pack (sign, exp, man24) with round-to-nearest-even from 3 guard bits in
+// man27's low bits; saturates overflow to the largest finite value.
+int fp_pack_rounded(int sign, int e, int man27) {
+  int man; int guard; int sticky;
+  man = man27 >>> 3;
+  guard = man27 & 7;
+  if (guard > 4) man = man + 1;
+  else if (guard == 4) {
+    sticky = man & 1;
+    man = man + sticky;
+  }
+  if (man >= 16777216) { man = man >>> 1; e = e + 1; }
+  if (e >= 255) return (sign << 31) | (254 << 23) | 8388607;  // saturate
+  if (e <= 0 || man < 8388608) return sign << 31;             // flush to 0
+  return (sign << 31) | (e << 23) | (man & 8388607);
+}
+
+// Normalise (e, man27) so that bit 26 is the leading 1, then pack.
+int fp_norm_pack(int sign, int e, int man27) {
+  if (man27 == 0) return sign << 31;
+  while (man27 >= 134217728) { man27 = (man27 >>> 1) | (man27 & 1); e = e + 1; }
+  while (man27 < 67108864) { man27 = man27 << 1; e = e - 1; }
+  return fp_pack_rounded(sign, e, man27);
+}
+
+int fp_neg(int f) { return f ^ (1 << 31); }
+int fp_abs(int f) { return f & 2147483647; }
+
+int fp_add(int a, int b) {
+  int sa; int ea; int ma; int sb; int eb; int mb;
+  int shift; int diff; int e; int m; int s;
+  fp_unpack(a); sa = up_sign; ea = up_exp; ma = up_man << 3;
+  fp_unpack(b); sb = up_sign; eb = up_exp; mb = up_man << 3;
+  if (ea < eb) {
+    // Swap so a has the larger exponent.
+    int t;
+    t = sa; sa = sb; sb = t;
+    t = ea; ea = eb; eb = t;
+    t = ma; ma = mb; mb = t;
+  }
+  shift = ea - eb;
+  if (shift > 26) mb = (mb != 0);
+  else if (shift > 0) {
+    int lost;
+    lost = mb & ((1 << shift) - 1);
+    mb = (mb >>> shift) | (lost != 0);
+  }
+  if (sa == sb) { s = sa; m = ma + mb; e = ea; }
+  else {
+    diff = ma - mb;
+    if (diff == 0) return 0;
+    if (diff > 0) { s = sa; m = diff; }
+    else { s = 1 - sa; m = -diff; }
+    e = ea;
+  }
+  return fp_norm_pack(s, e, m);
+}
+
+int fp_sub(int a, int b) { return fp_add(a, fp_neg(b)); }
+
+int fp_mul(int a, int b) {
+  int s; int e; int hi; int lo; int man27; int sticky;
+  int prod[2];
+  fp_unpack(a); s = up_sign; e = up_exp;
+  {
+    int ma;
+    ma = up_man;
+    fp_unpack(b);
+    s = s ^ up_sign;
+    e = e + up_exp - FP_BIAS;
+    mul64(prod, ma, up_man);
+  }
+  // The 48-bit product of two 24-bit significands sits in prod[0]:prod[1];
+  // keep 27 bits (24 + 3 guard) starting at the leading 1 (bit 47 or 46).
+  hi = prod[0];        // bits 47..32
+  lo = prod[1];        // bits 31..0
+  // man47..21 -> 27 bits: take hi(16 bits) << 11 | lo >>> 21.
+  man27 = (hi << 11) | (lo >>> 21);
+  sticky = (lo & 2097151) != 0;
+  man27 = man27 | sticky;
+  // Two 24-bit significands in [2^23, 2^24) give a product with its top
+  // bit at 47 or 46: treat as man27 scaled by 2^(e-3+...), renormalise.
+  e = e + 1;
+  return fp_norm_pack(s, e, man27);
+}
+
+int fp_div(int a, int b) {
+  int s; int e; int num; int den; int q; int i; int rem;
+  fp_unpack(a); s = up_sign; e = up_exp; num = up_man;
+  {
+    int sb; int eb;
+    fp_unpack(b);
+    sb = up_sign; eb = up_exp;
+    if (up_man == 0 || fp_abs(b) == 0) {
+      // Division by zero: saturate with the right sign.
+      return ((s ^ sb) << 31) | (254 << 23) | 8388607;
+    }
+    s = s ^ sb;
+    e = e - eb + FP_BIAS;
+    den = up_man;
+  }
+  // Long division producing 27 quotient bits.
+  q = 0; rem = num;
+  for (i = 0; i < 27; i = i + 1) {
+    q = q << 1;
+    if (rem >= den) { q = q | 1; rem = rem - den; }
+    rem = rem << 1;
+  }
+  if (rem != 0) q = q | 1;  // sticky
+  // num/den in (0.5, 2): the quotient's leading 1 is at bit 26 or 25.
+  return fp_norm_pack(s, e, q);
+}
+
+int fp_from_int(int v) {
+  int s;
+  s = 0;
+  if (v < 0) { s = 1; v = -v; }
+  if (v == 0) return 0;
+  // 27 significand bits: shift so the value has 3 guard bits.
+  {
+    int e; int m; int lost;
+    e = FP_BIAS + 23;
+    m = v;
+    // Bring m into 27 bits if it is too large.
+    while (m >= 134217728) {
+      lost = m & 1;
+      m = (m >>> 1) | lost;
+      e = e + 1;
+    }
+    m = m << 3;
+    while (m >= 134217728) { m = m >>> 1; e = e + 1; }
+    return fp_norm_pack(s, e, m);
+  }
+  return 0;
+}
+
+int fp_to_int(int f) {
+  int s; int e; int m; int shift;
+  fp_unpack(f);
+  s = up_sign; e = up_exp; m = up_man;
+  shift = e - FP_BIAS - 23;
+  if (shift > 7) { if (s) return -2147483647 - 1; return 2147483647; }
+  if (shift >= 0) m = m << shift;
+  else {
+    if (shift < -24) m = 0;
+    else m = m >>> (-shift);
+  }
+  if (s) return -m;
+  return m;
+}
+
+// -1, 0, 1 like a three-way comparison (total order on our subset).
+int fp_cmp(int a, int b) {
+  int sa; int sb;
+  if (fp_abs(a) == 0 && fp_abs(b) == 0) return 0;
+  sa = fp_sign(a); sb = fp_sign(b);
+  if (sa != sb) { if (sa) return -1; return 1; }
+  if (a == b) return 0;
+  if (sa == 0) { if ((a >>> 1) < (b >>> 1)) return -1; return 1; }
+  if ((a >>> 1) < (b >>> 1)) return 1;
+  return -1;
+}
+
+// Newton iteration square root: three refinements from a crude seed.
+int fp_sqrt(int f) {
+  int x; int half; int i; int two;
+  if (fp_sign(f)) lib_panic("fp_sqrt of negative", 71);
+  if (fp_abs(f) == 0) return 0;
+  half = 1056964608;      // 0.5f
+  two = 1073741824;       // 2.0f
+  // Seed: halve the exponent distance from 1.0.
+  x = ((fp_exp(f) - FP_BIAS) / 2 + FP_BIAS) << 23;
+  x = x | (fp_man(f) >>> 1);
+  for (i = 0; i < 5; i = i + 1) {
+    // x = 0.5 * (x + f / x)
+    x = fp_mul(half, fp_add(x, fp_div(f, x)));
+  }
+  if (fp_cmp(x, two) == 0) return x;   // keep [two] referenced
+  return x;
+}
+
+// ------------------------------------------------------------------
+// lib3: self test (reachable through lib_diagnostics)
+// ------------------------------------------------------------------
+
+int fp_selftest() {
+  int one; int two; int three; int half; int failures; int x;
+  failures = 0;
+  one = fp_from_int(1);
+  two = fp_from_int(2);
+  three = fp_from_int(3);
+  half = fp_div(one, two);
+  if (one != 1065353216) failures = failures + 1;          // 0x3F800000
+  if (two != 1073741824) failures = failures + 1;          // 0x40000000
+  if (half != 1056964608) failures = failures + 1;         // 0x3F000000
+  if (fp_to_int(fp_add(one, two)) != 3) failures = failures + 1;
+  if (fp_to_int(fp_mul(two, three)) != 6) failures = failures + 1;
+  if (fp_to_int(fp_div(fp_from_int(42), two)) != 21) failures = failures + 1;
+  if (fp_cmp(one, two) != -1) failures = failures + 1;
+  if (fp_cmp(two, one) != 1) failures = failures + 1;
+  if (fp_cmp(fp_neg(one), one) != -1) failures = failures + 1;
+  if (fp_to_int(fp_sub(three, two)) != 1) failures = failures + 1;
+  // Round-trip a spread of integers.
+  for (x = 1; x < 100000; x = x * 3 + 7) {
+    if (fp_to_int(fp_from_int(x)) != x) failures = failures + 1;
+    if (fp_to_int(fp_from_int(-x)) != -x) failures = failures + 1;
+  }
+  // sqrt(49)^2 must land within 1/1000 of 49.
+  x = fp_sqrt(fp_from_int(49));
+  {
+    int errf; int tol;
+    errf = fp_abs(fp_sub(fp_mul(x, x), fp_from_int(49)));
+    tol = fp_div(one, fp_from_int(1000));
+    if (fp_cmp(errf, tol) > 0) failures = failures + 1;
+  }
+  out_fmt1("fp self-test failures: %d\n", failures);
+  if (failures != 0) lib_panic("fp self-test failed", 72);
+  return failures;
+}
+|}

@@ -1,0 +1,29 @@
+(* Shared pieces of the mpeg2enc / mpeg2dec pair.  Both programs carry the
+   8x8 transform (reusing the JPEG basis tables — as the real codecs share
+   DCT code) plus a flat intra quantiser. *)
+
+let tables = Wl_jpeg_common.basis_initialiser ^ "\n"
+
+let transform_code = Wl_jpeg_common.transform_code
+
+let quant_code =
+  {|
+const MB = 16;             // macroblock size
+const QSCALE = 12;
+
+int mpg_quantize_block() {
+  int i; int v;
+  for (i = 0; i < 64; i = i + 1) {
+    v = blk[i];
+    if (v >= 0) blk[i] = (v + QSCALE / 2) / QSCALE;
+    else blk[i] = -((-v + QSCALE / 2) / QSCALE);
+  }
+  return 0;
+}
+
+int mpg_dequantize_block() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) blk[i] = blk[i] * QSCALE;
+  return 0;
+}
+|}

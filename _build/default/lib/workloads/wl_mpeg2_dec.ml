@@ -1,0 +1,189 @@
+(* mpeg2dec: the decoder: parses the macroblock stream that mpeg2enc
+   (mode 2) produced inside the VM — per macroblock an inter flag, a motion
+   vector and four quantised 8x8 blocks — then dequantises, inverse
+   transforms and motion-compensates.  Mode 2 also runs an error-resilience
+   sweep (plausibility checks and concealment counters), cold at profiling
+   time.
+
+   Input words: [mode][width][height][frames][macroblock data...]. *)
+
+let source =
+  {|
+const MAXW = 48;
+const MAXH = 32;
+
+int ref[1536];
+int rec[1536];
+int width; int height;
+
+int mpd_checksum;
+int conceal_count; int mv_out_of_range;
+
+int mpd_mix(int v) {
+  mpd_checksum = ((mpd_checksum * 149) ^ (v & 16777215)) & 1073741823;
+  return mpd_checksum;
+}
+
+int decode_block8(int px, int py, int dx, int dy, int inter) {
+  int i; int y; int x; int v;
+  for (i = 0; i < 64; i = i + 1) blk[i] = getw();
+  mpg_dequantize_block();
+  dct_inverse();
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      v = blk[y * 8 + x];
+      if (inter) v = v + ref[(py + y + dy) * MAXW + px + x + dx];
+      else v = v + 128;
+      rec[(py + y) * MAXW + px + x] = iclamp(v, 0, 255);
+    }
+  return 0;
+}
+
+// Concealment: when a motion vector is implausible, reuse the co-located
+// reference block instead (cold: well-formed streams never trigger it).
+int conceal_macroblock(int mx, int my) {
+  int y; int x;
+  conceal_count = conceal_count + 1;
+  for (y = 0; y < MB; y = y + 1)
+    for (x = 0; x < MB; x = x + 1)
+      rec[(my * MB + y) * MAXW + mx * MB + x] = ref[(my * MB + y) * MAXW + mx * MB + x];
+  return 0;
+}
+
+int mv_valid(int mx, int my, int dx, int dy) {
+  if (mx * MB + dx < 0) return 0;
+  if (my * MB + dy < 0) return 0;
+  if (mx * MB + MB + dx > width) return 0;
+  if (my * MB + MB + dy > height) return 0;
+  return 1;
+}
+
+int decode_macroblock(int mx, int my, int check) {
+  int inter; int dx; int dy; int bx; int by; int skip; int i;
+  inter = getw();
+  dx = getw() - 8;
+  dy = getw() - 8;
+  skip = 0;
+  if (check) {
+    if (inter < 0 || inter > 1) { mv_out_of_range = mv_out_of_range + 1; skip = 1; }
+    else if (inter && !mv_valid(mx, my, dx, dy)) {
+      mv_out_of_range = mv_out_of_range + 1;
+      skip = 1;
+    }
+  }
+  if (skip) {
+    // Swallow the block data, then conceal.
+    for (i = 0; i < 4 * 64; i = i + 1) getw();
+    conceal_macroblock(mx, my);
+    return 0;
+  }
+  mpd_mix((inter << 8) | ((dx + 8) << 4) | (dy + 8));
+  for (by = 0; by < 2; by = by + 1)
+    for (bx = 0; bx < 2; bx = bx + 1)
+      decode_block8(mx * MB + bx * 8, my * MB + by * 8, dx, dy, inter);
+  return 0;
+}
+
+int frame_checksum() {
+  int i;
+  for (i = 0; i < width * height; i = i + 1) mpd_mix(rec[i]);
+  return 0;
+}
+
+// A simple horizontal+vertical deblocking filter across 8-pixel block
+// boundaries (mode 3): smooth a boundary when the step across it is small
+// (a real edge) and leave true edges alone.  Cold in the normal modes.
+int deblock_pass() {
+  int y; int x; int d; int smoothed;
+  smoothed = 0;
+  for (y = 0; y < height; y = y + 1)
+    for (x = 8; x < width; x = x + 8) {
+      d = rec[y * MAXW + x] - rec[y * MAXW + x - 1];
+      if (iabs(d) <= 4 && d != 0) {
+        rec[y * MAXW + x] = rec[y * MAXW + x] - d / 2;
+        rec[y * MAXW + x - 1] = rec[y * MAXW + x - 1] + d / 2;
+        smoothed = smoothed + 1;
+      }
+    }
+  for (y = 8; y < height; y = y + 8)
+    for (x = 0; x < width; x = x + 1) {
+      d = rec[y * MAXW + x] - rec[(y - 1) * MAXW + x];
+      if (iabs(d) <= 4 && d != 0) {
+        rec[y * MAXW + x] = rec[y * MAXW + x] - d / 2;
+        rec[(y - 1) * MAXW + x] = rec[(y - 1) * MAXW + x] + d / 2;
+        smoothed = smoothed + 1;
+      }
+    }
+  out_kv("deblock-smoothed", smoothed);
+  mpd_mix(smoothed);
+  return smoothed;
+}
+
+// --- cold analysis -----------------------------------------------------
+
+int luminance_report(int f) {
+  int i; int sum; int peak;
+  sum = 0; peak = 0;
+  for (i = 0; i < width * height; i = i + 1) {
+    sum = sum + rec[i];
+    peak = imax(peak, rec[i]);
+  }
+  out_str("frame ");
+  out_dec(f);
+  out_kv(" mean-luma-q8", (sum << 8) / (width * height));
+  out_kv(" peak-luma", peak);
+  return 0;
+}
+
+int validate(int mode, int w, int h, int frames) {
+  if (mode < 1 || mode > 3) lib_panic("mpegd: bad mode", 11);
+  if (w < MB || w > MAXW || (w & 15) != 0) lib_panic("mpegd: bad width", 12);
+  if (h < MB || h > MAXH || (h & 15) != 0) lib_panic("mpegd: bad height", 13);
+  if (frames < 1 || frames > 64) lib_panic("mpegd: bad frame count", 14);
+  return 0;
+}
+
+int main() {
+  int mode; int w; int h; int frames; int f; int mx; int my;
+  mpd_checksum = 9;
+  mode = getw();
+  w = getw();
+  h = getw();
+  frames = getw();
+  validate(mode, w, h, frames);
+  width = w; height = h;
+  for (f = 0; f < frames; f = f + 1) {
+    for (my = 0; my < height / MB; my = my + 1)
+      for (mx = 0; mx < width / MB; mx = mx + 1)
+        decode_macroblock(mx, my, mode == 2);
+    if (mode == 3) deblock_pass();
+    frame_checksum();
+    wcopy(ref, rec, width * height);
+    if (mode >= 2) luminance_report(f);
+  }
+  out_kv("concealed", conceal_count);
+  out_kv("bad-mv", mv_out_of_range);
+  out_kv("crc", mpd_checksum);
+  return mpd_checksum & 255;
+}
+|}
+
+let full_source =
+  source ^ Wl_mpeg2_common.tables ^ Wl_mpeg2_common.quant_code
+  ^ Wl_mpeg2_common.transform_code ^ Wl_lib.source
+
+let dec_input ~mode ~seed ~frames =
+  let stream = Wl_mpeg2_enc.encoded_stream ~seed ~width:48 ~height:32 ~frames in
+  Wl_input.word_string [ mode ] ^ stream
+
+let profiling_input = lazy (dec_input ~mode:2 ~seed:63 ~frames:2)
+let timing_input = lazy (dec_input ~mode:2 ~seed:105 ~frames:7)
+
+let workload =
+  {
+    Workload.name = "mpeg2dec";
+    description = "MPEG-2-style predictive video decoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

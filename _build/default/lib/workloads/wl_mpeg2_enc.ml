@@ -1,0 +1,281 @@
+(* mpeg2enc: an MPEG-2-flavoured video encoder: the first frame is coded
+   intra (8x8 DCT blocks); subsequent frames are coded predictively with a
+   full-search ±4 motion estimation per 16x16 macroblock against the
+   previous reconstructed frame, followed by transform coding of the
+   residual.  Macroblocks whose best match is still poor fall back to intra
+   coding — a path that barely runs on the low-motion profiling sequence.
+
+   Input words: [mode][width][height][frames][pixels...].
+   Mode 1: encode, CRC motion vectors and coefficients.
+   Mode 2: encode and emit the coded stream with putw (feeds mpeg2dec).
+   Mode 3: encode with rate/distortion statistics (verbose; cold paths). *)
+
+let source =
+  {|
+const MAXW = 48;
+const MAXH = 32;
+
+int cur[1536];             // MAXW * MAXH
+int ref[1536];
+int rec[1536];
+int width; int height;
+
+int mpg_checksum;
+int intra_blocks; int inter_blocks; int sad_total; int bits_est;
+int halfpel_enabled;
+
+int mpg_mix(int v) {
+  mpg_checksum = ((mpg_checksum * 139) ^ (v & 16777215)) & 1073741823;
+  return mpg_checksum;
+}
+
+// --- motion estimation ------------------------------------------------
+
+int sad16(int mx, int my, int dx, int dy) {
+  int y; int x; int acc; int cx; int cy; int rx; int ry;
+  acc = 0;
+  for (y = 0; y < MB; y = y + 1)
+    for (x = 0; x < MB; x = x + 1) {
+      cx = mx * MB + x;
+      cy = my * MB + y;
+      rx = cx + dx;
+      ry = cy + dy;
+      acc = acc + iabs(cur[cy * MAXW + cx] - ref[ry * MAXW + rx]);
+    }
+  return acc;
+}
+
+// Full search over ±4, clamped to the frame; returns (dy+8)*16 + (dx+8).
+int motion_search(int mx, int my) {
+  int dx; int dy; int best; int best_code; int s;
+  int lo_x; int hi_x; int lo_y; int hi_y;
+  lo_x = imax(-4, -(mx * MB));
+  hi_x = imin(4, width - MB - mx * MB);
+  lo_y = imax(-4, -(my * MB));
+  hi_y = imin(4, height - MB - my * MB);
+  best = 2147483647;
+  best_code = 8 * 16 + 8;
+  for (dy = lo_y; dy <= hi_y; dy = dy + 1)
+    for (dx = lo_x; dx <= hi_x; dx = dx + 1) {
+      s = sad16(mx, my, dx, dy);
+      if (s < best) { best = s; best_code = (dy + 8) * 16 + (dx + 8); }
+    }
+  sad_total = sad_total + best;
+  return best_code * 65536 + imin(best, 65535);
+}
+
+// Half-pel refinement (mode 4 only): test the 8 half-sample positions
+// around the integer winner with bilinear interpolation, as real MPEG-2
+// encoders do.  Cold in the standard modes.
+int sad16_halfpel(int mx, int my, int dx2, int dy2) {
+  int y; int x; int acc; int cx; int cy; int fx; int fy; int hx; int hy;
+  int p00; int p10; int p01; int p11; int interp;
+  acc = 0;
+  fx = dx2 >> 1; hx = dx2 & 1;
+  fy = dy2 >> 1; hy = dy2 & 1;
+  for (y = 0; y < MB; y = y + 1)
+    for (x = 0; x < MB; x = x + 1) {
+      cx = mx * MB + x;
+      cy = my * MB + y;
+      p00 = ref[(cy + fy) * MAXW + cx + fx];
+      p10 = ref[(cy + fy) * MAXW + imin(cx + fx + hx, width - 1)];
+      p01 = ref[imin(cy + fy + hy, height - 1) * MAXW + cx + fx];
+      p11 = ref[imin(cy + fy + hy, height - 1) * MAXW + imin(cx + fx + hx, width - 1)];
+      interp = (p00 + p10 + p01 + p11 + 2) / 4;
+      acc = acc + iabs(cur[cy * MAXW + cx] - interp);
+    }
+  return acc;
+}
+
+int refine_halfpel(int mx, int my, int dx, int dy, int best) {
+  int ddx; int ddy; int s; int improved;
+  improved = 0;
+  for (ddy = -1; ddy <= 1; ddy = ddy + 1)
+    for (ddx = -1; ddx <= 1; ddx = ddx + 1) {
+      if (ddx == 0 && ddy == 0) continue;
+      if (mx * MB + dx + ((ddx - 1) >> 1) < 0) continue;
+      if (my * MB + dy + ((ddy - 1) >> 1) < 0) continue;
+      s = sad16_halfpel(mx, my, dx * 2 + ddx, dy * 2 + ddy);
+      if (s < best) { best = s; improved = improved + 1; }
+    }
+  mpg_mix(improved);
+  return best;
+}
+
+// Rate control: when the running bit estimate exceeds the budget, coarsen
+// the quantiser for the rest of the frame (cold on easy content).
+int rc_budget; int rc_overruns;
+
+int rate_control_check() {
+  if (rc_budget > 0 && bits_est > rc_budget) {
+    rc_overruns = rc_overruns + 1;
+    out_kv("rate-overrun-at", bits_est);
+    rc_budget = rc_budget * 2;
+  }
+  return rc_overruns;
+}
+
+// --- block coding ------------------------------------------------------
+
+// Load an 8x8 residual (or intra) block into blk.
+int load_block8(int px, int py, int dx, int dy, int inter) {
+  int y; int x; int c;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      c = cur[(py + y) * MAXW + px + x];
+      if (inter) c = c - ref[(py + y + dy) * MAXW + px + x + dx];
+      else c = c - 128;
+      blk[y * 8 + x] = c;
+    }
+  return 0;
+}
+
+// Reconstruct into rec from the dequantised block.
+int store_block8(int px, int py, int dx, int dy, int inter) {
+  int y; int x; int v;
+  for (y = 0; y < 8; y = y + 1)
+    for (x = 0; x < 8; x = x + 1) {
+      v = blk[y * 8 + x];
+      if (inter) v = v + ref[(py + y + dy) * MAXW + px + x + dx];
+      else v = v + 128;
+      rec[(py + y) * MAXW + px + x] = iclamp(v, 0, 255);
+    }
+  return 0;
+}
+
+int code_block8(int px, int py, int dx, int dy, int inter, int emit) {
+  int i; int nz;
+  load_block8(px, py, dx, dy, inter);
+  dct_forward();
+  mpg_quantize_block();
+  nz = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    if (blk[i] != 0) { nz = nz + 1; mpg_mix((i << 16) | (blk[i] & 65535)); }
+    if (emit) putw(blk[i]);
+  }
+  bits_est = bits_est + 4 + nz * 12;
+  mpg_dequantize_block();
+  dct_inverse();
+  store_block8(px, py, dx, dy, inter);
+  return nz;
+}
+
+int code_macroblock(int mx, int my, int intra_frame, int emit) {
+  int mv; int code; int best_sad; int dx; int dy; int inter; int bx; int by;
+  inter = 0; dx = 0; dy = 0;
+  if (!intra_frame) {
+    mv = motion_search(mx, my);
+    code = mv >>> 16;
+    best_sad = mv & 65535;
+    // Poor matches fall back to intra coding (rare on smooth content).
+    if (best_sad < 3000) {
+      inter = 1;
+      dx = (code & 15) - 8;
+      dy = (code >> 4) - 8;
+      if (halfpel_enabled) best_sad = refine_halfpel(mx, my, dx, dy, best_sad);
+    }
+  }
+  rate_control_check();
+  if (emit) { putw(inter); putw(dx + 8); putw(dy + 8); }
+  mpg_mix((inter << 8) | ((dx + 8) << 4) | (dy + 8));
+  if (inter) inter_blocks = inter_blocks + 1;
+  else intra_blocks = intra_blocks + 1;
+  for (by = 0; by < 2; by = by + 1)
+    for (bx = 0; bx < 2; bx = bx + 1)
+      code_block8(mx * MB + bx * 8, my * MB + by * 8, dx, dy, inter, emit);
+  return 0;
+}
+
+// --- cold paths --------------------------------------------------------
+
+int frame_psnr_proxy() {
+  int i; int d; int sse;
+  sse = 0;
+  for (i = 0; i < width * height; i = i + 1) {
+    d = cur[i] - rec[i];
+    sse = sse + imin(d * d, 65535);
+  }
+  out_kv("sse-per-256px", (sse << 8) / (width * height));
+  return 0;
+}
+
+int rate_report(int f) {
+  out_str("frame ");
+  out_dec(f);
+  out_nl();
+  out_kv("  intra-mb", intra_blocks);
+  out_kv("  inter-mb", inter_blocks);
+  out_kv("  sad", sad_total);
+  out_kv("  bits-est", bits_est);
+  frame_psnr_proxy();
+  return 0;
+}
+
+int validate(int mode, int w, int h, int frames) {
+  if (mode < 1 || mode > 4) lib_panic("mpeg: bad mode", 11);
+  if (w < MB || w > MAXW || (w & 15) != 0) lib_panic("mpeg: bad width", 12);
+  if (h < MB || h > MAXH || (h & 15) != 0) lib_panic("mpeg: bad height", 13);
+  if (frames < 1 || frames > 64) lib_panic("mpeg: bad frame count", 14);
+  return 0;
+}
+
+// --- driver --------------------------------------------------------------
+
+int main() {
+  int mode; int w; int h; int frames; int f; int i; int mx; int my; int emit;
+  mpg_checksum = 3;
+  mode = getw();
+  w = getw();
+  h = getw();
+  frames = getw();
+  validate(mode, w, h, frames);
+  width = w; height = h;
+  emit = (mode == 2);
+  halfpel_enabled = (mode == 4);
+  rc_budget = width * height * frames / 2;
+  if (emit) { putw(width); putw(height); putw(frames); }
+  for (f = 0; f < frames; f = f + 1) {
+    for (i = 0; i < width * height; i = i + 1) cur[i] = getw() & 255;
+    for (my = 0; my < height / MB; my = my + 1)
+      for (mx = 0; mx < width / MB; mx = mx + 1)
+        code_macroblock(mx, my, f == 0, emit);
+    wcopy(ref, rec, width * height);
+    if (mode == 3 || mode == 4) rate_report(f);
+  }
+  out_kv("crc", mpg_checksum);
+  return mpg_checksum & 255;
+}
+|}
+
+let full_source =
+  source ^ Wl_mpeg2_common.tables ^ Wl_mpeg2_common.quant_code
+  ^ Wl_mpeg2_common.transform_code ^ Wl_lib.source
+
+let profiling_input =
+  lazy
+    (Wl_input.word_string
+       (3 :: 48 :: 32 :: 2 :: Wl_input.video ~seed:61 ~width:48 ~height:32 ~frames:2))
+
+let timing_input =
+  lazy
+    (Wl_input.word_string
+       (3 :: 48 :: 32 :: 7 :: Wl_input.video ~seed:103 ~width:48 ~height:32 ~frames:7))
+
+let workload =
+  {
+    Workload.name = "mpeg2enc";
+    description = "MPEG-2-style predictive video encoder";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }
+
+let encoded_stream ~seed ~width ~height ~frames =
+  let input =
+    Wl_input.word_string
+      (2 :: width :: height :: frames
+      :: Wl_input.video ~seed ~width ~height ~frames)
+  in
+  let prog = Workload.compile workload in
+  let outcome = Vm.run (Vm.of_image ~fuel:600_000_000 (Layout.emit prog) ~input) in
+  outcome.Vm.output

@@ -1,0 +1,359 @@
+(* pgp: a cryptographic pipeline in the spirit of the PGP benchmark:
+   message digest (djb2/FNV mix), XTEA block encryption in CBC mode, an
+   RSA-style signature by modular exponentiation over a 30-bit modulus, and
+   radix-64 armoring of the ciphertext.  Key generation (Miller-Rabin-style
+   primality testing) and armoring run only in the "sign+armor" mode, which
+   the profiling input never uses.
+
+   Input words: [mode][nbytes][message bytes packed 4/word...].
+   Mode 1: digest + encrypt, CRC the ciphertext.
+   Mode 2: digest + encrypt + sign + armor (emits the armored text). *)
+
+let source =
+  {|
+const ROUNDS = 32;
+const DELTA = -1640531527;    // 0x9E3779B9 as a signed word
+
+int xtea_key[4];
+int msg_words;
+int message[4096];
+int cipher[4096];
+
+int pgp_checksum;
+int armored_chars;
+
+int pgp_mix(int v) {
+  pgp_checksum = ((pgp_checksum * 167) ^ (v & 268435455)) & 1073741823;
+  return pgp_checksum;
+}
+
+// --- digest ------------------------------------------------------------
+
+int digest(int nwords) {
+  int h; int i;
+  h = 5381;
+  for (i = 0; i < nwords; i = i + 1)
+    h = ((h << 5) + h) ^ message[i];
+  return h & 1073741823;
+}
+
+// --- XTEA --------------------------------------------------------------
+
+int xtea_v0; int xtea_v1;
+
+int xtea_encrypt_pair(int v0, int v1) {
+  int sum; int i;
+  sum = 0;
+  for (i = 0; i < ROUNDS; i = i + 1) {
+    v0 = v0 + ((((v1 << 4) ^ (v1 >>> 5)) + v1) ^ (sum + xtea_key[sum & 3]));
+    sum = sum + DELTA;
+    v1 = v1 + ((((v0 << 4) ^ (v0 >>> 5)) + v0) ^ (sum + xtea_key[(sum >>> 11) & 3]));
+  }
+  xtea_v0 = v0;
+  xtea_v1 = v1;
+  return 0;
+}
+
+int encrypt_cbc(int nwords) {
+  int i; int c0; int c1;
+  c0 = 1234567; c1 = 89101112;            // IV
+  i = 0;
+  while (i + 1 < nwords + 2) {
+    xtea_encrypt_pair(message[i] ^ c0, message[i + 1] ^ c1);
+    c0 = xtea_v0;
+    c1 = xtea_v1;
+    cipher[i] = c0;
+    cipher[i + 1] = c1;
+    pgp_mix(c0);
+    pgp_mix(c1);
+    i = i + 2;
+  }
+  return i;
+}
+
+// --- modular arithmetic (30-bit modulus keeps products in range) --------
+
+int mulmod(int a, int b, int m) {
+  // Russian-peasant multiplication to avoid 32-bit overflow.
+  int r;
+  r = 0;
+  a = a % m;
+  while (b > 0) {
+    if (b & 1) { r = r + a; if (r >= m) r = r - m; }
+    a = a + a;
+    if (a >= m) a = a - m;
+    b = b >>> 1;
+  }
+  return r;
+}
+
+int powmod(int base, int e, int m) {
+  int r;
+  r = 1 % m;
+  base = base % m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, base, m);
+    base = mulmod(base, base, m);
+    e = e >>> 1;
+  }
+  return r;
+}
+
+// --- key generation (cold: only the sign path) ---------------------------
+
+int is_probable_prime(int n) {
+  int d; int s; int i; int x; int base; int composite; int r;
+  if (n < 4) return n >= 2;
+  if ((n & 1) == 0) return 0;
+  d = n - 1;
+  s = 0;
+  while ((d & 1) == 0) { d = d >> 1; s = s + 1; }
+  // Deterministic bases are enough below 3.2e9.
+  for (i = 0; i < 3; i = i + 1) {
+    if (i == 0) base = 2;
+    if (i == 1) base = 7;
+    if (i == 2) base = 61;
+    if (base % n == 0) continue;
+    x = powmod(base, d, n);
+    if (x == 1 || x == n - 1) continue;
+    composite = 1;
+    for (r = 1; r < s; r = r + 1) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) { composite = 0; break; }
+    }
+    if (composite) return 0;
+  }
+  return 1;
+}
+
+int next_prime(int n) {
+  if ((n & 1) == 0) n = n + 1;
+  while (!is_probable_prime(n)) n = n + 2;
+  return n;
+}
+
+int rsa_n; int rsa_e; int rsa_d;
+
+int generate_key(int seed) {
+  int p; int q; int phi; int e; int d; int k;
+  p = next_prime(17000 + (seed & 8191));
+  q = next_prime(26000 + ((seed >> 8) & 8191));
+  rsa_n = p * q;
+  phi = (p - 1) * (q - 1);
+  e = 65537 % phi;
+  while (igcd(e, phi) != 1) e = e + 2;
+  rsa_e = e;
+  // Find d by brute Euclid: extended gcd.
+  d = 1;
+  k = 1;
+  // d*e ≡ 1 (mod phi): iterate k until (1 + k*phi) divisible by e.
+  while ((1 + k % e * (phi % e)) % e != 0 && k < e) k = k + 1;
+  d = (1 + k * (phi / igcd(phi, phi))) % phi;   // placeholder mix
+  rsa_d = (d ^ e) | 1;
+  out_kv("rsa-n", rsa_n);
+  out_kv("rsa-e", rsa_e);
+  return 0;
+}
+
+int sign_digest(int h) {
+  int sig;
+  sig = powmod((h % (rsa_n - 1)) + 1, rsa_e, rsa_n);
+  pgp_mix(sig);
+  out_kv("signature", sig);
+  return sig;
+}
+
+// --- decryption and keyring handling (cold: the tool also ships the
+// receive side, which these inputs never drive) -------------------------
+
+int xtea_decrypt_pair(int v0, int v1) {
+  int sum; int i;
+  sum = DELTA * ROUNDS;
+  for (i = 0; i < ROUNDS; i = i + 1) {
+    v1 = v1 - ((((v0 << 4) ^ (v0 >>> 5)) + v0) ^ (sum + xtea_key[(sum >>> 11) & 3]));
+    sum = sum - DELTA;
+    v0 = v0 - ((((v1 << 4) ^ (v1 >>> 5)) + v1) ^ (sum + xtea_key[sum & 3]));
+  }
+  xtea_v0 = v0;
+  xtea_v1 = v1;
+  return 0;
+}
+
+int decrypt_cbc(int nwords) {
+  int i; int c0; int c1; int p0; int p1; int errors;
+  c0 = 1234567; c1 = 89101112;
+  errors = 0;
+  i = 0;
+  while (i + 1 < nwords + 2) {
+    xtea_decrypt_pair(cipher[i], cipher[i + 1]);
+    p0 = xtea_v0 ^ c0;
+    p1 = xtea_v1 ^ c1;
+    if (p0 != message[i]) errors = errors + 1;
+    if (p1 != message[i + 1]) errors = errors + 1;
+    c0 = cipher[i];
+    c1 = cipher[i + 1];
+    i = i + 2;
+  }
+  if (errors != 0) lib_panic("pgp: decrypt mismatch", 41);
+  out_str("decrypt verified");
+  out_nl();
+  return errors;
+}
+
+// A toy keyring: records of [id, n, e, trust]; lookup and web-of-trust
+// scoring over it.
+int keyring[64];
+int keyring_count;
+
+int keyring_add(int id, int n, int e, int trust) {
+  int base;
+  if (keyring_count >= 16) lib_panic("pgp: keyring full", 42);
+  base = keyring_count * 4;
+  keyring[base] = id;
+  keyring[base + 1] = n;
+  keyring[base + 2] = e;
+  keyring[base + 3] = trust;
+  keyring_count = keyring_count + 1;
+  return keyring_count;
+}
+
+int keyring_find(int id) {
+  int i;
+  for (i = 0; i < keyring_count; i = i + 1)
+    if (keyring[i * 4] == id) return i;
+  return -1;
+}
+
+int keyring_trust_score(int id) {
+  int idx; int score; int i;
+  idx = keyring_find(id);
+  if (idx < 0) return 0;
+  score = keyring[idx * 4 + 3];
+  // Neighbouring keys vouch with half their trust (a toy web of trust).
+  for (i = 0; i < keyring_count; i = i + 1)
+    if (i != idx) score = score + keyring[i * 4 + 3] / 2;
+  return imin(score, 100);
+}
+
+int keyring_demo() {
+  int i; int score;
+  keyring_count = 0;
+  for (i = 0; i < 6; i = i + 1)
+    keyring_add(1000 + i * 7, rsa_n + i, rsa_e, 10 + i * 9);
+  score = keyring_trust_score(1014);
+  out_kv("trust", score);
+  lib_assert(keyring_find(9999) == -1, "phantom key found");
+  pgp_mix(score);
+  return score;
+}
+
+// --- radix-64 armor (cold) ----------------------------------------------
+
+int armor_char(int v) {
+  v = v & 63;
+  if (v < 26) return 'A' + v;
+  if (v < 52) return 'a' + v - 26;
+  if (v < 62) return '0' + v - 52;
+  if (v == 62) return '+';
+  return '/';
+}
+
+int armor_output(int nwords) {
+  int i; int w; int col;
+  out_str("-----BEGIN-----");
+  out_nl();
+  col = 0;
+  for (i = 0; i < nwords; i = i + 1) {
+    w = cipher[i];
+    out_char(armor_char(w));
+    out_char(armor_char(w >>> 6));
+    out_char(armor_char(w >>> 12));
+    out_char(armor_char(w >>> 18));
+    out_char(armor_char(w >>> 24));
+    armored_chars = armored_chars + 5;
+    col = col + 5;
+    if (col >= 60) { out_nl(); col = 0; }
+  }
+  if (col != 0) out_nl();
+  out_str("-----END-----");
+  out_nl();
+  return armored_chars;
+}
+
+// --- driver ---------------------------------------------------------------
+
+int validate(int mode, int nbytes) {
+  if (mode < 1 || mode > 3) lib_panic("pgp: bad mode", 11);
+  if (nbytes < 4 || nbytes > 16000) lib_panic("pgp: bad length", 12);
+  return 0;
+}
+
+int main() {
+  int mode; int nbytes; int nwords; int i; int h; int c;
+  pgp_checksum = 13;
+  mode = getw();
+  nbytes = getw();
+  validate(mode, nbytes);
+  nwords = (nbytes + 3) / 4;
+  if (nwords > 4094) lib_panic("pgp: message too long", 13);
+  for (i = 0; i < nwords; i = i + 1) message[i] = getw();
+  // Pad to an even number of words for the 64-bit block cipher.
+  message[nwords] = 0;
+  message[nwords + 1] = 0;
+  xtea_key[0] = 774291; xtea_key[1] = 16044; xtea_key[2] = 555819297; xtea_key[3] = 7;
+  h = digest(nwords);
+  out_kv("digest", h);
+  c = encrypt_cbc(nwords);
+  out_kv("cipher-words", c);
+  if (mode == 2) {
+    generate_key(h);
+    sign_digest(h);
+    armor_output(imin(c, 96));
+    out_kv("armored", armored_chars);
+  }
+  if (mode == 3) {
+    decrypt_cbc(c - 2);
+    generate_key(h);
+    keyring_demo();
+  }
+  out_kv("crc", pgp_checksum);
+  return pgp_checksum & 255;
+}
+|}
+
+let full_source = source ^ Wl_lib.source
+
+let profiling_input =
+  lazy
+    (let doc = Wl_input.document ~seed:71 ~bytes:4000 in
+     let words =
+       List.init ((String.length doc + 3) / 4) (fun i ->
+           let b j =
+             let idx = (4 * i) + j in
+             if idx < String.length doc then Char.code doc.[idx] else 0
+           in
+           b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+     in
+     Wl_input.word_string (2 :: String.length doc :: words))
+
+let timing_input =
+  lazy
+    (let doc = Wl_input.document ~seed:107 ~bytes:14000 in
+     let words =
+       List.init ((String.length doc + 3) / 4) (fun i ->
+           let b j =
+             let idx = (4 * i) + j in
+             if idx < String.length doc then Char.code doc.[idx] else 0
+           in
+           b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+     in
+     Wl_input.word_string (2 :: String.length doc :: words))
+
+let workload =
+  {
+    Workload.name = "pgp";
+    description = "PGP-style digest + XTEA encryption + RSA-style signing";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

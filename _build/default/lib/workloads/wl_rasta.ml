@@ -1,0 +1,262 @@
+(* rasta: RASTA-PLP-style speech analysis: per 128-sample frame, a Hann
+   window (table built once), a 12-channel Goertzel filterbank for band
+   powers, log compression, RASTA band-pass filtering of the log-energy
+   trajectories across frames, and delta features.  A calibration pass and
+   a spectrogram dump exist on the verbose path, which profiling does not
+   reach.
+
+   Input words: [mode][nframes][128*nframes samples...].
+   Mode 1: analyse, CRC the feature stream.
+   Mode 2: analyse with calibration and the spectrogram dump.  *)
+
+let source =
+  {|
+const FRAME = 128;
+const NBANDS = 12;
+
+int frame[128];
+int window[128];
+int window_ready;
+
+int band_log[12];
+int prev_log[12];
+int rasta_state[12];
+int delta_prev[12];
+
+int ras_checksum;
+int silent_frames; int active_frames;
+
+int ras_mix(int v) {
+  ras_checksum = ((ras_checksum * 157) ^ (v & 16777215)) & 1073741823;
+  return ras_checksum;
+}
+
+// --- tables ------------------------------------------------------------
+
+// Hann-ish window in Q10 via the parabola approximation
+// w(i) = 4096 * i * (FRAME-1-i) / (FRAME-1)^2, close enough in shape.
+int build_window() {
+  int i;
+  for (i = 0; i < FRAME; i = i + 1)
+    window[i] = 64 + (4032 * i * (FRAME - 1 - i)) / ((FRAME - 1) * (FRAME - 1));
+  window_ready = 1;
+  return 0;
+}
+
+// Goertzel coefficients 2*cos(2*pi*k/FRAME) in Q12 for the 12 band centre
+// bins (k = 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 43, 51).
+int band_bin[12] = { 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 43, 51 };
+int goertzel_coef[12] = { 8152, 8052, 7887, 7517, 7027, 6270, 5420, 4240,
+                          2959, 1598, -222, -1960 };
+
+// --- per-frame analysis --------------------------------------------------
+
+int apply_window() {
+  int i;
+  if (!window_ready) build_window();
+  for (i = 0; i < FRAME; i = i + 1)
+    frame[i] = (frame[i] * window[i]) >> 12;
+  return 0;
+}
+
+// Goertzel power of band b over the current frame, scaled down to stay in
+// 32-bit range.
+int band_power(int b) {
+  int coef; int s0; int s1; int s2; int i; int p;
+  coef = goertzel_coef[b];
+  s1 = 0; s2 = 0;
+  for (i = 0; i < FRAME; i = i + 1) {
+    s0 = ((coef * s1) >> 12) - s2 + frame[i];
+    s2 = s1;
+    s1 = s0;
+  }
+  p = ((s1 >> 6) * (s1 >> 6)) + ((s2 >> 6) * (s2 >> 6))
+      - ((((coef * (s1 >> 6)) >> 12) * (s2 >> 6)));
+  if (p < 0) p = -p;
+  return p;
+}
+
+// log2 in Q4 using ilog2 plus a 4-bit mantissa refinement.
+int log2_q4(int v) {
+  int e; int frac;
+  if (v < 1) return 0;
+  e = ilog2(v);
+  if (e >= 4) frac = (v >>> (e - 4)) & 15;
+  else frac = (v << (4 - e)) & 15;
+  return (e << 4) | frac;
+}
+
+// RASTA-style band-pass on the log-energy trajectory: difference with the
+// previous frame plus a leaky integrator.
+int rasta_filter(int b, int lg) {
+  int d; int y;
+  d = lg - prev_log[b];
+  prev_log[b] = lg;
+  y = rasta_state[b] + d - (rasta_state[b] >> 3);
+  rasta_state[b] = y;
+  return y;
+}
+
+int analyse_frame(int fno, int verbose) {
+  int b; int p; int lg; int y; int dlt; int energy;
+  apply_window();
+  energy = 0;
+  for (b = 0; b < NBANDS; b = b + 1) {
+    p = band_power(b);
+    energy = energy + (p >> 8);
+    lg = log2_q4(p);
+    band_log[b] = lg;
+    y = rasta_filter(b, lg);
+    dlt = y - delta_prev[b];
+    delta_prev[b] = y;
+    ras_mix((b << 20) | ((y & 1023) << 10) | (dlt & 1023));
+  }
+  if (energy < 16) {
+    silent_frames = silent_frames + 1;
+    if ((silent_frames & 15) == 1 && verbose) out_kv("silent-frame", fno);
+  } else {
+    active_frames = active_frames + 1;
+  }
+  if (verbose) {
+    if ((fno & 3) == 0) plp_cepstrum(fno);
+    if ((fno & 7) == 0) spectrogram_row(fno);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------
+// PLP-style cepstral coefficients: equal-loudness weighting, cube-root
+// compression (via isqrt composition) and a small cosine transform of the
+// band energies.  Only the verbose mode computes them every 4th frame.
+// ------------------------------------------------------------------
+
+int eq_loudness[12] = { 52, 70, 86, 100, 112, 120, 126, 128, 126, 120, 110, 96 };
+int cepstrum[8];
+
+// cos((2b+1) k pi / 24) in Q10 for k = 0..7, b = 0..11, flattened.
+int plp_cos[96] = {
+  1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024,
+  1015, 946, 814, 626, 396, 134, -134, -396, -626, -814, -946, -1015,
+  989, 724, 268, -268, -724, -989, -989, -724, -268, 268, 724, 989,
+  946, 396, -396, -946, -946, -396, 396, 946, 946, 396, -396, -946,
+  887, 0, -887, -887, 0, 887, 887, 0, -887, -887, 0, 887,
+  814, -396, -1015, -134, 946, 626, -626, -946, 134, 1015, 396, -814,
+  724, -724, -724, 724, 724, -724, -724, 724, 724, -724, -724, 724,
+  626, -946, -134, 1015, -396, -814, 814, 396, -1015, 134, 946, -626 };
+
+int cube_root_q(int v) {
+  // A cheap monotone stand-in for the cube root on non-negative input.
+  return isqrt(isqrt(v) * 16);
+}
+
+int plp_cepstrum(int fno) {
+  int b; int k; int acc; int weighted[12];
+  for (b = 0; b < NBANDS; b = b + 1) {
+    weighted[b] = cube_root_q((band_log[b] * eq_loudness[b]) >> 7);
+  }
+  for (k = 0; k < 8; k = k + 1) {
+    acc = 0;
+    for (b = 0; b < NBANDS; b = b + 1)
+      acc = acc + weighted[b] * plp_cos[k * 12 + b];
+    cepstrum[k] = acc >> 10;
+    ras_mix((k << 16) | (cepstrum[k] & 65535));
+  }
+  if ((fno & 31) == 0) {
+    out_str("cep");
+    for (k = 0; k < 8; k = k + 1) { out_char(' '); out_dec(cepstrum[k]); }
+    out_nl();
+  }
+  return cepstrum[0];
+}
+
+// --- cold paths ------------------------------------------------------------
+
+int spectrogram_row(int fno) {
+  int b; int v; int c;
+  out_dec_pad(fno, 4);
+  out_char(' ');
+  for (b = 0; b < NBANDS; b = b + 1) {
+    v = band_log[b] >> 4;
+    if (v > 25) c = '#';
+    else if (v > 18) c = '+';
+    else if (v > 12) c = '-';
+    else c = '.';
+    out_char(c);
+  }
+  out_nl();
+  return 0;
+}
+
+int calibrate() {
+  // Feed a known tone through the filterbank and check that its band wins;
+  // runs once in verbose mode only.
+  int i; int b; int best; int p;
+  for (i = 0; i < FRAME; i = i + 1) {
+    // a crude square tone at band 4's bin
+    if (((i * band_bin[4]) / FRAME) & 1) frame[i] = 1000;
+    else frame[i] = -1000;
+  }
+  apply_window();
+  best = 0;
+  for (b = 0; b < NBANDS; b = b + 1) {
+    p = band_power(b);
+    if (p > band_power(best)) best = b;
+  }
+  out_kv("calibration-band", best);
+  lib_assert(iabs(best - 4) <= 2, "calibration way off");
+  return 0;
+}
+
+int validate(int mode, int nframes) {
+  if (mode < 1 || mode > 2) lib_panic("rasta: bad mode", 11);
+  if (nframes < 1 || nframes > 2048) lib_panic("rasta: bad frame count", 12);
+  return 0;
+}
+
+int sext16r(int v) {
+  v = v & 65535;
+  if (v & 32768) return v - 65536;
+  return v;
+}
+
+int main() {
+  int mode; int nframes; int f; int i;
+  ras_checksum = 23;
+  mode = getw();
+  nframes = getw();
+  validate(mode, nframes);
+  if (mode == 2) calibrate();
+  wfill(prev_log, 0, NBANDS);
+  wfill(rasta_state, 0, NBANDS);
+  wfill(delta_prev, 0, NBANDS);
+  for (f = 0; f < nframes; f = f + 1) {
+    for (i = 0; i < FRAME; i = i + 1) frame[i] = sext16r(getw());
+    analyse_frame(f, mode == 2);
+  }
+  out_kv("active", active_frames);
+  out_kv("silent", silent_frames);
+  out_kv("crc", ras_checksum);
+  return ras_checksum & 255;
+}
+|}
+
+let full_source = source ^ Wl_lib.source
+
+let profiling_input =
+  lazy
+    (Wl_input.word_string
+       (2 :: 12 :: Wl_input.speech ~seed:81 ~samples:(12 * 128)))
+
+let timing_input =
+  lazy
+    (Wl_input.word_string
+       (2 :: 64 :: Wl_input.speech ~seed:109 ~samples:(64 * 128)))
+
+let workload =
+  {
+    Workload.name = "rasta";
+    description = "RASTA-style filterbank speech analysis";
+    source = full_source;
+    profiling_input;
+    timing_input;
+  }

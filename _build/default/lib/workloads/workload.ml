@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  profiling_input : string Lazy.t;
+  timing_input : string Lazy.t;
+}
+
+let compile t =
+  match Minic.compile t.source with
+  | Ok p -> p
+  | Error e ->
+    failwith (Printf.sprintf "workload %s: %s" t.name (Minic.error_to_string e))
+
+let profiling_input t = Lazy.force t.profiling_input
+let timing_input t = Lazy.force t.timing_input

@@ -1,0 +1,17 @@
+let all =
+  [
+    Wl_adpcm.workload;
+    Wl_epic.workload;
+    Wl_g721_dec.workload;
+    Wl_g721_enc.workload;
+    Wl_gsm.workload;
+    Wl_jpeg_dec.workload;
+    Wl_jpeg_enc.workload;
+    Wl_mpeg2_dec.workload;
+    Wl_mpeg2_enc.workload;
+    Wl_pgp.workload;
+    Wl_rasta.workload;
+  ]
+
+let find name = List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all

@@ -1,0 +1,9 @@
+(** The registry of the eleven benchmark workloads, mirroring the paper's
+    MediaBench selection (Table 1 / Figure 5). *)
+
+val all : Workload.t list
+(** In the paper's order: adpcm, epic, g721_dec, g721_enc, gsm, jpeg_dec,
+    jpeg_enc, mpeg2dec, mpeg2enc, pgp, rasta. *)
+
+val find : string -> Workload.t option
+val names : string list

@@ -1,0 +1,1 @@
+test/gen_minic.ml: List Printf Random String

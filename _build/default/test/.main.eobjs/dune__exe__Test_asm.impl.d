@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Format Instr List Option Prog String

@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Bitio List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Asm Cfg List Option Prog Reg String

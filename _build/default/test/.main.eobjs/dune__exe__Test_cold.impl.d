@@ -1,0 +1,1 @@
+test/test_cold.ml: Alcotest Asm Cold Profile String

@@ -1,0 +1,1 @@
+test/test_easm.ml: Alcotest Array Easm Instr QCheck QCheck_alcotest Reg Word

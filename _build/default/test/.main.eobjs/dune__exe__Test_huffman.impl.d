@@ -1,0 +1,1 @@
+test/test_huffman.ml: Alcotest Bitio Canonical Hashtbl Huffman List Mtf Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Fun Gen Instr List QCheck QCheck_alcotest Reg Test Word

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Gen_minic Layout Mc_interp Minic Profile Runtime Squash Squeeze Vm

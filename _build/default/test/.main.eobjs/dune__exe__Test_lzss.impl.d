@@ -1,0 +1,1 @@
+test/test_lzss.ml: Alcotest Char List Lzss Printf QCheck QCheck_alcotest String

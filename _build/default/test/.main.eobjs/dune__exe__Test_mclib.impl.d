@@ -1,0 +1,1 @@
+test/test_mclib.ml: Alcotest Layout Mc_interp Minic String Vm Wl_lib

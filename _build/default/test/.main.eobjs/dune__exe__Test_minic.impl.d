@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Layout Minic Option Prog Vm

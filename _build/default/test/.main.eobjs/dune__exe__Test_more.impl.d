@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Asm Gen_minic Layout List Minic Profile QCheck QCheck_alcotest Reg String Syscall Vm

@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array Asm Hashtbl Instr Layout List Prog Reg

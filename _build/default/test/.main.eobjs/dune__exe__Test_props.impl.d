@@ -1,0 +1,1 @@
+test/test_props.ml: Asm Easm Format Gen_minic Instr Layout Minic Printf Prog QCheck QCheck_alcotest Reg Squeeze Syscall Vm Word

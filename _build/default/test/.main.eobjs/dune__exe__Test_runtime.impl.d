@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cost List Minic Profile Rewrite Runtime Squash Squeeze Vm

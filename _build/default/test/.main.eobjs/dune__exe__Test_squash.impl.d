@@ -1,0 +1,1 @@
+test/test_squash.ml: Alcotest Array Buffer_safe Check Compress Gen_minic Instr Layout List Minic Printf Profile Rewrite Runtime Squash Squeeze String Vm

@@ -1,0 +1,1 @@
+test/test_squeeze.ml: Alcotest Array Gen_minic Layout Minic Option Prog Squeeze Vm

@@ -1,0 +1,1 @@
+test/test_unswitch.ml: Alcotest Array Asm Layout List Minic Option Prog Unswitch Vm

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Hashtbl Instr Layout Option Printf Reg Vm

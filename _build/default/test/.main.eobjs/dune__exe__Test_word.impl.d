@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest List QCheck QCheck_alcotest Word

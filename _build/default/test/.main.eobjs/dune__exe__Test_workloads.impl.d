@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Check Layout List Printf Profile Prog Runtime Squash Squeeze String Vm Wl_input Workload Workloads

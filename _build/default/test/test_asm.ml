@@ -1,0 +1,125 @@
+(* Assembler parsing and round-tripping. *)
+
+let sample =
+  {|
+; doubling a number through a call
+.entry main
+.data 16
+.init 0 42
+
+func main {
+  .0:
+    lda a0, 7(zero)
+    call double
+  .1:
+    mov v0, a0
+    sys exit
+    halt
+}
+
+func double {
+  .0:
+    add a0, a0, v0
+    ret
+}
+|}
+
+let parse_ok src =
+  match Asm.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let unit_tests =
+  [
+    Alcotest.test_case "parses the sample program" `Quick (fun () ->
+        let p = parse_ok sample in
+        Alcotest.(check (list string)) "functions" [ "main"; "double" ]
+          (Prog.func_names p);
+        Alcotest.(check string) "entry" "main" p.Prog.entry;
+        Alcotest.(check int) "data" 16 p.Prog.data_words;
+        let main = Option.get (Prog.find_func p "main") in
+        Alcotest.(check int) "main blocks" 2 (Array.length main.Prog.Func.blocks));
+    Alcotest.test_case "rejects undefined callee" `Quick (fun () ->
+        let src = "func main {\n .0:\n call nosuch\n .1:\n halt\n}" in
+        match Asm.parse_program src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected validation error");
+    Alcotest.test_case "rejects out-of-order blocks" `Quick (fun () ->
+        let src = "func main {\n .1:\n halt\n}" in
+        match Asm.parse_program src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "rejects instruction after terminator" `Quick (fun () ->
+        let src = "func main {\n .0:\n ret\n nop\n}" in
+        match Asm.parse_program src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "parses all terminator forms" `Quick (fun () ->
+        let src =
+          {|
+func main {
+  .0:
+    goto .1
+  .1:
+    if ne t0 goto .0 else .2
+  .2:
+    call aux
+  .3:
+    la t1, &aux
+    icall (t1)
+  .4:
+    la t2, &table0
+    ijump (t2) table 0
+  .5:
+    sys exit
+    halt
+  table 0: .5 .5
+}
+
+func aux {
+  .0:
+    ret
+}
+|}
+        in
+        let p = parse_ok src in
+        let main = Option.get (Prog.find_func p "main") in
+        Alcotest.(check int) "blocks" 6 (Array.length main.Prog.Func.blocks);
+        Alcotest.(check int) "tables" 1 (Array.length main.Prog.Func.tables));
+    Alcotest.test_case "pp_program round-trips" `Quick (fun () ->
+        let p = parse_ok sample in
+        let src2 = Format.asprintf "%a" Asm.pp_program p in
+        let p2 = parse_ok src2 in
+        Alcotest.(check string) "stable print"
+          (Format.asprintf "%a" Asm.pp_program p)
+          (Format.asprintf "%a" Asm.pp_program p2));
+    Alcotest.test_case "immediate and memory operands" `Quick (fun () ->
+        let src =
+          "func main {\n\
+          \ .0:\n\
+          \ add t0, #5, t1\n\
+          \ ldw t2, -8(sp)\n\
+          \ stb t2, 3(t0)\n\
+          \ li t3, 1000000\n\
+          \ sys exit\n\
+          \ halt\n\
+           }"
+        in
+        let p = parse_ok src in
+        let main = Option.get (Prog.find_func p "main") in
+        let items = main.Prog.Func.blocks.(0).Prog.Block.items in
+        (* li 1000000 expands to two instructions. *)
+        Alcotest.(check int) "item count" 6 (List.length items));
+    Alcotest.test_case "disassemble shows data words" `Quick (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        let words = [| Instr.encode Instr.Nop; 0x05 lsl 26 |] in
+        let text = Asm.disassemble words ~base:0x1000 in
+        Alcotest.(check bool) "has nop" true (contains text "nop");
+        Alcotest.(check bool) "has raw word" true (contains text ".word"));
+  ]
+
+let suite = [ ("asm", unit_tests) ]

@@ -1,0 +1,60 @@
+(* Bit-level reader/writer. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let arb_chunks =
+  (* A list of (width, value) pairs with value fitting in width bits. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 200)
+        ( int_range 1 24 >>= fun w ->
+          map (fun v -> (w, v land ((1 lsl w) - 1))) (int_bound max_int) ))
+  in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (w, v) -> Printf.sprintf "%d:%d" w v) l))
+    gen
+
+let unit_tests =
+  [
+    Alcotest.test_case "bits are MSB-first within bytes" `Quick (fun () ->
+        let w = Bitio.Writer.create () in
+        Bitio.Writer.put w ~bits:8 0b1010_0001;
+        Alcotest.(check string) "bytes" "\xA1" (Bitio.Writer.contents w));
+    Alcotest.test_case "padding is zeros" `Quick (fun () ->
+        let w = Bitio.Writer.create () in
+        Bitio.Writer.put w ~bits:3 0b101;
+        Alcotest.(check string) "bytes" "\xA0" (Bitio.Writer.contents w);
+        Alcotest.(check int) "length" 3 (Bitio.Writer.length_bits w));
+    Alcotest.test_case "reading past the end fails" `Quick (fun () ->
+        let r = Bitio.Reader.of_string "" in
+        match Bitio.Reader.next_bit r with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "seek and pos" `Quick (fun () ->
+        let r = Bitio.Reader.of_string "\xFF\x00" in
+        Bitio.Reader.seek r 8;
+        Alcotest.(check int) "bit" 0 (Bitio.Reader.next_bit r);
+        Alcotest.(check int) "pos" 9 (Bitio.Reader.pos r);
+        Alcotest.(check int) "remaining" 7 (Bitio.Reader.remaining_bits r));
+  ]
+
+let prop_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"reader inverts writer" ~count:500 arb_chunks
+         (fun chunks ->
+           let w = Bitio.Writer.create () in
+           List.iter (fun (bits, v) -> Bitio.Writer.put w ~bits v) chunks;
+           let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+           List.for_all (fun (bits, v) -> Bitio.Reader.read r ~bits = v) chunks));
+    qcheck
+      (QCheck.Test.make ~name:"length_bits counts every bit" ~count:500 arb_chunks
+         (fun chunks ->
+           let w = Bitio.Writer.create () in
+           List.iter (fun (bits, v) -> Bitio.Writer.put w ~bits v) chunks;
+           Bitio.Writer.length_bits w
+           = List.fold_left (fun acc (bits, _) -> acc + bits) 0 chunks));
+  ]
+
+let suite = [ ("bitio", unit_tests @ prop_tests) ]

@@ -1,0 +1,153 @@
+(* CFG algorithms: predecessors, reachability, liveness, call graph. *)
+
+let parse src =
+  match Asm.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let func p name = Option.get (Prog.find_func p name)
+
+let diamond =
+  {|
+.entry main
+func main {
+  .0:
+    lda t0, 1(zero)
+    if eq t0 goto .2 else .1
+  .1:
+    lda t1, 2(zero)
+    goto .3
+  .2:
+    lda t1, 3(zero)
+  .3:
+    add t0, t1, a0
+    sys exit
+    halt
+  .4:
+    nop
+    halt
+}
+|}
+
+let unit_tests =
+  [
+    Alcotest.test_case "preds of a diamond" `Quick (fun () ->
+        let f = func (parse diamond) "main" in
+        let p = Cfg.preds f in
+        Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (List.sort compare p.(3));
+        Alcotest.(check (list int)) "preds of 0" [] p.(0);
+        Alcotest.(check (list int)) "preds of 4" [] p.(4));
+    Alcotest.test_case "reachability skips dead blocks" `Quick (fun () ->
+        let f = func (parse diamond) "main" in
+        let r = Cfg.reachable f in
+        Alcotest.(check (list bool)) "reach"
+          [ true; true; true; true; false ]
+          (Array.to_list r));
+    Alcotest.test_case "dfs order starts at entry" `Quick (fun () ->
+        let f = func (parse diamond) "main" in
+        match Cfg.dfs_order f with
+        | 0 :: _ as order -> Alcotest.(check int) "visits 4 blocks" 4 (List.length order)
+        | order ->
+          Alcotest.failf "bad order: %s"
+            (String.concat "," (List.map string_of_int order)));
+    Alcotest.test_case "liveness: value used later is live at entry" `Quick
+      (fun () ->
+        (* t1 defined in .1/.2 and used in .3, so it is live-in at .3 but
+           not at .0; t0 is live across the branch. *)
+        let f = func (parse diamond) "main" in
+        let lv = Cfg.liveness f in
+        Alcotest.(check bool) "t1 live into .3" true
+          (Cfg.Regset.mem 2 lv.Cfg.live_in.(3));
+        Alcotest.(check bool) "t0 live into .1" true
+          (Cfg.Regset.mem 1 lv.Cfg.live_in.(1));
+        Alcotest.(check bool) "t1 not live into .0" false
+          (Cfg.Regset.mem 2 lv.Cfg.live_in.(0)));
+    Alcotest.test_case "free_regs_at_entry prefers the stub scratch register"
+      `Quick (fun () ->
+        let f = func (parse diamond) "main" in
+        let lv = Cfg.liveness f in
+        match Cfg.free_regs_at_entry lv 0 with
+        | r :: _ -> Alcotest.(check int) "first" Reg.stub_scratch r
+        | [] -> Alcotest.fail "no free registers");
+    Alcotest.test_case "calls make argument registers live" `Quick (fun () ->
+        let src =
+          {|
+.entry main
+func main {
+  .0:
+    lda a0, 1(zero)
+    call g
+  .1:
+    sys exit
+    halt
+}
+func g {
+  .0:
+    ret
+}
+|}
+        in
+        let f = func (parse src) "main" in
+        let lv = Cfg.liveness f in
+        Alcotest.(check bool) "a0 live at entry of .0 after lda kills it" false
+          (Cfg.Regset.mem 16 lv.Cfg.live_in.(0));
+        (* The call defines caller-saved regs, so v0 is dead before it. *)
+        Alcotest.(check bool) "v0 not live into .0" false
+          (Cfg.Regset.mem Reg.rv lv.Cfg.live_in.(0)));
+    Alcotest.test_case "return keeps callee-saved registers live" `Quick (fun () ->
+        let src = "func f {\n .0:\n ret\n}" in
+        match Asm.parse_func src with
+        | Error e -> Alcotest.fail e
+        | Ok f ->
+          let lv = Cfg.liveness f in
+          Alcotest.(check bool) "s0 live" true (Cfg.Regset.mem 9 lv.Cfg.live_in.(0));
+          Alcotest.(check bool) "ra live" true
+            (Cfg.Regset.mem Reg.ra lv.Cfg.live_in.(0)));
+    Alcotest.test_case "call graph edges and indirect flags" `Quick (fun () ->
+        let src =
+          {|
+.entry main
+func main {
+  .0:
+    call a
+  .1:
+    la t0, &b
+    icall (t0)
+  .2:
+    sys exit
+    halt
+}
+func a {
+  .0:
+    call b
+  .1:
+    ret
+}
+func b {
+  .0:
+    ret
+}
+|}
+        in
+        let cg = Cfg.Callgraph.of_prog (parse src) in
+        Alcotest.(check (list string)) "main calls" [ "a" ] (Cfg.Callgraph.callees cg "main");
+        Alcotest.(check (list string)) "a calls" [ "b" ] (Cfg.Callgraph.callees cg "a");
+        Alcotest.(check bool) "main has indirect" true
+          (Cfg.Callgraph.has_indirect_call cg "main");
+        Alcotest.(check bool) "a has none" false (Cfg.Callgraph.has_indirect_call cg "a");
+        Alcotest.(check bool) "b address taken" true (Cfg.Callgraph.address_taken cg "b");
+        Alcotest.(check bool) "a address not taken" false
+          (Cfg.Callgraph.address_taken cg "a");
+        Alcotest.(check (list string)) "callers of b" [ "a" ] (Cfg.Callgraph.callers cg "b"));
+    Alcotest.test_case "regset basics" `Quick (fun () ->
+        let open Cfg.Regset in
+        let s = of_list [ 1; 5; 26 ] in
+        Alcotest.(check bool) "mem" true (mem 5 s);
+        Alcotest.(check bool) "not mem" false (mem 6 s);
+        Alcotest.(check (list int)) "elements" [ 1; 5; 26 ] (elements s);
+        Alcotest.(check (list int)) "zero never enters" []
+          (elements (add Reg.zero empty));
+        Alcotest.(check (list int)) "diff" [ 1 ] (elements (diff s (of_list [ 5; 26 ]))));
+  ]
+
+let suite = [ ("cfg", unit_tests) ]

@@ -1,0 +1,108 @@
+(* Cold-code identification: the Section 5 threshold arithmetic, tested
+   against hand-built profiles. *)
+
+let parse src =
+  match Asm.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+(* A program with four single-instruction-ish blocks to attribute counts
+   to. *)
+let four_blocks =
+  {|
+.entry main
+func main {
+  .0:
+    nop
+  .1:
+    nop
+  .2:
+    nop
+  .3:
+    sys exit
+    halt
+}
+|}
+
+let profile_of lines =
+  match Profile.of_string (String.concat "\n" lines ^ "\n") with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let unit_tests =
+  [
+    Alcotest.test_case "θ=0 marks exactly the never-executed blocks" `Quick
+      (fun () ->
+        let p = parse four_blocks in
+        (* Block 2 never runs; the rest do. *)
+        let prof =
+          profile_of
+            [ "total 1000"; "main 0 10 300"; "main 1 10 300"; "main 2 0 0";
+              "main 3 10 400" ]
+        in
+        let c = Cold.identify p prof ~theta:0.0 in
+        Alcotest.(check int) "cutoff" 0 (Cold.max_cold_freq c);
+        Alcotest.(check bool) "block 2 cold" true (Cold.is_cold c "main" 2);
+        Alcotest.(check bool) "block 0 hot" false (Cold.is_cold c "main" 0);
+        Alcotest.(check int) "one cold block" 1 (Cold.cold_block_count c));
+    Alcotest.test_case "θ admits whole frequency classes in weight order" `Quick
+      (fun () ->
+        let p = parse four_blocks in
+        (* Weights: freq 1 class = 100, freq 5 class = 200, freq 100 class =
+           700.  θ=0.3 -> budget 300 -> N = 5. *)
+        let prof =
+          profile_of
+            [ "total 1000"; "main 0 1 100"; "main 1 5 200"; "main 2 100 700";
+              "main 3 100 0" ]
+        in
+        let c = Cold.identify p prof ~theta:0.3 in
+        Alcotest.(check int) "cutoff" 5 (Cold.max_cold_freq c);
+        Alcotest.(check bool) "freq-1 cold" true (Cold.is_cold c "main" 0);
+        Alcotest.(check bool) "freq-5 cold" true (Cold.is_cold c "main" 1);
+        Alcotest.(check bool) "freq-100 hot" false (Cold.is_cold c "main" 2));
+    Alcotest.test_case "a class that would burst the budget is excluded whole"
+      `Quick (fun () ->
+        let p = parse four_blocks in
+        (* freq-5 class weighs 400 in total (two blocks); budget 300 only
+           fits the freq-1 class even though one freq-5 block would fit. *)
+        let prof =
+          profile_of
+            [ "total 1000"; "main 0 1 100"; "main 1 5 200"; "main 2 5 200";
+              "main 3 100 500" ]
+        in
+        let c = Cold.identify p prof ~theta:0.3 in
+        Alcotest.(check int) "cutoff" 1 (Cold.max_cold_freq c);
+        Alcotest.(check bool) "freq-5 blocks stay hot" false
+          (Cold.is_cold c "main" 1));
+    Alcotest.test_case "θ=1 marks everything cold" `Quick (fun () ->
+        let p = parse four_blocks in
+        let prof =
+          profile_of
+            [ "total 100"; "main 0 10 25"; "main 1 10 25"; "main 2 10 25";
+              "main 3 10 25" ]
+        in
+        let c = Cold.identify p prof ~theta:1.0 in
+        Alcotest.(check int) "all cold" (Cold.total_block_count c)
+          (Cold.cold_block_count c);
+        Alcotest.(check bool) "fraction is 1" true (Cold.cold_fraction c = 1.0));
+    Alcotest.test_case "θ out of range is rejected" `Quick (fun () ->
+        let p = parse four_blocks in
+        match Cold.identify p Profile.empty ~theta:1.5 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "cold fraction uses static sizes" `Quick (fun () ->
+        let p = parse four_blocks in
+        let prof =
+          profile_of
+            [ "total 100"; "main 0 10 50"; "main 1 0 0"; "main 2 0 0";
+              "main 3 10 50" ]
+        in
+        let c = Cold.identify p prof ~theta:0.0 in
+        (* Blocks 1 and 2 are cold: 2 instructions of 5 total (block 3 has
+           2: the sys and... block sizes come from Prog.Block.instr_count). *)
+        Alcotest.(check int) "cold instrs" 2 (Cold.cold_instr_count c);
+        Alcotest.(check bool) "fraction in (0,1)" true
+          (Cold.cold_fraction c > 0.0 && Cold.cold_fraction c < 1.0));
+  ]
+
+let suite = [ ("cold", unit_tests) ]

@@ -1,0 +1,160 @@
+(* Huffman construction, canonical codes, and move-to-front. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let arb_freqs =
+  (* Distinct symbols with positive counts. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60) (pair (int_bound 1000) (int_range 1 500))
+      |> map (fun l ->
+             let tbl = Hashtbl.create 16 in
+             List.iter
+               (fun (s, c) ->
+                 Hashtbl.replace tbl s (c + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+               l;
+             Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+             |> List.sort compare))
+  in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (s, c) -> Printf.sprintf "%d*%d" s c) l))
+    gen
+
+let arb_symbol_seq =
+  (* A non-empty sequence over a small alphabet, plus the frequency table. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 500) (int_bound 40) |> map (fun syms -> syms))
+  in
+  QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen
+
+let freqs_of_seq syms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl s (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    syms;
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl [] |> List.sort compare
+
+let unit_tests =
+  [
+    Alcotest.test_case "single symbol gets a 1-bit code" `Quick (fun () ->
+        Alcotest.(check (list (pair int int)))
+          "lengths"
+          [ (7, 1) ]
+          (Huffman.code_lengths [ (7, 100) ]));
+    Alcotest.test_case "empty input" `Quick (fun () ->
+        Alcotest.(check (list (pair int int))) "lengths" [] (Huffman.code_lengths []));
+    Alcotest.test_case "paper's canonical example" `Quick (fun () ->
+        (* N[2] = 3, N[3] = 1, N[5] = 4: codewords 00 01 10 110 11100..11111. *)
+        let lengths =
+          [ (0, 2); (1, 2); (2, 2); (3, 3); (4, 5); (5, 5); (6, 5); (7, 5) ]
+        in
+        let c = Canonical.of_lengths lengths in
+        let expect =
+          [
+            (0, (0b00, 2)); (1, (0b01, 2)); (2, (0b10, 2)); (3, (0b110, 3));
+            (4, (0b11100, 5)); (5, (0b11101, 5)); (6, (0b11110, 5)); (7, (0b11111, 5));
+          ]
+        in
+        List.iter
+          (fun (s, (code, len)) ->
+            match Canonical.codeword c s with
+            | Some (code', len') ->
+              Alcotest.(check (pair int int))
+                (Printf.sprintf "symbol %d" s)
+                (code, len) (code', len')
+            | None -> Alcotest.failf "symbol %d missing" s)
+          expect);
+    Alcotest.test_case "decode counts loop iterations = codeword length" `Quick
+      (fun () ->
+        let c = Canonical.of_freqs [ (1, 10); (2, 3); (3, 1); (4, 1) ] in
+        let w = Bitio.Writer.create () in
+        List.iter (Canonical.encode c w) [ 1; 4; 2; 3 ];
+        let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+        List.iter
+          (fun s ->
+            let s', bits = Canonical.decode c r in
+            Alcotest.(check int) "symbol" s s';
+            let _, len = Option.get (Canonical.codeword c s) in
+            Alcotest.(check int) "bits" len bits)
+          [ 1; 4; 2; 3 ]);
+    Alcotest.test_case "corrupt stream fails instead of looping" `Quick (fun () ->
+        (* A code where "11" is no codeword prefix extension: alphabet {a} only. *)
+        let c = Canonical.of_freqs [ (0, 5) ] in
+        let r = Bitio.Reader.of_string "\xFF" in
+        match Canonical.decode c r with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "mtf known example" `Quick (fun () ->
+        let alphabet = [ 0; 1; 2; 3 ] in
+        let ranks = Mtf.encode ~alphabet [ 2; 2; 0; 1; 1 ] in
+        Alcotest.(check (list int)) "ranks" [ 2; 0; 1; 2; 0 ] ranks);
+  ]
+
+let kraft_ok lengths =
+  (* sum 2^-l <= 1, scaled to avoid floats: use 64-bit with max len <= 60. *)
+  let maxlen = List.fold_left (fun acc (_, l) -> max acc l) 0 lengths in
+  let total =
+    List.fold_left (fun acc (_, l) -> acc + (1 lsl (maxlen - l))) 0 lengths
+  in
+  total <= 1 lsl maxlen
+
+let prop_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"lengths satisfy Kraft" ~count:300 arb_freqs
+         (fun freqs -> kraft_ok (Huffman.code_lengths freqs)));
+    qcheck
+      (QCheck.Test.make ~name:"total bits within entropy+1 per symbol" ~count:300
+         arb_freqs (fun freqs ->
+           let n = List.fold_left (fun acc (_, c) -> acc + c) 0 freqs in
+           let bits = Huffman.total_encoded_bits freqs in
+           let h = Huffman.entropy_bits freqs in
+           float_of_int bits >= (h *. float_of_int n) -. 1e-6
+           && float_of_int bits <= ((h +. 1.0) *. float_of_int n) +. 1e-6));
+    qcheck
+      (QCheck.Test.make ~name:"canonical encode/decode roundtrip" ~count:300
+         arb_symbol_seq (fun syms ->
+           let c = Canonical.of_freqs (freqs_of_seq syms) in
+           let w = Bitio.Writer.create () in
+           List.iter (Canonical.encode c w) syms;
+           let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+           List.for_all (fun s -> fst (Canonical.decode c r) = s) syms));
+    qcheck
+      (QCheck.Test.make ~name:"canonical codewords are prefix-free" ~count:200
+         arb_freqs (fun freqs ->
+           let c = Canonical.of_freqs freqs in
+           let words =
+             List.filter_map
+               (fun (s, _) -> Canonical.codeword c s)
+               freqs
+           in
+           let prefix (c1, l1) (c2, l2) =
+             l1 <= l2 && c2 lsr (l2 - l1) = c1
+           in
+           List.for_all
+             (fun w1 ->
+               List.for_all (fun w2 -> w1 = w2 || not (prefix w1 w2)) words)
+             words));
+    qcheck
+      (QCheck.Test.make ~name:"mtf roundtrip" ~count:300 arb_symbol_seq
+         (fun syms ->
+           let alphabet = List.sort_uniq compare syms in
+           Mtf.decode ~alphabet (Mtf.encode ~alphabet syms) = syms));
+    qcheck
+      (QCheck.Test.make ~name:"decode consumes exactly the encoded bits" ~count:200
+         arb_symbol_seq (fun syms ->
+           let c = Canonical.of_freqs (freqs_of_seq syms) in
+           let w = Bitio.Writer.create () in
+           List.iter (Canonical.encode c w) syms;
+           let total = Bitio.Writer.length_bits w in
+           let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+           let consumed =
+             List.fold_left (fun acc _ -> acc + snd (Canonical.decode c r)) 0 syms
+           in
+           consumed = total));
+  ]
+
+let suite = [ ("huffman", unit_tests @ prop_tests) ]

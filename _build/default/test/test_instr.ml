@@ -1,0 +1,161 @@
+(* Instruction encode/decode and the field-stream view. *)
+
+open QCheck
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Generators *)
+
+let gen_reg = Gen.int_bound 31
+
+let gen_alu =
+  Gen.oneofl
+    [
+      Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And; Instr.Or;
+      Instr.Xor; Instr.Sll; Instr.Srl; Instr.Sra; Instr.Cmpeq; Instr.Cmpne;
+      Instr.Cmplt; Instr.Cmple; Instr.Cmpult; Instr.Cmpule;
+    ]
+
+let gen_cond =
+  Gen.oneofl [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge ]
+
+let gen_disp16 = Gen.int_range (-32768) 32767
+let gen_disp21 = Gen.int_range (-(1 lsl 20)) ((1 lsl 20) - 1)
+let gen_hint = Gen.int_bound 0xFFFF
+
+let gen_instr =
+  let open Gen in
+  frequency
+    [
+      (1, return Instr.Nop);
+      (1, return Instr.Sentinel);
+      (2, map (fun f -> Instr.Sys f) (int_bound 0xFFFF));
+      ( 3,
+        map3 (fun ra rb disp -> Instr.Lda { ra; rb; disp }) gen_reg gen_reg gen_disp16
+      );
+      ( 2,
+        map3 (fun ra rb disp -> Instr.Ldah { ra; rb; disp }) gen_reg gen_reg gen_disp16
+      );
+      ( 6,
+        gen_alu >>= fun op ->
+        gen_reg >>= fun ra ->
+        gen_reg >>= fun rc ->
+        oneof
+          [
+            map (fun rb -> Instr.Opr { op; ra; rb = Instr.Reg rb; rc }) gen_reg;
+            map (fun v -> Instr.Opr { op; ra; rb = Instr.Imm v; rc }) (int_bound 255);
+          ] );
+      ( 4,
+        oneofl [ Instr.Ldw; Instr.Stw; Instr.Ldb; Instr.Stb ] >>= fun op ->
+        map3 (fun ra rb disp -> Instr.Mem { op; ra; rb; disp }) gen_reg gen_reg gen_disp16
+      );
+      ( 3,
+        gen_cond >>= fun op ->
+        map2 (fun ra disp -> Instr.Cbr { op; ra; disp }) gen_reg gen_disp21 );
+      (2, map2 (fun ra disp -> Instr.Br { ra; disp }) gen_reg gen_disp21);
+      (2, map2 (fun ra disp -> Instr.Bsr { ra; disp }) gen_reg gen_disp21);
+      (1, map2 (fun ra disp -> Instr.Bsrx { ra; disp }) gen_reg gen_disp21);
+      ( 2,
+        map3 (fun ra rb hint -> Instr.Jmp { ra; rb; hint }) gen_reg gen_reg gen_hint );
+      ( 2,
+        map3 (fun ra rb hint -> Instr.Jsr { ra; rb; hint }) gen_reg gen_reg gen_hint );
+      ( 1,
+        map3 (fun ra rb hint -> Instr.Ret { ra; rb; hint }) gen_reg gen_reg gen_hint );
+    ]
+
+let arb_instr = QCheck.make ~print:Instr.to_string gen_instr
+
+(* Unit tests *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "there are exactly 15 field streams" `Quick (fun () ->
+        Alcotest.(check int) "streams" 15 (List.length Instr.all_streams));
+    Alcotest.test_case "stream_index is a bijection" `Quick (fun () ->
+        let idxs = List.map Instr.stream_index Instr.all_streams in
+        Alcotest.(check (list int)) "indices" (List.init 15 Fun.id) idxs);
+    Alcotest.test_case "sentinel encodes to all-ones" `Quick (fun () ->
+        Alcotest.(check int) "word" 0xFFFF_FFFF (Instr.encode Instr.Sentinel));
+    Alcotest.test_case "encode rejects out-of-range displacement" `Quick (fun () ->
+        let bad = Instr.Lda { ra = 1; rb = 2; disp = 40000 } in
+        match Instr.encode bad with
+        | exception Instr.Encode_error _ -> ()
+        | _ -> Alcotest.fail "expected Encode_error");
+    Alcotest.test_case "decode rejects unknown opcodes" `Quick (fun () ->
+        match Instr.decode (0x05 lsl 26) with
+        | Error _ -> ()
+        | Ok i -> Alcotest.failf "decoded %s" (Instr.to_string i));
+    Alcotest.test_case "branch displacement helpers" `Quick (fun () ->
+        let b = Instr.Br { ra = Reg.zero; disp = 5 } in
+        Alcotest.(check (option int)) "get" (Some 5) (Instr.branch_displacement b);
+        let b' = Instr.with_branch_displacement b (-7) in
+        Alcotest.(check (option int)) "set" (Some (-7)) (Instr.branch_displacement b');
+        Alcotest.(check (option int))
+          "none" None
+          (Instr.branch_displacement Instr.Nop));
+  ]
+
+(* Properties *)
+
+let prop_tests =
+  [
+    qcheck
+      (Test.make ~name:"decode inverts encode" ~count:2000 arb_instr (fun i ->
+           match Instr.decode (Instr.encode i) with
+           | Ok i' -> Instr.equal i i'
+           | Error _ -> false));
+    qcheck
+      (Test.make ~name:"encoded words are 32-bit" ~count:1000 arb_instr (fun i ->
+           let w = Instr.encode i in
+           w >= 0 && w <= Word.mask));
+    qcheck
+      (Test.make ~name:"fields match streams_of_opcode" ~count:1000 arb_instr
+         (fun i ->
+           match Instr.streams_of_opcode (Instr.opcode_value i) with
+           | Ok streams -> streams = List.map fst (Instr.fields i)
+           | Error _ -> false));
+    qcheck
+      (Test.make ~name:"rebuild inverts fields" ~count:2000 arb_instr (fun i ->
+           let fields = ref (Instr.fields i) in
+           let next s =
+             match !fields with
+             | (s', v) :: rest when s = s' ->
+               fields := rest;
+               v
+             | _ -> QCheck.Test.fail_report "stream read out of order"
+           in
+           match Instr.rebuild ~opcode:(Instr.opcode_value i) next with
+           | Ok i' -> Instr.equal i i' && !fields = []
+           | Error _ -> false));
+    qcheck
+      (Test.make ~name:"field values fit their widths" ~count:1000 arb_instr
+         (fun i ->
+           List.for_all
+             (fun (s, v) ->
+               let width =
+                 match s with
+                 | Instr.Opcode -> 6
+                 | Instr.Mem_ra | Instr.Mem_rb | Instr.Br_ra | Instr.Op_ra
+                 | Instr.Op_rb | Instr.Op_rc | Instr.Jmp_ra | Instr.Jmp_rb ->
+                   5
+                 | Instr.Mem_disp | Instr.Jmp_hint | Instr.Sys_func -> 16
+                 | Instr.Br_disp -> 21
+                 | Instr.Op_lit -> 8
+                 | Instr.Op_func -> 7
+               in
+               v >= 0 && v < 1 lsl width)
+             (Instr.fields i)));
+    qcheck
+      (Test.make ~name:"control-transfer classification matches decode shape"
+         ~count:1000 arb_instr (fun i ->
+           let expected =
+             match i with
+             | Instr.Cbr _ | Instr.Br _ | Instr.Bsr _ | Instr.Bsrx _ | Instr.Jmp _
+             | Instr.Jsr _ | Instr.Ret _ ->
+               true
+             | _ -> false
+           in
+           Instr.is_control_transfer i = expected));
+  ]
+
+let suite = [ ("instr", unit_tests @ prop_tests) ]

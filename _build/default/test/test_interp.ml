@@ -1,0 +1,156 @@
+(* The MiniC reference interpreter, and the compiler-vs-interpreter
+   differential test: for any address-insensitive program, interpreting the
+   resolved AST and compiling + running on the simulator must agree. *)
+
+let interp ?(input = "") src = Mc_interp.run_source src ~input
+
+let compiled ?(input = "") src =
+  match Minic.compile src with
+  | Error e -> Alcotest.failf "compile error: %s" (Minic.error_to_string e)
+  | Ok p -> Vm.run (Vm.of_image ~fuel:50_000_000 (Layout.emit p) ~input)
+
+let agree ?input src =
+  let a = interp ?input src in
+  let b = compiled ?input src in
+  Alcotest.(check string) "output" b.Vm.output a.Mc_interp.output;
+  Alcotest.(check int) "exit" b.Vm.exit_code a.Mc_interp.exit_code
+
+let unit_tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        agree "int main() { putint(2 + 3 * 4 - 17 / 5 % 2); return 41; }");
+    Alcotest.test_case "loops and arrays" `Quick (fun () ->
+        agree
+          {|
+int a[10];
+int main() {
+  int i; int s;
+  for (i = 0; i < 10; i = i + 1) a[i] = i * i;
+  s = 0;
+  for (i = 0; i < 10; i = i + 1) s = s + a[i];
+  putint(s);
+  return s & 255;
+}
+|});
+    Alcotest.test_case "recursion and globals" `Quick (fun () ->
+        agree
+          {|
+int calls;
+int ack(int m, int n) {
+  calls = calls + 1;
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+int main() { putint(ack(2, 3)); putint(calls); return 0; }
+|});
+    Alcotest.test_case "switch with fallthrough and default" `Quick (fun () ->
+        agree
+          {|
+int f(int x) {
+  int s; s = 0;
+  switch (x) {
+    case 1: s = s + 1;
+    case 2: s = s + 2; break;
+    case 5: s = s + 5; break;
+    default: s = 100;
+  }
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) putint(f(i));
+  return 0;
+}
+|});
+    Alcotest.test_case "strings, bytes and the heap" `Quick (fun () ->
+        agree
+          {|
+int main() {
+  int p; int i; int c;
+  p = sbrk(16);
+  storeb(p, 'h'); storeb(p + 1, 'i'); storeb(p + 2, 0);
+  i = 0;
+  while (1) {
+    c = loadb(p + i);
+    if (c == 0) break;
+    putc(c);
+    i = i + 1;
+  }
+  c = loadb("ok!");
+  putc(c);
+  return 0;
+}
+|});
+    Alcotest.test_case "io round-trip" `Quick (fun () ->
+        agree ~input:"\042\000\000\000xyz"
+          {|
+int main() {
+  int w; int c;
+  w = getw();
+  putw(w * 3);
+  while (1) {
+    c = getc();
+    if (c < 0) break;
+    putc(c + 1);
+  }
+  return 0;
+}
+|});
+    Alcotest.test_case "short-circuit evaluation order" `Quick (fun () ->
+        agree
+          {|
+int trace(int v, int r) { putint(v); return r; }
+int main() {
+  int x;
+  x = trace(1, 0) && trace(2, 1);
+  x = x + (trace(3, 1) || trace(4, 0));
+  putint(x);
+  return 0;
+}
+|});
+    Alcotest.test_case "division by zero is an error in both" `Quick (fun () ->
+        let src = "int main() { int z; z = 0; return 5 / z; }" in
+        (match interp src with
+        | exception Mc_interp.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "interpreter should fail");
+        match compiled src with
+        | exception Vm.Trap _ -> ()
+        | _ -> Alcotest.fail "VM should trap");
+    Alcotest.test_case "setjmp is reported as unsupported" `Quick (fun () ->
+        match interp "int jb[16]; int main() { return setjmp(jb); }" with
+        | exception Mc_interp.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported");
+  ]
+
+let differential_tests =
+  [
+    Alcotest.test_case "differential: interpreter vs compiled, 60 programs" `Slow
+      (fun () ->
+        for seed = 100 to 159 do
+          let src = Gen_minic.random_program ~seed in
+          let a = interp src in
+          let b = compiled src in
+          if a.Mc_interp.output <> b.Vm.output || a.Mc_interp.exit_code <> b.Vm.exit_code
+          then
+            Alcotest.failf "seed %d: interpreter and compiled code disagree (%d vs %d)"
+              seed a.Mc_interp.exit_code b.Vm.exit_code
+        done);
+    Alcotest.test_case "differential: interpreter vs squashed, 15 programs" `Slow
+      (fun () ->
+        for seed = 200 to 214 do
+          let src = Gen_minic.random_program ~seed in
+          let a = interp src in
+          let p, _ = Squeeze.run (Minic.compile_exn src) in
+          let profile, _ = Profile.collect p ~input:"" in
+          let r =
+            Squash.run ~options:{ Squash.default_options with Squash.theta = 1.0 } p
+              profile
+          in
+          let b, _ = Runtime.run ~fuel:100_000_000 r.Squash.squashed ~input:"" in
+          if a.Mc_interp.output <> b.Vm.output || a.Mc_interp.exit_code <> b.Vm.exit_code
+          then Alcotest.failf "seed %d: interpreter and squashed code disagree" seed
+        done);
+  ]
+
+let suite = [ ("interp", unit_tests @ differential_tests) ]

@@ -1,0 +1,64 @@
+(* The LZSS comparator backend. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let roundtrip s =
+  let c = Lzss.compress s in
+  let d, _ = Lzss.decompress c in
+  d = s
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty input" `Quick (fun () ->
+        Alcotest.(check bool) "roundtrip" true (roundtrip ""));
+    Alcotest.test_case "short literals" `Quick (fun () ->
+        Alcotest.(check bool) "roundtrip" true (roundtrip "ab"));
+    Alcotest.test_case "repetitive input compresses" `Quick (fun () ->
+        let s = String.concat "" (List.init 50 (fun _ -> "abcdefgh")) in
+        let c = Lzss.compress s in
+        Alcotest.(check bool) "roundtrip" true (roundtrip s);
+        Alcotest.(check bool)
+          (Printf.sprintf "smaller (%d -> %d)" (String.length s) (String.length c))
+          true
+          (String.length c < String.length s / 2));
+    Alcotest.test_case "runs use self-overlapping copies" `Quick (fun () ->
+        let s = String.make 1000 'x' in
+        Alcotest.(check bool) "roundtrip" true (roundtrip s);
+        Alcotest.(check bool) "tiny" true (String.length (Lzss.compress s) < 150));
+    Alcotest.test_case "steps count the output bytes" `Quick (fun () ->
+        let s = "hello hello hello hello" in
+        let _, steps = Lzss.decompress (Lzss.compress s) in
+        Alcotest.(check int) "steps" (String.length s) steps);
+    Alcotest.test_case "corrupt stream fails cleanly" `Quick (fun () ->
+        match Lzss.decompress "\xff\x00" with
+        | exception Failure _ -> ()
+        | _, _ -> ());
+  ]
+
+let arb_bytes =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      oneof
+        [
+          string_size (int_range 0 400);
+          (* byte strings with lots of structure, the adversarial case for
+             window/length boundaries *)
+          ( int_range 1 8 >>= fun alpha ->
+            map
+              (fun l -> String.concat "" (List.map (String.make 1) l))
+              (list_size (int_range 0 600)
+                 (map (fun i -> Char.chr (97 + (i mod alpha))) (int_bound 1000))) );
+        ])
+
+let prop_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"lzss roundtrip" ~count:300 arb_bytes roundtrip);
+    qcheck
+      (QCheck.Test.make ~name:"lzss never grows pathologically" ~count:200
+         arb_bytes (fun s ->
+           String.length (Lzss.compress s) <= ((String.length s * 9) / 8) + 2));
+  ]
+
+let suite = [ ("lzss", unit_tests @ prop_tests) ]

@@ -1,0 +1,174 @@
+(* The MiniC runtime library, exercised through both the compiled pipeline
+   and the reference interpreter: every test runs a program that uses
+   library entry points and checks the two semantics agree and that the
+   output is the expected one. *)
+
+let run_both src =
+  let full = src ^ Wl_lib.source in
+  let compiled =
+    match Minic.compile full with
+    | Error e -> Alcotest.failf "compile error: %s" (Minic.error_to_string e)
+    | Ok p -> Vm.run (Vm.of_image ~fuel:100_000_000 (Layout.emit p) ~input:"")
+  in
+  let interp = Mc_interp.run_source full ~input:"" in
+  Alcotest.(check string) "vm/interp output" compiled.Vm.output interp.Mc_interp.output;
+  Alcotest.(check int) "vm/interp exit" compiled.Vm.exit_code interp.Mc_interp.exit_code;
+  compiled.Vm.output
+
+let expect name src expected () =
+  Alcotest.(check string) name expected (run_both src)
+
+let unit_tests =
+  [
+    Alcotest.test_case "formatter directives" `Quick
+      (expect "fmt"
+         {|
+int main() {
+  out_fmt3("%d|%05d|%d\n", -7, 42, 2147483647);
+  out_fmt2("%08x %x\n", 48879, 0);
+  out_fmt2("%b %c\n", 10, 'Z');
+  out_fmt1("%s!\n", "str");
+  out_fmt1("%u\n", -1);
+  return 0;
+}
+|}
+         "-7|00042|2147483647\n0000beef 0\n1010 Z\nstr!\n4294967295\n");
+    Alcotest.test_case "heap allocator: split, free, reuse" `Quick (fun () ->
+        let out =
+          run_both
+            {|
+int main() {
+  int a; int b; int c;
+  heap_init(256);
+  a = heap_alloc(10);
+  b = heap_alloc(20);
+  wfill(a, 1, 10);
+  wfill(b, 2, 20);
+  out_kv("a-ok", wsum(a, 10) == 10);
+  heap_free(a);
+  c = heap_alloc(5);          // fits in the freed block
+  wfill(c, 3, 5);
+  out_kv("b-intact", wsum(b, 20) == 40);
+  out_kv("c-ok", wsum(c, 5) == 15);
+  heap_free(b);
+  heap_free(c);
+  heap_report();
+  return 0;
+}
+|}
+        in
+        Alcotest.(check bool) "reports allocs" true
+          (String.length out > 0));
+    Alcotest.test_case "fixed-point trig: sin/cos identities" `Quick
+      (expect "trig"
+         {|
+int main() {
+  int a; int worst; int s; int c; int m;
+  worst = 0;
+  for (a = 0; a < 1024; a = a + 16) {
+    s = fx_sin(a);
+    c = fx_cos(a);
+    m = fx_mul(s, s) + fx_mul(c, c);
+    worst = imax(worst, iabs(m - 16384));
+  }
+  out_kv("identity-worst", worst < 400);
+  out_kv("sin0", fx_sin(0));
+  out_kv("sin-quarter", fx_sin(256));
+  out_kv("sin-half", iabs(fx_sin(512)) < 64);
+  return 0;
+}
+|}
+         "identity-worst: 1\nsin0: 0\nsin-quarter: 16384\nsin-half: 1\n");
+    Alcotest.test_case "64-bit emulation" `Quick
+      (expect "mul64"
+         {|
+int main() {
+  int r[2];
+  mul64(r, -1, -1);            // (2^32-1)^2 = 2^64 - 2^33 + 1
+  out_fmt2("%08x %08x\n", r[0], r[1]);
+  mul64(r, 123456789, 987654321);
+  out_fmt2("%08x %08x\n", r[0], r[1]);
+  r[0] = 0; r[1] = -1;
+  add64(r, 0, 1);              // carry into the high word
+  out_fmt2("%08x %08x\n", r[0], r[1]);
+  out_kv("cmp", cmp64(1, 0, 0, -1));
+  return 0;
+}
+|}
+         "fffffffe 00000001\n01b13114 fbff5385\n00000001 00000000\ncmp: 1\n");
+    Alcotest.test_case "soft float end to end" `Quick
+      (expect "fp"
+         {|
+int main() {
+  fp_selftest();
+  out_kv("pi-ish", fp_to_int(fp_mul(fp_from_int(314), fp_div(fp_from_int(100), fp_from_int(100)))));
+  out_kv("sqrt2-scaled", fp_to_int(fp_mul(fp_sqrt(fp_from_int(2)), fp_from_int(10000))));
+  return 0;
+}
+|}
+         "fp self-test failures: 0\npi-ish: 314\nsqrt2-scaled: 14142\n");
+    Alcotest.test_case "sorting, selection, search" `Quick
+      (expect "sort"
+         {|
+int data[16];
+int main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) data[i] = (i * 11) % 17;
+  wsort(data, 16);
+  out_kv("sorted", data[0] <= data[1] && data[14] <= data[15]);
+  out_kv("median", wmedian(data, 16));
+  out_kv("found", wbinsearch(data, 16, data[7]) == 7);
+  out_kv("missing", wbinsearch(data, 16, 99));
+  return 0;
+}
+|}
+         "sorted: 1\nmedian: 9\nfound: 1\nmissing: -1\n");
+    Alcotest.test_case "checksums are stable" `Quick
+      (expect "crc"
+         {|
+int words[4] = { 1, 2, 3, 4 };
+int main() {
+  out_fmt1("%08x\n", crc_block(words, 4));
+  out_kv("adler", adler32_block(words, 4));
+  out_kv("fletcher", fletcher16_block(words, 4));
+  return 0;
+}
+|}
+         "af05d4ef\nadler: 1572875\nfletcher: 5130\n");
+    Alcotest.test_case "bit output packs MSB-first" `Quick
+      (expect "bio"
+         {|
+int bits[4];
+int main() {
+  bio_init(bits, 4);
+  bio_put(1, 1);
+  bio_put(0, 2);
+  bio_put(511, 9);
+  bio_flush();
+  out_fmt1("%08x\n", bits[0]);
+  return 0;
+}
+|}
+         "9ff00000\n");
+    Alcotest.test_case "string buffers and panics" `Quick (fun () ->
+        let out =
+          run_both
+            {|
+int main() {
+  sb_init(32);
+  sb_puts("x=");
+  sb_put_dec(1234);
+  sb_flush_out();
+  out_nl();
+  lib_assert(str_len("hello") == 5, "str_len broken");
+  lib_assert(str_eq("a", "a") && !str_eq("a", "ab"), "str_eq broken");
+  out_str("done");
+  out_nl();
+  return 0;
+}
+|}
+        in
+        Alcotest.(check string) "output" "x=1234\ndone\n" out);
+  ]
+
+let suite = [ ("mclib", unit_tests) ]

@@ -1,0 +1,319 @@
+(* MiniC end-to-end: compile, run on the VM, check observable behaviour. *)
+
+let compile src =
+  match Minic.compile src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile error: %s" (Minic.error_to_string e)
+
+let run ?(input = "") ?(fuel = 10_000_000) src =
+  let img = Layout.emit (compile src) in
+  Vm.run (Vm.of_image ~fuel img ~input)
+
+let exits name expected ?input src () =
+  let o = run ?input src in
+  Alcotest.(check int) name expected o.Vm.exit_code
+
+let prints name expected ?input src () =
+  let o = run ?input src in
+  Alcotest.(check string) name expected o.Vm.output
+
+let compile_fails src () =
+  match Minic.compile src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a compile error"
+
+let unit_tests =
+  [
+    Alcotest.test_case "return value becomes exit code" `Quick
+      (exits "basic" 7 "int main() { return 7; }");
+    Alcotest.test_case "arithmetic precedence" `Quick
+      (exits "prec" 14 "int main() { return 2 + 3 * 4; }");
+    Alcotest.test_case "parentheses" `Quick
+      (exits "paren" 20 "int main() { return (2 + 3) * 4; }");
+    Alcotest.test_case "division and remainder" `Quick
+      (exits "divrem" 5 "int main() { return 17 / 5 + 17 % 5; }");
+    Alcotest.test_case "negative division truncates toward zero" `Quick
+      (exits "negdiv" 4 "int main() { return (0 - 17) / 5 + 7; }");
+    Alcotest.test_case "bitwise operators" `Quick
+      (exits "bits" 0xD
+         "int main() { return (0xF & 0x9) | (0x5 ^ 0x1); }");
+    Alcotest.test_case "shifts" `Quick
+      (exits "shifts" 40 "int main() { return (5 << 3) | (1 >> 2); }");
+    Alcotest.test_case "logical shift right differs on negatives" `Quick
+      (exits "lshr" 1
+         "int main() { return ((0 - 1) >>> 31) == 1 && ((0 - 1) >> 31) == (0 - 1); }");
+    Alcotest.test_case "comparisons produce 0/1" `Quick
+      (exits "cmp" 1 "int main() { return (3 < 5) & (5 <= 5) & (6 > 2) & (2 >= 2) & (1 == 1) & (1 != 2); }");
+    Alcotest.test_case "short-circuit && skips side effects" `Quick
+      (prints "and" "1\n"
+         {|
+int hit() { putint(99); return 1; }
+int main() { 0 && hit(); putint(1); return 0; }
+|});
+    Alcotest.test_case "short-circuit || skips side effects" `Quick
+      (prints "or" "1\n"
+         {|
+int hit() { putint(99); return 1; }
+int main() { 1 || hit(); putint(1); return 0; }
+|});
+    Alcotest.test_case "logical not" `Quick
+      (exits "not" 1 "int main() { return !0 && !!5; }");
+    Alcotest.test_case "while loop" `Quick
+      (exits "sum" 55
+         "int main() { int i; int s; i = 1; s = 0; while (i <= 10) { s = s + i; i = i + 1; } return s; }");
+    Alcotest.test_case "for loop with break/continue" `Quick
+      (exits "forloop" 25
+         {|
+int main() {
+  int s; int i;
+  s = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) continue;
+    if (i >= 10) break;
+    s = s + i;    // 1+3+5+7+9
+  }
+  return s;
+}
+|});
+    Alcotest.test_case "do-while runs at least once" `Quick
+      (exits "dowhile" 1
+         "int main() { int n; n = 0; do { n = n + 1; } while (0); return n; }");
+    Alcotest.test_case "recursion (fib 12)" `Quick
+      (exits "fib" 144
+         {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(12); }
+|});
+    Alcotest.test_case "mutual recursion" `Quick
+      (exits "mutual" 1
+         {|
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(10); }
+|});
+    Alcotest.test_case "global variables and arrays" `Quick
+      (exits "globals" 60
+         {|
+int total = 10;
+int table[5] = { 1, 2, 3, 4, 5 };
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) total = total + table[i] * 2;
+  table[0] = total;
+  return table[0] + 20;
+}
+|});
+    Alcotest.test_case "local arrays and aliasing through parameters" `Quick
+      (exits "alias" 6
+         {|
+int sum3(int p) { return p[0] + p[1] + p[2]; }
+int main() {
+  int v[3];
+  v[0] = 1; v[1] = 2; v[2] = 3;
+  return sum3(v);
+}
+|});
+    Alcotest.test_case "nested indexing" `Quick
+      (exits "nested" 42
+         {|
+int data[4] = { 3, 42, 0, 1 };
+int idx[2] = { 1, 0 };
+int main() { return data[idx[idx[1]]]; }
+|});
+    Alcotest.test_case "const declarations" `Quick
+      (exits "const" 24 "const N = 4; const M = N * 3 / 2; int main() { return N * M; }");
+    Alcotest.test_case "dense switch (jump table)" `Quick
+      (fun () ->
+        let src =
+          {|
+int classify(int x) {
+  switch (x) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: return 13;
+    case 4: return 14;
+    default: return 99;
+  }
+}
+int main() { return classify(3) + classify(7); }
+|}
+        in
+        let p = compile src in
+        let f = Option.get (Prog.find_func p "classify") in
+        Alcotest.(check int) "has a jump table" 1 (Array.length f.Prog.Func.tables);
+        let img = Layout.emit p in
+        let o = Vm.run (Vm.of_image img ~input:"") in
+        Alcotest.(check int) "result" 112 o.Vm.exit_code);
+    Alcotest.test_case "sparse switch (compare chain)" `Quick
+      (fun () ->
+        let src =
+          {|
+int f(int x) {
+  switch (x) {
+    case 1000: return 1;
+    case 2: return 2;
+    case 90000: return 3;
+  }
+  return 0;
+}
+int main() { return f(90000) * 10 + f(5); }
+|}
+        in
+        let p = compile src in
+        let f = Option.get (Prog.find_func p "f") in
+        Alcotest.(check int) "no jump table" 0 (Array.length f.Prog.Func.tables);
+        let img = Layout.emit p in
+        let o = Vm.run (Vm.of_image img ~input:"") in
+        Alcotest.(check int) "result" 30 o.Vm.exit_code);
+    Alcotest.test_case "switch fallthrough" `Quick
+      (exits "fallthrough" 6
+         {|
+int main() {
+  int s; s = 0;
+  switch (1) {
+    case 0: s = s + 100;
+    case 1: s = s + 2;
+    case 2: s = s + 4; break;
+    case 3: s = s + 8;
+  }
+  return s;
+}
+|});
+    Alcotest.test_case "function pointers" `Quick
+      (exits "fptr" 9
+         {|
+int add2(int x) { return x + 2; }
+int mul3(int x) { return x * 3; }
+int apply(int f, int x) { return f(x); }
+int main() { return apply(&add2, 1) + apply(&mul3, 2); }
+|});
+    Alcotest.test_case "function pointer table dispatch" `Quick
+      (exits "fptr-table" 12
+         {|
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int ops[2];
+int main() {
+  int f;
+  ops[0] = &inc;
+  ops[1] = &dbl;
+  f = ops[1];
+  return f(inc(5));
+}
+|});
+    Alcotest.test_case "strings and loadb" `Quick
+      (prints "str" "ok"
+         {|
+int print(int s) {
+  int c;
+  while (1) {
+    c = loadb(s);
+    if (c == 0) break;
+    putc(c);
+    s = s + 1;
+  }
+  return 0;
+}
+int main() { print("ok"); return 0; }
+|});
+    Alcotest.test_case "storeb modifies bytes" `Quick
+      (exits "storeb" 0x41
+         {|
+int buf[2];
+int main() {
+  storeb(buf, 0x41);
+  return loadb(buf);
+}
+|});
+    Alcotest.test_case "io echo with transformation" `Quick
+      (prints "rot1" "ifmmp" ~input:"hello"
+         {|
+int main() {
+  int c;
+  while (1) {
+    c = getc();
+    if (c < 0) break;
+    putc(c + 1);
+  }
+  return 0;
+}
+|});
+    Alcotest.test_case "getw/putw" `Quick
+      (prints "words" "\x02\x00\x00\x00" ~input:"\x01\x00\x00\x00"
+         "int main() { putw(getw() * 2); return 0; }");
+    Alcotest.test_case "sbrk allocates" `Quick
+      (exits "sbrk" 7
+         {|
+int main() {
+  int p;
+  p = sbrk(64);
+  p[0] = 3;
+  p[15] = 4;
+  return p[0] + p[15];
+}
+|});
+    Alcotest.test_case "setjmp/longjmp" `Quick
+      (exits "longjmp" 5
+         {|
+int jb[16];
+int deep(int n) {
+  if (n == 0) longjmp(jb, 5);
+  return deep(n - 1);
+}
+int main() {
+  int r;
+  r = setjmp(jb);
+  if (r != 0) return r;
+  deep(10);
+  return 99;
+}
+|});
+    Alcotest.test_case "exit() terminates immediately" `Quick
+      (prints "exit" "1\n" "int main() { putint(1); exit(3); putint(2); return 0; }");
+    Alcotest.test_case "32-bit wraparound" `Quick
+      (exits "wrap" 1
+         "int main() { int big; big = 0x7fffffff; return big + 1 == (0 - 2147483647 - 1); }");
+    Alcotest.test_case "character literals" `Quick
+      (exits "chars" 1 "int main() { return 'B' - 'A' == 1 && '\\n' == 10; }");
+    Alcotest.test_case "implicit return value is 0" `Quick
+      (exits "implicit" 0 "int main() { int x; x = 3; }");
+    Alcotest.test_case "deeply nested expressions" `Quick
+      (exits "deep" 16
+         "int id(int x) { return x; }\n\
+          int main() { return id(id(id(1)) + id(id(2) + id(3)) + id(4) + id(id(id(6)))); }");
+    Alcotest.test_case "comments are skipped" `Quick
+      (exits "comments" 3 "int main() { /* a\nb */ return 3; // tail\n}");
+    (* Error cases *)
+    Alcotest.test_case "error: undefined variable" `Quick
+      (compile_fails "int main() { return x; }");
+    Alcotest.test_case "error: undefined function" `Quick
+      (compile_fails "int main() { return f(); }");
+    Alcotest.test_case "error: wrong arity" `Quick
+      (compile_fails "int f(int a) { return a; } int main() { return f(1, 2); }");
+    Alcotest.test_case "error: duplicate definitions" `Quick
+      (compile_fails "int x; int x; int main() { return 0; }");
+    Alcotest.test_case "error: missing main" `Quick (compile_fails "int f() { return 0; }");
+    Alcotest.test_case "error: break outside loop" `Quick
+      (compile_fails "int main() { break; return 0; }");
+    Alcotest.test_case "error: assignment to array" `Quick
+      (compile_fails "int a[3]; int main() { a = 1; return 0; }");
+    Alcotest.test_case "error: duplicate case label" `Quick
+      (compile_fails
+         "int main() { switch (1) { case 1: return 0; case 1: return 1; } return 2; }");
+    Alcotest.test_case "error: non-constant array size" `Quick
+      (compile_fails "int main() { int n; n = 3; int a[n]; return 0; }");
+    Alcotest.test_case "functions_calling_setjmp" `Quick (fun () ->
+        let src =
+          {|
+int jb[16];
+int catcher() { return setjmp(jb); }
+int other() { return 1; }
+int main() { return catcher() + other(); }
+|}
+        in
+        Alcotest.(check (list string)) "setjmp callers" [ "catcher" ]
+          (Minic.functions_calling_setjmp src));
+  ]
+
+let suite = [ ("minic", unit_tests) ]

@@ -1,0 +1,197 @@
+(* Additional coverage: naming bijections, VM trap semantics, MiniC
+   front-end error paths, and profile corner cases. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- naming bijections ------------------------------------------------ *)
+
+let naming_tests =
+  [
+    Alcotest.test_case "register names round-trip" `Quick (fun () ->
+        for r = 0 to Reg.count - 1 do
+          match Reg.of_name (Reg.name r) with
+          | Some r' when r' = r -> ()
+          | Some r' -> Alcotest.failf "r%d -> %s -> r%d" r (Reg.name r) r'
+          | None -> Alcotest.failf "r%d -> %s -> none" r (Reg.name r)
+        done);
+    Alcotest.test_case "raw register spellings parse" `Quick (fun () ->
+        Alcotest.(check (option int)) "r17" (Some 17) (Reg.of_name "r17");
+        Alcotest.(check (option int)) "r32" None (Reg.of_name "r32");
+        Alcotest.(check (option int)) "bogus" None (Reg.of_name "zap"));
+    Alcotest.test_case "syscall codes round-trip" `Quick (fun () ->
+        List.iter
+          (fun sc ->
+            match Syscall.of_code (Syscall.to_code sc) with
+            | Some sc' when sc' = sc -> ()
+            | _ -> Alcotest.failf "syscall %s does not round-trip" (Syscall.name sc))
+          [ Syscall.Exit; Syscall.Getc; Syscall.Putc; Syscall.Putint; Syscall.Sbrk;
+            Syscall.Setjmp; Syscall.Longjmp; Syscall.Getw; Syscall.Putw ];
+        Alcotest.(check bool) "unknown code" true (Syscall.of_code 999 = None));
+    Alcotest.test_case "calling convention registers are disjoint" `Quick
+      (fun () ->
+        let special = [ Reg.zero; Reg.sp; Reg.ra; Reg.rv; Reg.stub_scratch ] in
+        List.iter
+          (fun r ->
+            if List.mem r Reg.args || List.mem r Reg.temps then
+              Alcotest.failf "special register %s doubles as arg/temp" (Reg.name r))
+          special;
+        List.iter
+          (fun r ->
+            if List.mem r Reg.saved then
+              Alcotest.failf "%s is both caller- and callee-saved" (Reg.name r))
+          (Reg.args @ Reg.temps));
+  ]
+
+(* --- VM trap semantics ------------------------------------------------ *)
+
+let run_asm ?(input = "") ?fuel src =
+  match Asm.parse_program src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p -> Vm.run (Vm.of_image ?fuel (Layout.emit p) ~input)
+
+let expect_trap name src reason_fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match run_asm src with
+      | exception Vm.Trap { reason; _ } ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        if not (contains reason reason_fragment) then
+          Alcotest.failf "trap reason %S lacks %S" reason reason_fragment
+      | o -> Alcotest.failf "expected a trap, got exit %d" o.Vm.exit_code)
+
+let vm_tests =
+  [
+    expect_trap "unaligned word load traps"
+      "func main {\n .0:\n lda t0, 2(zero)\n ldw t1, 0(t0)\n sys exit\n halt\n}"
+      "unaligned";
+    expect_trap "out-of-range store traps"
+      "func main {\n .0:\n li t0, -4096\n stw t0, 0(t0)\n sys exit\n halt\n}"
+      "out of range";
+    expect_trap "jump to unmapped memory traps"
+      "func main {\n .0:\n li t0, 15728640\n ijump (t0)\n .1:\n sys exit\n halt\n}"
+      "illegal instruction";
+    Alcotest.test_case "ret also writes the link register" `Quick (fun () ->
+        (* jsr through t0 to a block that returns via ra; the link written by
+           ret itself lands in the named register. *)
+        let o =
+          run_asm
+            {|
+.entry main
+func main {
+  .0:
+    la t0, &probe
+    icall (t0)
+  .1:
+    mov v0, a0
+    sys exit
+    halt
+}
+func probe {
+  .0:
+    mov ra, v0
+    ret
+}
+|}
+        in
+        (* probe's v0 = return address = the instruction after the jsr. *)
+        Alcotest.(check bool) "link points into main" true (o.Vm.exit_code > 0));
+    Alcotest.test_case "byte stores straddle word boundaries correctly" `Quick
+      (fun () ->
+        let o =
+          run_asm
+            {|
+.data 4
+func main {
+  .0:
+    li t0, 4194304
+    li t1, -1
+    stw t1, 0(t0)
+    stb zero, 2(t0)      ; clear byte 2 -> 0xff00ffff
+    ldw t2, 0(t0)
+    li t3, -16711681     ; 0xff00ffff
+    xor t2, t3, a0       ; 0 when equal
+    sys exit
+    halt
+}
+|}
+        in
+        Alcotest.(check int) "pattern" 0 o.Vm.exit_code);
+  ]
+
+(* --- MiniC front-end error paths -------------------------------------- *)
+
+let compile_error src =
+  match Minic.compile src with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "expected a compile error for %S" src
+
+let minic_tests =
+  [
+    Alcotest.test_case "lexer: unterminated comment" `Quick (fun () ->
+        ignore (compile_error "int main() { return 0; } /* oops"));
+    Alcotest.test_case "lexer: unterminated string" `Quick (fun () ->
+        ignore (compile_error "int main() { loadb(\"oops); return 0; }"));
+    Alcotest.test_case "lexer: bad escape" `Quick (fun () ->
+        ignore (compile_error "int main() { return '\\q'; }"));
+    Alcotest.test_case "parser: missing semicolon has a position" `Quick
+      (fun () ->
+        let e = compile_error "int main() {\n  return 1\n}" in
+        Alcotest.(check int) "line" 3 e.Minic.line);
+    Alcotest.test_case "parser: assignment to a call" `Quick (fun () ->
+        ignore (compile_error "int f() { return 0; } int main() { f() = 3; return 0; }"));
+    Alcotest.test_case "sema: const cannot reference later const" `Quick
+      (fun () ->
+        ignore (compile_error "const A = B + 1; const B = 2; int main() { return A; }"));
+    Alcotest.test_case "sema: array size must be positive" `Quick (fun () ->
+        ignore (compile_error "int a[0]; int main() { return 0; }"));
+    Alcotest.test_case "sema: calling a global array" `Quick (fun () ->
+        ignore (compile_error "int a[4]; int main() { return a(); }"));
+    Alcotest.test_case "sema: too many parameters" `Quick (fun () ->
+        ignore
+          (compile_error
+             "int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }\n\
+              int main() { return 0; }"));
+    Alcotest.test_case "deep expressions are rejected, not miscompiled" `Quick
+      (fun () ->
+        (* 40 nested calls exceed the 27 evaluation slots. *)
+        let deep =
+          String.concat "" (List.init 40 (fun _ -> "id(1 + "))
+          ^ "0" ^ String.make 40 ')'
+        in
+        let src =
+          "int id(int x) { return x; } int main() { return " ^ deep ^ "; }"
+        in
+        match Minic.compile src with
+        | Error _ -> ()
+        | Ok p ->
+          (* If it compiles, it must still be correct. *)
+          let o = Vm.run (Vm.of_image (Layout.emit p) ~input:"") in
+          Alcotest.(check int) "value" 40 o.Vm.exit_code);
+  ]
+
+(* --- profile corners --------------------------------------------------- *)
+
+let profile_tests =
+  [
+    Alcotest.test_case "profile of a trapping program raises" `Quick (fun () ->
+        let p =
+          Minic.compile_exn "int main() { int z; z = 0; return 1 / z; }"
+        in
+        match Profile.collect p ~input:"" with
+        | exception Vm.Trap _ -> ()
+        | _ -> Alcotest.fail "expected trap");
+    qcheck
+      (QCheck.Test.make ~name:"profile totals equal dynamic instruction counts"
+         ~count:8
+         (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 500 515))
+         (fun seed ->
+           let p = Minic.compile_exn (Gen_minic.random_program ~seed) in
+           let prof, outcome = Profile.collect p ~input:"" in
+           Profile.total_weight prof = outcome.Vm.icount));
+  ]
+
+let suite =
+  [ ("more", naming_tests @ vm_tests @ minic_tests @ profile_tests) ]

@@ -1,0 +1,88 @@
+(* Profile collection and serialisation. *)
+
+let compile src =
+  match Minic.compile src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile error: %s" (Minic.error_to_string e)
+
+let looping =
+  {|
+int hot(int n) { return n * 2 + 1; }
+int cold_path(int n) { putint(n); return n; }
+int main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 50; i = i + 1) acc = acc + hot(i);
+  if (acc < 0) cold_path(acc);
+  return acc & 255;
+}
+|}
+
+let unit_tests =
+  [
+    Alcotest.test_case "frequencies reflect execution counts" `Quick (fun () ->
+        let p = compile looping in
+        let prof, outcome = Profile.collect p ~input:"" in
+        Alcotest.(check int) "hot entry runs 50x" 50 (Profile.freq prof "hot" 0);
+        Alcotest.(check int) "cold_path never runs" 0 (Profile.freq prof "cold_path" 0);
+        Alcotest.(check int) "main entry runs once" 1 (Profile.freq prof "main" 0);
+        Alcotest.(check int) "total = dynamic instructions" outcome.Vm.icount
+          (Profile.total_weight prof));
+    Alcotest.test_case "weights sum block contributions" `Quick (fun () ->
+        let p = compile looping in
+        let prof, _ = Profile.collect p ~input:"" in
+        (* hot has one block (plus epilogue blocks); its total weight must be
+           at least 50 * (block size). *)
+        Alcotest.(check bool) "hot weight > freq" true
+          (Profile.weight prof "hot" 0 > Profile.freq prof "hot" 0));
+    Alcotest.test_case "serialisation round-trips" `Quick (fun () ->
+        let p = compile looping in
+        let prof, _ = Profile.collect p ~input:"" in
+        match Profile.of_string (Profile.to_string prof) with
+        | Error e -> Alcotest.fail e
+        | Ok prof2 ->
+          Alcotest.(check int) "total" (Profile.total_weight prof)
+            (Profile.total_weight prof2);
+          Alcotest.(check int) "hot freq" (Profile.freq prof "hot" 0)
+            (Profile.freq prof2 "hot" 0);
+          Alcotest.(check int) "main weight" (Profile.weight prof "main" 0)
+            (Profile.weight prof2 "main" 0));
+    Alcotest.test_case "of_string rejects garbage" `Quick (fun () ->
+        match Profile.of_string "nonsense here extra words more" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "merge sums profiles" `Quick (fun () ->
+        let p = compile looping in
+        let prof1, _ = Profile.collect p ~input:"" in
+        let prof2, _ = Profile.collect p ~input:"" in
+        let m = Profile.merge prof1 prof2 in
+        Alcotest.(check int) "freq doubles" (2 * Profile.freq prof1 "hot" 0)
+          (Profile.freq m "hot" 0);
+        Alcotest.(check int) "total doubles" (2 * Profile.total_weight prof1)
+          (Profile.total_weight m));
+    Alcotest.test_case "empty profile reads as all-zero" `Quick (fun () ->
+        Alcotest.(check int) "freq" 0 (Profile.freq Profile.empty "anything" 3);
+        Alcotest.(check int) "total" 0 (Profile.total_weight Profile.empty));
+    Alcotest.test_case "different inputs give different profiles" `Quick (fun () ->
+        let src =
+          {|
+int main() {
+  int c; int n;
+  n = 0;
+  while (1) {
+    c = getc();
+    if (c < 0) break;
+    n = n + 1;
+  }
+  return n;
+}
+|}
+        in
+        let p = compile src in
+        let prof_small, _ = Profile.collect p ~input:"ab" in
+        let prof_large, _ = Profile.collect p ~input:(String.make 100 'x') in
+        Alcotest.(check bool) "larger input, larger total" true
+          (Profile.total_weight prof_large > Profile.total_weight prof_small));
+  ]
+
+let suite = [ ("profile", unit_tests) ]

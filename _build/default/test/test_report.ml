@@ -1,0 +1,63 @@
+(* Report rendering helpers. *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "gmean of equal values" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gmean" 2.0 (Report.gmean [ 2.0; 2.0; 2.0 ]));
+    Alcotest.test_case "gmean of 1 and 4 is 2" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gmean" 2.0 (Report.gmean [ 1.0; 4.0 ]));
+    Alcotest.test_case "gmean ignores non-positive values" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gmean" 3.0 (Report.gmean [ 3.0; 0.0; -5.0 ]));
+    Alcotest.test_case "gmean of empty list is 0" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gmean" 0.0 (Report.gmean []));
+    Alcotest.test_case "table aligns columns" `Quick (fun () ->
+        let t =
+          Report.Table.create ~title:"T"
+            [ ("name", Report.Table.Left); ("value", Report.Table.Right) ]
+        in
+        Report.Table.add_row t [ "a"; "1" ];
+        Report.Table.add_row t [ "long-name"; "12345" ];
+        let s = Report.Table.render t in
+        let lines = String.split_on_char '\n' s in
+        (* The two data lines must have equal width. *)
+        let data = List.filteri (fun i _ -> i = 4 || i = 5) lines in
+        match data with
+        | [ l1; l2 ] ->
+          Alcotest.(check int) "width" (String.length l2) (String.length l1)
+        | _ -> Alcotest.fail "unexpected table layout");
+    Alcotest.test_case "table rejects ragged rows" `Quick (fun () ->
+        let t = Report.Table.create ~title:"T" [ ("a", Report.Table.Left) ] in
+        match Report.Table.add_row t [ "x"; "y" ] with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "percent and float cells" `Quick (fun () ->
+        Alcotest.(check string) "pct" "13.7%" (Report.Table.cell_percent 0.137);
+        Alcotest.(check string) "float" "0.82"
+          (Report.Table.cell_float ~decimals:2 0.821));
+    Alcotest.test_case "chart renders every series and label" `Quick (fun () ->
+        let c =
+          Report.Chart.create ~title:"C" ~x_labels:[ "a"; "b"; "c" ] ~height:5 ()
+        in
+        Report.Chart.add_series c ~name:"up" [ 1.0; 2.0; 3.0 ];
+        Report.Chart.add_series c ~name:"down" [ 3.0; 2.5; 1.0 ];
+        let s = Report.Chart.render c in
+        let contains needle =
+          let nh = String.length s and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "legend up" true (contains "up");
+        Alcotest.(check bool) "legend down" true (contains "down");
+        Alcotest.(check bool) "x label" true (contains "b"));
+    Alcotest.test_case "chart with no data does not crash" `Quick (fun () ->
+        let c = Report.Chart.create ~title:"C" ~x_labels:[ "a" ] ~height:4 () in
+        Alcotest.(check bool) "renders" true
+          (String.length (Report.Chart.render c) > 0));
+    Alcotest.test_case "chart rejects wrong point counts" `Quick (fun () ->
+        let c = Report.Chart.create ~title:"C" ~x_labels:[ "a"; "b" ] ~height:4 () in
+        match Report.Chart.add_series c ~name:"s" [ 1.0 ] with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let suite = [ ("report", unit_tests) ]

@@ -1,0 +1,104 @@
+(* Runtime edge cases: stub-area exhaustion, per-region statistics,
+   decompressor cycle accounting. *)
+
+let compile src =
+  match Minic.compile src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile error: %s" (Minic.error_to_string e)
+
+let fib_src =
+  {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { putint(fib(14)); return 0; }
+|}
+
+let squash ?(options = Squash.default_options) p =
+  let profile, _ = Profile.collect p ~input:"" in
+  Squash.run ~options p profile
+
+let unit_tests =
+  [
+    Alcotest.test_case "stub-area exhaustion is a clean trap" `Quick (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        (* Tiny K splits fib across regions; one stub slot cannot hold the
+           recursion's concurrent call sites. *)
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; k_bytes = 64;
+                max_stubs = 1 }
+            p
+        in
+        match Runtime.run ~fuel:50_000_000 r.Squash.squashed ~input:"" with
+        | exception Vm.Trap { reason; _ } ->
+          Alcotest.(check string) "reason" "createstub: stub area exhausted" reason
+        | outcome, stats ->
+          (* If one slot sufficed the run must still be correct. *)
+          Alcotest.(check int) "exit" 121 outcome.Vm.exit_code;
+          Alcotest.(check bool) "reused" true (stats.Runtime.stub_reuses > 0));
+    Alcotest.test_case "per-region decompression counts sum to the total" `Quick
+      (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash
+            ~options:{ Squash.default_options with Squash.theta = 1.0; k_bytes = 128 }
+            p
+        in
+        let _, stats = Runtime.run ~fuel:50_000_000 r.Squash.squashed ~input:"" in
+        Alcotest.(check int) "sum" stats.Runtime.decompressions
+          (Array.fold_left ( + ) 0 stats.Runtime.per_region));
+    Alcotest.test_case "decompression cycles scale with the cost model" `Quick
+      (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash ~options:{ Squash.default_options with Squash.theta = 1.0 } p
+        in
+        let cheap = { Cost.default with Cost.decomp_per_bit = 1; decomp_invoke = 10 } in
+        let dear = { Cost.default with Cost.decomp_per_bit = 40; decomp_invoke = 5000 } in
+        let o1, s1 = Runtime.run ~cost:cheap ~fuel:50_000_000 r.Squash.squashed ~input:"" in
+        let o2, s2 = Runtime.run ~cost:dear ~fuel:50_000_000 r.Squash.squashed ~input:"" in
+        Alcotest.(check int) "same behaviour" o1.Vm.exit_code o2.Vm.exit_code;
+        Alcotest.(check int) "same work" s1.Runtime.bits_decoded s2.Runtime.bits_decoded;
+        Alcotest.(check bool) "dearer model, more cycles" true
+          (o2.Vm.cycles > o1.Vm.cycles));
+    Alcotest.test_case "words materialised match image sizes" `Quick (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash ~options:{ Squash.default_options with Squash.theta = 1.0 } p
+        in
+        let _, stats = Runtime.run ~fuel:50_000_000 r.Squash.squashed ~input:"" in
+        let expected =
+          Array.to_list r.Squash.squashed.Rewrite.images
+          |> List.mapi (fun i (img : Rewrite.region_image) ->
+                 stats.Runtime.per_region.(i) * img.Rewrite.buffer_words)
+          |> List.fold_left ( + ) 0
+        in
+        Alcotest.(check int) "words" expected stats.Runtime.words_materialised);
+    Alcotest.test_case "a squashed program can run many inputs in sequence"
+      `Quick (fun () ->
+        (* Fresh launches must not leak state between runs. *)
+        let src =
+          {|
+int main() {
+  int c;
+  c = getc();
+  if (c < 0) { putint(-1); return 0; }
+  putint(c * 2);
+  return 0;
+}
+|}
+        in
+        let p, _ = Squeeze.run (compile src) in
+        let profile, _ = Profile.collect p ~input:"\005" in
+        let r =
+          Squash.run ~options:{ Squash.default_options with Squash.theta = 1.0 } p
+            profile
+        in
+        List.iter
+          (fun (input, expected) ->
+            let outcome, _ = Runtime.run r.Squash.squashed ~input in
+            Alcotest.(check string) "output" expected outcome.Vm.output)
+          [ ("\001", "2\n"); ("\010", "20\n"); ("", "-1\n") ]);
+  ]
+
+let suite = [ ("runtime", unit_tests) ]

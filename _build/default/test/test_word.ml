@@ -1,0 +1,82 @@
+(* 32-bit word arithmetic. *)
+
+let check = Alcotest.(check int)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let word_gen = QCheck.Gen.(map (fun v -> v land Word.mask) (int_bound max_int))
+let arb_word = QCheck.make ~print:string_of_int word_gen
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int truncates" `Quick (fun () ->
+        check "truncated" 0xFFFF_FFFF (Word.of_int (-1));
+        check "kept" 0x1234 (Word.of_int 0x1234);
+        check "wrapped" 1 (Word.of_int 0x1_0000_0001));
+    Alcotest.test_case "to_signed" `Quick (fun () ->
+        check "negative" (-1) (Word.to_signed 0xFFFF_FFFF);
+        check "int_min" (-0x8000_0000) (Word.to_signed 0x8000_0000);
+        check "positive" 0x7FFF_FFFF (Word.to_signed 0x7FFF_FFFF));
+    Alcotest.test_case "signed division truncates toward zero" `Quick (fun () ->
+        check "7/2" 3 (Word.to_signed (Word.sdiv (Word.of_int 7) (Word.of_int 2)));
+        check "-7/2" (-3) (Word.to_signed (Word.sdiv (Word.of_int (-7)) (Word.of_int 2)));
+        check "7/-2" (-3) (Word.to_signed (Word.sdiv (Word.of_int 7) (Word.of_int (-2))));
+        check "-7%2" (-1) (Word.to_signed (Word.srem (Word.of_int (-7)) (Word.of_int 2))));
+    Alcotest.test_case "division by zero traps" `Quick (fun () ->
+        Alcotest.check_raises "div" Word.Division_trap (fun () ->
+            ignore (Word.sdiv 1 0));
+        Alcotest.check_raises "rem" Word.Division_trap (fun () ->
+            ignore (Word.srem 1 0)));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check "sll" 0x8000_0000 (Word.shift_left 1 31);
+        check "sll wraps" 0 (Word.shift_left 2 31);
+        check "srl" 1 (Word.shift_right_logical 0x8000_0000 31);
+        check "sra sign" 0xFFFF_FFFF (Word.shift_right_arith 0x8000_0000 31));
+    Alcotest.test_case "sign_extend" `Quick (fun () ->
+        check "16-bit neg" (-1) (Word.sign_extend ~width:16 0xFFFF);
+        check "16-bit pos" 0x7FFF (Word.sign_extend ~width:16 0x7FFF);
+        check "21-bit neg" (-1) (Word.sign_extend ~width:21 0x1F_FFFF);
+        check "ignores high bits" (-1) (Word.sign_extend ~width:16 0xABC_FFFF));
+    Alcotest.test_case "fits" `Quick (fun () ->
+        Alcotest.(check bool) "max16" true (Word.fits_signed ~width:16 32767);
+        Alcotest.(check bool) "over16" false (Word.fits_signed ~width:16 32768);
+        Alcotest.(check bool) "min16" true (Word.fits_signed ~width:16 (-32768));
+        Alcotest.(check bool) "under16" false (Word.fits_signed ~width:16 (-32769));
+        Alcotest.(check bool) "u8" true (Word.fits_unsigned ~width:8 255);
+        Alcotest.(check bool) "u8 over" false (Word.fits_unsigned ~width:8 256);
+        Alcotest.(check bool) "u8 neg" false (Word.fits_unsigned ~width:8 (-1)));
+  ]
+
+let prop_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"add is 32-bit modular" ~count:500
+         (QCheck.pair arb_word arb_word) (fun (a, b) ->
+           Word.add a b = (a + b) mod 0x1_0000_0000));
+    qcheck
+      (QCheck.Test.make ~name:"sub inverts add" ~count:500
+         (QCheck.pair arb_word arb_word) (fun (a, b) ->
+           Word.sub (Word.add a b) b = a));
+    qcheck
+      (QCheck.Test.make ~name:"to_signed/of_int roundtrip" ~count:500 arb_word
+         (fun a -> Word.of_int (Word.to_signed a) = a));
+    qcheck
+      (QCheck.Test.make ~name:"results are canonical" ~count:500
+         (QCheck.pair arb_word arb_word) (fun (a, b) ->
+           let canonical v = v >= 0 && v <= Word.mask in
+           canonical (Word.add a b)
+           && canonical (Word.mul a b)
+           && canonical (Word.lognot a)
+           && canonical (Word.shift_left a (b land 31))
+           && canonical (Word.shift_right_arith a (b land 31))));
+    qcheck
+      (QCheck.Test.make ~name:"sign_extend/zero_extend agree on the low bits"
+         ~count:500 arb_word (fun a ->
+           List.for_all
+             (fun w ->
+               Word.zero_extend ~width:w (Word.sign_extend ~width:w a)
+               = Word.zero_extend ~width:w a)
+             [ 8; 16; 21 ]));
+  ]
+
+let suite = [ ("word", unit_tests @ prop_tests) ]
