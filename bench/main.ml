@@ -119,6 +119,7 @@ let () =
     | _ -> List.map fst Experiments.all @ [ "micro" ]
   in
   let t0 = Unix.gettimeofday () in
+  let unknown = ref [] in
   List.iter
     (fun id ->
       match List.assoc_opt id Experiments.all with
@@ -131,6 +132,14 @@ let () =
           hr "micro (bechamel)";
           run_micro ()
         end
-        else Printf.printf "unknown experiment %s\n" id)
+        else unknown := id :: !unknown)
     requested;
-  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match List.rev !unknown with
+  | [] -> ()
+  | ids ->
+    Printf.eprintf "unknown experiment%s: %s\nvalid ids: %s micro\n"
+      (if List.length ids > 1 then "s" else "")
+      (String.concat ", " ids)
+      (String.concat " " (List.map fst Experiments.all));
+    exit 1

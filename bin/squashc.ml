@@ -210,8 +210,30 @@ let squash_cmd =
       & info [ "verify" ]
           ~doc:"Run the squashed program and check its behaviour against the original.")
   in
+  let trace_passes =
+    Arg.(
+      value & flag
+      & info [ "trace-passes" ]
+          ~doc:"Print each pipeline pass as it runs (timing, size deltas, \
+                summary), then the per-pass statistics table.")
+  in
+  let check_each =
+    Arg.(
+      value & flag
+      & info [ "check-each" ]
+          ~doc:"Validate the IR (and the squashed image, once built) after \
+                every pipeline pass; a failure names the pass that broke an \
+                invariant.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write per-pass timing and size statistics as JSON.")
+  in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
-      no_unswitch codec linear_regions verify =
+      no_unswitch codec linear_regions verify trace_passes check_each stats_json =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -233,13 +255,33 @@ let squash_cmd =
         regions_strategy = (if linear_regions then `Linear else `Dfs);
       }
     in
-    let result = Squash.run ~options prog profile in
+    let trace =
+      if trace_passes then Some (fun line -> Printf.eprintf "squashc: %s\n%!" line)
+      else None
+    in
+    let result =
+      try Squash.run ~options ~check_each ?trace prog profile with
+      | Pipeline.Check_failed { pass; errors } ->
+        Printf.eprintf "squashc: pass %S broke an invariant:\n" pass;
+        List.iter (fun e -> Printf.eprintf "squashc:   %s\n" e) errors;
+        exit 1
+    in
     (match Check.check result.Squash.squashed with
     | Ok () -> ()
     | Error es ->
       List.iter (fun e -> Printf.eprintf "squashc: image check: %s\n" e) es;
       exit 1);
     Format.printf "%a@." Squash.pp_summary result;
+    if trace_passes then print_string (Pipeline.render_stats result.Squash.stats);
+    (match stats_json with
+    | None -> ()
+    | Some path -> (
+      try
+        write_file path
+          (Report.Json.to_string (Pipeline.stats_json result.Squash.stats) ^ "\n")
+      with Sys_error msg ->
+        Printf.eprintf "squashc: cannot write pass stats: %s\n" msg;
+        exit 1));
     if verify then begin
       let timing =
         match wl with Some wl -> Workload.timing_input wl | None -> input
@@ -265,7 +307,7 @@ let squash_cmd =
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
       $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ codec $ linear_regions
-      $ verify)
+      $ verify $ trace_passes $ check_each $ stats_json)
 
 (* --- stats ------------------------------------------------------------ *)
 

@@ -1,0 +1,379 @@
+exception Check_failed of { pass : string; errors : string list }
+
+(* --- the standard passes ------------------------------------------- *)
+
+(* Functions whose code contains a setjmp system call. *)
+let detect_setjmp_callers (p : Prog.t) =
+  let code = Syscall.to_code Syscall.Setjmp in
+  List.filter_map
+    (fun (f : Prog.Func.t) ->
+      let calls =
+        Array.exists
+          (fun (b : Prog.Block.t) ->
+            List.exists
+              (function
+                | Prog.Instr (Instr.Sys c) -> c = code
+                | Prog.Instr _ | Prog.Load_addr _ -> false)
+              b.items)
+          f.blocks
+      in
+      if calls then Some f.name else None)
+    p.funcs
+
+(* Functions containing an indirect jump with unknown targets; their blocks
+   cannot be moved (the jump could target any of them). *)
+let unanalysable_funcs (p : Prog.t) =
+  List.filter_map
+    (fun (f : Prog.Func.t) ->
+      let bad =
+        Array.exists
+          (fun (b : Prog.Block.t) ->
+            match b.term with
+            | Prog.Jump_indirect { table = None; _ } -> true
+            | Prog.Jump_indirect { table = Some _; _ }
+            | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Call _
+            | Prog.Call_indirect _ | Prog.Return _ | Prog.No_return ->
+              false)
+          f.blocks
+      in
+      if bad then Some f.name else None)
+    p.funcs
+
+(* Blocks appended by unswitching have no profile entry: frequency 0, hence
+   cold at any θ. *)
+let is_cold_or_fresh st cold f b =
+  Cold.is_cold cold f b || Profile.freq st.Pass.profile f b = 0
+
+let cold_pass =
+  {
+    Pass.name = "cold";
+    descr = "cold-block identification at threshold θ";
+    paper = "§5";
+    requires = [];
+    after = [];
+    transform =
+      (fun st ->
+        {
+          st with
+          Pass.cold =
+            Some (Cold.identify st.Pass.prog st.Pass.profile ~theta:st.Pass.options.Pass.theta);
+        });
+    note =
+      (fun st ->
+        let cold = Pass.get_cold ~who:"cold" st in
+        let n = Cold.max_cold_freq cold in
+        Printf.sprintf "cutoff N=%s, %d/%d blocks cold"
+          (if n = max_int then "inf" else string_of_int n)
+          (Cold.cold_block_count cold)
+          (Cold.total_block_count cold));
+  }
+
+let unswitch_pass =
+  {
+    Pass.name = "unswitch";
+    descr = "jump-table unswitching of cold analysable dispatches";
+    paper = "§6.2";
+    requires = [ "cold" ];
+    after = [];
+    transform =
+      (fun st ->
+        let cold = Pass.get_cold ~who:"unswitch" st in
+        let r = Unswitch.run st.Pass.prog ~is_cold:(Cold.is_cold cold) in
+        {
+          st with
+          Pass.prog = r.Unswitch.prog;
+          unswitched = r.Unswitch.rewritten;
+          unmatched = r.Unswitch.unmatched;
+        });
+    note =
+      (fun st ->
+        Printf.sprintf "%d dispatches unswitched, %d unmatched"
+          (List.length st.Pass.unswitched)
+          (List.length st.Pass.unmatched));
+  }
+
+let exclude_pass =
+  {
+    Pass.name = "exclude";
+    descr = "never-compress set: entry, setjmp callers, unanalysable jumps";
+    paper = "§2.2";
+    requires = [];
+    (* In fallback mode (no unswitching), dispatch blocks and their tables
+       stay in place, which is safe — but when unswitch runs, a dispatch
+       whose idiom did not match excludes its whole function, so the
+       exclusion pass must see unswitch's verdict. *)
+    after = [ "unswitch" ];
+    transform =
+      (fun st ->
+        let p = st.Pass.prog in
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.replace tbl p.Prog.entry ();
+        List.iter (fun f -> Hashtbl.replace tbl f ()) (detect_setjmp_callers p);
+        List.iter (fun f -> Hashtbl.replace tbl f ()) st.Pass.seed_excluded;
+        List.iter (fun f -> Hashtbl.replace tbl f ()) (unanalysable_funcs p);
+        List.iter (fun f -> Hashtbl.replace tbl f ()) st.Pass.unmatched;
+        let sorted =
+          Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+          |> List.sort String.compare
+        in
+        { st with Pass.excluded = Some sorted });
+    note =
+      (fun st ->
+        Printf.sprintf "%d functions excluded"
+          (List.length (Pass.get_excluded ~who:"exclude" st)));
+  }
+
+let regions_pass =
+  {
+    Pass.name = "regions";
+    descr = "compressible-region formation and packing";
+    paper = "§4";
+    requires = [ "cold"; "exclude" ];
+    after = [];
+    transform =
+      (fun st ->
+        let cold = Pass.get_cold ~who:"regions" st in
+        let excluded = Pass.get_excluded ~who:"regions" st in
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun f -> Hashtbl.replace tbl f ()) excluded;
+        let compressible f b =
+          (not (Hashtbl.mem tbl f)) && is_cold_or_fresh st cold f b
+        in
+        let o = st.Pass.options in
+        let regions =
+          Regions.build st.Pass.prog ~compressible
+            ~params:
+              {
+                Regions.k_bytes = o.Pass.k_bytes;
+                gamma = o.Pass.gamma;
+                pack = o.Pass.pack;
+                strategy = o.Pass.regions_strategy;
+              }
+        in
+        { st with Pass.regions = Some regions });
+    note =
+      (fun st ->
+        let r = Pass.get_regions ~who:"regions" st in
+        Printf.sprintf "%d regions, %d entries, %d blocks rejected"
+          (Array.length r.Regions.regions)
+          (Hashtbl.length r.Regions.entries)
+          r.Regions.rejected_blocks);
+  }
+
+let buffer_safe_pass =
+  {
+    Pass.name = "buffer-safe";
+    descr = "buffer-safety analysis of call sites in compressed code";
+    paper = "§6.1";
+    requires = [ "regions" ];
+    after = [];
+    transform =
+      (fun st ->
+        let regions = Pass.get_regions ~who:"buffer-safe" st in
+        let p = st.Pass.prog in
+        let has_compressed fname =
+          match Prog.find_func p fname with
+          | None -> false
+          | Some f ->
+            let any = ref false in
+            Array.iteri
+              (fun i _ ->
+                if Regions.block_region regions fname i <> None then any := true)
+              f.Prog.Func.blocks;
+            !any
+        in
+        let bsafe =
+          if st.Pass.options.Pass.use_buffer_safe then
+            Buffer_safe.analyze p ~has_compressed
+          else
+            (* With the optimisation disabled, treat everything as unsafe so
+               every outgoing call goes through CreateStub. *)
+            Buffer_safe.analyze p ~has_compressed:(fun _ -> true)
+        in
+        { st with Pass.buffer_safe = Some bsafe });
+    note =
+      (fun st ->
+        if not st.Pass.options.Pass.use_buffer_safe then "disabled (all unsafe)"
+        else
+          Printf.sprintf "%d buffer-safe functions"
+            (List.length
+               (Buffer_safe.safe_functions
+                  (Pass.get_buffer_safe ~who:"buffer-safe" st))));
+  }
+
+let rewrite_pass =
+  {
+    Pass.name = "rewrite";
+    descr = "stub emission, compression and decompressor image build";
+    paper = "§2–3";
+    requires = [ "regions"; "buffer-safe" ];
+    after = [];
+    transform =
+      (fun st ->
+        let o = st.Pass.options in
+        let sq =
+          Rewrite.build st.Pass.prog
+            ~regions:(Pass.get_regions ~who:"rewrite" st)
+            ~buffer_safe:(Pass.get_buffer_safe ~who:"rewrite" st)
+            ~decomp_words:o.Pass.decomp_words ~max_stubs:o.Pass.max_stubs
+            ~codec:o.Pass.codec ()
+        in
+        { st with Pass.squashed = Some sq });
+    note =
+      (fun st ->
+        let sq = Pass.get_squashed ~who:"rewrite" st in
+        Printf.sprintf "%d regions compressed, %d stub words, %d-word buffer"
+          (Array.length sq.Rewrite.images)
+          sq.Rewrite.entry_stub_words sq.Rewrite.buffer_words);
+  }
+
+let standard =
+  [ cold_pass; unswitch_pass; exclude_pass; regions_pass; buffer_safe_pass;
+    rewrite_pass ]
+
+let skip names passes =
+  List.filter (fun (p : Pass.t) -> not (List.mem p.Pass.name names)) passes
+
+let of_options (o : Pass.options) =
+  if o.Pass.unswitch then standard else skip [ "unswitch" ] standard
+
+let by_name name =
+  List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) standard
+
+let names passes = List.map (fun (p : Pass.t) -> p.Pass.name) passes
+
+(* --- execution ------------------------------------------------------ *)
+
+type run_stats = { passes : Pass.stats list; total_s : float }
+
+let validate_order passes =
+  let all = names passes in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Pass.t) ->
+      if Hashtbl.mem seen p.Pass.name then
+        invalid_arg
+          (Printf.sprintf "Pipeline.execute: pass %S appears twice" p.Pass.name);
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem seen r) then
+            invalid_arg
+              (Printf.sprintf
+                 "Pipeline.execute: pass %S requires %S to run earlier"
+                 p.Pass.name r))
+        p.Pass.requires;
+      List.iter
+        (fun a ->
+          if List.mem a all && not (Hashtbl.mem seen a) then
+            invalid_arg
+              (Printf.sprintf
+                 "Pipeline.execute: pass %S must come after %S" p.Pass.name a))
+        p.Pass.after;
+      Hashtbl.replace seen p.Pass.name ())
+    passes
+
+let check_state (st : Pass.state) =
+  let ir =
+    match Prog_check.check ~profile:st.Pass.profile st.Pass.prog with
+    | Ok () -> []
+    | Error es -> es
+  in
+  let image =
+    match st.Pass.squashed with
+    | None -> []
+    | Some sq -> (
+      match Check.check sq with Ok () -> [] | Error es -> es)
+  in
+  match ir @ image with [] -> Ok () | es -> Error es
+
+let execute ?(check_each = false) ?trace ~passes st =
+  validate_order passes;
+  let emit line = match trace with Some f -> f line | None -> () in
+  let st, rev_stats =
+    List.fold_left
+      (fun (st, acc) (p : Pass.t) ->
+        let instrs_before = Prog.instr_count st.Pass.prog in
+        let words_before = Pass.footprint st in
+        let t0 = Unix.gettimeofday () in
+        let st' = p.Pass.transform st in
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        (if check_each then
+           match check_state st' with
+           | Ok () -> ()
+           | Error errors ->
+             raise (Check_failed { pass = p.Pass.name; errors }));
+        let s =
+          {
+            Pass.pass_name = p.Pass.name;
+            elapsed_s;
+            instrs_before;
+            instrs_after = Prog.instr_count st'.Pass.prog;
+            words_before;
+            words_after = Pass.footprint st';
+            note = p.Pass.note st';
+          }
+        in
+        emit
+          (Printf.sprintf "pass %-12s %7.2f ms  %6d instrs (%+d)  %6d words (%+d)  %s"
+             s.Pass.pass_name (1000.0 *. s.Pass.elapsed_s) s.Pass.instrs_after
+             (s.Pass.instrs_after - s.Pass.instrs_before)
+             s.Pass.words_after
+             (s.Pass.words_after - s.Pass.words_before)
+             s.Pass.note);
+        (st', s :: acc))
+      (st, []) passes
+  in
+  let stats = List.rev rev_stats in
+  let total_s =
+    List.fold_left (fun acc (s : Pass.stats) -> acc +. s.Pass.elapsed_s) 0.0 stats
+  in
+  (st, { passes = stats; total_s })
+
+(* --- stats rendering ------------------------------------------------ *)
+
+let render_stats rs =
+  let t =
+    Report.Table.create ~title:"pipeline passes"
+      [ ("pass", Report.Table.Left); ("time (ms)", Report.Table.Right);
+        ("share", Report.Table.Right); ("instrs", Report.Table.Right);
+        ("Δinstrs", Report.Table.Right); ("words", Report.Table.Right);
+        ("Δwords", Report.Table.Right); ("note", Report.Table.Left) ]
+  in
+  List.iter
+    (fun (s : Pass.stats) ->
+      let share =
+        if rs.total_s > 0.0 then s.Pass.elapsed_s /. rs.total_s else 0.0
+      in
+      Report.Table.add_row t
+        [ s.Pass.pass_name;
+          Report.Table.cell_float ~decimals:2 (1000.0 *. s.Pass.elapsed_s);
+          Report.Table.cell_percent ~decimals:1 share;
+          string_of_int s.Pass.instrs_after;
+          Printf.sprintf "%+d" (s.Pass.instrs_after - s.Pass.instrs_before);
+          string_of_int s.Pass.words_after;
+          Printf.sprintf "%+d" (s.Pass.words_after - s.Pass.words_before);
+          s.Pass.note ])
+    rs.passes;
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    [ "total"; Report.Table.cell_float ~decimals:2 (1000.0 *. rs.total_s);
+      ""; ""; ""; ""; ""; "" ];
+  Report.Table.render t
+
+let stats_json rs =
+  let open Report.Json in
+  Obj
+    [ ("total_s", Float rs.total_s);
+      ( "passes",
+        List
+          (List.map
+             (fun (s : Pass.stats) ->
+               Obj
+                 [ ("name", String s.Pass.pass_name);
+                   ("elapsed_s", Float s.Pass.elapsed_s);
+                   ("instrs_before", Int s.Pass.instrs_before);
+                   ("instrs_after", Int s.Pass.instrs_after);
+                   ("words_before", Int s.Pass.words_before);
+                   ("words_after", Int s.Pass.words_after);
+                   ("note", String s.Pass.note) ])
+             rs.passes) ) ]

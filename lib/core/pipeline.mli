@@ -1,0 +1,78 @@
+(** The instrumented pass pipeline behind {!Squash.run}.
+
+    The standard pipeline is the paper's transformation sequence, one
+    {!Pass.t} per stage:
+
+    - ["cold"] — cold-block identification (§5)
+    - ["unswitch"] — jump-table unswitching (§6.2); omitted by
+      {!of_options} when [options.unswitch] is false
+    - ["exclude"] — never-compress set: the entry function, setjmp
+      callers, functions with unanalysable indirect jumps, and unmatched
+      dispatches (§2.2, §6.2)
+    - ["regions"] — compressible-region formation and packing (§4)
+    - ["buffer-safe"] — buffer-safety analysis (§6.1); honours
+      [options.use_buffer_safe] by treating every function as unsafe when
+      the optimisation is off
+    - ["rewrite"] — the stub/decompressor image build (§2–3)
+
+    {!execute} runs a pass list over a {!Pass.state}, recording per-pass
+    wall-clock time and instruction/word deltas, optionally tracing each
+    pass and validating the IR (and, once present, the squashed image)
+    after every pass. *)
+
+exception Check_failed of { pass : string; errors : string list }
+(** Raised by [execute ~check_each:true] when validation fails after a
+    pass: the damage happened in exactly [pass]. *)
+
+val cold_pass : Pass.t
+val unswitch_pass : Pass.t
+val exclude_pass : Pass.t
+val regions_pass : Pass.t
+val buffer_safe_pass : Pass.t
+val rewrite_pass : Pass.t
+
+val standard : Pass.t list
+(** All six passes, in paper order. *)
+
+val of_options : Pass.options -> Pass.t list
+(** The standard list with option-disabled passes removed (currently:
+    ["unswitch"] when [options.unswitch] is false).  This replaces the old
+    ad-hoc [if options.unswitch then … else] branch. *)
+
+val skip : string list -> Pass.t list -> Pass.t list
+(** Remove passes by name. *)
+
+val by_name : string -> Pass.t option
+(** Look up a standard pass. *)
+
+val names : Pass.t list -> string list
+
+type run_stats = {
+  passes : Pass.stats list;  (** One record per executed pass, in order. *)
+  total_s : float;  (** Wall-clock total across all passes. *)
+}
+
+val execute :
+  ?check_each:bool ->
+  ?trace:(string -> unit) ->
+  passes:Pass.t list ->
+  Pass.state ->
+  Pass.state * run_stats
+(** Run [passes] in order.
+
+    Ordering is validated up front: every [requires] of a pass must appear
+    earlier in the list, every [after] constraint must hold, and no name
+    may repeat — violations raise [Invalid_argument] before anything runs.
+
+    With [~check_each:true], {!Prog_check.check} (against the state's
+    profile) runs after every pass, plus {!Check.check} once a squashed
+    image exists; a failure raises {!Check_failed} naming the offending
+    pass.  [trace] receives one line per pass as it completes. *)
+
+val render_stats : run_stats -> string
+(** An aligned text table of the per-pass statistics. *)
+
+val stats_json : run_stats -> Report.Json.t
+(** Machine-readable form: [{"total_s": …, "passes": [{"name": …,
+    "elapsed_s": …, "instrs_before": …, "instrs_after": …,
+    "words_before": …, "words_after": …, "note": …}, …]}]. *)

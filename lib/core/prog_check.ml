@@ -1,0 +1,144 @@
+let check ?profile (p : Prog.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+
+  (* --- program-level structure ------------------------------------- *)
+  (match Prog.find_func p p.Prog.entry with
+  | Some _ -> ()
+  | None -> err "entry function %s undefined" p.Prog.entry);
+  let names = List.sort String.compare (Prog.func_names p) in
+  let rec dups = function
+    | a :: b :: rest when a = b ->
+      err "duplicate function %s" a;
+      dups (List.filter (fun n -> n <> a) rest)
+    | _ :: rest -> dups rest
+    | [] -> ()
+  in
+  dups names;
+
+  (* --- per-function invariants ------------------------------------- *)
+  let check_func (f : Prog.Func.t) =
+    let n = Array.length f.blocks in
+    if n = 0 then err "%s: function has no blocks" f.name;
+    let check_dest what d =
+      if d < 0 || d >= n then
+        err "%s: %s targets block %d of %d" f.name what d n
+    in
+    Array.iteri
+      (fun i (b : Prog.Block.t) ->
+        List.iteri
+          (fun j item ->
+            match item with
+            | Prog.Instr ins -> (
+              (* The decompressor-reserved marker encodings must never
+                 appear in the IR: they exist only inside compressed
+                 streams. *)
+              match ins with
+              | Instr.Sentinel ->
+                err "%s/block %d: stray sentinel marker at item %d" f.name i j
+              | Instr.Bsrx _ ->
+                err "%s/block %d: stray Bsrx marker at item %d" f.name i j
+              | Instr.Jsr { hint = 1; _ } ->
+                err "%s/block %d: stray Jsr restore marker at item %d" f.name i j
+              | _ when Instr.is_control_transfer ins ->
+                err "%s/block %d: control transfer %s in block body" f.name i
+                  (Instr.to_string ins)
+              | _ -> ())
+            | Prog.Load_addr (r, sym) -> (
+              if not (Reg.is_valid r) then
+                err "%s/block %d: invalid register in load-addr at item %d"
+                  f.name i j;
+              match sym with
+              | Prog.Table_addr tid ->
+                if tid < 0 || tid >= Array.length f.tables then
+                  err "%s/block %d: load-addr of unknown jump table %d" f.name i
+                    tid
+              | Prog.Func_addr g ->
+                if Prog.find_func p g = None then
+                  err "%s/block %d: address of undefined function %s" f.name i g))
+          b.items;
+        match b.term with
+        | Prog.Fallthrough d ->
+          check_dest (Printf.sprintf "block %d fallthrough" i) d
+        | Prog.Jump d -> check_dest (Printf.sprintf "block %d jump" i) d
+        | Prog.Branch (_, r, d1, d2) ->
+          if not (Reg.is_valid r) then
+            err "%s/block %d: invalid branch register" f.name i;
+          check_dest (Printf.sprintf "block %d taken branch" i) d1;
+          check_dest (Printf.sprintf "block %d fallthrough branch" i) d2
+        | Prog.Call { callee; return_to; _ } ->
+          check_dest (Printf.sprintf "block %d call return" i) return_to;
+          if return_to <> i + 1 then
+            err "%s/block %d: call must return to the next block (got .%d)"
+              f.name i return_to;
+          if Prog.find_func p callee = None then
+            err "%s/block %d: call to undefined function %s" f.name i callee
+        | Prog.Call_indirect { return_to; rb; _ } ->
+          if not (Reg.is_valid rb) then
+            err "%s/block %d: invalid indirect-call register" f.name i;
+          check_dest (Printf.sprintf "block %d indirect-call return" i) return_to;
+          if return_to <> i + 1 then
+            err "%s/block %d: call must return to the next block (got .%d)"
+              f.name i return_to
+        | Prog.Jump_indirect { table = Some tid; _ } ->
+          if tid < 0 || tid >= Array.length f.tables then
+            err "%s/block %d: jump through unknown table %d" f.name i tid
+        | Prog.Jump_indirect { table = None; _ } | Prog.Return _ | Prog.No_return
+          ->
+          ())
+      f.blocks;
+    Array.iteri
+      (fun tid tbl ->
+        Array.iter
+          (fun d -> check_dest (Printf.sprintf "jump table %d entry" tid) d)
+          tbl;
+        if Array.length tbl = 0 then err "%s: jump table %d is empty" f.name tid)
+      f.tables;
+    (* Item accounting: the canonical instruction count of a block can
+       never be smaller than its item count (every item is at least one
+       word), and a function's count is the sum over its blocks. *)
+    let sum = ref 0 in
+    Array.iteri
+      (fun i (b : Prog.Block.t) ->
+        let next = if i + 1 < n then Some (i + 1) else None in
+        let sz = Prog.Block.size ~next b in
+        if sz < List.length b.items then
+          err "%s/block %d: size %d below its %d items" f.name i sz
+            (List.length b.items);
+        sum := !sum + sz)
+      f.blocks;
+    if !sum <> Prog.func_instr_count f then
+      err "%s: block sizes sum to %d, func_instr_count says %d" f.name !sum
+        (Prog.func_instr_count f)
+  in
+  List.iter check_func p.Prog.funcs;
+
+  (* --- profile consistency ----------------------------------------- *)
+  (match profile with
+  | None -> ()
+  | Some prof ->
+    let stale =
+      Profile.fold
+        (fun (fname, b) ~freq:_ ~weight:_ acc ->
+          match Prog.find_func p fname with
+          | None -> (fname, b, `Func) :: acc
+          | Some f ->
+            if b < 0 || b >= Array.length f.Prog.Func.blocks then
+              (fname, b, `Block) :: acc
+            else acc)
+        prof []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (fname, b, kind) ->
+        match kind with
+        | `Func -> err "profile names unknown function %s (block %d)" fname b
+        | `Block -> err "profile names missing block %s.%d" fname b)
+      stale);
+
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn ?profile p =
+  match check ?profile p with
+  | Ok () -> ()
+  | Error es -> failwith ("Prog_check.check failed:\n" ^ String.concat "\n" es)

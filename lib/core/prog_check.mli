@@ -1,0 +1,22 @@
+(** An error-collecting IR validator for pipeline debugging.
+
+    [Prog.validate] stops at the first violation; this checker keeps going
+    and reports {e every} violation, so a [--check-each] run pinpoints all
+    the damage a bad pass did at the pass that introduced it rather than at
+    the final image check.  Beyond the structural invariants (terminators
+    target real blocks, entry function exists, calls return to the next
+    block, jump tables in range) it rejects the decompressor-reserved
+    marker encodings — [Sentinel], [Bsrx], [Jsr] with hint 1 — anywhere in
+    a block body: those exist only inside compressed streams, and their
+    appearance in the IR means a transform leaked an image word back into
+    the program.
+
+    When a profile is supplied, every profiled block must still exist in
+    the program — a stale index means a pass renumbered or dropped blocks
+    without rebuilding the profile. *)
+
+val check : ?profile:Profile.t -> Prog.t -> (unit, string list) result
+(** All violations found, or [Ok ()]. *)
+
+val check_exn : ?profile:Profile.t -> Prog.t -> unit
+(** @raise Failure with the violations joined by newlines. *)

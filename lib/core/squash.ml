@@ -1,4 +1,4 @@
-type options = {
+type options = Pass.options = {
   theta : float;
   k_bytes : int;
   gamma : float;
@@ -11,19 +11,7 @@ type options = {
   regions_strategy : Regions.strategy;
 }
 
-let default_options =
-  {
-    theta = 0.0;
-    k_bytes = 512;
-    gamma = 0.66;
-    pack = true;
-    use_buffer_safe = true;
-    unswitch = true;
-    decomp_words = Rewrite.default_decomp_words;
-    max_stubs = Rewrite.default_max_stubs;
-    codec = `Split_stream;
-    regions_strategy = `Dfs;
-  }
+let default_options = Pass.default_options
 
 type result = {
   squashed : Rewrite.t;
@@ -35,117 +23,28 @@ type result = {
   original_words : int;
   squashed_words : int;
   options : options;
+  stats : Pipeline.run_stats;
 }
 
-(* Functions whose code contains a setjmp system call. *)
-let detect_setjmp_callers (p : Prog.t) =
-  let code = Syscall.to_code Syscall.Setjmp in
-  List.filter_map
-    (fun (f : Prog.Func.t) ->
-      let calls =
-        Array.exists
-          (fun (b : Prog.Block.t) ->
-            List.exists
-              (function
-                | Prog.Instr (Instr.Sys c) -> c = code
-                | Prog.Instr _ | Prog.Load_addr _ -> false)
-              b.items)
-          f.blocks
-      in
-      if calls then Some f.name else None)
-    p.funcs
-
-(* Functions containing an indirect jump with unknown targets; their blocks
-   cannot be moved (the jump could target any of them). *)
-let unanalysable_funcs (p : Prog.t) =
-  List.filter_map
-    (fun (f : Prog.Func.t) ->
-      let bad =
-        Array.exists
-          (fun (b : Prog.Block.t) ->
-            match b.term with
-            | Prog.Jump_indirect { table = None; _ } -> true
-            | Prog.Jump_indirect { table = Some _; _ }
-            | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Call _
-            | Prog.Call_indirect _ | Prog.Return _ | Prog.No_return ->
-              false)
-          f.blocks
-      in
-      if bad then Some f.name else None)
-    p.funcs
-
-let run ?(options = default_options) ?(setjmp_callers = []) (p : Prog.t) prof =
-  let original_words = Prog.text_words p in
-  let cold = Cold.identify p prof ~theta:options.theta in
-  (* Unswitch cold analysable dispatches first so the chain blocks join the
-     cold set (they have zero recorded frequency). *)
-  let unswitch_result =
-    if options.unswitch then Unswitch.run p ~is_cold:(Cold.is_cold cold)
-    else { Unswitch.prog = p; rewritten = []; unmatched = [] }
+let run ?(options = default_options) ?(setjmp_callers = []) ?(check_each = false)
+    ?trace (p : Prog.t) prof =
+  let state = Pass.init ~options ~setjmp_callers p prof in
+  let state, stats =
+    Pipeline.execute ~check_each ?trace ~passes:(Pipeline.of_options options)
+      state
   in
-  let p = unswitch_result.Unswitch.prog in
-  let excluded =
-    let tbl = Hashtbl.create 16 in
-    Hashtbl.replace tbl p.Prog.entry ();
-    List.iter (fun f -> Hashtbl.replace tbl f ()) (detect_setjmp_callers p);
-    List.iter (fun f -> Hashtbl.replace tbl f ()) setjmp_callers;
-    List.iter (fun f -> Hashtbl.replace tbl f ()) (unanalysable_funcs p);
-    (* In fallback mode (no unswitching), dispatch blocks and their tables
-       stay in place, which is safe — but a dispatch whose idiom did not
-       match in unswitch mode excludes its whole function. *)
-    List.iter (fun f -> Hashtbl.replace tbl f ()) unswitch_result.Unswitch.unmatched;
-    tbl
-  in
-  let is_cold f b =
-    (* Blocks appended by unswitching have no profile entry: frequency 0,
-       hence cold at any θ. *)
-    Cold.is_cold cold f b || Profile.freq prof f b = 0
-  in
-  let compressible f b = (not (Hashtbl.mem excluded f)) && is_cold f b in
-  let regions =
-    Regions.build p ~compressible
-      ~params:
-        {
-          Regions.k_bytes = options.k_bytes;
-          gamma = options.gamma;
-          pack = options.pack;
-          strategy = options.regions_strategy;
-        }
-  in
-  let has_compressed fname =
-    match Prog.find_func p fname with
-    | None -> false
-    | Some f ->
-      let any = ref false in
-      Array.iteri
-        (fun i _ -> if Regions.block_region regions fname i <> None then any := true)
-        f.Prog.Func.blocks;
-      !any
-  in
-  let buffer_safe =
-    if options.use_buffer_safe then Buffer_safe.analyze p ~has_compressed
-    else begin
-      (* With the optimisation disabled, treat everything as unsafe so every
-         outgoing call goes through CreateStub. *)
-      let t = Buffer_safe.analyze p ~has_compressed:(fun _ -> true) in
-      t
-    end
-  in
-  let squashed =
-    Rewrite.build p ~regions ~buffer_safe ~decomp_words:options.decomp_words
-      ~max_stubs:options.max_stubs ~codec:options.codec ()
-  in
+  let squashed = Pass.get_squashed ~who:"Squash.run" state in
   {
     squashed;
-    cold;
-    regions;
-    buffer_safe;
-    unswitched = unswitch_result.Unswitch.rewritten;
-    excluded_funcs =
-      Hashtbl.fold (fun k () acc -> k :: acc) excluded [] |> List.sort String.compare;
-    original_words;
+    cold = Pass.get_cold ~who:"Squash.run" state;
+    regions = Pass.get_regions ~who:"Squash.run" state;
+    buffer_safe = Pass.get_buffer_safe ~who:"Squash.run" state;
+    unswitched = state.Pass.unswitched;
+    excluded_funcs = Pass.get_excluded ~who:"Squash.run" state;
+    original_words = state.Pass.original_words;
     squashed_words = Rewrite.total_words squashed;
     options;
+    stats;
   }
 
 let size_reduction r =

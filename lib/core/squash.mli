@@ -10,7 +10,7 @@
     the function offset table, the compressed code and its code tables, the
     restore-stub area, and the runtime buffer. *)
 
-type options = {
+type options = Pass.options = {
   theta : float;  (** Cold-code threshold θ ∈ [0, 1]. *)
   k_bytes : int;  (** Runtime-buffer bound K (default 512). *)
   gamma : float;  (** Assumed compression factor for profitability. *)
@@ -40,13 +40,28 @@ type result = {
   original_words : int;  (** Footprint of the input program (words). *)
   squashed_words : int;
   options : options;
+  stats : Pipeline.run_stats;
+      (** Per-pass wall-clock timing and size deltas from the pipeline
+          run; render with {!Pipeline.render_stats} or
+          {!Pipeline.stats_json}. *)
 }
 
-val run : ?options:options -> ?setjmp_callers:string list -> Prog.t -> Profile.t -> result
-(** [setjmp_callers] names functions that call [setjmp]; the paper never
+val run :
+  ?options:options -> ?setjmp_callers:string list -> ?check_each:bool ->
+  ?trace:(string -> unit) -> Prog.t -> Profile.t -> result
+(** A thin composition of the standard pass list: equivalent to
+    [Pipeline.execute ~passes:(Pipeline.of_options options)] over
+    [Pass.init].
+
+    [setjmp_callers] names functions that call [setjmp]; the paper never
     compresses them (Section 2.2).  They are also detected directly from
     the program's [Sys setjmp] instructions, so the argument is only needed
-    for call sites hidden behind indirection. *)
+    for call sites hidden behind indirection.
+
+    [check_each] validates the IR (and, once built, the squashed image)
+    after every pass and raises {!Pipeline.Check_failed} naming the pass
+    that broke an invariant.  [trace] receives a one-line report per pass
+    as it completes. *)
 
 val size_reduction : result -> float
 (** [(original - squashed) / original], the quantity of Figures 6/7(a). *)

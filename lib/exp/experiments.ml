@@ -428,7 +428,65 @@ let ablation () =
     @ [ "" ]);
   Report.Table.render t
 
+(* ------------------------------------------------------------------ *)
+
+let passes () =
+  let theta = 1e-3 in
+  let pass_names = Pipeline.names (Pipeline.of_options (opts theta)) in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Pipeline: where squash time goes at θ=%g (per-pass wall clock, ms)"
+           theta)
+      (("Program", Report.Table.Left)
+      :: List.map (fun n -> (n, Report.Table.Right)) pass_names
+      @ [ ("total", Report.Table.Right) ])
+  in
+  let sums = Hashtbl.create 8 in
+  let totals = ref [] in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let r = Exp_data.squash_result p (opts theta) in
+      let stats = r.Squash.stats in
+      let cells =
+        List.map
+          (fun name ->
+            match
+              List.find_opt
+                (fun (s : Pass.stats) -> s.Pass.pass_name = name)
+                stats.Pipeline.passes
+            with
+            | None -> "-"
+            | Some s ->
+              Hashtbl.replace sums name
+                (s.Pass.elapsed_s
+                +. Option.value ~default:0.0 (Hashtbl.find_opt sums name));
+              Report.Table.cell_float ~decimals:2 (1000.0 *. s.Pass.elapsed_s))
+          pass_names
+      in
+      totals := stats.Pipeline.total_s :: !totals;
+      Report.Table.add_row t
+        ((wl.Workload.name :: cells)
+        @ [ Report.Table.cell_float ~decimals:2 (1000.0 *. stats.Pipeline.total_s) ]))
+    Workloads.all;
+  Report.Table.add_separator t;
+  let grand_total = List.fold_left ( +. ) 0.0 !totals in
+  Report.Table.add_row t
+    (("sum (share)"
+     :: List.map
+          (fun name ->
+            let s = Option.value ~default:0.0 (Hashtbl.find_opt sums name) in
+            Printf.sprintf "%.2f (%s)" (1000.0 *. s)
+              (if grand_total > 0.0 then
+                 Report.Table.cell_percent ~decimals:1 (s /. grand_total)
+               else "-"))
+          pass_names)
+    @ [ Report.Table.cell_float ~decimals:2 (1000.0 *. grand_total) ]);
+  Report.Table.render t
+
 let all =
   [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);
     ("F7", fig7); ("S3-gamma", gamma); ("S2-stubs", stubs); ("S6-bsafe", bsafe);
-    ("A1-ablation", ablation) ]
+    ("A1-ablation", ablation); ("P1-passes", passes) ]

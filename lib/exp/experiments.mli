@@ -45,5 +45,9 @@ val ablation : unit -> string
     buffer-safety, unswitching; plus the move-to-front variant's effect on
     the compressed size. *)
 
+val passes : unit -> string
+(** Where squash time goes: per-pass wall-clock timing of the pipeline
+    across the workload suite, with each pass's share of the total. *)
+
 val all : (string * (unit -> string)) list
 (** Every experiment, keyed by the id used in DESIGN.md. *)

@@ -60,6 +60,10 @@ let merge a b =
   add b;
   t
 
+let fold f t init =
+  Hashtbl.fold (fun key (e : entry) acc -> f key ~freq:e.freq ~weight:e.weight acc)
+    t.table init
+
 let to_string t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "total %d\n" t.total);

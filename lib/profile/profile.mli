@@ -27,6 +27,11 @@ val total_weight : t -> int
 val merge : t -> t -> t
 (** Pointwise sum — combine profiles from several training inputs. *)
 
+val fold :
+  (string * int -> freq:int -> weight:int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every recorded (function, block) entry, in unspecified
+    order. *)
+
 val to_string : t -> string
 (** Serialise (one [func block freq weight] line per block, plus a total
     line). *)

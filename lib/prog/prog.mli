@@ -84,6 +84,10 @@ val text_words : t -> int
 (** Total text-segment size in words under the canonical layout, including
     jump tables. *)
 
+val func_instr_count : Func.t -> int
+(** Emitted instructions of one function, excluding jump-table data
+    words. *)
+
 val instr_count : t -> int
 (** Total emitted instructions, excluding jump-table data words. *)
 

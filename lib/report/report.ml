@@ -75,6 +75,68 @@ module Table = struct
     Buffer.contents buf
 end
 
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec add buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then
+        (* %.17g is lossless for doubles; trim the common integral case. *)
+        let s = Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s
+      else Buffer.add_string buf "null"
+    | String s -> add_escaped buf s
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    add buf t;
+    Buffer.contents buf
+end
+
 module Chart = struct
   type t = {
     title : string;

@@ -21,6 +21,23 @@ module Table : sig
   (** [cell_percent 0.137 = "13.7%"]. *)
 end
 
+module Json : sig
+  (** A minimal JSON emitter for machine-readable stats (no parser, no
+      dependencies — enough for [--stats-json] style outputs). *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** Non-finite values are emitted as [null]. *)
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact (single-line) rendering with full string escaping. *)
+end
+
 module Chart : sig
   (** A small ASCII line chart: one column per x value, series plotted with
       distinct marks, y axis auto-scaled. *)

@@ -121,12 +121,17 @@ let install_hook t ~addr f =
 let setjmp_words = 10
 
 let do_setjmp t buf =
+  (* The layout above must cover exactly the pc, sp, ra and saved-register
+     slots; if Reg.saved ever changes, this is the place that must follow. *)
+  assert (setjmp_words = 3 + List.length Reg.saved);
+  (* Trap on an out-of-range buffer before any partial write. *)
+  ignore (check_word_addr t buf);
+  ignore (check_word_addr t (buf + (4 * (setjmp_words - 1))));
   let continue_pc = t.pc + 4 in
   store_word t buf continue_pc;
   store_word t (buf + 4) (reg t Reg.sp);
   store_word t (buf + 8) (reg t Reg.ra);
   List.iteri (fun i r -> store_word t (buf + 12 + (4 * i)) (reg t r)) Reg.saved;
-  ignore setjmp_words;
   set_reg t Reg.rv 0
 
 let do_longjmp t buf v =

@@ -7,6 +7,13 @@ let compile src =
 
 let squeeze p = fst (Squeeze.run p)
 
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
 let run_orig ?(input = "") ?(fuel = 30_000_000) p =
   Vm.run (Vm.of_image ~fuel (Layout.emit p) ~input)
 
@@ -390,6 +397,65 @@ let checker_tests =
           | Error _ -> ()
           | Ok () -> Alcotest.fail "corruption not detected"
         end);
+    Alcotest.test_case "Check rejects a stray sentinel in a region image" `Quick
+      (fun () ->
+        let p = squeeze (compile hot_cold_src) in
+        let r =
+          squash ~options:{ Squash.default_options with Squash.theta = 1.0 }
+            ~profile_input:"n" p
+        in
+        let sq = r.Squash.squashed in
+        Alcotest.(check bool) "has a region" true
+          (Array.length sq.Rewrite.images > 0);
+        let saved = sq.Rewrite.images.(0) in
+        sq.Rewrite.images.(0) <-
+          {
+            saved with
+            Rewrite.words = Rewrite.Plain Instr.Sentinel :: saved.Rewrite.words;
+          };
+        let verdict = Check.check sq in
+        sq.Rewrite.images.(0) <- saved;
+        match verdict with
+        | Error es ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mentions the sentinel (%s)" (String.concat "; " es))
+            true
+            (List.exists (fun e -> contains e "sentinel") es)
+        | Ok () -> Alcotest.fail "sentinel not detected");
+    Alcotest.test_case "Check rejects an out-of-range stub tag" `Quick (fun () ->
+        let p = squeeze (compile hot_cold_src) in
+        let r =
+          squash ~options:{ Squash.default_options with Squash.theta = 1.0 }
+            ~profile_input:"n" p
+        in
+        let sq = r.Squash.squashed in
+        let key, addr =
+          match sq.Rewrite.stub_addrs with
+          | s :: _ -> s
+          | [] -> Alcotest.fail "no entry stubs"
+        in
+        ignore key;
+        let words = sq.Rewrite.text.Easm.words in
+        let word_idx a = (a - Layout.text_base) / 4 in
+        (* The tag word follows the stub's bsr: 2-word plain form or
+           3-word push form (stw sp, -4 first). *)
+        let tag_idx =
+          match Instr.decode words.(word_idx addr) with
+          | Ok (Instr.Mem { op = Instr.Stw; _ }) -> word_idx (addr + 8)
+          | _ -> word_idx (addr + 4)
+        in
+        let saved = words.(tag_idx) in
+        words.(tag_idx) <- (Array.length sq.Rewrite.images + 7) lsl 16;
+        let verdict = Check.check sq in
+        words.(tag_idx) <- saved;
+        match verdict with
+        | Error es ->
+          Alcotest.(check bool)
+            (Printf.sprintf "names the bogus region (%s)"
+               (String.concat "; " es))
+            true
+            (List.exists (fun e -> contains e "names region") es)
+        | Ok () -> Alcotest.fail "bad tag not detected");
   ]
 
 let variant_tests =
