@@ -3,9 +3,11 @@
    microbenchmarks of the runtime-critical primitives.
 
    Usage:
-     dune exec bench/main.exe             # everything
-     dune exec bench/main.exe -- T1 F6    # selected experiments
-     dune exec bench/main.exe -- micro    # microbenchmarks only            *)
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- T1 F6         # selected experiments
+     dune exec bench/main.exe -- micro         # microbenchmarks only
+     dune exec bench/main.exe -- --json FILE   # also write machine-readable
+                                               # wall-clock + key metrics    *)
 
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '#')
@@ -113,28 +115,66 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (List.rev_append acc rest, Some file)
+    | "--json" :: [] ->
+      prerr_endline "--json requires a file argument";
+      exit 1
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let ids, json_file = split_json [] args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst Experiments.all @ [ "micro" ]
+    match ids with
+    | _ :: _ -> ids
+    | [] -> List.map fst Experiments.all @ [ "micro" ]
   in
   let t0 = Unix.gettimeofday () in
   let unknown = ref [] in
+  let recorded = ref [] in
+  let record id dt =
+    recorded :=
+      Report.Json.Obj
+        [ ("id", Report.Json.String id);
+          ("seconds", Report.Json.Float dt);
+          ("metrics", Report.Json.Obj (Experiments.drain_metrics ())) ]
+      :: !recorded
+  in
   List.iter
     (fun id ->
       match List.assoc_opt id Experiments.all with
       | Some f ->
         hr id;
+        let start = Unix.gettimeofday () in
         print_string (f ());
+        record id (Unix.gettimeofday () -. start);
         Printf.printf "[%s done at %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
       | None ->
         if id = "micro" then begin
           hr "micro (bechamel)";
-          run_micro ()
+          let start = Unix.gettimeofday () in
+          run_micro ();
+          record id (Unix.gettimeofday () -. start)
         end
         else unknown := id :: !unknown)
     requested;
-  Printf.printf "\ntotal time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal time: %.1fs\n" total;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    let doc =
+      Report.Json.Obj
+        [ ("schema", Report.Json.String "pgcc-bench-v1");
+          ("total_seconds", Report.Json.Float total);
+          ("experiments", Report.Json.List (List.rev !recorded)) ]
+    in
+    let oc = open_out file in
+    output_string oc (Report.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" file);
   match List.rev !unknown with
   | [] -> ()
   | ids ->

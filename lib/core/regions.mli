@@ -32,6 +32,15 @@ type strategy =
   | `Linear  (** Consecutive blocks in layout order (a future-work
                  alternative). *) ]
 
+type packer =
+  [ `Incremental
+    (** Indexed facts and a candidate-pair heap; after each merge only the
+        pairs the merge touched are re-evaluated.  The default. *)
+  | `Rescan
+    (** Recompute every fact and scan all region pairs each round — the
+        executable specification of the greedy merge, quadratic per round.
+        Kept as the equivalence-regression reference. *) ]
+
 type params = {
   k_bytes : int;  (** Runtime-buffer size bound, default 512. *)
   gamma : float;  (** Assumed compression factor, default 0.66. *)
@@ -42,7 +51,19 @@ type params = {
 val default_params : params
 
 val build :
-  Prog.t -> compressible:(string -> int -> bool) -> params:params -> t
+  ?packer:packer ->
+  Prog.t ->
+  compressible:(string -> int -> bool) ->
+  params:params ->
+  t
+(** Both packers produce the same partition; [`Rescan] exists for
+    regression tests and before/after timing. *)
+
+val entry_count_if_region : Prog.t -> (string * int) list -> int
+(** [E] of the §4 profitability test: how many of [blocks] would need an
+    entry stub if they formed one region — the same predicate [build] uses
+    both when pricing a tentative region and when computing the final entry
+    set. *)
 
 val region_blocks : t -> int -> (string * int) list
 val block_region : t -> string -> int -> int option

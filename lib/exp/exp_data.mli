@@ -38,7 +38,13 @@ val timing_run : prepared -> Squash.result -> Vm.outcome * Runtime.stats
 val theta_grid : float list
 (** [0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0] *)
 
+val theta_rescale : float
+(** Multiplier taking a paper θ to our profiling regime (DESIGN.md §4,
+    "θ scale"). *)
+
 val fig7_thetas : (string * float) list
-(** Paper label → our θ: [("0.0", 0.0); ("1e-5", 1e-4); ("5e-5", 1e-3)]. *)
+(** Paper label → our θ, derived as
+    [snap-to-grid (paper · theta_rescale)]:
+    [("0.0", 0.0); ("1e-5", 1e-4); ("5e-5", 1e-3)]. *)
 
 val theta_label : float -> string

@@ -2,6 +2,17 @@ let opts theta = { Squash.default_options with Squash.theta }
 
 let with_all f = List.map (fun wl -> f (Exp_data.prepare wl)) Workloads.all
 
+(* Machine-readable metrics: experiments push (key, value) pairs as they
+   run; the bench driver drains them after each experiment into its
+   [--json] report. *)
+let metrics : (string * Report.Json.t) list ref = ref []
+let record_metric key v = metrics := (key, v) :: !metrics
+
+let drain_metrics () =
+  let m = List.rev !metrics in
+  metrics := [];
+  m
+
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
@@ -176,6 +187,11 @@ let fig6 () =
       Exp_data.theta_grid
   in
   Report.Table.add_row t ("geo. mean" :: List.map Report.Table.cell_percent means);
+  record_metric "size_reduction_geomean"
+    (Report.Json.Obj
+       (List.map2
+          (fun theta m -> (Exp_data.theta_label theta, Report.Json.Float m))
+          Exp_data.theta_grid means));
   let chart =
     Report.Chart.create ~title:"Figure 6 (mean size reduction vs θ)"
       ~x_labels:(List.map Exp_data.theta_label Exp_data.theta_grid) ~height:10 ()
@@ -484,7 +500,72 @@ let passes () =
                else "-"))
           pass_names)
     @ [ Report.Table.cell_float ~decimals:2 (1000.0 *. grand_total) ]);
-  Report.Table.render t
+  (* Before/after of the PR-2 packing rework: rebuild each workload's
+     regions at the most aggressive threshold with the per-round rescan
+     reference and with the incremental packer, on exactly the inputs the
+     pipeline's regions pass saw.  The partitions are checked identical;
+     only the time may differ. *)
+  let theta_pack = 1.0 in
+  let t2 =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Region formation at θ=%g: per-round rescan reference vs incremental \
+            packer (ms)"
+           theta_pack)
+      [ ("Program", Report.Table.Left); ("rescan", Report.Table.Right);
+        ("incremental", Report.Table.Right); ("speedup", Report.Table.Right) ]
+  in
+  let tot_rescan = ref 0.0 and tot_inc = ref 0.0 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let r = Exp_data.squash_result p (opts theta_pack) in
+      let o = r.Squash.options in
+      let prog = r.Squash.squashed.Rewrite.prog in
+      let compressible f b =
+        (not (List.mem f r.Squash.excluded_funcs))
+        && (Cold.is_cold r.Squash.cold f b
+           || Profile.freq p.Exp_data.profile f b = 0)
+      in
+      let params =
+        {
+          Regions.k_bytes = o.Squash.k_bytes;
+          gamma = o.Squash.gamma;
+          pack = o.Squash.pack;
+          strategy = o.Squash.regions_strategy;
+        }
+      in
+      let time packer =
+        let t0 = Unix.gettimeofday () in
+        let t = Regions.build ~packer prog ~compressible ~params in
+        (Unix.gettimeofday () -. t0, t)
+      in
+      let d_rescan, t_rescan = time `Rescan in
+      let d_inc, t_inc = time `Incremental in
+      let fingerprint (t : Regions.t) =
+        Array.map (fun (rg : Regions.region) -> rg.Regions.blocks) t.Regions.regions
+      in
+      if fingerprint t_rescan <> fingerprint t_inc then
+        failwith (wl.Workload.name ^ ": packers disagree");
+      tot_rescan := !tot_rescan +. d_rescan;
+      tot_inc := !tot_inc +. d_inc;
+      Report.Table.add_row t2
+        [ wl.Workload.name;
+          Report.Table.cell_float ~decimals:2 (1000.0 *. d_rescan);
+          Report.Table.cell_float ~decimals:2 (1000.0 *. d_inc);
+          Printf.sprintf "%.1fx" (d_rescan /. d_inc) ])
+    Workloads.all;
+  Report.Table.add_separator t2;
+  let speedup = !tot_rescan /. !tot_inc in
+  Report.Table.add_row t2
+    [ "sum"; Report.Table.cell_float ~decimals:2 (1000.0 *. !tot_rescan);
+      Report.Table.cell_float ~decimals:2 (1000.0 *. !tot_inc);
+      Printf.sprintf "%.1fx" speedup ];
+  record_metric "region_formation_rescan_s" (Report.Json.Float !tot_rescan);
+  record_metric "region_formation_incremental_s" (Report.Json.Float !tot_inc);
+  record_metric "region_formation_speedup" (Report.Json.Float speedup);
+  Report.Table.render t ^ "\n" ^ Report.Table.render t2
 
 let all =
   [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);

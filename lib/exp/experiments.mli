@@ -47,7 +47,14 @@ val ablation : unit -> string
 
 val passes : unit -> string
 (** Where squash time goes: per-pass wall-clock timing of the pipeline
-    across the workload suite, with each pass's share of the total. *)
+    across the workload suite, with each pass's share of the total; plus a
+    before/after of region formation at θ=1.0 (per-round rescan reference
+    vs the incremental packer, identical partitions checked). *)
+
+val drain_metrics : unit -> (string * Report.Json.t) list
+(** Key metrics recorded by the experiments run since the last drain
+    (e.g. geo-mean size reduction, region-formation seconds), for the
+    bench driver's [--json] output. *)
 
 val all : (string * (unit -> string)) list
 (** Every experiment, keyed by the id used in DESIGN.md. *)

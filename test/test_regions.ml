@@ -1,0 +1,245 @@
+(* Region formation: the shared entry-stub predicate, the §4 profitability
+   test, and the equivalence of the incremental packer with its rescan
+   reference. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let parse src =
+  match Asm.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let build ?packer ?(k_bytes = 512) ?(pack = true) ~compressible p =
+  Regions.build ?packer p ~compressible
+    ~params:{ Regions.default_params with Regions.k_bytes; pack }
+
+(* Everything the packers decide: the partition (ids and layout order of
+   every region) plus the entry set. *)
+let fingerprint (t : Regions.t) =
+  ( Array.to_list
+      (Array.map (fun r -> (r.Regions.id, r.Regions.blocks)) t.Regions.regions),
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.Regions.entries [])
+  )
+
+let check_packers_agree ?k_bytes ~compressible p =
+  let inc = build ~packer:`Incremental ?k_bytes ~compressible p ~pack:true
+  and ref_ = build ~packer:`Rescan ?k_bytes ~compressible p ~pack:true in
+  if fingerprint inc <> fingerprint ref_ then
+    Alcotest.failf "incremental and rescan packers disagree (%d vs %d regions)"
+      (Array.length inc.Regions.regions)
+      (Array.length ref_.Regions.regions);
+  inc
+
+(* Three single-function regions wired so that the first merge changes a
+   third region's best partner — the case pure pair-caching gets wrong.
+   mid_a calls helper_b twice and leaf once; helper_b calls leaf once;
+   main (never compressible) calls only mid_a.
+
+   Initially helper_b's entry depends solely on region A (both call sites
+   in mid_a), so gain(A,B) = one vanishing stub + two crossing calls = 6,
+   while gain(A,C) = gain(B,C) = 2 (one crossing call each; leaf's entry
+   needs {A,B}, no singleton).  Merging A+B renames leaf's needs to the
+   singleton {AB} and folds the call weights, lifting gain(AB,C) from 2 to
+   6 — region C's best partner appears only because of a merge it took no
+   part in. *)
+let three_region_src =
+  {|
+.entry main
+func main {
+  .0:
+    lda a0, 7(zero)
+    call mid_a
+  .1:
+    sys exit
+    halt
+}
+func mid_a {
+  .0:
+    add a0, a0, t0
+    add t0, t0, t1
+    call helper_b
+  .1:
+    add v0, t1, a0
+    call helper_b
+  .2:
+    add v0, t0, a0
+    call leaf
+  .3:
+    add v0, t1, v0
+    ret
+}
+func helper_b {
+  .0:
+    add a0, a0, t2
+    mul t2, t2, t2
+    add t2, a0, t2
+    add t2, t2, t2
+    add t2, a0, t2
+    add t2, t2, v0
+    ret
+}
+func leaf {
+  .0:
+    mul a0, a0, t3
+    add t3, a0, t3
+    mul t3, t3, t3
+    add t3, a0, t3
+    add t3, t3, t3
+    add t3, t3, v0
+    ret
+}
+|}
+
+let cold_funcs = [ "mid_a"; "helper_b"; "leaf" ]
+let cold_only f _ = List.mem f cold_funcs
+
+let region_ids t keys =
+  List.map (fun (f, i) -> Regions.block_region t f i) keys
+  |> List.sort_uniq compare
+
+let unit_tests =
+  [
+    Alcotest.test_case "a merge changes a third region's best partner" `Quick
+      (fun () ->
+        let p = parse three_region_src in
+        (* Without packing: three separate regions, leaf's entry stubbed. *)
+        let unpacked = build ~compressible:cold_only ~pack:false p in
+        Alcotest.(check int) "three regions" 3
+          (Array.length unpacked.Regions.regions);
+        Alcotest.(check bool) "leaf entry stubbed" true
+          (Regions.is_entry unpacked "leaf" 0);
+        (* With packing: both packers fold everything into one region, and
+           only mid_a's entry (called from never-compressed main) keeps its
+           stub. *)
+        let t = check_packers_agree ~compressible:cold_only p in
+        Alcotest.(check int) "one region" 1 (Array.length t.Regions.regions);
+        Alcotest.(check
+                    (list (option int)))
+          "all blocks in region 0" [ Some 0 ]
+          (region_ids t [ ("mid_a", 0); ("helper_b", 0); ("leaf", 0) ]);
+        Alcotest.(check bool) "mid_a entry stubbed" true
+          (Regions.is_entry t "mid_a" 0);
+        Alcotest.(check bool) "helper_b stub merged away" false
+          (Regions.is_entry t "helper_b" 0);
+        Alcotest.(check bool) "leaf stub merged away" false
+          (Regions.is_entry t "leaf" 0));
+    Alcotest.test_case "profitability stub count equals compute_entries" `Quick
+      (fun () ->
+        (* With packing off, each accepted region's final entry set must
+           count exactly what the profitability test priced: both sides now
+           evaluate the same predicate. *)
+        let p = parse three_region_src in
+        let t = build ~compressible:cold_only ~pack:false p in
+        Array.iter
+          (fun (r : Regions.region) ->
+            let in_region =
+              Hashtbl.fold
+                (fun key () acc -> if List.mem key r.Regions.blocks then acc + 1 else acc)
+                t.Regions.entries 0
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "region %d" r.Regions.id)
+              (Regions.entry_count_if_region p r.Regions.blocks)
+              in_region)
+          t.Regions.regions;
+        Alcotest.(check int) "total entries" 3 (Hashtbl.length t.Regions.entries));
+    Alcotest.test_case "self-recursive region the old predicate rejected" `Quick
+      (fun () ->
+        (* f's only caller is itself, so with both blocks (4 instructions)
+           in one tentative region its entry needs no stub: E = 0 and the
+           region is profitable.  The pre-unification entry count charged
+           the entry a stub whenever callers_of_entry was non-empty,
+           pricing E = 1 and rejecting (2 ≥ 0.34·4). *)
+        let p =
+          parse
+            {|
+.entry main
+func main {
+  .0:
+    sys exit
+    halt
+}
+func f {
+  .0:
+    add a0, a0, t0
+    call f
+  .1:
+    add v0, t0, v0
+    ret
+}
+|}
+        in
+        Alcotest.(check int) "E = 0" 0
+          (Regions.entry_count_if_region p [ ("f", 0); ("f", 1) ]);
+        let t = build ~compressible:(fun g _ -> g = "f") ~pack:false p in
+        Alcotest.(check int) "one region" 1 (Array.length t.Regions.regions);
+        Alcotest.(check
+                    (list (option int)))
+          "both blocks placed" [ Some 0 ]
+          (region_ids t [ ("f", 0); ("f", 1) ]);
+        Alcotest.(check int) "no entry stubs" 0 (Hashtbl.length t.Regions.entries));
+    Alcotest.test_case "fig7 θ mapping derives from theta_rescale" `Quick
+      (fun () ->
+        (* Pins the intentional rescale of DESIGN.md §4: paper labels stay,
+           values are paper·theta_rescale snapped to the θ grid. *)
+        Alcotest.(check (list (pair string (float 0.0))))
+          "label -> θ"
+          [ ("0.0", 0.0); ("1e-5", 1e-4); ("5e-5", 1e-3) ]
+          Exp_data.fig7_thetas;
+        List.iter
+          (fun (_, v) ->
+            Alcotest.(check bool) "on the grid" true
+              (List.mem v Exp_data.theta_grid))
+          Exp_data.fig7_thetas);
+  ]
+
+let property_tests =
+  [
+    qcheck
+      (QCheck.Test.make
+         ~name:"incremental packer matches the rescan reference on random programs"
+         ~count:25
+         (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 700 780))
+         (fun seed ->
+           let p = Minic.compile_exn (Gen_minic.random_program ~seed) in
+           let p, _ = Squeeze.run p in
+           (* Everything compressible and a small bound stress merging
+              decisions; vary the bound with the seed. *)
+           let k_bytes = [| 64; 128; 256; 512 |].(seed mod 4) in
+           ignore
+             (check_packers_agree ~k_bytes
+                ~compressible:(fun _ _ -> true)
+                p);
+           true));
+  ]
+
+(* The tentpole's guard rail: on every workload, across the θ grid, the
+   incremental packer and the rescan reference produce identical partitions
+   and entry sets — and both match what the pipeline (which uses the
+   incremental packer) actually built. *)
+let workload_tests =
+  [
+    Alcotest.test_case "workloads: packers agree across the θ grid" `Slow
+      (fun () ->
+        List.iter
+          (fun wl ->
+            let prep = Exp_data.prepare wl in
+            List.iter
+              (fun theta ->
+                let options = { Squash.default_options with Squash.theta } in
+                let r = Exp_data.squash_result prep options in
+                let prog = r.Squash.squashed.Rewrite.prog in
+                let compressible f b =
+                  (not (List.mem f r.Squash.excluded_funcs))
+                  && (Cold.is_cold r.Squash.cold f b
+                     || Profile.freq prep.Exp_data.profile f b = 0)
+                in
+                let t = check_packers_agree ~compressible prog in
+                if fingerprint t <> fingerprint r.Squash.regions then
+                  Alcotest.failf "%s θ=%g: pipeline partition differs"
+                    wl.Workload.name theta)
+              Exp_data.theta_grid)
+          Workloads.all);
+  ]
+
+let suite = [ ("regions", unit_tests @ property_tests @ workload_tests) ]
