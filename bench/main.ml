@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- T1 F6         # selected experiments
      dune exec bench/main.exe -- micro         # microbenchmarks only
      dune exec bench/main.exe -- --json FILE   # also write machine-readable
-                                               # wall-clock + key metrics    *)
+                                               # wall-clock + key metrics
+     dune exec bench/main.exe -- --jobs N      # engine pool size (default:
+                                               # $JOBS, then domain count)
+     dune exec bench/main.exe -- --no-cache    # skip the _cache/ store     *)
 
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '#')
@@ -116,15 +119,35 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs = ref None and no_cache = ref false in
   let rec split_json acc = function
     | "--json" :: file :: rest -> (List.rev_append acc rest, Some file)
     | "--json" :: [] ->
       prerr_endline "--json requires a file argument";
       exit 1
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := Some j;
+        split_json acc rest
+      | Some _ | None ->
+        prerr_endline "--jobs requires a positive integer";
+        exit 1)
+    | "--jobs" :: [] ->
+      prerr_endline "--jobs requires a positive integer";
+      exit 1
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      split_json acc rest
     | a :: rest -> split_json (a :: acc) rest
     | [] -> (List.rev acc, None)
   in
   let ids, json_file = split_json [] args in
+  Exp_grid.set_jobs !jobs;
+  let cache = if !no_cache then None else Some (Cache.create ()) in
+  Exp_data.set_cache cache;
+  Printf.printf "engine: %d jobs; cache: %s\n%!" (Exp_grid.jobs ())
+    (match cache with None -> "disabled" | Some c -> Cache.dir c);
   let requested =
     match ids with
     | _ :: _ -> ids
@@ -161,14 +184,21 @@ let () =
     requested;
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal time: %.1fs\n" total;
+  (match cache with
+  | None -> ()
+  | Some c -> print_endline (Cache.render_stats c));
   (match json_file with
   | None -> ()
   | Some file ->
     let doc =
       Report.Json.Obj
-        [ ("schema", Report.Json.String "pgcc-bench-v1");
-          ("total_seconds", Report.Json.Float total);
-          ("experiments", Report.Json.List (List.rev !recorded)) ]
+        ([ ("schema", Report.Json.String "pgcc-bench-v1");
+           ("total_seconds", Report.Json.Float total);
+           ("jobs", Report.Json.Int (Exp_grid.jobs ())) ]
+        @ (match cache with
+          | None -> []
+          | Some c -> [ ("cache", Cache.stats_json c) ])
+        @ [ ("experiments", Report.Json.List (List.rev !recorded)) ])
     in
     let oc = open_out file in
     output_string oc (Report.Json.to_string doc);

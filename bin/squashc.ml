@@ -3,10 +3,14 @@
      squashc compile prog.mc -o prog.s        MiniC -> SQ32 assembly
      squashc run prog.mc --input-file in.bin  execute on the simulator
      squashc profile prog.mc ... -o p.prof    collect a basic-block profile
+                                              (repeat --input/--input-file to
+                                              merge several training runs)
      squashc squash prog.mc --profile p.prof --theta 0.001
                                               compress; report sizes; verify
      squashc stats prog.mc                    static code statistics
      squashc workloads                        list the built-in benchmarks
+     squashc grid gsm pgp --jobs 4            workload x theta x K sweep on
+                                              the parallel engine (JSON/CSV)
 
    Programs may be MiniC (.mc) or SQ32 assembly (anything else); the name of
    a built-in workload (e.g. "gsm") may be used instead of a file, in which
@@ -146,18 +150,64 @@ let profile_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the profile here (default stdout).")
   in
-  let run prog_name no_squeeze inputs out =
+  (* Unlike the other commands, profiling accepts repeated inputs: one
+     profile is collected per training input and the results are merged
+     (pointwise sum), the paper's multi-input training setup. *)
+  let input_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "input-file" ] ~docv:"FILE"
+          ~doc:"Input byte stream for a training run (repeatable; profiles \
+                from all inputs are merged).")
+  in
+  let input_texts =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"TEXT"
+          ~doc:"Literal input text for a training run (repeatable).")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing-input" ]
+          ~doc:"For a built-in workload: use its timing input (default is \
+                the profiling input).")
+  in
+  let run prog_name no_squeeze input_files input_texts timing out =
     let prog, wl = prepare prog_name no_squeeze in
-    let input = resolve_input inputs wl in
-    let profile, outcome = Profile.collect prog ~input in
-    Printf.eprintf "[exit %d, %d instructions profiled]\n" outcome.Vm.exit_code
-      outcome.Vm.icount;
+    let inputs =
+      match (List.map read_file input_files @ input_texts, wl) with
+      | (_ :: _ as inputs), _ -> inputs
+      | [], Some wl ->
+        [ (if timing then Workload.timing_input wl
+           else Workload.profiling_input wl) ]
+      | [], None -> [ "" ]
+    in
+    let profile =
+      List.fold_left
+        (fun acc input ->
+          let profile, outcome = Profile.collect prog ~input in
+          Printf.eprintf "[exit %d, %d instructions profiled]\n"
+            outcome.Vm.exit_code outcome.Vm.icount;
+          match acc with
+          | None -> Some profile
+          | Some acc -> Some (Profile.merge acc profile))
+        None inputs
+      |> Option.get
+    in
+    if List.length inputs > 1 then
+      Format.eprintf "[merged %d training runs: %a]@." (List.length inputs)
+        Profile.pp_summary profile;
     let text = Profile.to_string profile in
     match out with None -> print_string text | Some path -> write_file path text
   in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Collect a basic-block execution profile.")
-    Term.(const run $ prog_arg $ squeeze_flag $ input_args $ out)
+    (Cmd.info "profile"
+       ~doc:"Collect a basic-block execution profile (merging the runs of \
+             every given input).")
+    Term.(
+      const run $ prog_arg $ squeeze_flag $ input_files $ input_texts $ timing
+      $ out)
 
 (* --- squash ----------------------------------------------------------- *)
 
@@ -326,6 +376,148 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Static code statistics before/after squeeze.")
     Term.(const run $ prog_arg)
 
+(* --- grid ------------------------------------------------------------- *)
+
+let grid_cmd =
+  let workloads_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Built-in workloads to sweep (default: all).")
+  in
+  let thetas =
+    Arg.(
+      value
+      & opt (list float) Exp_data.theta_grid
+      & info [ "theta" ] ~docv:"T,T,..." ~doc:"Cold-code thresholds to sweep.")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (list int) [ 512 ]
+      & info [ "k" ] ~docv:"B,B,..." ~doc:"Runtime-buffer bounds to sweep.")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:"Also run each squashed cell on its timing input (cycles, \
+                decompressions).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Engine pool size (default: \\$JOBS, then the recommended \
+                domain count).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Do not read or write the persistent cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Persistent cache directory.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write per-cell results as JSON.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-cell results as CSV.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "engine-stats" ]
+          ~doc:"Print the per-job wall-clock table after the grid.")
+  in
+  let run names thetas ks timing jobs no_cache cache_dir json_out csv_out
+      stats_flag =
+    let wls =
+      match names with
+      | [] -> Workloads.all
+      | names ->
+        List.map
+          (fun n ->
+            match Workloads.find n with
+            | Some wl -> wl
+            | None ->
+              prerr_endline
+                ("squashc: no such workload: " ^ n ^ " (see squashc workloads)");
+              exit 2)
+          names
+    in
+    let cache =
+      if no_cache then None else Some (Cache.create ~dir:cache_dir ())
+    in
+    Exp_data.set_cache cache;
+    (* Workload-innermost order so the first [jobs] cells touch distinct
+       workloads and the prepare stages parallelise. *)
+    let cells =
+      List.concat_map
+        (fun k ->
+          List.concat_map
+            (fun theta ->
+              List.map
+                (fun wl ->
+                  Exp_grid.cell ~timing wl
+                    { Squash.default_options with Squash.theta; k_bytes = k })
+                wls)
+            thetas)
+        ks
+    in
+    let results, stats = Exp_grid.run ?jobs cells in
+    print_string (Exp_grid.render_table results);
+    if stats_flag then print_string (Engine.render_stats stats)
+    else
+      Printf.printf
+        "engine: %d cells on %d workers in %.2fs (busy %.2fs, %d failed)\n"
+        stats.Engine.submitted stats.Engine.pool stats.Engine.wall_s
+        stats.Engine.busy_s stats.Engine.failed;
+    (match cache with
+    | None -> ()
+    | Some c -> print_endline (Cache.render_stats c));
+    let doc =
+      Report.Json.Obj
+        ([ ("schema", Report.Json.String "pgcc-grid-v1");
+           ("engine", Engine.stats_json stats) ]
+        @ (match cache with
+          | None -> []
+          | Some c -> [ ("cache", Cache.stats_json c) ])
+        @ [ ("cells", Exp_grid.to_json results) ])
+    in
+    (match json_out with
+    | None -> ()
+    | Some path -> write_file path (Report.Json.to_string doc ^ "\n"));
+    (match csv_out with
+    | None -> ()
+    | Some path -> write_file path (Exp_grid.to_csv results));
+    match Exp_grid.failures results with
+    | [] -> ()
+    | fs ->
+      List.iter
+        (fun e -> prerr_endline ("squashc: " ^ Engine.error_to_string e))
+        fs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "grid"
+       ~doc:"Run a workload x theta x K sweep on the parallel experiment \
+             engine.")
+    Term.(
+      const run $ workloads_arg $ thetas $ ks $ timing $ jobs $ no_cache
+      $ cache_dir $ json_out $ csv_out $ stats_flag)
+
 (* --- workloads ---------------------------------------------------------- *)
 
 let workloads_cmd =
@@ -343,6 +535,7 @@ let main =
   Cmd.group
     (Cmd.info "squashc" ~version:"1.0.0"
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
-    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; stats_cmd; workloads_cmd ]
+    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; stats_cmd; grid_cmd;
+      workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,51 @@
+(** A persistent, content-addressed, on-disk result cache.
+
+    Entries live under [<dir>/v<schema_version>/<kind>-<key>.bin]; [key] is
+    a content digest ({!digest}) of everything the cached value depends on,
+    so a changed input can never serve a stale entry — it simply hashes to
+    a different file.  Each entry starts with a one-line header naming the
+    schema version, the OCaml version and the entry kind; a reader that
+    finds anything unexpected (wrong header, truncated marshal, a file from
+    an older schema) treats the entry as a miss, so stale-schema entries
+    are ignored rather than misinterpreted.
+
+    Writes are atomic (temp file + [Sys.rename]) and the store is safe to
+    share between the domains of one process and between concurrent
+    processes.  Values are serialised with [Marshal]: each [kind] must be
+    used with exactly one OCaml type, and {!schema_version} must be bumped
+    whenever one of those types (or the semantics of the cached
+    computation) changes. *)
+
+type t
+
+val schema_version : int
+
+val default_dir : string
+(** ["_cache"]. *)
+
+val create : ?dir:string -> unit -> t
+(** The directory is created lazily on first {!store}. *)
+
+val dir : t -> string
+
+val digest : string list -> string
+(** Hex content digest of the given strings (length-prefixed, so the
+    partition into list elements matters). *)
+
+val find : t -> kind:string -> key:string -> 'a option
+(** [None] on a missing, stale or unreadable entry (counted as a miss). *)
+
+val store : t -> kind:string -> key:string -> 'a -> unit
+(** Atomically persist an entry; I/O errors are swallowed (and counted) —
+    a cache that cannot write degrades to a miss, never to a crash. *)
+
+val memo : t option -> kind:string -> key:string -> (unit -> 'a) -> 'a
+(** [find]-or-compute-and-[store]; with [None] just runs the thunk. *)
+
+type stats = { hits : int; misses : int; stores : int; errors : int }
+(** [errors] counts unreadable entries and failed writes. *)
+
+val stats : t -> stats
+val stats_json : t -> Report.Json.t
+val render_stats : t -> string
+(** e.g. ["cache _cache: 42 hits, 3 misses, 3 stores"]. *)

@@ -1,0 +1,62 @@
+type 'a cell = Running | Done of 'a | Failed of exn
+
+type 'a t = {
+  m : Mutex.t;
+  settled : Condition.t;
+  tbl : (string, 'a cell) Hashtbl.t;
+}
+
+let create () =
+  { m = Mutex.create (); settled = Condition.create (); tbl = Hashtbl.create 64 }
+
+let get t key f =
+  Mutex.lock t.m;
+  let rec claim () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+      Mutex.unlock t.m;
+      `Value v
+    | Some (Failed e) ->
+      Mutex.unlock t.m;
+      `Raise e
+    | Some Running ->
+      (* Someone else is computing this key; wait for it to settle. *)
+      Condition.wait t.settled t.m;
+      claim ()
+    | None ->
+      Hashtbl.replace t.tbl key Running;
+      Mutex.unlock t.m;
+      `Compute
+  in
+  match claim () with
+  | `Value v -> v
+  | `Raise e -> raise e
+  | `Compute ->
+    let settle cell =
+      Mutex.lock t.m;
+      Hashtbl.replace t.tbl key cell;
+      Condition.broadcast t.settled;
+      Mutex.unlock t.m
+    in
+    (match f () with
+    | v ->
+      settle (Done v);
+      v
+    | exception e ->
+      settle (Failed e);
+      raise e)
+
+let clear t =
+  Mutex.lock t.m;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.m
+
+let size t =
+  Mutex.lock t.m;
+  let n =
+    Hashtbl.fold
+      (fun _ cell acc -> match cell with Running -> acc | _ -> acc + 1)
+      t.tbl 0
+  in
+  Mutex.unlock t.m;
+  n

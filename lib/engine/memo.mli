@@ -1,0 +1,24 @@
+(** A domain-safe compute-once memo table.
+
+    [get t key f] returns the cached value for [key], computing it with
+    [f] exactly once even when several domains ask for the same key
+    concurrently: the first caller computes while the others block on a
+    condition variable until the result (or the exception [f] raised, which
+    is cached and re-raised — a deterministic failure stays failed) is
+    available.  The computation itself runs outside the table lock, so
+    distinct keys are computed in parallel. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val get : 'a t -> string -> (unit -> 'a) -> 'a
+(** Compute-once lookup.  Re-raises the cached exception if the first
+    computation of [key] failed. *)
+
+val clear : 'a t -> unit
+(** Forget every binding (for tests; do not call concurrently with
+    {!get}). *)
+
+val size : 'a t -> int
+(** Number of settled (computed or failed) bindings. *)

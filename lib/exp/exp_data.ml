@@ -1,71 +1,106 @@
 type prepared = {
   wl : Workload.t;
+  digest : string;
   input_prog : Prog.t;
   squeezed : Prog.t;
   squeeze_stats : Squeeze.stats;
   profile : Profile.t;
   profile_outcome : Vm.outcome;
-  baseline_timing : Vm.outcome Lazy.t;
 }
 
 let fuel = 2_000_000_000
 
-let prepared_cache : (string, prepared) Hashtbl.t = Hashtbl.create 16
+(* The persistent cache (None = disabled).  The bench driver and squashc
+   point this at _cache/; the test suite at temporary directories. *)
+let cache : Cache.t option ref = ref None
+
+let set_cache c = cache := c
+let current_cache () = !cache
+
+let workload_digest (wl : Workload.t) =
+  Cache.digest
+    [ wl.Workload.source; Workload.profiling_input wl; Workload.timing_input wl ]
+
+let options_key (o : Squash.options) =
+  Printf.sprintf
+    "o1;theta=%h;k=%d;gamma=%h;pack=%b;bsafe=%b;unswitch=%b;decomp=%d;stubs=%d;codec=%s;regions=%s"
+    o.Squash.theta o.Squash.k_bytes o.Squash.gamma o.Squash.pack
+    o.Squash.use_buffer_safe o.Squash.unswitch o.Squash.decomp_words
+    o.Squash.max_stubs
+    (match o.Squash.codec with
+    | `Split_stream -> "huffman"
+    | `Split_stream_mtf -> "mtf"
+    | `Lzss -> "lzss")
+    (match o.Squash.regions_strategy with `Dfs -> "dfs" | `Linear -> "linear")
+
+(* In-process memo tables.  Every one is a domain-safe compute-once table
+   keyed by content digest (plus the option fingerprint where relevant), so
+   concurrent engine jobs share work instead of duplicating it, and a
+   changed workload can never serve a stale entry. *)
+let prepared_memo : prepared Memo.t = Memo.create ()
+let baseline_memo : Vm.outcome Memo.t = Memo.create ()
+let squash_memo : Squash.result Memo.t = Memo.create ()
+let timing_memo : (Vm.outcome * Runtime.stats) Memo.t = Memo.create ()
+
+let reset () =
+  Memo.clear prepared_memo;
+  Memo.clear baseline_memo;
+  Memo.clear squash_memo;
+  Memo.clear timing_memo
 
 let prepare (wl : Workload.t) =
-  match Hashtbl.find_opt prepared_cache wl.Workload.name with
-  | Some p -> p
-  | None ->
-    let compiled = Workload.compile wl in
-    let input_prog = Squeeze.remove_unreachable compiled in
-    let squeezed, squeeze_stats = Squeeze.run compiled in
-    let profile, profile_outcome =
-      Profile.collect ~fuel squeezed ~input:(Workload.profiling_input wl)
-    in
-    let baseline_timing =
-      lazy
-        (Vm.run
-           (Vm.of_image ~fuel (Layout.emit squeezed)
-              ~input:(Workload.timing_input wl)))
-    in
-    let p =
-      {
-        wl;
-        input_prog;
-        squeezed;
-        squeeze_stats;
-        profile;
-        profile_outcome;
-        baseline_timing;
-      }
-    in
-    Hashtbl.replace prepared_cache wl.Workload.name p;
-    p
+  let digest = workload_digest wl in
+  Memo.get prepared_memo
+    (wl.Workload.name ^ ":" ^ digest)
+    (fun () ->
+      let input_prog, squeezed, squeeze_stats, profile, profile_outcome =
+        Cache.memo !cache ~kind:"prepared" ~key:digest (fun () ->
+            let compiled = Workload.compile wl in
+            let input_prog = Squeeze.remove_unreachable compiled in
+            let squeezed, squeeze_stats = Squeeze.run compiled in
+            let profile, profile_outcome =
+              Profile.collect ~fuel squeezed
+                ~input:(Workload.profiling_input wl)
+            in
+            (input_prog, squeezed, squeeze_stats, profile, profile_outcome))
+      in
+      { wl; digest; input_prog; squeezed; squeeze_stats; profile;
+        profile_outcome })
 
-let squash_cache : (string * Squash.options, Squash.result) Hashtbl.t =
-  Hashtbl.create 64
+let baseline_timing p =
+  Memo.get baseline_memo p.digest (fun () ->
+      Cache.memo !cache ~kind:"baseline" ~key:p.digest (fun () ->
+          Vm.run
+            (Vm.of_image ~fuel (Layout.emit p.squeezed)
+               ~input:(Workload.timing_input p.wl))))
 
 let squash_result p options =
-  let key = (p.wl.Workload.name, options) in
-  match Hashtbl.find_opt squash_cache key with
-  | Some r -> r
-  | None ->
-    let r = Squash.run ~options p.squeezed p.profile in
-    Hashtbl.replace squash_cache key r;
-    r
+  let okey = options_key options in
+  Memo.get squash_memo (p.digest ^ "|" ^ okey) (fun () ->
+      Cache.memo !cache ~kind:"squash"
+        ~key:(Cache.digest [ p.digest; okey ])
+        (fun () -> Squash.run ~options p.squeezed p.profile))
 
 let timing_run p (r : Squash.result) =
-  let input = Workload.timing_input p.wl in
-  let outcome, stats = Runtime.run ~fuel r.Squash.squashed ~input in
-  let baseline = Lazy.force p.baseline_timing in
-  if
-    outcome.Vm.output <> baseline.Vm.output
-    || outcome.Vm.exit_code <> baseline.Vm.exit_code
-  then
-    failwith
-      (Printf.sprintf "%s: squashed program diverged from baseline (θ=%g)"
-         p.wl.Workload.name r.Squash.options.Squash.theta);
-  (outcome, stats)
+  let okey = options_key r.Squash.options in
+  Memo.get timing_memo (p.digest ^ "|" ^ okey) (fun () ->
+      (* The divergence check runs before the entry is persisted, so a
+         cached timing outcome is always a verified one. *)
+      Cache.memo !cache ~kind:"timing"
+        ~key:(Cache.digest [ p.digest; okey ])
+        (fun () ->
+          let input = Workload.timing_input p.wl in
+          let outcome, stats = Runtime.run ~fuel r.Squash.squashed ~input in
+          let baseline = baseline_timing p in
+          if
+            outcome.Vm.output <> baseline.Vm.output
+            || outcome.Vm.exit_code <> baseline.Vm.exit_code
+          then
+            failwith
+              (Printf.sprintf
+                 "%s: squashed program diverged from baseline (θ=%g)"
+                 p.wl.Workload.name r.Squash.options.Squash.theta);
+          (outcome, stats)))
 
 let theta_grid = [ 0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ]
 

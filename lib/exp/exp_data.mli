@@ -2,6 +2,16 @@
     harness: each workload is compiled, compacted and profiled once, and
     each distinct squash configuration is built once.
 
+    Every memo table here is domain-safe and compute-once ({!Memo}), so
+    the {!Engine} can evaluate experiment cells concurrently, and every
+    entry is keyed by a {e content digest} of the workload (source text,
+    profiling input, timing input — {!workload_digest}) plus the full
+    option record ({!options_key}), never by workload name alone: a
+    changed workload hashes to a different key and can never serve a stale
+    artifact.  When a persistent {!Cache.t} is installed ({!set_cache}),
+    the same keys address the on-disk store, so a warm rerun in a fresh
+    process skips compilation, profiling, squashing and timing entirely.
+
     The θ scale: the paper's thresholds are fractions of the {e profiled}
     dynamic instruction count, and its profiling runs execute billions of
     instructions, so interesting thresholds sit at 1e-5..5e-5.  Our
@@ -13,6 +23,7 @@
 
 type prepared = {
   wl : Workload.t;
+  digest : string;  (** {!workload_digest} of [wl]; the cache key root. *)
   input_prog : Prog.t;
       (** After unreachable-code and no-op elimination only — the paper's
           Table 1 "Input" column. *)
@@ -20,20 +31,38 @@ type prepared = {
   squeeze_stats : Squeeze.stats;
   profile : Profile.t;
   profile_outcome : Vm.outcome;
-  baseline_timing : Vm.outcome Lazy.t;
-      (** The squeezed program on the timing input. *)
 }
 
+val set_cache : Cache.t option -> unit
+(** Install (or remove) the persistent result cache backing every memo
+    below.  Default: disabled. *)
+
+val current_cache : unit -> Cache.t option
+
+val workload_digest : Workload.t -> string
+(** Content digest of source text + profiling input + timing input. *)
+
+val options_key : Squash.options -> string
+(** Canonical fingerprint of the full option record (every field). *)
+
+val reset : unit -> unit
+(** Clear the in-process memo tables (the persistent cache is untouched).
+    For tests — e.g. forcing recomputation to compare cold/warm runs. *)
+
 val prepare : Workload.t -> prepared
-(** Memoized by workload name. *)
+(** Memoized by workload name + content digest. *)
+
+val baseline_timing : prepared -> Vm.outcome
+(** The squeezed program on the timing input; memoized per workload. *)
 
 val squash_result : prepared -> Squash.options -> Squash.result
-(** Memoized by (workload, options). *)
+(** Memoized by (content digest, full option record). *)
 
 val timing_run : prepared -> Squash.result -> Vm.outcome * Runtime.stats
 (** Run the squashed program on the timing input, checking that its output
-    matches the baseline exactly.  @raise Failure on a behaviour
-    mismatch. *)
+    matches the baseline exactly.  Memoized like {!squash_result}; a
+    persisted entry was verified before it was stored.  @raise Failure on
+    a behaviour mismatch. *)
 
 val theta_grid : float list
 (** [0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0] *)

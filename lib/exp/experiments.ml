@@ -13,9 +13,32 @@ let drain_metrics () =
   metrics := [];
   m
 
+(* Every driver submits its cell set to the engine up front: the grid is
+   evaluated concurrently (and through the persistent cache) into the
+   Exp_data memos, then the rendering below reads the warm memos.  Cells
+   are listed workload-innermost so the first [jobs] dequeued cells touch
+   distinct workloads and their prepare stages parallelise.  A failed cell
+   is surfaced as a metric (and will re-raise during rendering if the
+   renderer actually needs it). *)
+let submit cells =
+  let results, stats = Exp_grid.run ~jobs:(Exp_grid.jobs ()) cells in
+  record_metric "engine" (Engine.stats_json stats);
+  (match Exp_grid.failures results with
+  | [] -> ()
+  | fs ->
+    record_metric "engine_failures"
+      (Report.Json.List (List.map Engine.error_json fs)));
+  results
+
+let grid_cells ?(timing = false) option_list =
+  List.concat_map
+    (fun o -> List.map (fun wl -> Exp_grid.cell ~timing wl o) Workloads.all)
+    option_list
+
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
+  ignore (submit (grid_cells [ opts 0.0 ]));
   let t =
     Report.Table.create ~title:"Table 1: code size data for the benchmarks (instructions)"
       [ ("Program", Report.Table.Left); ("Input", Report.Table.Right);
@@ -43,6 +66,13 @@ let fig3_ks = [ 64; 128; 256; 512; 1024; 2048; 4096 ]
 let fig3_thetas = [ 0.0; 1e-4; 1e-3 ]
 
 let fig3 () =
+  ignore
+    (submit
+       (grid_cells
+          (List.concat_map
+             (fun theta ->
+               List.map (fun k -> { (opts theta) with Squash.k_bytes = k }) fig3_ks)
+             fig3_thetas)));
   let size_ratio p theta k =
     let r =
       Exp_data.squash_result p { (opts theta) with Squash.k_bytes = k }
@@ -90,6 +120,7 @@ let fig3 () =
 (* ------------------------------------------------------------------ *)
 
 let fig4 () =
+  ignore (submit (grid_cells (List.map opts Exp_data.theta_grid)));
   let chart =
     Report.Chart.create
       ~title:
@@ -153,6 +184,7 @@ let fig5 () =
 (* ------------------------------------------------------------------ *)
 
 let fig6 () =
+  ignore (submit (grid_cells (List.map opts Exp_data.theta_grid)));
   let t =
     Report.Table.create
       ~title:"Figure 6: code size reduction due to profile-guided compression (vs squeezed)"
@@ -202,6 +234,10 @@ let fig6 () =
 (* ------------------------------------------------------------------ *)
 
 let fig7 () =
+  ignore
+    (submit
+       (grid_cells ~timing:true
+          (List.map (fun (_, th) -> opts th) Exp_data.fig7_thetas)));
   let size_t =
     Report.Table.create
       ~title:
@@ -227,7 +263,7 @@ let fig7 () =
   List.iter
     (fun wl ->
       let p = Exp_data.prepare wl in
-      let baseline = Lazy.force p.Exp_data.baseline_timing in
+      let baseline = Exp_data.baseline_timing p in
       let size_cells, time_cells, last_stats =
         List.fold_left
           (fun (sc, tc, _) (label, theta) ->
@@ -275,6 +311,7 @@ let fig7 () =
 (* ------------------------------------------------------------------ *)
 
 let gamma () =
+  ignore (submit (grid_cells [ opts 1.0 ]));
   let t =
     Report.Table.create
       ~title:
@@ -302,6 +339,7 @@ let gamma () =
 
 let stubs () =
   let theta_aggressive = 0.01 in
+  ignore (submit (grid_cells ~timing:true [ opts theta_aggressive ]));
   let t =
     Report.Table.create
       ~title:
@@ -355,6 +393,7 @@ let stubs () =
 (* ------------------------------------------------------------------ *)
 
 let bsafe () =
+  ignore (submit (grid_cells [ opts 0.0 ]));
   let t =
     Report.Table.create
       ~title:
@@ -397,6 +436,7 @@ let ablation () =
       ("LZSS codec", { base with Squash.codec = `Lzss });
       ("linear regions", { base with Squash.regions_strategy = `Linear }) ]
   in
+  ignore (submit (grid_cells (List.map snd variants)));
   let t =
     Report.Table.create
       ~title:(Printf.sprintf "Ablation at θ=%g: squashed size / squeezed size" theta)
@@ -448,6 +488,7 @@ let ablation () =
 
 let passes () =
   let theta = 1e-3 in
+  ignore (submit (grid_cells [ opts theta ]));
   let pass_names = Pipeline.names (Pipeline.of_options (opts theta)) in
   let t =
     Report.Table.create

@@ -85,4 +85,83 @@ int main() {
           (Profile.total_weight prof_large > Profile.total_weight prof_small));
   ]
 
-let suite = [ ("profile", unit_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Serialisation: a qcheck round-trip over arbitrary well-formed profile
+   texts, plus the malformed- and truncated-input error cases. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A profile text is "total N" then one "<fn> <block> <freq> <weight>" line
+   per entry, sorted — which is exactly what [to_string] emits, so the text
+   doubles as the expected round-trip output.  Entries are deduplicated on
+   (fn, block) because the table holds one entry per key. *)
+let gen_profile_text =
+  let open QCheck.Gen in
+  let entry =
+    quad
+      (oneofl [ "main"; "hot"; "cold_path"; "f"; "g2" ])
+      (int_range 0 12) (int_range 0 5000) (int_range 0 100_000)
+  in
+  let+ entries = list_size (int_range 0 30) entry in
+  let entries =
+    List.sort_uniq compare entries
+    |> List.fold_left
+         (fun (seen, acc) ((f, b, _, _) as e) ->
+           if List.mem (f, b) seen then (seen, acc)
+           else ((f, b) :: seen, e :: acc))
+         ([], [])
+    |> snd |> List.sort compare
+  in
+  let total = List.fold_left (fun acc (_, _, _, w) -> acc + w) 0 entries in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "total %d\n" total);
+  List.iter
+    (fun (f, b, fr, w) ->
+      Buffer.add_string buf (Printf.sprintf "%s %d %d %d\n" f b fr w))
+    entries;
+  (entries, total, Buffer.contents buf)
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"of_string/to_string round-trip"
+    (QCheck.make
+       ~print:(fun (_, _, text) -> text)
+       gen_profile_text)
+    (fun (entries, total, text) ->
+      match Profile.of_string text with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok prof ->
+        Profile.total_weight prof = total
+        && List.for_all
+             (fun (f, b, fr, w) ->
+               Profile.freq prof f b = fr && Profile.weight prof f b = w)
+             entries
+        && Profile.to_string prof = text)
+
+let error_tests =
+  let expect_error name text =
+    Alcotest.test_case name `Quick (fun () ->
+        match Profile.of_string text with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "parse of %S should fail" text)
+  in
+  [
+    expect_error "non-numeric total" "total x\n";
+    expect_error "missing field" "main 1 2\n";
+    expect_error "extra field" "main 1 2 3 4\n";
+    expect_error "non-numeric block" "main b 2 3\n";
+    expect_error "truncated header" "tot";
+    Alcotest.test_case "truncated input is an error" `Quick (fun () ->
+        let p = compile looping in
+        let prof, _ = Profile.collect p ~input:"" in
+        let text = Profile.to_string prof in
+        (* Chop the serialisation mid-entry (just after the last space):
+           the final line is left with an empty last field. *)
+        let cut = String.rindex text ' ' + 1 in
+        match Profile.of_string (String.sub text 0 cut) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "truncated text should not parse");
+  ]
+
+let suite =
+  [ ("profile", unit_tests);
+    ("profile-serialisation", qcheck roundtrip_prop :: error_tests) ]
