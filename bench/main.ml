@@ -144,6 +144,11 @@ let () =
   in
   let ids, json_file = split_json [] args in
   Exp_grid.set_jobs !jobs;
+  (* One sink for the whole run: the engine emits job submit/start/finish
+     spans into the trace from every worker domain, and each timing cell
+     replays its runtime aggregates into the metrics registry. *)
+  let obs = Obs.full () in
+  Exp_grid.set_obs (Some obs);
   let cache = if !no_cache then None else Some (Cache.create ()) in
   Exp_data.set_cache cache;
   Printf.printf "engine: %d jobs; cache: %s\n%!" (Exp_grid.jobs ())
@@ -190,6 +195,21 @@ let () =
   (match json_file with
   | None -> ()
   | Some file ->
+    (* A representative runtime-stats sample (first workload, θ=0.01),
+       served from the memo/cache when warm. *)
+    let runtime_sample =
+      let wl = List.hd Workloads.all in
+      let p = Exp_data.prepare wl in
+      let r =
+        Exp_data.squash_result p
+          { Squash.default_options with Squash.theta = 0.01 }
+      in
+      let _, stats = Exp_data.timing_run p r in
+      Report.Json.Obj
+        [ ("workload", Report.Json.String wl.Workload.name);
+          ("theta", Report.Json.Float 0.01);
+          ("stats", Runtime.stats_to_json stats) ]
+    in
     let doc =
       Report.Json.Obj
         ([ ("schema", Report.Json.String "pgcc-bench-v1");
@@ -198,7 +218,16 @@ let () =
         @ (match cache with
           | None -> []
           | Some c -> [ ("cache", Cache.stats_json c) ])
-        @ [ ("experiments", Report.Json.List (List.rev !recorded)) ])
+        @ [ ("experiments", Report.Json.List (List.rev !recorded));
+            ( "metrics",
+              match obs.Obs.metrics with
+              | Some m -> Obs.Metrics.to_json m
+              | None -> Report.Json.Null );
+            ( "engine_spans",
+              match obs.Obs.trace with
+              | Some tr -> Obs.Trace.to_chrome tr
+              | None -> Report.Json.Null );
+            ("runtime_sample", runtime_sample) ])
     in
     let oc = open_out file in
     output_string oc (Report.Json.to_string doc);

@@ -128,18 +128,80 @@ let run_cmd =
       value & opt int 2_000_000_000
       & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget before aborting.")
   in
-  let run prog_name no_squeeze inputs fuel =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Squash the program (collecting a profile first) and execute \
+                the squashed image with tracing on, writing the event trace \
+                here.  Pipeline pass spans, decompressions, buffer entries \
+                and stub transitions are recorded; simulated-cycle and \
+                wall-clock events land on separate tracks.")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:"Trace file format: $(b,chrome) (trace-event JSON, loadable \
+                in Perfetto) or $(b,jsonl) (one event per line).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.01
+      & info [ "theta" ] ~docv:"T"
+          ~doc:"Cold-code threshold for the $(b,--trace) squash (ignored \
+                without $(b,--trace)).")
+  in
+  let k_bytes =
+    Arg.(
+      value & opt int 512
+      & info [ "k" ] ~docv:"BYTES"
+          ~doc:"Runtime-buffer bound for the $(b,--trace) squash.")
+  in
+  let run prog_name no_squeeze inputs fuel trace_out trace_format theta k_bytes =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
-    let outcome = Vm.run (Vm.of_image ~fuel (Layout.emit prog) ~input) in
-    print_string outcome.Vm.output;
-    Printf.eprintf "[exit %d, %d instructions, %d cycles]\n" outcome.Vm.exit_code
-      outcome.Vm.icount outcome.Vm.cycles;
-    exit outcome.Vm.exit_code
+    match trace_out with
+    | None ->
+      let outcome = Vm.run (Vm.of_image ~fuel (Layout.emit prog) ~input) in
+      print_string outcome.Vm.output;
+      Printf.eprintf "[exit %d, %d instructions, %d cycles]\n"
+        outcome.Vm.exit_code outcome.Vm.icount outcome.Vm.cycles;
+      exit outcome.Vm.exit_code
+    | Some path ->
+      let obs = Obs.full () in
+      let profile_input =
+        match wl with Some wl -> Workload.profiling_input wl | None -> input
+      in
+      let profile = fst (Profile.collect prog ~input:profile_input) in
+      let options = { Squash.default_options with Squash.theta; k_bytes } in
+      let result = Squash.run ~options ~obs prog profile in
+      let outcome, stats =
+        Runtime.run ~fuel ~obs result.Squash.squashed ~input
+      in
+      print_string outcome.Vm.output;
+      let tr = Option.get obs.Obs.trace in
+      (match trace_format with
+      | `Chrome ->
+        write_file path (Report.Json.to_string (Obs.Trace.to_chrome tr) ^ "\n")
+      | `Jsonl -> write_file path (Obs.Trace.to_jsonl tr));
+      Printf.eprintf
+        "[exit %d, %d instructions, %d cycles, %d decompressions; %d events \
+         (%d dropped) -> %s]\n"
+        outcome.Vm.exit_code outcome.Vm.icount outcome.Vm.cycles
+        stats.Runtime.decompressions (Obs.Trace.emitted tr)
+        (Obs.Trace.dropped tr) path;
+      exit outcome.Vm.exit_code
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a program on the SQ32 simulator.")
-    Term.(const run $ prog_arg $ squeeze_flag $ input_args $ fuel)
+    (Cmd.info "run"
+       ~doc:"Execute a program on the SQ32 simulator (with $(b,--trace): \
+             squash it and trace the squashed execution).")
+    Term.(
+      const run $ prog_arg $ squeeze_flag $ input_args $ fuel $ trace_out
+      $ trace_format $ theta $ k_bytes)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -309,8 +371,10 @@ let squash_cmd =
       if trace_passes then Some (fun line -> Printf.eprintf "squashc: %s\n%!" line)
       else None
     in
+    let metrics = Obs.Metrics.create () in
+    let obs = Obs.create ~metrics () in
     let result =
-      try Squash.run ~options ~check_each ?trace prog profile with
+      try Squash.run ~options ~check_each ?trace ~obs prog profile with
       | Pipeline.Check_failed { pass; errors } ->
         Printf.eprintf "squashc: pass %S broke an invariant:\n" pass;
         List.iter (fun e -> Printf.eprintf "squashc:   %s\n" e) errors;
@@ -323,21 +387,14 @@ let squash_cmd =
       exit 1);
     Format.printf "%a@." Squash.pp_summary result;
     if trace_passes then print_string (Pipeline.render_stats result.Squash.stats);
-    (match stats_json with
-    | None -> ()
-    | Some path -> (
-      try
-        write_file path
-          (Report.Json.to_string (Pipeline.stats_json result.Squash.stats) ^ "\n")
-      with Sys_error msg ->
-        Printf.eprintf "squashc: cannot write pass stats: %s\n" msg;
-        exit 1));
+    let runtime_stats = ref None in
     if verify then begin
       let timing =
         match wl with Some wl -> Workload.timing_input wl | None -> input
       in
       let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
-      let outcome, stats = Runtime.run result.Squash.squashed ~input:timing in
+      let outcome, stats = Runtime.run ~obs result.Squash.squashed ~input:timing in
+      runtime_stats := Some stats;
       if
         outcome.Vm.output = baseline.Vm.output
         && outcome.Vm.exit_code = baseline.Vm.exit_code
@@ -350,7 +407,24 @@ let squash_cmd =
         Format.printf "VERIFICATION FAILED: behaviour diverged@.";
         exit 1
       end
-    end
+    end;
+    match stats_json with
+    | None -> ()
+    | Some path -> (
+      let doc =
+        Report.Json.Obj
+          ([ ("schema", Report.Json.String "pgcc-squash-stats-v2");
+             ("pipeline", Pipeline.stats_json result.Squash.stats);
+             ("metrics", Obs.Metrics.to_json metrics) ]
+          @
+          match !runtime_stats with
+          | None -> []
+          | Some st -> [ ("runtime", Runtime.stats_to_json st) ])
+      in
+      try write_file path (Report.Json.to_string doc ^ "\n")
+      with Sys_error msg ->
+        Printf.eprintf "squashc: cannot write pass stats: %s\n" msg;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "squash" ~doc:"Profile-guided compression; report the footprint.")
@@ -358,6 +432,76 @@ let squash_cmd =
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
       $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ codec $ linear_regions
       $ verify $ trace_passes $ check_each $ stats_json)
+
+(* --- attrib ----------------------------------------------------------- *)
+
+let attrib_cmd =
+  let theta =
+    Arg.(
+      value & opt float 0.01
+      & info [ "theta" ] ~docv:"T" ~doc:"Cold-code threshold in [0, 1].")
+  in
+  let k_bytes =
+    Arg.(
+      value & opt int 512
+      & info [ "k" ] ~docv:"BYTES" ~doc:"Runtime buffer size bound.")
+  in
+  let profile_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Profile file (from $(b,squashc profile)); collected on the \
+                fly otherwise.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the attribution rows and totals as JSON.")
+  in
+  let run prog_name no_squeeze inputs theta k_bytes profile_file json_out =
+    let prog, wl = prepare prog_name no_squeeze in
+    let input = resolve_input inputs wl in
+    let profile =
+      match profile_file with
+      | Some path -> or_die (Profile.of_string (read_file path))
+      | None ->
+        let pinput =
+          match wl with Some wl -> Workload.profiling_input wl | None -> input
+        in
+        fst (Profile.collect prog ~input:pinput)
+    in
+    let options = { Squash.default_options with Squash.theta; k_bytes } in
+    let result = Squash.run ~options prog profile in
+    let timing =
+      match wl with Some wl -> Workload.timing_input wl | None -> input
+    in
+    let outcome, stats = Runtime.run result.Squash.squashed ~input:timing in
+    let a = Attrib.compute ~profile result stats in
+    print_string (Attrib.render a);
+    Printf.printf
+      "overhead: %d decompressions, %d cycles (%.2f%% of %d total cycles)\n"
+      a.Attrib.total_decompressions a.Attrib.total_cycles
+      (if outcome.Vm.cycles > 0 then
+         100.0 *. float_of_int a.Attrib.total_cycles
+         /. float_of_int outcome.Vm.cycles
+       else 0.0)
+      outcome.Vm.cycles;
+    match json_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Report.Json.to_string (Attrib.to_json a) ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "attrib"
+       ~doc:"Per-region runtime-overhead attribution: squash, run the \
+             timing input, and break the decompression cycles down by \
+             region.")
+    Term.(
+      const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
+      $ profile_file $ json_out)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -535,7 +679,7 @@ let main =
   Cmd.group
     (Cmd.info "squashc" ~version:"1.0.0"
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
-    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; stats_cmd; grid_cmd;
-      workloads_cmd ]
+    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; attrib_cmd; stats_cmd;
+      grid_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

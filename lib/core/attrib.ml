@@ -1,0 +1,132 @@
+type row = {
+  rid : int;
+  blocks : int;
+  stream_words : int;
+  buffer_words : int;
+  bits : int;
+  max_freq : int;
+  decompressions : int;
+  cycles : int;
+  share : float;
+  funcs : string list;
+}
+
+type t = {
+  rows : row list;
+  total_decompressions : int;
+  total_cycles : int;
+}
+
+let compute ?profile (r : Squash.result) (stats : Runtime.stats) =
+  let sq = r.Squash.squashed in
+  let regions = r.Squash.regions.Regions.regions in
+  let offsets = sq.Rewrite.blob_offsets in
+  let blob_bits = 8 * String.length sq.Rewrite.blob in
+  let total_cycles = Array.fold_left ( + ) 0 stats.Runtime.per_region_cycles in
+  let rows =
+    Array.to_list regions
+    |> List.map (fun (reg : Regions.region) ->
+           let rid = reg.Regions.id in
+           let img = sq.Rewrite.images.(rid) in
+           let bits =
+             (if rid + 1 < Array.length offsets then offsets.(rid + 1)
+              else blob_bits)
+             - offsets.(rid)
+           in
+           let max_freq =
+             match profile with
+             | None -> 0
+             | Some prof ->
+               List.fold_left
+                 (fun acc (f, b) -> max acc (Profile.freq prof f b))
+                 0 reg.Regions.blocks
+           in
+           let funcs =
+             List.fold_left
+               (fun acc (f, _) -> if List.mem f acc then acc else f :: acc)
+               [] reg.Regions.blocks
+             |> List.rev
+           in
+           let decompressions =
+             if rid < Array.length stats.Runtime.per_region then
+               stats.Runtime.per_region.(rid)
+             else 0
+           in
+           let cycles =
+             if rid < Array.length stats.Runtime.per_region_cycles then
+               stats.Runtime.per_region_cycles.(rid)
+             else 0
+           in
+           {
+             rid;
+             blocks = List.length reg.Regions.blocks;
+             stream_words = List.length img.Rewrite.stream;
+             buffer_words = img.Rewrite.buffer_words;
+             bits;
+             max_freq;
+             decompressions;
+             cycles;
+             share =
+               (if total_cycles > 0 then
+                  float_of_int cycles /. float_of_int total_cycles
+                else 0.0);
+             funcs;
+           })
+    |> List.sort (fun a b ->
+           match compare b.cycles a.cycles with
+           | 0 -> compare a.rid b.rid
+           | c -> c)
+  in
+  { rows; total_decompressions = stats.Runtime.decompressions; total_cycles }
+
+let funcs_cell funcs =
+  let s = String.concat "," funcs in
+  if String.length s <= 32 then s else String.sub s 0 29 ^ "..."
+
+let render t =
+  let tbl =
+    Report.Table.create ~title:"runtime overhead attribution"
+      [ ("region", Report.Table.Right); ("blocks", Report.Table.Right);
+        ("words", Report.Table.Right); ("buf", Report.Table.Right);
+        ("bits", Report.Table.Right); ("max freq", Report.Table.Right);
+        ("decomp", Report.Table.Right); ("cycles", Report.Table.Right);
+        ("cyc/decomp", Report.Table.Right); ("share", Report.Table.Right);
+        ("functions", Report.Table.Left) ]
+  in
+  List.iter
+    (fun r ->
+      Report.Table.add_row tbl
+        [ string_of_int r.rid; string_of_int r.blocks;
+          string_of_int r.stream_words; string_of_int r.buffer_words;
+          string_of_int r.bits; string_of_int r.max_freq;
+          string_of_int r.decompressions; string_of_int r.cycles;
+          (if r.decompressions > 0 then
+             string_of_int (r.cycles / r.decompressions)
+           else "-");
+          Report.Table.cell_percent ~decimals:1 r.share;
+          funcs_cell r.funcs ])
+    t.rows;
+  Report.Table.add_separator tbl;
+  Report.Table.add_row tbl
+    [ "total"; ""; ""; ""; ""; ""; string_of_int t.total_decompressions;
+      string_of_int t.total_cycles; ""; ""; "" ];
+  Report.Table.render tbl
+
+let to_json t =
+  let open Report.Json in
+  Obj
+    [ ("total_decompressions", Int t.total_decompressions);
+      ("total_cycles", Int t.total_cycles);
+      ( "regions",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [ ("rid", Int r.rid); ("blocks", Int r.blocks);
+                   ("stream_words", Int r.stream_words);
+                   ("buffer_words", Int r.buffer_words); ("bits", Int r.bits);
+                   ("max_freq", Int r.max_freq);
+                   ("decompressions", Int r.decompressions);
+                   ("cycles", Int r.cycles); ("share", Float r.share);
+                   ("funcs", List (List.map (fun f -> String f) r.funcs)) ])
+             t.rows) ) ]

@@ -1,0 +1,38 @@
+(** Per-region runtime-overhead attribution (the paper's Section 7
+    analysis as a first-class artifact).
+
+    Given a squash result and the {!Runtime.stats} of a timing run,
+    break the decompression overhead down by region: how often each
+    region was decompressed, how many simulated cycles that cost, and
+    how that relates to the region's static size and coldness.  The
+    totals reconcile exactly with the aggregate stats — [sum
+    decompressions = stats.decompressions] and [sum cycles = sum
+    stats.per_region_cycles]. *)
+
+type row = {
+  rid : int;
+  blocks : int;  (** Blocks packed into the region. *)
+  stream_words : int;  (** Stored (marker-form) words fed to the coder. *)
+  buffer_words : int;  (** Words materialised per decompression. *)
+  bits : int;  (** Compressed size of the region in the blob, bits. *)
+  max_freq : int;
+      (** Hottest profile frequency among the region's blocks (0 when no
+          profile was supplied): the region's "coldness". *)
+  decompressions : int;
+  cycles : int;  (** Simulated cycles charged decompressing this region. *)
+  share : float;  (** [cycles] / total overhead cycles (0 if none). *)
+  funcs : string list;  (** Distinct functions contributing blocks. *)
+}
+
+type t = {
+  rows : row list;  (** Sorted by [cycles] descending, then region id. *)
+  total_decompressions : int;
+  total_cycles : int;  (** Total decompression-overhead cycles. *)
+}
+
+val compute : ?profile:Profile.t -> Squash.result -> Runtime.stats -> t
+
+val render : t -> string
+(** Aligned table, one row per region plus a totals line. *)
+
+val to_json : t -> Report.Json.t

@@ -286,7 +286,7 @@ let check_state (st : Pass.state) =
   in
   match ir @ image with [] -> Ok () | es -> Error es
 
-let execute ?(check_each = false) ?trace ~passes st =
+let execute ?(check_each = false) ?trace ?obs ~passes st =
   validate_order passes;
   let emit line = match trace with Some f -> f line | None -> () in
   let st, rev_stats =
@@ -295,8 +295,21 @@ let execute ?(check_each = false) ?trace ~passes st =
         let instrs_before = Prog.instr_count st.Pass.prog in
         let words_before = Pass.footprint st in
         let t0 = Unix.gettimeofday () in
+        (match obs with
+        | None -> ()
+        | Some o ->
+          Obs.event o
+            { ts = Obs.Event.Wall t0;
+              payload = Obs.Event.Pass_begin { name = p.Pass.name } });
         let st' = p.Pass.transform st in
         let elapsed_s = Unix.gettimeofday () -. t0 in
+        (match obs with
+        | None -> ()
+        | Some o ->
+          Obs.event o
+            { ts = Obs.Event.Wall (t0 +. elapsed_s);
+              payload = Obs.Event.Pass_end { name = p.Pass.name; elapsed_s } };
+          Obs.incr o "pipeline.passes_run");
         (if check_each then
            match check_state st' with
            | Ok () -> ()

@@ -55,6 +55,7 @@ type run_stats = {
 val execute :
   ?check_each:bool ->
   ?trace:(string -> unit) ->
+  ?obs:Obs.t ->
   passes:Pass.t list ->
   Pass.state ->
   Pass.state * run_stats
@@ -67,7 +68,9 @@ val execute :
     With [~check_each:true], {!Prog_check.check} (against the state's
     profile) runs after every pass, plus {!Check.check} once a squashed
     image exists; a failure raises {!Check_failed} naming the offending
-    pass.  [trace] receives one line per pass as it completes. *)
+    pass.  [trace] receives one line per pass as it completes.  [obs]
+    receives {!Obs.Event.Pass_begin}/{!Obs.Event.Pass_end} span events
+    (wall clock) and a ["pipeline.passes_run"] counter bump per pass. *)
 
 val render_stats : run_stats -> string
 (** An aligned text table of the per-pass statistics. *)

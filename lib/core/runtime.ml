@@ -8,7 +8,40 @@ type stats = {
   mutable live_stubs : int;
   mutable max_live_stubs : int;
   per_region : int array;
+  per_region_cycles : int array;
 }
+
+let stats_to_json (s : stats) =
+  let open Report.Json in
+  let ints arr = List (Array.to_list (Array.map (fun v -> Int v) arr)) in
+  Obj
+    [
+      ("decompressions", Int s.decompressions);
+      ("bits_decoded", Int s.bits_decoded);
+      ("words_materialised", Int s.words_materialised);
+      ("stub_creates", Int s.stub_creates);
+      ("stub_reuses", Int s.stub_reuses);
+      ("stub_frees", Int s.stub_frees);
+      ("live_stubs", Int s.live_stubs);
+      ("max_live_stubs", Int s.max_live_stubs);
+      ("per_region", ints s.per_region);
+      ("per_region_cycles", ints s.per_region_cycles);
+    ]
+
+(* Replay end-of-run aggregates into a metrics registry.  Used when the
+   run itself happened elsewhere (e.g. a cached timing result) so live
+   events never fired; deterministic for a given stats value. *)
+let observe_stats (o : Obs.t) (s : stats) =
+  Obs.incr o ~by:s.decompressions "runtime.decompressions";
+  Obs.incr o ~by:s.bits_decoded "runtime.bits_decoded";
+  Obs.incr o ~by:s.words_materialised "runtime.words_materialised";
+  Obs.incr o ~by:s.stub_creates "runtime.stub_creates";
+  Obs.incr o ~by:s.stub_reuses "runtime.stub_reuses";
+  Obs.incr o ~by:s.stub_frees "runtime.stub_frees";
+  Obs.max_gauge o "runtime.max_live_stubs" s.max_live_stubs;
+  Array.iter
+    (fun n -> if n > 0 then Obs.observe o "runtime.region_redecompressions" n)
+    s.per_region
 
 type stub_slot = { mutable key : int * int; mutable count : int }
 (* key = (region id, return address); count = 0 means free *)
@@ -20,6 +53,9 @@ type state = {
   slots : stub_slot array;
   by_key : (int * int, int) Hashtbl.t;  (* key -> slot index *)
   mutable current_region : int;  (* region currently in the buffer; -1 if none *)
+  obs : Obs.t option;
+  stub_born : int array;  (* cycle stamp when the slot last became live *)
+  mutable last_decomp_end : int;  (* cycle stamp of the previous decompression *)
 }
 
 let stub_addr st slot = st.sq.Rewrite.stub_base + (16 * slot)
@@ -31,6 +67,12 @@ let decompress st vm rid =
   let bit_end =
     if rid + 1 < Array.length offsets then Some offsets.(rid + 1) else None
   in
+  (match st.obs with
+  | None -> ()
+  | Some o ->
+    Obs.event o
+      { ts = Obs.Event.Cycles (Vm.cycles vm);
+        payload = Obs.Event.Decomp_begin { region = rid } });
   let instrs, bits =
     Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
       ~bit_offset:offsets.(rid) ?bit_end ()
@@ -65,11 +107,28 @@ let decompress st vm rid =
   st.stats.bits_decoded <- st.stats.bits_decoded + bits;
   st.stats.words_materialised <- st.stats.words_materialised + !pos;
   st.stats.per_region.(rid) <- st.stats.per_region.(rid) + 1;
-  Vm.add_cycles vm
-    (st.cost.Cost.decomp_invoke
+  let charged =
+    st.cost.Cost.decomp_invoke
     + (bits * st.cost.Cost.decomp_per_bit)
     + (!pos * st.cost.Cost.decomp_per_instr)
-    + st.cost.Cost.icache_flush)
+    + st.cost.Cost.icache_flush
+  in
+  st.stats.per_region_cycles.(rid) <- st.stats.per_region_cycles.(rid) + charged;
+  Vm.add_cycles vm charged;
+  match st.obs with
+  | None -> ()
+  | Some o ->
+    let now = Vm.cycles vm in
+    Obs.event o
+      { ts = Obs.Event.Cycles now;
+        payload =
+          Obs.Event.Decomp_end { region = rid; bits; words = !pos; cycles = charged } };
+    Obs.incr o "runtime.decompressions";
+    Obs.incr o ~by:bits "runtime.bits_decoded";
+    Obs.incr o ~by:!pos "runtime.words_materialised";
+    if st.last_decomp_end >= 0 then
+      Obs.observe o "runtime.decomp_interarrival_cycles" (now - st.last_decomp_end);
+    st.last_decomp_end <- now
 
 let in_stub_area st addr =
   addr >= st.sq.Rewrite.stub_base
@@ -93,7 +152,18 @@ let decomp_hook st ~r ~push_form vm =
       if s.count = 0 then begin
         Hashtbl.remove st.by_key s.key;
         st.stats.stub_frees <- st.stats.stub_frees + 1;
-        st.stats.live_stubs <- st.stats.live_stubs - 1
+        st.stats.live_stubs <- st.stats.live_stubs - 1;
+        match st.obs with
+        | None -> ()
+        | Some o ->
+          let now = Vm.cycles vm in
+          Obs.event o
+            { ts = Obs.Event.Cycles now;
+              payload =
+                Obs.Event.Stub_free
+                  { region = fst s.key; ret = snd s.key; live = st.stats.live_stubs } };
+          Obs.incr o "runtime.stub_frees";
+          Obs.observe o "runtime.stub_lifetime_cycles" (now - st.stub_born.(slot))
       end
     end
   end;
@@ -103,7 +173,14 @@ let decomp_hook st ~r ~push_form vm =
     Vm.set_reg vm Reg.ra saved
   end;
   decompress st vm rid;
-  Vm.set_pc vm (st.sq.Rewrite.buffer_base + (4 * off))
+  let dest = st.sq.Rewrite.buffer_base + (4 * off) in
+  Vm.set_pc vm dest;
+  match st.obs with
+  | None -> ()
+  | Some o ->
+    Obs.event o
+      { ts = Obs.Event.Cycles (Vm.cycles vm);
+        payload = Obs.Event.Buffer_enter { region = rid; offset = off; pc = dest } }
 
 (* CreateStub entry for return-address register [r] (paper, Fig. 2): called
    from the buffer just before an outgoing call; redirects the call's return
@@ -120,6 +197,15 @@ let create_stub_hook st ~r vm =
       s.count <- s.count + 1;
       Vm.store_word vm (stub_addr st slot + 8) s.count;
       st.stats.stub_reuses <- st.stats.stub_reuses + 1;
+      (match st.obs with
+      | None -> ()
+      | Some o ->
+        Obs.event o
+          { ts = Obs.Event.Cycles (Vm.cycles vm);
+            payload =
+              Obs.Event.Stub_reuse
+                { region = st.current_region; ret; live = st.stats.live_stubs } };
+        Obs.incr o "runtime.stub_reuses");
       slot
     | None ->
       let slot =
@@ -148,6 +234,18 @@ let create_stub_hook st ~r vm =
       st.stats.live_stubs <- st.stats.live_stubs + 1;
       if st.stats.live_stubs > st.stats.max_live_stubs then
         st.stats.max_live_stubs <- st.stats.live_stubs;
+      (match st.obs with
+      | None -> ()
+      | Some o ->
+        let now = Vm.cycles vm in
+        st.stub_born.(slot) <- now;
+        Obs.event o
+          { ts = Obs.Event.Cycles now;
+            payload =
+              Obs.Event.Stub_create
+                { region = st.current_region; ret; live = st.stats.live_stubs } };
+        Obs.incr o "runtime.stub_creates";
+        Obs.max_gauge o "runtime.max_live_stubs" st.stats.live_stubs);
       slot
   in
   Vm.set_reg vm r (stub_addr st slot);
@@ -155,7 +253,7 @@ let create_stub_hook st ~r vm =
   Vm.add_cycles vm 20;
   Vm.set_pc vm ret
 
-let launch ?(cost = Cost.default) ?fuel (sq : Rewrite.t) ~input =
+let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
   let nregions = Array.length sq.Rewrite.images in
   (* Assemble the loadable text: the Easm image, plus the offset table and
      blob words at blob_base.  Both live inside one flat array starting at
@@ -191,6 +289,7 @@ let launch ?(cost = Cost.default) ?fuel (sq : Rewrite.t) ~input =
       live_stubs = 0;
       max_live_stubs = 0;
       per_region = Array.make (max 1 nregions) 0;
+      per_region_cycles = Array.make (max 1 nregions) 0;
     }
   in
   let st =
@@ -201,8 +300,12 @@ let launch ?(cost = Cost.default) ?fuel (sq : Rewrite.t) ~input =
       slots = Array.init sq.Rewrite.max_stubs (fun _ -> { key = (-1, -1); count = 0 });
       by_key = Hashtbl.create 16;
       current_region = -1;
+      obs;
+      stub_born = Array.make (max 1 sq.Rewrite.max_stubs) 0;
+      last_decomp_end = -1;
     }
   in
+  (match obs with None -> () | Some o -> Vm.set_obs vm o);
   for r = 0 to Reg.count - 1 do
     Vm.install_hook vm ~addr:(Rewrite.decomp_entry sq r)
       (decomp_hook st ~r ~push_form:false);
@@ -212,6 +315,6 @@ let launch ?(cost = Cost.default) ?fuel (sq : Rewrite.t) ~input =
     (decomp_hook st ~r:Reg.ra ~push_form:true);
   (vm, stats)
 
-let run ?cost ?fuel sq ~input =
-  let vm, stats = launch ?cost ?fuel sq ~input in
+let run ?cost ?fuel ?obs sq ~input =
+  let vm, stats = launch ?cost ?fuel ?obs sq ~input in
   (Vm.run vm, stats)

@@ -21,11 +21,33 @@ type stats = {
   mutable live_stubs : int;
   mutable max_live_stubs : int;  (** Paper: at most 9 at θ = 0.01. *)
   per_region : int array;  (** Decompression count per region. *)
+  per_region_cycles : int array;
+      (** Simulated cycles charged for decompressing each region (sums to
+          the total runtime-overhead cycles attributable to the
+          decompressor). *)
 }
 
-val launch : ?cost:Cost.model -> ?fuel:int -> Rewrite.t -> input:string -> Vm.t * stats
-(** Create a VM loaded with the squashed image (text, offset table,
-    compressed blob, stub area, buffer) and hook the runtime in. *)
+val stats_to_json : stats -> Report.Json.t
+(** One JSON object with every scalar field plus [per_region] /
+    [per_region_cycles] arrays — the single serialisation used by
+    [squashc] and the bench harness. *)
 
-val run : ?cost:Cost.model -> ?fuel:int -> Rewrite.t -> input:string -> Vm.outcome * stats
+val observe_stats : Obs.t -> stats -> unit
+(** Replay end-of-run aggregates into a metrics registry (counters, the
+    [runtime.max_live_stubs] gauge, the region re-decompression
+    histogram).  For runs that happened elsewhere — e.g. a cached timing
+    result — where live events never fired. *)
+
+val launch :
+  ?cost:Cost.model -> ?fuel:int -> ?obs:Obs.t -> Rewrite.t -> input:string -> Vm.t * stats
+(** Create a VM loaded with the squashed image (text, offset table,
+    compressed blob, stub area, buffer) and hook the runtime in.  With
+    [obs], the runtime emits decompression begin/end, buffer-entry and
+    stub create/reuse/free events (timestamped in simulated cycles) and
+    bumps the [runtime.*] metrics; without it the only overhead is one
+    branch per instrumented site, and the outcome is byte-identical. *)
+
+val run :
+  ?cost:Cost.model -> ?fuel:int -> ?obs:Obs.t -> Rewrite.t -> input:string ->
+  Vm.outcome * stats
 (** [launch] then {!Vm.run}. *)

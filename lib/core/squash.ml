@@ -27,11 +27,11 @@ type result = {
 }
 
 let run ?(options = default_options) ?(setjmp_callers = []) ?(check_each = false)
-    ?trace (p : Prog.t) prof =
+    ?trace ?obs (p : Prog.t) prof =
   let state = Pass.init ~options ~setjmp_callers p prof in
   let state, stats =
-    Pipeline.execute ~check_each ?trace ~passes:(Pipeline.of_options options)
-      state
+    Pipeline.execute ~check_each ?trace ?obs
+      ~passes:(Pipeline.of_options options) state
   in
   let squashed = Pass.get_squashed ~who:"Squash.run" state in
   {

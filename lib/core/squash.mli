@@ -48,7 +48,7 @@ type result = {
 
 val run :
   ?options:options -> ?setjmp_callers:string list -> ?check_each:bool ->
-  ?trace:(string -> unit) -> Prog.t -> Profile.t -> result
+  ?trace:(string -> unit) -> ?obs:Obs.t -> Prog.t -> Profile.t -> result
 (** A thin composition of the standard pass list: equivalent to
     [Pipeline.execute ~passes:(Pipeline.of_options options)] over
     [Pass.init].
@@ -61,7 +61,8 @@ val run :
     [check_each] validates the IR (and, once built, the squashed image)
     after every pass and raises {!Pipeline.Check_failed} naming the pass
     that broke an invariant.  [trace] receives a one-line report per pass
-    as it completes. *)
+    as it completes; [obs] receives pass-span events (see
+    {!Pipeline.execute}). *)
 
 val size_reduction : result -> float
 (** [(original - squashed) / original], the quantity of Figures 6/7(a). *)

@@ -1,4 +1,7 @@
-let schema_version = 1
+(* Bump whenever the Marshal layout of any cached payload changes
+   (v2: hook_invocations in Vm.outcome, per-region cycles in
+   Runtime.stats). *)
+let schema_version = 2
 
 let default_dir = "_cache"
 

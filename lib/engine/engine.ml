@@ -125,7 +125,7 @@ let queue_pop qu =
   in
   go ()
 
-let run ?jobs ?(classify = fun e -> (`Exception, Printexc.to_string e))
+let run ?jobs ?obs ?(classify = fun e -> (`Exception, Printexc.to_string e))
     ?(label = fun i -> Printf.sprintf "job-%d" i) thunks =
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
@@ -141,22 +141,49 @@ let run ?jobs ?(classify = fun e -> (`Exception, Printexc.to_string e))
   let t0 = Unix.gettimeofday () in
   let run_one ~worker i =
     let start = Unix.gettimeofday () in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Obs.event o
+        { ts = Obs.Event.Wall start;
+          payload = Obs.Event.Job_start { label = label i; worker } });
     (results.(i) <-
        (match thunks.(i) () with
        | v -> Ok v
        | exception e ->
          let kind, message = classify e in
          Error { label = label i; kind; message }));
-    times.(i) <- Unix.gettimeofday () -. start;
-    workers.(i) <- worker
+    let stop = Unix.gettimeofday () in
+    times.(i) <- stop -. start;
+    workers.(i) <- worker;
+    match obs with
+    | None -> ()
+    | Some o ->
+      let ok = match results.(i) with Ok _ -> true | Error _ -> false in
+      Obs.event o
+        { ts = Obs.Event.Wall stop;
+          payload =
+            Obs.Event.Job_finish { label = label i; worker; ok; wall_s = times.(i) } };
+      Obs.incr o (if ok then "engine.jobs_succeeded" else "engine.jobs_failed")
+  in
+  let submit i =
+    match obs with
+    | None -> ()
+    | Some o ->
+      Obs.event o
+        { ts = Obs.Event.Wall (Unix.gettimeofday ());
+          payload = Obs.Event.Job_submit { label = label i } };
+      Obs.incr o "engine.jobs_submitted"
   in
   let qu = queue_create () in
   if pool = 1 then
     for i = 0 to n - 1 do
+      submit i;
       run_one ~worker:0 i
     done
   else begin
     for i = 0 to n - 1 do
+      submit i;
       queue_push qu i
     done;
     queue_close qu;

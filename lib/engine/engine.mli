@@ -60,6 +60,7 @@ val default_jobs : unit -> int
 
 val run :
   ?jobs:int ->
+  ?obs:Obs.t ->
   ?classify:(exn -> error_kind * string) ->
   ?label:(int -> string) ->
   (unit -> 'a) list ->
@@ -67,4 +68,7 @@ val run :
 (** Evaluate every thunk; the result array is in submission order.
     [classify] turns an escaped exception into a structured error (default:
     [`Exception] with [Printexc.to_string]); [label] names job [i] for
-    error messages and per-job stats. *)
+    error messages and per-job stats.  [obs] receives
+    submit/start/finish job events (wall clock; emission is
+    mutex-protected inside the sink, so worker domains may share one) and
+    [engine.jobs_*] counters. *)

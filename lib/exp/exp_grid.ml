@@ -17,6 +17,7 @@ type metrics = {
   baseline_cycles : int option;
   time_ratio : float option;
   decompressions : int option;
+  runtime : Runtime.stats option;
 }
 
 type outcome = (metrics, Engine.job_error) result
@@ -25,6 +26,9 @@ type results = (cell * outcome) list
 let jobs_override : int option ref = ref None
 let set_jobs j = jobs_override := j
 let jobs () = match !jobs_override with Some j -> j | None -> Engine.default_jobs ()
+
+let obs_sink : Obs.t option ref = ref None
+let set_obs o = obs_sink := o
 
 let parse_injection s =
   match String.index_opt s '@' with
@@ -52,16 +56,24 @@ let eval_cell c =
   | _ -> ());
   let p = Exp_data.prepare c.wl in
   let r = Exp_data.squash_result p c.options in
-  let cycles, baseline_cycles, time_ratio, decompressions =
+  let cycles, baseline_cycles, time_ratio, decompressions, runtime =
     if c.timing then begin
       let outcome, stats = Exp_data.timing_run p r in
       let baseline = Exp_data.baseline_timing p in
+      (* The timing run may have been served from the memo or the
+         persistent cache, in which case no live runtime events fired;
+         replaying the aggregates keeps the metrics snapshot identical
+         on cold and warm paths. *)
+      (match !obs_sink with
+      | None -> ()
+      | Some o -> Runtime.observe_stats o stats);
       ( Some outcome.Vm.cycles,
         Some baseline.Vm.cycles,
         Some (float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles),
-        Some stats.Runtime.decompressions )
+        Some stats.Runtime.decompressions,
+        Some stats )
     end
-    else (None, None, None, None)
+    else (None, None, None, None, None)
   in
   let original_words = r.Squash.original_words in
   let squashed_words = r.Squash.squashed_words in
@@ -74,6 +86,7 @@ let eval_cell c =
     baseline_cycles;
     time_ratio;
     decompressions;
+    runtime;
   }
 
 let classify = function
@@ -91,7 +104,7 @@ let run ?jobs:j cells =
   let jobs = match j with Some j -> j | None -> jobs () in
   let arr = Array.of_list cells in
   let results, stats =
-    Engine.run ~jobs ~classify
+    Engine.run ~jobs ?obs:!obs_sink ~classify
       ~label:(fun i -> cell_label arr.(i))
       (List.map (fun c () -> eval_cell c) cells)
   in
@@ -163,7 +176,10 @@ let cell_json (c, outcome) =
             ("time_ratio",
              Report.Json.Float (Option.value ~default:Float.nan m.time_ratio));
             ("decompressions",
-             Report.Json.Int (Option.value ~default:0 m.decompressions)) ]))
+             Report.Json.Int (Option.value ~default:0 m.decompressions)) ])
+      @ (match m.runtime with
+        | None -> []
+        | Some st -> [ ("runtime", Runtime.stats_to_json st) ]))
   | Error e ->
     Report.Json.Obj
       (base

@@ -26,6 +26,7 @@ type metrics = {
   baseline_cycles : int option;
   time_ratio : float option;
   decompressions : int option;
+  runtime : Runtime.stats option;  (** Full runtime stats (when [timing]). *)
 }
 
 type outcome = (metrics, Engine.job_error) result
@@ -34,6 +35,13 @@ type results = (cell * outcome) list
 val set_jobs : int option -> unit
 (** Fix the pool size used when [run]'s [?jobs] is omitted ([None] returns
     to {!Engine.default_jobs}). *)
+
+val set_obs : Obs.t option -> unit
+(** Install an observability sink for subsequent {!run} calls: the engine
+    emits job submit/start/finish spans into it, and each timing cell
+    replays its runtime aggregates into the metrics registry (via
+    {!Runtime.observe_stats}, so cached and live evaluations produce the
+    same snapshot). *)
 
 val jobs : unit -> int
 

@@ -1,0 +1,392 @@
+module Event = struct
+  type clock = Cycles of int | Wall of float
+
+  type payload =
+    | Decomp_begin of { region : int }
+    | Decomp_end of { region : int; bits : int; words : int; cycles : int }
+    | Buffer_enter of { region : int; offset : int; pc : int }
+    | Stub_create of { region : int; ret : int; live : int }
+    | Stub_reuse of { region : int; ret : int; live : int }
+    | Stub_free of { region : int; ret : int; live : int }
+    | Pass_begin of { name : string }
+    | Pass_end of { name : string; elapsed_s : float }
+    | Job_submit of { label : string }
+    | Job_start of { label : string; worker : int }
+    | Job_finish of { label : string; worker : int; ok : bool; wall_s : float }
+
+  type t = { ts : clock; payload : payload }
+
+  let name e =
+    match e.payload with
+    | Decomp_begin _ -> "decomp_begin"
+    | Decomp_end _ -> "decomp_end"
+    | Buffer_enter _ -> "buffer_enter"
+    | Stub_create _ -> "stub_create"
+    | Stub_reuse _ -> "stub_reuse"
+    | Stub_free _ -> "stub_free"
+    | Pass_begin _ -> "pass_begin"
+    | Pass_end _ -> "pass_end"
+    | Job_submit _ -> "job_submit"
+    | Job_start _ -> "job_start"
+    | Job_finish _ -> "job_finish"
+
+  (* The payload fields as JSON key/value pairs (shared by the JSONL
+     exporter, the Chrome "args" object and the sink snapshot). *)
+  let fields e =
+    let open Report.Json in
+    match e.payload with
+    | Decomp_begin { region } -> [ ("region", Int region) ]
+    | Decomp_end { region; bits; words; cycles } ->
+      [ ("region", Int region); ("bits", Int bits); ("words", Int words);
+        ("cycles", Int cycles) ]
+    | Buffer_enter { region; offset; pc } ->
+      [ ("region", Int region); ("offset", Int offset); ("pc", Int pc) ]
+    | Stub_create { region; ret; live }
+    | Stub_reuse { region; ret; live }
+    | Stub_free { region; ret; live } ->
+      [ ("region", Int region); ("ret", Int ret); ("live", Int live) ]
+    | Pass_begin { name } -> [ ("pass", String name) ]
+    | Pass_end { name; elapsed_s } ->
+      [ ("pass", String name); ("elapsed_s", Float elapsed_s) ]
+    | Job_submit { label } -> [ ("job", String label) ]
+    | Job_start { label; worker } ->
+      [ ("job", String label); ("worker", Int worker) ]
+    | Job_finish { label; worker; ok; wall_s } ->
+      [ ("job", String label); ("worker", Int worker); ("ok", Bool ok);
+        ("wall_s", Float wall_s) ]
+
+  let to_json e =
+    let open Report.Json in
+    let clock, ts =
+      match e.ts with
+      | Cycles c -> ("cycles", Int c)
+      | Wall w -> ("wall", Float w)
+    in
+    Obj (("ev", String (name e)) :: ("clock", String clock) :: ("ts", ts)
+        :: fields e)
+end
+
+module Trace = struct
+  let schema_version = 1
+
+  (* A bounded ring: [next] counts every emission ever made; slot
+     [i mod capacity] holds emission [i], so once [next > capacity] the
+     oldest [next - capacity] events have been overwritten (= dropped). *)
+  type t = {
+    buf : Event.t array;
+    capacity : int;
+    mutable next : int;
+    m : Mutex.t;
+  }
+
+  let dummy =
+    { Event.ts = Event.Cycles 0; payload = Event.Decomp_begin { region = -1 } }
+
+  let create ?(capacity = 65536) () =
+    if capacity < 1 then invalid_arg "Obs.Trace.create: capacity < 1";
+    { buf = Array.make capacity dummy; capacity; next = 0; m = Mutex.create () }
+
+  let emit t e =
+    Mutex.lock t.m;
+    t.buf.(t.next mod t.capacity) <- e;
+    t.next <- t.next + 1;
+    Mutex.unlock t.m
+
+  let emitted t = t.next
+  let dropped t = max 0 (t.next - t.capacity)
+  let length t = min t.next t.capacity
+
+  let events t =
+    Mutex.lock t.m;
+    let n = length t in
+    let first = t.next - n in
+    let evs = List.init n (fun i -> t.buf.((first + i) mod t.capacity)) in
+    Mutex.unlock t.m;
+    evs
+
+  (* --- Chrome trace-event export ---------------------------------- *)
+
+  (* Two clock domains become two Chrome "processes": pid 0 is the
+     simulated machine (1 cycle rendered as 1 µs), pid 1 is the host
+     (wall seconds rebased to the earliest wall event).  Spans are
+     synthesised from end events only, so a wrapped ring can never emit
+     a begin without its end. *)
+  let sim_pid = 0
+  let host_pid = 1
+
+  let to_chrome t =
+    let open Report.Json in
+    let evs = events t in
+    let wall_base =
+      List.fold_left
+        (fun acc (e : Event.t) ->
+          match e.Event.ts with
+          | Event.Wall w -> Float.min acc w
+          | Event.Cycles _ -> acc)
+        Float.infinity evs
+    in
+    let wall_us w = 1e6 *. (w -. wall_base) in
+    let ts_us (e : Event.t) =
+      match e.Event.ts with
+      | Event.Cycles c -> Float (float_of_int c)
+      | Event.Wall w -> Float (wall_us w)
+    in
+    let ev ~name ~cat ~ph ~ts ~pid ~tid ?(extra = []) args =
+      Obj
+        ([ ("name", String name); ("cat", String cat); ("ph", String ph);
+           ("ts", ts); ("pid", Int pid); ("tid", Int tid) ]
+        @ extra
+        @ [ ("args", Obj args) ])
+    in
+    let instant ?(pid = sim_pid) ?(tid = 0) ~cat e =
+      ev ~name:(Event.name e) ~cat ~ph:"i" ~ts:(ts_us e) ~pid ~tid
+        ~extra:[ ("s", String "t") ]
+        (Event.fields e)
+    in
+    let rows =
+      List.filter_map
+        (fun (e : Event.t) ->
+          match e.Event.payload with
+          | Event.Decomp_begin _ | Event.Pass_begin _ | Event.Job_start _ ->
+            (* Spans come from the matching end events. *)
+            None
+          | Event.Decomp_end { region; cycles; _ } ->
+            let start =
+              match e.Event.ts with
+              | Event.Cycles c -> float_of_int (c - cycles)
+              | Event.Wall w -> wall_us w
+            in
+            Some
+              (ev
+                 ~name:(Printf.sprintf "decompress r%d" region)
+                 ~cat:"runtime" ~ph:"X" ~ts:(Float start) ~pid:sim_pid ~tid:0
+                 ~extra:[ ("dur", Float (float_of_int cycles)) ]
+                 (Event.fields e))
+          | Event.Buffer_enter _ | Event.Stub_create _ | Event.Stub_reuse _
+          | Event.Stub_free _ ->
+            Some (instant ~cat:"runtime" e)
+          | Event.Pass_end { name; elapsed_s } ->
+            let end_us =
+              match e.Event.ts with
+              | Event.Wall w -> wall_us w
+              | Event.Cycles c -> float_of_int c
+            in
+            Some
+              (ev ~name:("pass " ^ name) ~cat:"pipeline" ~ph:"X"
+                 ~ts:(Float (end_us -. (1e6 *. elapsed_s)))
+                 ~pid:host_pid ~tid:0
+                 ~extra:[ ("dur", Float (1e6 *. elapsed_s)) ]
+                 (Event.fields e))
+          | Event.Job_submit _ -> Some (instant ~pid:host_pid ~cat:"engine" e)
+          | Event.Job_finish { label; worker; wall_s; _ } ->
+            let end_us =
+              match e.Event.ts with
+              | Event.Wall w -> wall_us w
+              | Event.Cycles c -> float_of_int c
+            in
+            Some
+              (ev ~name:("job " ^ label) ~cat:"engine" ~ph:"X"
+                 ~ts:(Float (end_us -. (1e6 *. wall_s)))
+                 ~pid:host_pid ~tid:(worker + 1)
+                 ~extra:[ ("dur", Float (1e6 *. wall_s)) ]
+                 (Event.fields e)))
+        evs
+    in
+    let process_name pid name =
+      ev ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:(Float 0.0) ~pid
+        ~tid:0
+        [ ("name", String name) ]
+    in
+    Obj
+      [ ("schema", String (Printf.sprintf "pgcc-trace-v%d" schema_version));
+        ("displayTimeUnit", String "ms");
+        ( "otherData",
+          Obj [ ("emitted", Int (emitted t)); ("dropped", Int (dropped t)) ] );
+        ( "traceEvents",
+          List
+            (process_name sim_pid "sq32 simulated cycles"
+            :: process_name host_pid "host wall clock"
+            :: rows) ) ]
+
+  let to_jsonl t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Report.Json.to_string
+         (Report.Json.Obj
+            [ ( "schema",
+                Report.Json.String
+                  (Printf.sprintf "pgcc-trace-v%d" schema_version) );
+              ("emitted", Report.Json.Int (emitted t));
+              ("dropped", Report.Json.Int (dropped t)) ]));
+    Buffer.add_char b '\n';
+    List.iter
+      (fun e ->
+        Buffer.add_string b (Report.Json.to_string (Event.to_json e));
+        Buffer.add_char b '\n')
+      (events t);
+    Buffer.contents b
+end
+
+module Metrics = struct
+  type histogram = {
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+    buckets : int array;  (* log₂ buckets; index via [bucket_of]. *)
+  }
+
+  type t = {
+    m : Mutex.t;
+    counters : (string, int ref) Hashtbl.t;
+    gauges : (string, int ref) Hashtbl.t;
+    histograms : (string, histogram) Hashtbl.t;
+  }
+
+  let nbuckets = 63
+
+  let create () =
+    { m = Mutex.create (); counters = Hashtbl.create 16;
+      gauges = Hashtbl.create 8; histograms = Hashtbl.create 8 }
+
+  let with_lock t f =
+    Mutex.lock t.m;
+    let v = f () in
+    Mutex.unlock t.m;
+    v
+
+  let find_ref tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl name r;
+      r
+
+  let incr t ?(by = 1) name =
+    with_lock t (fun () ->
+        let r = find_ref t.counters name in
+        r := !r + by)
+
+  let set_gauge t name v =
+    with_lock t (fun () -> find_ref t.gauges name := v)
+
+  let max_gauge t name v =
+    with_lock t (fun () ->
+        let r = find_ref t.gauges name in
+        if v > !r then r := v)
+
+  let bucket_of v =
+    let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+    if v <= 0 then 0 else min (nbuckets - 1) (go v 0)
+
+  let observe t name v =
+    with_lock t (fun () ->
+        let h =
+          match Hashtbl.find_opt t.histograms name with
+          | Some h -> h
+          | None ->
+            let h =
+              { count = 0; sum = 0; min_v = max_int; max_v = min_int;
+                buckets = Array.make nbuckets 0 }
+            in
+            Hashtbl.replace t.histograms name h;
+            h
+        in
+        h.count <- h.count + 1;
+        h.sum <- h.sum + v;
+        if v < h.min_v then h.min_v <- v;
+        if v > h.max_v then h.max_v <- v;
+        let b = bucket_of v in
+        h.buckets.(b) <- h.buckets.(b) + 1)
+
+  let counter_value t name =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+  let histogram_count t name =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h.count
+        | None -> 0)
+
+  let histogram_sum t name =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h.sum
+        | None -> 0)
+
+  let sorted_bindings tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let histogram_json h =
+    let open Report.Json in
+    let buckets =
+      List.filter_map
+        (fun i ->
+          if h.buckets.(i) = 0 then None
+          else
+            let lo = if i = 0 then 0 else 1 lsl i in
+            let hi = (1 lsl (i + 1)) - 1 in
+            Some
+              (Obj [ ("lo", Int lo); ("hi", Int hi); ("count", Int h.buckets.(i)) ]))
+        (List.init nbuckets Fun.id)
+    in
+    Obj
+      [ ("count", Int h.count); ("sum", Int h.sum);
+        ("min", if h.count = 0 then Null else Int h.min_v);
+        ("max", if h.count = 0 then Null else Int h.max_v);
+        ("buckets", List buckets) ]
+
+  let to_json t =
+    let open Report.Json in
+    with_lock t (fun () ->
+        Obj
+          [ ( "counters",
+              Obj
+                (List.map
+                   (fun (k, r) -> (k, Int !r))
+                   (sorted_bindings t.counters)) );
+            ( "gauges",
+              Obj
+                (List.map (fun (k, r) -> (k, Int !r)) (sorted_bindings t.gauges)) );
+            ( "histograms",
+              Obj
+                (List.map
+                   (fun (k, h) -> (k, histogram_json h))
+                   (sorted_bindings t.histograms)) ) ])
+end
+
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+let create ?trace ?metrics () = { trace; metrics }
+
+let full ?capacity () =
+  { trace = Some (Trace.create ?capacity ());
+    metrics = Some (Metrics.create ()) }
+
+let event t e = match t.trace with Some tr -> Trace.emit tr e | None -> ()
+
+let incr t ?by name =
+  match t.metrics with Some m -> Metrics.incr m ?by name | None -> ()
+
+let max_gauge t name v =
+  match t.metrics with Some m -> Metrics.max_gauge m name v | None -> ()
+
+let observe t name v =
+  match t.metrics with Some m -> Metrics.observe m name v | None -> ()
+
+let snapshot_json t =
+  let open Report.Json in
+  Obj
+    [ ( "metrics",
+        match t.metrics with Some m -> Metrics.to_json m | None -> Null );
+      ( "trace",
+        match t.trace with
+        | None -> Null
+        | Some tr ->
+          Obj
+            [ ("emitted", Int (Trace.emitted tr));
+              ("dropped", Int (Trace.dropped tr));
+              ("events", List (List.map Event.to_json (Trace.events tr))) ] ) ]

@@ -1,0 +1,133 @@
+(** End-to-end observability: typed trace events and a metrics registry.
+
+    The subsystem has two halves, both optional and both designed so that
+    {e disabled means free}: every instrumented call site in the VM, the
+    squash runtime, the pass pipeline and the experiment engine guards its
+    emission behind a single branch on an optional {!t} sink.
+
+    {b Trace} is a bounded ring buffer of {!Event.t} values.  When the ring
+    wraps, the oldest events are overwritten and counted as dropped — a
+    long run keeps its tail, which is what the runtime-overhead analysis
+    wants, and memory stays bounded.  Timestamps are heterogeneous by
+    design: the VM side stamps events in {e simulated cycles} (the clock
+    the paper's overhead model runs on), the pipeline and engine stamp in
+    host wall-clock seconds.  Exporters render to the Chrome trace-event
+    JSON format (loadable in Perfetto / [chrome://tracing]; simulated and
+    host clocks become separate process tracks) and to JSONL (one event
+    per line, with a header line carrying the schema version and the drop
+    count).
+
+    {b Metrics} is a registry of named counters, gauges and log₂-bucketed
+    histograms, snapshotting to {!Report.Json}.  All operations are
+    thread-safe (the engine emits from multiple domains). *)
+
+module Event : sig
+  type clock =
+    | Cycles of int  (** Simulated cycles (VM-side events). *)
+    | Wall of float  (** Host wall clock, Unix epoch seconds. *)
+
+  type payload =
+    | Decomp_begin of { region : int }
+    | Decomp_end of { region : int; bits : int; words : int; cycles : int }
+        (** [cycles] is the simulated cost charged for this decompression. *)
+    | Buffer_enter of { region : int; offset : int; pc : int }
+        (** Control entered the runtime buffer at word [offset]. *)
+    | Stub_create of { region : int; ret : int; live : int }
+    | Stub_reuse of { region : int; ret : int; live : int }
+    | Stub_free of { region : int; ret : int; live : int }
+        (** [live] is the live-stub depth {e after} the transition. *)
+    | Pass_begin of { name : string }
+    | Pass_end of { name : string; elapsed_s : float }
+    | Job_submit of { label : string }
+    | Job_start of { label : string; worker : int }
+    | Job_finish of { label : string; worker : int; ok : bool; wall_s : float }
+
+  type t = { ts : clock; payload : payload }
+
+  val name : t -> string
+  (** Short type tag, e.g. ["decomp_end"]. *)
+end
+
+module Trace : sig
+  type t
+
+  val schema_version : int
+
+  val create : ?capacity:int -> unit -> t
+  (** Bounded ring; default capacity 65536 events.  @raise Invalid_argument
+      if [capacity < 1]. *)
+
+  val emit : t -> Event.t -> unit
+  (** Append, overwriting the oldest event once full.  Thread-safe. *)
+
+  val emitted : t -> int
+  (** Total events ever emitted (retained + dropped). *)
+
+  val dropped : t -> int
+  val length : t -> int
+
+  val events : t -> Event.t list
+  (** Retained events, oldest first. *)
+
+  val to_chrome : t -> Report.Json.t
+  (** Chrome trace-event JSON: spans ([ph:"X"]) for decompressions, passes
+      and jobs, instants for stub transitions, buffer entries and job
+      submissions.  Simulated-cycle events live on pid 0 (1 cycle = 1 µs
+      tick); wall-clock events on pid 1, rebased to the earliest wall
+      timestamp.  Begin/start markers are not exported separately — every
+      span is synthesised from its end event, so a wrapped ring never
+      produces unbalanced pairs. *)
+
+  val to_jsonl : t -> string
+  (** One JSON object per line; the first line is a header with the schema
+      version and drop count. *)
+end
+
+module Metrics : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> ?by:int -> string -> unit
+  (** Bump a counter (created at 0 on first use). *)
+
+  val set_gauge : t -> string -> int -> unit
+
+  val max_gauge : t -> string -> int -> unit
+  (** Gauge that keeps the maximum of all reported values. *)
+
+  val observe : t -> string -> int -> unit
+  (** Record a (non-negative) sample into a log₂-bucketed histogram:
+      bucket [i ≥ 1] holds values in [[2^i, 2^(i+1))]; bucket 0 holds 0
+      and 1. *)
+
+  val counter_value : t -> string -> int
+  (** 0 when the counter was never bumped. *)
+
+  val histogram_count : t -> string -> int
+  val histogram_sum : t -> string -> int
+
+  val to_json : t -> Report.Json.t
+  (** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+      {"count", "sum", "min", "max", "buckets": [{"lo","hi","count"}]}}}],
+      keys sorted for deterministic output. *)
+end
+
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+(** A sink: either half may be absent.  Instrumented code holds a
+    [t option] and does nothing — one branch — when it is [None]. *)
+
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+
+val full : ?capacity:int -> unit -> t
+(** Both halves enabled. *)
+
+val event : t -> Event.t -> unit
+val incr : t -> ?by:int -> string -> unit
+val max_gauge : t -> string -> int -> unit
+val observe : t -> string -> int -> unit
+
+val snapshot_json : t -> Report.Json.t
+(** [{"metrics": ..., "trace": {"emitted", "dropped", "events": [...]}}]
+    with absent halves rendered as [null]; trace events use the JSONL
+    object shape. *)

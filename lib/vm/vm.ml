@@ -21,6 +21,8 @@ type t = {
   mutable hook_hi : int;
   hooks : (int, t -> unit) Hashtbl.t;
   mutable heap_break : int;
+  mutable hook_invocations : int;
+  mutable obs : Obs.t option;
 }
 
 let trap t reason = raise (Trap { pc = t.pc; reason })
@@ -61,6 +63,8 @@ let create ?(cost = Cost.default) ?(fuel = 1_000_000_000) ?(profile = false) ~te
     hook_hi = min_int;
     hooks = Hashtbl.create 8;
     heap_break = data_base + (4 * data_words);
+    hook_invocations = 0;
+    obs = None;
   }
 
 let of_image ?cost ?fuel ?profile (img : Layout.image) ~input =
@@ -107,6 +111,8 @@ let store_byte t a v =
 let add_cycles t n = t.cycles <- t.cycles + n
 let icount t = t.icount
 let cycles t = t.cycles
+let hook_invocations t = t.hook_invocations
+let set_obs t o = t.obs <- Some o
 let exited t = t.exit_code
 let counts t = t.counts
 let output_so_far t = Buffer.contents t.output
@@ -248,7 +254,12 @@ let rec step t =
   else begin
     (if t.pc >= t.hook_lo && t.pc <= t.hook_hi then
        match Hashtbl.find_opt t.hooks t.pc with
-       | Some f -> f t
+       | Some f ->
+         t.hook_invocations <- t.hook_invocations + 1;
+         (match t.obs with
+         | None -> ()
+         | Some o -> Obs.incr o "vm.hook_invocations");
+         f t
        | None -> exec_one t
      else exec_one t);
     t.running
@@ -311,7 +322,13 @@ and exec_one t =
   | Instr.Sentinel -> trap t "sentinel executed");
   t.cycles <- t.cycles + Cost.instr_cost t.cost ins ~taken:!taken
 
-type outcome = { exit_code : int; output : string; icount : int; cycles : int }
+type outcome = {
+  exit_code : int;
+  output : string;
+  icount : int;
+  cycles : int;
+  hook_invocations : int;
+}
 
 let run t =
   while step t do
@@ -322,4 +339,5 @@ let run t =
     output = Buffer.contents t.output;
     icount = t.icount;
     cycles = t.cycles;
+    hook_invocations = t.hook_invocations;
   }

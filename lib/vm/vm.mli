@@ -46,6 +46,8 @@ type outcome = {
   output : string;
   icount : int;  (** Dynamic instructions executed (hooks not included). *)
   cycles : int;  (** Simulated cycles, including cycles charged by hooks. *)
+  hook_invocations : int;
+      (** Times the PC landed on a registered hook and its intrinsic ran. *)
 }
 
 val run : t -> outcome
@@ -68,7 +70,14 @@ val store_byte : t -> int -> int -> unit
 val add_cycles : t -> int -> unit
 val icount : t -> int
 val cycles : t -> int
+val hook_invocations : t -> int
 val exited : t -> int option
+
+val set_obs : t -> Obs.t -> unit
+(** Attach an observability sink.  The VM itself only bumps the
+    ["vm.hook_invocations"] counter; richer events are emitted by the hook
+    intrinsics (see {!Runtime}).  When unset the only per-hook overhead is
+    a single branch. *)
 
 val install_hook : t -> addr:int -> (t -> unit) -> unit
 (** Register an intrinsic at a word-aligned text address.  When the PC

@@ -1,0 +1,175 @@
+(* A tiny recursive-descent JSON reader used only by the test suite: just
+   enough to round-trip what Report.Json emits and to validate the trace
+   exporters' output.  Deliberately not a general parser — pulling in a
+   JSON dependency for this would be overkill. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v =
+      match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+      | Some v -> v
+      | None -> fail "bad \\u escape"
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "truncated escape";
+        let c = s.[!pos] in
+        incr pos;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          let v = hex4 () in
+          if not (Uchar.is_valid v) then fail "surrogate \\u escape"
+          else Buffer.add_utf_8_uchar b (Uchar.of_int v)
+        | _ -> fail "unknown escape");
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input";
+    match s.[!pos] with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if !pos < n && s.[!pos] = '}' then begin
+        incr pos;
+        Obj []
+      end
+      else Obj (parse_fields [])
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if !pos < n && s.[!pos] = ']' then begin
+        incr pos;
+        Arr []
+      end
+      else Arr (parse_items [])
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  and parse_fields acc =
+    skip_ws ();
+    let k = parse_string () in
+    skip_ws ();
+    expect ':';
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n && s.[!pos] = ',' then begin
+      incr pos;
+      parse_fields ((k, v) :: acc)
+    end
+    else begin
+      expect '}';
+      List.rev ((k, v) :: acc)
+    end
+  and parse_items acc =
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n && s.[!pos] = ',' then begin
+      incr pos;
+      parse_items (v :: acc)
+    end
+    else begin
+      expect ']';
+      List.rev (v :: acc)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* What [parse (Report.Json.to_string j)] must produce: integers widen to
+   floats, non-finite floats collapse to null. *)
+let rec of_report (j : Report.Json.t) =
+  match j with
+  | Report.Json.Null -> Null
+  | Report.Json.Bool b -> Bool b
+  | Report.Json.Int i -> Num (float_of_int i)
+  | Report.Json.Float f -> if Float.is_finite f then Num f else Null
+  | Report.Json.String s -> Str s
+  | Report.Json.List items -> Arr (List.map of_report items)
+  | Report.Json.Obj fields ->
+    Obj (List.map (fun (k, v) -> (k, of_report v)) fields)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let member_exn k j =
+  match member k j with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing member %S" k))

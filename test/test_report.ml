@@ -60,4 +60,46 @@ let unit_tests =
         | () -> Alcotest.fail "expected Invalid_argument");
   ]
 
-let suite = [ ("report", unit_tests) ]
+let json_tests =
+  [
+    Alcotest.test_case "control characters are escaped" `Quick (fun () ->
+        Alcotest.(check string) "escapes"
+          "\"a\\u0001b\\nc\\\"d\\\\e\\tf\""
+          (Report.Json.to_string (Report.Json.String "a\001b\nc\"d\\e\tf")));
+    Alcotest.test_case "non-finite floats serialise as null" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            Alcotest.(check string) "null" "null"
+              (Report.Json.to_string (Report.Json.Float f)))
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    Alcotest.test_case "serialised documents round-trip" `Quick (fun () ->
+        let open Report.Json in
+        let doc =
+          Obj
+            [ ("null", Null); ("yes", Bool true); ("no", Bool false);
+              ("int", Int (-123456789)); ("zero", Int 0);
+              ("float", Float 0.1); ("tiny", Float 1.5e-9);
+              ("neg", Float (-2.5)); ("inf", Float Float.infinity);
+              ("ctrl", String "line1\nline2\ttab\001unit\127del");
+              ("quote", String {|she said "hi\bye"|});
+              ("empty_list", List []); ("empty_obj", Obj []);
+              ( "nested",
+                List
+                  [ Int 1; String "two";
+                    Obj [ ("deep", List [ Bool false; Float 3.25 ]) ] ] ) ]
+        in
+        Alcotest.(check bool) "roundtrip" true
+          (Json_check.parse (to_string doc) = Json_check.of_report doc));
+    Alcotest.test_case "float serialisation is lossless" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            match Json_check.parse (Report.Json.to_string (Report.Json.Float f)) with
+            | Json_check.Num g ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%h survives" f)
+                true (f = g)
+            | _ -> Alcotest.fail "expected a number")
+          [ 0.1; 1.0 /. 3.0; 1e300; 5e-324; -0.0; 1234567.89 ]);
+  ]
+
+let suite = [ ("report", unit_tests); ("report.json", json_tests) ]
