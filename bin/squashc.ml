@@ -298,6 +298,15 @@ let squash_cmd =
   let no_unswitch =
     Arg.(value & flag & info [ "no-unswitch" ] ~doc:"Disable jump-table unswitching.")
   in
+  let sharp_bsafe =
+    Arg.(
+      value & flag
+      & info [ "sharp-buffer-safe" ]
+          ~doc:"Use the sharpened buffer-safe analysis: an indirect call \
+                contributes its resolved candidate targets (constant \
+                propagation, else the address-taken set) instead of \
+                poisoning its whole call chain.")
+  in
   let codec =
     let codec_conv =
       Arg.enum
@@ -345,7 +354,8 @@ let squash_cmd =
           ~doc:"Write per-pass timing and size statistics as JSON.")
   in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
-      no_unswitch codec linear_regions verify trace_passes check_each stats_json =
+      no_unswitch sharp_bsafe codec linear_regions verify trace_passes check_each
+      stats_json =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -362,6 +372,7 @@ let squash_cmd =
         k_bytes;
         pack = not no_pack;
         use_buffer_safe = not no_bsafe;
+        sharp_buffer_safe = sharp_bsafe;
         unswitch = not no_unswitch;
         codec;
         regions_strategy = (if linear_regions then `Linear else `Dfs);
@@ -430,8 +441,8 @@ let squash_cmd =
     (Cmd.info "squash" ~doc:"Profile-guided compression; report the footprint.")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
-      $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ codec $ linear_regions
-      $ verify $ trace_passes $ check_each $ stats_json)
+      $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ codec
+      $ linear_regions $ verify $ trace_passes $ check_each $ stats_json)
 
 (* --- attrib ----------------------------------------------------------- *)
 
@@ -662,6 +673,168 @@ let grid_cmd =
       const run $ workloads_arg $ thetas $ ks $ timing $ jobs $ no_cache
       $ cache_dir $ json_out $ csv_out $ stats_flag)
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let workloads_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Built-in workloads to lint (default: all).")
+  in
+  let thetas =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.01 ]
+      & info [ "theta" ] ~docv:"T,T,..."
+          ~doc:"Cold-code thresholds to build and verify at.")
+  in
+  let k_bytes =
+    Arg.(
+      value & opt int 512
+      & info [ "k" ] ~docv:"BYTES" ~doc:"Runtime buffer size bound.")
+  in
+  let sharp =
+    Arg.(
+      value & flag
+      & info [ "sharp-buffer-safe" ]
+          ~doc:"Build the images with the sharpened buffer-safe analysis \
+                (the verifier always checks unchanged calls against it, so \
+                both builds must lint clean).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write per-image diagnostics and safe-call counts as JSON.")
+  in
+  let run names thetas k_bytes sharp json_out =
+    let wls =
+      match names with
+      | [] -> Workloads.all
+      | names ->
+        List.map
+          (fun n ->
+            match Workloads.find n with
+            | Some wl -> wl
+            | None ->
+              prerr_endline
+                ("squashc: no such workload: " ^ n ^ " (see squashc workloads)");
+              exit 2)
+          names
+    in
+    let t =
+      Report.Table.create ~title:"squashc lint"
+        [ ("Program", Report.Table.Left); ("theta", Report.Table.Right);
+          ("errors", Report.Table.Right); ("warnings", Report.Table.Right);
+          ("safe calls (cons)", Report.Table.Right);
+          ("safe calls (sharp)", Report.Table.Right);
+          ("delta", Report.Table.Right) ]
+    in
+    let any_errors = ref false in
+    let cells = ref [] in
+    List.iter
+      (fun (wl : Workload.t) ->
+        let prog = fst (Squeeze.run (Workload.compile wl)) in
+        let profile =
+          fst (Profile.collect prog ~input:(Workload.profiling_input wl))
+        in
+        List.iter
+          (fun theta ->
+            let options =
+              {
+                Squash.default_options with
+                Squash.theta;
+                k_bytes;
+                sharp_buffer_safe = sharp;
+              }
+            in
+            let result = Squash.run ~options prog profile in
+            let sq = result.Squash.squashed in
+            let diags = Verify.run sq in
+            let nerrors = List.length (Verify.errors diags) in
+            let nwarnings = List.length diags - nerrors in
+            if nerrors > 0 then any_errors := true;
+            (* What the sharpening buys on this image: Section 6.1 safe
+               call sites under each analysis, over the same regions. *)
+            let p = sq.Rewrite.prog in
+            let regions = sq.Rewrite.regions in
+            let has_compressed fname =
+              match Prog.find_func p fname with
+              | None -> false
+              | Some f ->
+                let any = ref false in
+                Array.iteri
+                  (fun i _ ->
+                    if Regions.block_region regions fname i <> None then
+                      any := true)
+                  f.Prog.Func.blocks;
+                !any
+            in
+            let in_region f b = Regions.block_region regions f b <> None in
+            let safe_calls analysis =
+              let `Safe_calls sc, `Direct_calls _, `Indirect_calls _ =
+                Buffer_safe.stats p analysis ~in_region
+              in
+              sc
+            in
+            let c_cons = safe_calls (Buffer_safe.analyze p ~has_compressed) in
+            let c_sharp =
+              safe_calls (Buffer_safe.analyze_sharp p ~has_compressed)
+            in
+            Report.Table.add_row t
+              [ wl.Workload.name; Printf.sprintf "%g" theta;
+                string_of_int nerrors; string_of_int nwarnings;
+                string_of_int c_cons; string_of_int c_sharp;
+                Printf.sprintf "%+d" (c_sharp - c_cons) ];
+            cells := (wl.Workload.name, theta, diags, c_cons, c_sharp) :: !cells)
+          thetas)
+      wls;
+    print_string (Report.Table.render t);
+    List.iter
+      (fun (name, theta, diags, _, _) ->
+        if diags <> [] then begin
+          Printf.printf "%s @ theta=%g:\n" name theta;
+          print_string (Verify.render diags)
+        end)
+      (List.rev !cells);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Report.Json.Obj
+          [ ("schema", Report.Json.String "pgcc-lint-v1");
+            ( "cells",
+              Report.Json.List
+                (List.rev_map
+                   (fun (name, theta, diags, c_cons, c_sharp) ->
+                     Report.Json.Obj
+                       [ ("workload", Report.Json.String name);
+                         ("theta", Report.Json.Float theta);
+                         ( "errors",
+                           Report.Json.Int (List.length (Verify.errors diags))
+                         );
+                         ( "warnings",
+                           Report.Json.Int
+                             (List.length diags
+                             - List.length (Verify.errors diags)) );
+                         ("safe_calls_conservative", Report.Json.Int c_cons);
+                         ("safe_calls_sharp", Report.Json.Int c_sharp);
+                         ("diags", Verify.to_json diags) ])
+                   !cells) ) ]
+      in
+      write_file path (Report.Json.to_string doc ^ "\n"));
+    if !any_errors then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify squashed images: entry stubs, dangling \
+             transfers into removed regions, stub-register liveness, and \
+             buffer-safety of unchanged calls.  Exits 1 on any \
+             error-severity diagnostic.")
+    Term.(const run $ workloads_arg $ thetas $ k_bytes $ sharp $ json_out)
+
 (* --- workloads ---------------------------------------------------------- *)
 
 let workloads_cmd =
@@ -680,6 +853,6 @@ let main =
     (Cmd.info "squashc" ~version:"1.0.0"
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
     [ compile_cmd; run_cmd; profile_cmd; squash_cmd; attrib_cmd; stats_cmd;
-      grid_cmd; workloads_cmd ]
+      grid_cmd; lint_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

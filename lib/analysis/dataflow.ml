@@ -1,0 +1,105 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { before : L.t array; after : L.t array }
+
+  let solve ~direction ~init ~transfer (f : Prog.Func.t) =
+    let n = Array.length f.blocks in
+    let before = Array.make n L.bottom in
+    let after = Array.make n L.bottom in
+    let succs = Array.init n (Prog.successors f) in
+    let preds = Cfg.preds f in
+    (* Input edges of a block and where its output fact flows, under the
+       chosen direction. *)
+    let inputs, outputs =
+      match direction with
+      | Forward -> (preds, succs)
+      | Backward -> (succs, preds)
+    in
+    let in_fact, out_fact =
+      match direction with
+      | Forward -> (before, after)
+      | Backward -> (after, before)
+    in
+    (* The boundary fact enters at blocks with no input edges in the
+       analysis direction: the entry block (forward) or exit blocks
+       (backward). *)
+    let boundary i =
+      match direction with
+      | Forward -> i = 0
+      | Backward -> succs.(i) = []
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let push i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    (* Seed every block — unreachable ones too, matching the hand-rolled
+       analyses — in a direction-appropriate order so typical (reducible)
+       CFGs converge in few sweeps. *)
+    let order = Cfg.dfs_order f in
+    let rest =
+      let on_order = Array.make n false in
+      List.iter (fun i -> on_order.(i) <- true) order;
+      List.filter (fun i -> not on_order.(i)) (List.init n Fun.id)
+    in
+    let order = order @ rest in
+    List.iter push (match direction with Forward -> order | Backward -> List.rev order);
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let input =
+        List.fold_left
+          (fun acc j -> L.join acc out_fact.(j))
+          (if boundary i then init else L.bottom)
+          inputs.(i)
+      in
+      in_fact.(i) <- input;
+      let output = transfer i input in
+      if not (L.equal output out_fact.(i)) then begin
+        out_fact.(i) <- output;
+        List.iter push outputs.(i)
+      end
+    done;
+    { before; after }
+end
+
+module Liveness = struct
+  module Regs = struct
+    type t = Cfg.Regset.t
+
+    let bottom = Cfg.Regset.empty
+    let join = Cfg.Regset.union
+    let equal = Int.equal
+  end
+
+  module Solver = Make (Regs)
+
+  let block_transfer (b : Prog.Block.t) live_out =
+    let apply (defs, uses) live =
+      Cfg.Regset.union uses (Cfg.Regset.diff live defs)
+    in
+    let after_items = apply (Cfg.term_defs_uses b.term) live_out in
+    List.fold_right
+      (fun item live -> apply (Cfg.item_defs_uses item) live)
+      b.items after_items
+
+  let solve (f : Prog.Func.t) =
+    let r =
+      Solver.solve ~direction:Backward ~init:Cfg.Regset.empty
+        ~transfer:(fun i out -> block_transfer f.blocks.(i) out)
+        f
+    in
+    { Cfg.live_in = r.Solver.before; live_out = r.Solver.after }
+end

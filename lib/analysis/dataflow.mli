@@ -1,0 +1,50 @@
+(** A generic worklist fixpoint solver over the intra-function CFG.
+
+    Clients supply a join-semilattice of facts and a per-block transfer
+    function; the solver iterates to a fixed point over
+    {!Prog.successors}/{!Cfg.preds} edges in either direction.  The
+    existing hand-rolled analyses ({!Cfg.liveness}, the buffer-safe
+    marking) are specific instances of this scheme; {!Liveness} re-derives
+    the former as a client and is regression-tested against it.
+
+    Facts are indexed by block in {e execution} order regardless of the
+    analysis direction: [before.(i)] is the fact at the entry of block [i]
+    and [after.(i)] the fact at its exit.  For a backward analysis the
+    transfer function therefore maps [after] to [before]. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** The identity of [join]; the initial fact everywhere. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { before : L.t array; after : L.t array }
+
+  val solve :
+    direction:direction ->
+    init:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    Prog.Func.t ->
+    result
+  (** [solve ~direction ~init ~transfer f] runs the analysis to a fixed
+      point.  [init] is the boundary fact: joined into the entry block's
+      [before] fact (forward) or into the [after] fact of every exit block
+      — one with no CFG successors — (backward).  [transfer i] maps block
+      [i]'s input-edge fact to its output-edge fact: [before -> after]
+      when forward, [after -> before] when backward. *)
+end
+
+(** Liveness re-derived as a {!Make} client (backward may-analysis over
+    {!Cfg.Regset} with the same def/use sets as {!Cfg.liveness}).  Kept as
+    an independent implementation so the verifier does not have to trust
+    the solver the rewrite used. *)
+module Liveness : sig
+  val solve : Prog.Func.t -> Cfg.liveness
+end

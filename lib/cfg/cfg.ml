@@ -152,6 +152,9 @@ module Callgraph = struct
     callees : string list;
     mutable callers : string list;
     has_indirect : bool;
+    mutable indirect_callees : string list;
+        (* resolved indirect-call candidates, recorded by the analysis
+           layer (Consts.annotate_callgraph); empty until then *)
   }
 
   type t = { info : (string, info) Hashtbl.t; taken : (string, unit) Hashtbl.t }
@@ -182,6 +185,7 @@ module Callgraph = struct
             callees = List.sort_uniq String.compare !callees;
             callers = [];
             has_indirect = !has_indirect;
+            indirect_callees = [];
           })
       p.funcs;
     Hashtbl.iter
@@ -205,6 +209,23 @@ module Callgraph = struct
 
   let has_indirect_call t f =
     match Hashtbl.find_opt t.info f with Some i -> i.has_indirect | None -> false
+
+  let indirect_callees t f =
+    match Hashtbl.find_opt t.info f with
+    | Some i -> i.indirect_callees
+    | None -> []
+
+  let set_indirect_callees t f targets =
+    match Hashtbl.find_opt t.info f with
+    | None -> ()
+    | Some i ->
+      i.indirect_callees <- List.sort_uniq String.compare targets;
+      List.iter
+        (fun g ->
+          match Hashtbl.find_opt t.info g with
+          | Some gi -> if not (List.mem f gi.callers) then gi.callers <- f :: gi.callers
+          | None -> ())
+        i.indirect_callees
 
   let address_taken t f = Hashtbl.mem t.taken f
 

@@ -68,6 +68,15 @@ module Callgraph : sig
   (** Does the function contain any indirect call?  Its possible targets are
       unknown, which matters to the buffer-safe analysis. *)
 
+  val indirect_callees : t -> string -> string list
+  (** Resolved candidate targets of the function's indirect calls, as
+      recorded by {!set_indirect_callees} (the analysis layer's
+      [Consts.annotate_callgraph]); empty until then.  Sorted. *)
+
+  val set_indirect_callees : t -> string -> string list -> unit
+  (** Record the resolved indirect-call edges of a caller; also adds the
+      reverse caller edges. *)
+
   val address_taken : t -> string -> bool
   (** Is the function's address materialised anywhere ([Load_addr] of
       [Func_addr])?  Such functions are possible targets of indirect

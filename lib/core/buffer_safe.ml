@@ -1,14 +1,12 @@
 type t = (string, bool) Hashtbl.t  (* name -> is buffer-safe *)
 
-let analyze (p : Prog.t) ~has_compressed =
-  let cg = Cfg.Callgraph.of_prog p in
+(* Iterative marking: seed non-safety, then propagate it from callees to
+   callers until a fixed point. *)
+let propagate (p : Prog.t) ~seed_unsafe ~callees_of =
   let safe : t = Hashtbl.create 64 in
   List.iter
-    (fun (f : Prog.Func.t) ->
-      let seed_unsafe = has_compressed f.name || Cfg.Callgraph.has_indirect_call cg f.name in
-      Hashtbl.replace safe f.name (not seed_unsafe))
+    (fun (f : Prog.Func.t) -> Hashtbl.replace safe f.name (not (seed_unsafe f.name)))
     p.funcs;
-  (* Propagate non-safety from callees to callers. *)
   let changed = ref true in
   while !changed do
     changed := false;
@@ -18,7 +16,7 @@ let analyze (p : Prog.t) ~has_compressed =
           let unsafe_callee =
             List.exists
               (fun g -> not (Option.value ~default:false (Hashtbl.find_opt safe g)))
-              (Cfg.Callgraph.callees cg f.name)
+              (callees_of f.name)
           in
           if unsafe_callee then begin
             Hashtbl.replace safe f.name false;
@@ -28,6 +26,24 @@ let analyze (p : Prog.t) ~has_compressed =
   done;
   safe
 
+let analyze (p : Prog.t) ~has_compressed =
+  let cg = Cfg.Callgraph.of_prog p in
+  propagate p
+    ~seed_unsafe:(fun f ->
+      has_compressed f || Cfg.Callgraph.has_indirect_call cg f)
+    ~callees_of:(Cfg.Callgraph.callees cg)
+
+let analyze_sharp (p : Prog.t) ~has_compressed =
+  let cg = Cfg.Callgraph.of_prog p in
+  Consts.annotate_callgraph p cg;
+  (* An indirect call no longer poisons its containing function outright:
+     it contributes its resolved candidate set (the exact target when the
+     address propagation proves one, the address-taken set otherwise) as
+     ordinary callee edges.  A function is then unsafe only if it has
+     compressed blocks or reaches one that does. *)
+  propagate p ~seed_unsafe:has_compressed ~callees_of:(fun f ->
+      Cfg.Callgraph.callees cg f @ Cfg.Callgraph.indirect_callees cg f)
+
 let is_safe t name = Option.value ~default:false (Hashtbl.find_opt t name)
 
 let safe_functions t =
@@ -35,7 +51,7 @@ let safe_functions t =
   |> List.sort String.compare
 
 let stats (p : Prog.t) t ~in_region =
-  let safe_calls = ref 0 and total = ref 0 in
+  let safe_calls = ref 0 and direct = ref 0 and indirect = ref 0 in
   List.iter
     (fun (f : Prog.Func.t) ->
       Array.iteri
@@ -43,12 +59,12 @@ let stats (p : Prog.t) t ~in_region =
           if in_region f.name i then
             match b.term with
             | Prog.Call { callee; _ } ->
-              incr total;
+              incr direct;
               if is_safe t callee then incr safe_calls
-            | Prog.Call_indirect _ -> incr total
+            | Prog.Call_indirect _ -> incr indirect
             | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _ | Prog.Jump_indirect _
             | Prog.Return _ | Prog.No_return ->
               ())
         f.blocks)
     p.funcs;
-  (`Safe_calls !safe_calls, `Total_calls !total)
+  (`Safe_calls !safe_calls, `Direct_calls !direct, `Indirect_calls !indirect)

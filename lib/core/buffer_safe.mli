@@ -7,13 +7,30 @@
     buffer instruction are needed.
 
     The analysis is the paper's iterative marking, at function granularity:
-    functions containing compressed blocks, or indirect calls (whose targets
-    may be anything), start out non-safe, and non-safety propagates from
-    callees to callers until a fixed point. *)
+    unsafe functions are seeded and non-safety propagates from callees to
+    callers until a fixed point.  Two precision levels share the loop:
+
+    - {!analyze} (conservative): functions containing compressed blocks
+      {e or any indirect call} start out non-safe — an indirect call's
+      targets are treated as unknown, poisoning the whole call chain.
+    - {!analyze_sharp}: only compressed blocks seed non-safety; an
+      indirect call instead contributes the candidate-set edges resolved
+      by the analysis layer ({!Consts.annotate_callgraph}) — the exact
+      target when address propagation proves one, the program's
+      address-taken set otherwise.  Sharpened is monotone with respect to
+      the conservative analysis: every conservatively safe function stays
+      safe (its call chains contain no indirect calls at all, so both
+      analyses see the same edges). *)
 
 type t
 
 val analyze : Prog.t -> has_compressed:(string -> bool) -> t
+
+val analyze_sharp : Prog.t -> has_compressed:(string -> bool) -> t
+(** Sound under the IR's closed-world assumption: indirect-call targets
+    only ever originate from [Load_addr (_, Func_addr _)] items (see
+    {!Consts}). *)
+
 val is_safe : t -> string -> bool
 
 val safe_functions : t -> string list
@@ -21,7 +38,9 @@ val safe_functions : t -> string list
 
 val stats :
   Prog.t -> t -> in_region:(string -> int -> bool) ->
-  [ `Safe_calls of int ] * [ `Total_calls of int ]
-(** Of the direct call sites inside compressed regions, how many have a
-    buffer-safe callee (the call sites the optimisation actually
-    rewrites). *)
+  [ `Safe_calls of int ] * [ `Direct_calls of int ] * [ `Indirect_calls of int ]
+(** Call sites inside compressed regions: how many direct sites have a
+    buffer-safe callee (the sites the optimisation actually rewrites), out
+    of how many direct and indirect sites.  Indirect sites are reported
+    separately because the rewrite always expands them through CreateStub —
+    they can never be counted safe, whichever analysis ran. *)

@@ -4,6 +4,7 @@ type options = {
   gamma : float;
   pack : bool;
   use_buffer_safe : bool;
+  sharp_buffer_safe : bool;
   unswitch : bool;
   decomp_words : int;
   max_stubs : int;
@@ -18,6 +19,7 @@ let default_options =
     gamma = 0.66;
     pack = true;
     use_buffer_safe = true;
+    sharp_buffer_safe = false;
     unswitch = true;
     decomp_words = Rewrite.default_decomp_words;
     max_stubs = Rewrite.default_max_stubs;
@@ -32,6 +34,7 @@ type state = {
   seed_excluded : string list;
   original_words : int;
   cold : Cold.t option;
+  resolved_jumps : (string * int) list;
   unswitched : (string * int) list;
   unmatched : string list;
   excluded : string list option;
@@ -48,6 +51,7 @@ let init ?(options = default_options) ?(setjmp_callers = []) prog profile =
     seed_excluded = setjmp_callers;
     original_words = Prog.text_words prog;
     cold = None;
+    resolved_jumps = [];
     unswitched = [];
     unmatched = [];
     excluded = None;

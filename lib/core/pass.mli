@@ -14,6 +14,12 @@ type options = {
   gamma : float;  (** Assumed compression factor for profitability. *)
   pack : bool;  (** Region packing pass (Section 4). *)
   use_buffer_safe : bool;  (** Buffer-safe call optimisation (Section 6.1). *)
+  sharp_buffer_safe : bool;
+      (** Use the sharpened buffer-safe analysis
+          ({!Buffer_safe.analyze_sharp}): indirect calls contribute their
+          resolved candidate-target edges instead of poisoning the whole
+          call chain.  Only meaningful with [use_buffer_safe]; default
+          off. *)
   unswitch : bool;  (** Jump-table unswitching (Section 6.2). *)
   decomp_words : int;
   max_stubs : int;
@@ -36,6 +42,9 @@ type state = {
   original_words : int;  (** Footprint of the input program, fixed at
                              {!init} time. *)
   cold : Cold.t option;
+  resolved_jumps : (string * int) list;
+      (** [(func, block)] sites whose [table = None] indirect jump the
+          resolve pass annotated with its inferred jump table. *)
   unswitched : (string * int) list;
   unmatched : string list;
   excluded : string list option;  (** [Some l] once exclusions ran;

@@ -44,6 +44,23 @@ let unanalysable_funcs (p : Prog.t) =
 let is_cold_or_fresh st cold f b =
   Cold.is_cold cold f b || Profile.freq st.Pass.profile f b = 0
 
+let resolve_pass =
+  {
+    Pass.name = "resolve";
+    descr = "constant propagation resolving unannotated indirect jumps";
+    paper = "§6.2";
+    requires = [];
+    after = [];
+    transform =
+      (fun st ->
+        let prog, sites = Consts.resolve_tables st.Pass.prog in
+        { st with Pass.prog; resolved_jumps = sites });
+    note =
+      (fun st ->
+        Printf.sprintf "%d indirect jumps resolved to tables"
+          (List.length st.Pass.resolved_jumps));
+  }
+
 let cold_pass =
   {
     Pass.name = "cold";
@@ -182,23 +199,53 @@ let buffer_safe_pass =
               f.Prog.Func.blocks;
             !any
         in
+        let o = st.Pass.options in
         let bsafe =
-          if st.Pass.options.Pass.use_buffer_safe then
-            Buffer_safe.analyze p ~has_compressed
-          else
+          if not o.Pass.use_buffer_safe then
             (* With the optimisation disabled, treat everything as unsafe so
                every outgoing call goes through CreateStub. *)
             Buffer_safe.analyze p ~has_compressed:(fun _ -> true)
+          else if o.Pass.sharp_buffer_safe then
+            Buffer_safe.analyze_sharp p ~has_compressed
+          else Buffer_safe.analyze p ~has_compressed
         in
         { st with Pass.buffer_safe = Some bsafe });
     note =
       (fun st ->
-        if not st.Pass.options.Pass.use_buffer_safe then "disabled (all unsafe)"
+        let o = st.Pass.options in
+        if not o.Pass.use_buffer_safe then "disabled (all unsafe)"
         else
-          Printf.sprintf "%d buffer-safe functions"
-            (List.length
-               (Buffer_safe.safe_functions
-                  (Pass.get_buffer_safe ~who:"buffer-safe" st))));
+          let safe =
+            List.length
+              (Buffer_safe.safe_functions
+                 (Pass.get_buffer_safe ~who:"buffer-safe" st))
+          in
+          if not o.Pass.sharp_buffer_safe then
+            Printf.sprintf "%d buffer-safe functions" safe
+          else
+            (* Recompute the conservative answer so the trace shows what the
+               sharpening bought. *)
+            let regions = Pass.get_regions ~who:"buffer-safe" st in
+            let p = st.Pass.prog in
+            let has_compressed fname =
+              match Prog.find_func p fname with
+              | None -> false
+              | Some f ->
+                let any = ref false in
+                Array.iteri
+                  (fun i _ ->
+                    if Regions.block_region regions fname i <> None then
+                      any := true)
+                  f.Prog.Func.blocks;
+                !any
+            in
+            let conservative =
+              List.length
+                (Buffer_safe.safe_functions
+                   (Buffer_safe.analyze p ~has_compressed))
+            in
+            Printf.sprintf "%d buffer-safe functions (sharp; %+d vs conservative)"
+              safe (safe - conservative));
   }
 
 let rewrite_pass =
@@ -227,9 +274,33 @@ let rewrite_pass =
           sq.Rewrite.entry_stub_words sq.Rewrite.buffer_words);
   }
 
+let lint_pass =
+  {
+    Pass.name = "lint";
+    descr = "whole-image static verification of the squashed executable";
+    paper = "§2–6";
+    requires = [ "rewrite" ];
+    after = [];
+    transform =
+      (fun st ->
+        let sq = Pass.get_squashed ~who:"lint" st in
+        let diags = Verify.run sq in
+        (match Verify.errors diags with
+        | [] -> ()
+        | errs ->
+          raise
+            (Check_failed
+               { pass = "lint"; errors = List.map Verify.message errs }));
+        st);
+    note =
+      (fun st ->
+        let diags = Verify.run (Pass.get_squashed ~who:"lint" st) in
+        Printf.sprintf "0 errors, %d warnings" (List.length diags));
+  }
+
 let standard =
-  [ cold_pass; unswitch_pass; exclude_pass; regions_pass; buffer_safe_pass;
-    rewrite_pass ]
+  [ resolve_pass; cold_pass; unswitch_pass; exclude_pass; regions_pass;
+    buffer_safe_pass; rewrite_pass ]
 
 let skip names passes =
   List.filter (fun (p : Pass.t) -> not (List.mem p.Pass.name names)) passes
@@ -238,7 +309,7 @@ let of_options (o : Pass.options) =
   if o.Pass.unswitch then standard else skip [ "unswitch" ] standard
 
 let by_name name =
-  List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) standard
+  List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) (standard @ [ lint_pass ])
 
 let names passes = List.map (fun (p : Pass.t) -> p.Pass.name) passes
 

@@ -3,6 +3,11 @@
     The standard pipeline is the paper's transformation sequence, one
     {!Pass.t} per stage:
 
+    - ["resolve"] — constant-propagation resolution of unannotated
+      indirect jumps: a [Jump_indirect { table = None; _ }] whose register
+      provably holds an entry of one jump table gains that table
+      annotation, shrinking both the never-compress set and every
+      successor over-approximation downstream (§6.2)
     - ["cold"] — cold-block identification (§5)
     - ["unswitch"] — jump-table unswitching (§6.2); omitted by
       {!of_options} when [options.unswitch] is false
@@ -12,7 +17,8 @@
     - ["regions"] — compressible-region formation and packing (§4)
     - ["buffer-safe"] — buffer-safety analysis (§6.1); honours
       [options.use_buffer_safe] by treating every function as unsafe when
-      the optimisation is off
+      the optimisation is off, and [options.sharp_buffer_safe] by running
+      {!Buffer_safe.analyze_sharp} instead of the conservative analysis
     - ["rewrite"] — the stub/decompressor image build (§2–3)
 
     {!execute} runs a pass list over a {!Pass.state}, recording per-pass
@@ -24,6 +30,7 @@ exception Check_failed of { pass : string; errors : string list }
 (** Raised by [execute ~check_each:true] when validation fails after a
     pass: the damage happened in exactly [pass]. *)
 
+val resolve_pass : Pass.t
 val cold_pass : Pass.t
 val unswitch_pass : Pass.t
 val exclude_pass : Pass.t
@@ -31,8 +38,15 @@ val regions_pass : Pass.t
 val buffer_safe_pass : Pass.t
 val rewrite_pass : Pass.t
 
+val lint_pass : Pass.t
+(** Opt-in: {!Verify.run} over the squashed image; raises {!Check_failed}
+    (as pass ["lint"]) when any error-severity diagnostic fires.  Not part
+    of {!standard}; append it (or pass [~lint:true] to {!Squash.run}) to
+    verify as part of the pipeline, the static counterpart of
+    [~check_each]. *)
+
 val standard : Pass.t list
-(** All six passes, in paper order. *)
+(** All seven passes, in paper order. *)
 
 val of_options : Pass.options -> Pass.t list
 (** The standard list with option-disabled passes removed (currently:
@@ -43,7 +57,7 @@ val skip : string list -> Pass.t list -> Pass.t list
 (** Remove passes by name. *)
 
 val by_name : string -> Pass.t option
-(** Look up a standard pass. *)
+(** Look up a standard pass (or ["lint"]). *)
 
 val names : Pass.t list -> string list
 

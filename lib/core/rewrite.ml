@@ -31,6 +31,9 @@ type t = {
   push_form_stubs : int;
   stub_addrs : ((string * int) * int) list;
       (* entry-point block -> address of its entry stub *)
+  func_entry_addrs : (string * int) list;
+      (* function -> address of its block-0 label (code or entry stub);
+         omits functions whose block 0 was removed as a region interior *)
 }
 
 let blob_base = 0x20_0000
@@ -385,6 +388,17 @@ let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_wor
       (fun key () acc -> (key, addr_of key) :: acc)
       regions.Regions.entries []
   in
+  let func_entry_addrs =
+    List.filter_map
+      (fun (f : Prog.Func.t) ->
+        let bound =
+          match Hashtbl.find_opt region_of (f.name, 0) with
+          | None -> true
+          | Some _ -> Regions.is_entry regions f.name 0
+        in
+        if bound then Some (f.name, addr_of (f.name, 0)) else None)
+      p.funcs
+  in
   {
     prog = p;
     text;
@@ -404,6 +418,7 @@ let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_wor
     entry_stub_words = !entry_stub_words;
     push_form_stubs = !push_form_stubs;
     stub_addrs;
+    func_entry_addrs;
   }
 
 let blob_words t = ((8 * String.length t.blob) + 31) / 32

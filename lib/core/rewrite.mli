@@ -60,6 +60,12 @@ type t = {
   push_form_stubs : int;  (** Entry stubs that had to use the 3-word form. *)
   stub_addrs : ((string * int) * int) list;
       (** Address of each entry point's stub, keyed by (function, block). *)
+  func_entry_addrs : (string * int) list;
+      (** Address of each function's block-0 label — real code or an entry
+          stub.  Functions whose block 0 was removed as a region interior
+          (possible only for uncalled functions) are omitted.  This is the
+          reverse map {!Verify} uses to name the callee of a plain [bsr]
+          the rewrite left in compressed code. *)
 }
 
 val decomp_entry : t -> Reg.t -> int

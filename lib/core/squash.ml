@@ -4,6 +4,7 @@ type options = Pass.options = {
   gamma : float;
   pack : bool;
   use_buffer_safe : bool;
+  sharp_buffer_safe : bool;
   unswitch : bool;
   decomp_words : int;
   max_stubs : int;
@@ -18,6 +19,7 @@ type result = {
   cold : Cold.t;
   regions : Regions.t;
   buffer_safe : Buffer_safe.t;
+  resolved_jumps : (string * int) list;
   unswitched : (string * int) list;
   excluded_funcs : string list;
   original_words : int;
@@ -27,18 +29,19 @@ type result = {
 }
 
 let run ?(options = default_options) ?(setjmp_callers = []) ?(check_each = false)
-    ?trace ?obs (p : Prog.t) prof =
+    ?(lint = false) ?trace ?obs (p : Prog.t) prof =
   let state = Pass.init ~options ~setjmp_callers p prof in
-  let state, stats =
-    Pipeline.execute ~check_each ?trace ?obs
-      ~passes:(Pipeline.of_options options) state
+  let passes =
+    Pipeline.of_options options @ (if lint then [ Pipeline.lint_pass ] else [])
   in
+  let state, stats = Pipeline.execute ~check_each ?trace ?obs ~passes state in
   let squashed = Pass.get_squashed ~who:"Squash.run" state in
   {
     squashed;
     cold = Pass.get_cold ~who:"Squash.run" state;
     regions = Pass.get_regions ~who:"Squash.run" state;
     buffer_safe = Pass.get_buffer_safe ~who:"Squash.run" state;
+    resolved_jumps = state.Pass.resolved_jumps;
     unswitched = state.Pass.unswitched;
     excluded_funcs = Pass.get_excluded ~who:"Squash.run" state;
     original_words = state.Pass.original_words;

@@ -16,6 +16,10 @@ type options = Pass.options = {
   gamma : float;  (** Assumed compression factor for profitability. *)
   pack : bool;  (** Region packing pass (Section 4). *)
   use_buffer_safe : bool;  (** Buffer-safe call optimisation (Section 6.1). *)
+  sharp_buffer_safe : bool;
+      (** Sharpened buffer-safe analysis: indirect calls contribute their
+          resolved candidate targets instead of poisoning the chain.  See
+          {!Buffer_safe.analyze_sharp}. *)
   unswitch : bool;  (** Jump-table unswitching (Section 6.2). *)
   decomp_words : int;
   max_stubs : int;
@@ -33,6 +37,9 @@ type result = {
   cold : Cold.t;
   regions : Regions.t;
   buffer_safe : Buffer_safe.t;
+  resolved_jumps : (string * int) list;
+      (** Indirect-jump sites the resolve pass annotated with an inferred
+          jump table. *)
   unswitched : (string * int) list;
   excluded_funcs : string list;
       (** Functions exempted from compression: the entry function, setjmp
@@ -48,7 +55,8 @@ type result = {
 
 val run :
   ?options:options -> ?setjmp_callers:string list -> ?check_each:bool ->
-  ?trace:(string -> unit) -> ?obs:Obs.t -> Prog.t -> Profile.t -> result
+  ?lint:bool -> ?trace:(string -> unit) -> ?obs:Obs.t -> Prog.t -> Profile.t ->
+  result
 (** A thin composition of the standard pass list: equivalent to
     [Pipeline.execute ~passes:(Pipeline.of_options options)] over
     [Pass.init].
@@ -60,9 +68,11 @@ val run :
 
     [check_each] validates the IR (and, once built, the squashed image)
     after every pass and raises {!Pipeline.Check_failed} naming the pass
-    that broke an invariant.  [trace] receives a one-line report per pass
-    as it completes; [obs] receives pass-span events (see
-    {!Pipeline.execute}). *)
+    that broke an invariant.  [lint] appends {!Pipeline.lint_pass}, running
+    the whole-image static verifier ({!Verify}) over the finished image and
+    raising {!Pipeline.Check_failed} as pass ["lint"] on any error-severity
+    diagnostic.  [trace] receives a one-line report per pass as it
+    completes; [obs] receives pass-span events (see {!Pipeline.execute}). *)
 
 val size_reduction : result -> float
 (** [(original - squashed) / original], the quantity of Figures 6/7(a). *)

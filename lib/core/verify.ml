@@ -1,0 +1,285 @@
+type severity = Error | Warning
+
+type kind =
+  | Bad_stub
+  | Dangling_transfer
+  | Live_stub_reg
+  | Unsafe_call
+  | Unresolved_indirect
+
+type diag = {
+  severity : severity;
+  kind : kind;
+  site : string;
+  message : string;
+}
+
+let kind_name = function
+  | Bad_stub -> "bad-stub"
+  | Dangling_transfer -> "dangling-transfer"
+  | Live_stub_reg -> "live-stub-reg"
+  | Unsafe_call -> "unsafe-call"
+  | Unresolved_indirect -> "unresolved-indirect"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let message d =
+  Printf.sprintf "%s %s @ %s: %s" (severity_name d.severity) (kind_name d.kind)
+    d.site d.message
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let run (sq : Rewrite.t) =
+  let diags = ref [] in
+  let diag severity kind site fmt =
+    Format.kasprintf
+      (fun message -> diags := { severity; kind; site; message } :: !diags)
+      fmt
+  in
+  let p = sq.Rewrite.prog in
+  let regions = sq.Rewrite.regions in
+  let region_of key = Hashtbl.find_opt regions.Regions.region_of key in
+  let is_entry fname i = Regions.is_entry regions fname i in
+  let func_of = Hashtbl.create 64 in
+  List.iter (fun (f : Prog.Func.t) -> Hashtbl.replace func_of f.name f) p.Prog.funcs;
+  (* Which functions live entirely inside one region (mirrors the
+     rewrite's plan: a call to such a callee stays a buffer-relative
+     [bsr], so its target need not be an entry). *)
+  let fully_in_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      match region_of (f.name, 0) with
+      | None -> ()
+      | Some rid ->
+        if
+          Array.for_all Fun.id
+            (Array.mapi (fun i _ -> region_of (f.name, i) = Some rid) f.blocks)
+        then Hashtbl.replace fully_in_tbl f.name rid)
+    p.Prog.funcs;
+  let fully_in name = Hashtbl.find_opt fully_in_tbl name in
+
+  (* --- entry stubs: decode, target, tag, dead register -------------- *)
+  let text = sq.Rewrite.text.Easm.words in
+  let base = sq.Rewrite.text.Easm.base in
+  let word_at addr =
+    let idx = (addr - base) / 4 in
+    if addr land 3 <> 0 || idx < 0 || idx >= Array.length text then None
+    else Some text.(idx)
+  in
+  let live_cache = Hashtbl.create 16 in
+  let live_in fname i =
+    let lv =
+      match Hashtbl.find_opt live_cache fname with
+      | Some lv -> lv
+      | None ->
+        let lv = Dataflow.Liveness.solve (Hashtbl.find func_of fname) in
+        Hashtbl.replace live_cache fname lv;
+        lv
+    in
+    lv.Cfg.live_in.(i)
+  in
+  let nregions = Array.length sq.Rewrite.images in
+  let check_tag ~site ((fname, i) as key) addr =
+    match word_at addr with
+    | None -> diag Error Bad_stub site "tag word at 0x%x lies outside the text" addr
+    | Some tag ->
+      let rid = tag lsr 16 and off = tag land 0xFFFF in
+      if rid >= nregions then
+        diag Error Bad_stub site "tag names region %d, image has %d" rid nregions
+      else
+        let img = sq.Rewrite.images.(rid) in
+        (match Hashtbl.find_opt img.Rewrite.block_offset key with
+        | None ->
+          diag Error Bad_stub site "block %s.%d is not laid out in region %d" fname
+            i rid
+        | Some expect ->
+          if expect <> off then
+            diag Error Bad_stub site
+              "tag offset %d is not the block's instruction boundary %d in \
+               region %d"
+              off expect rid)
+  in
+  let check_stub_reg ~site (fname, i) rf =
+    if rf = Reg.sp || rf = Reg.zero then
+      diag Error Live_stub_reg site "stub uses reserved register %s" (Reg.name rf)
+    else if Cfg.Regset.mem rf (live_in fname i) then
+      diag Error Live_stub_reg site
+        "stub return-address register %s is live at the block entry"
+        (Reg.name rf)
+  in
+  List.iter
+    (fun (((fname, i) as key), addr) ->
+      let site = Printf.sprintf "%s.b%d" fname i in
+      match word_at addr with
+      | None -> diag Error Bad_stub site "stub address 0x%x outside the text" addr
+      | Some w -> (
+        match Instr.decode w with
+        | Ok (Instr.Bsr { ra; disp }) ->
+          let target = addr + 4 + (4 * disp) in
+          if target <> Rewrite.decomp_entry sq ra then
+            diag Error Bad_stub site
+              "bsr targets 0x%x, not the decompressor entry for %s" target
+              (Reg.name ra)
+          else begin
+            check_tag ~site key (addr + 4);
+            check_stub_reg ~site key ra
+          end
+        | Ok (Instr.Mem { op = Instr.Stw; ra; rb; disp = -4 })
+          when rb = Reg.sp && ra = Reg.ra -> (
+          match word_at (addr + 4) with
+          | None -> diag Error Bad_stub site "truncated push-form stub"
+          | Some w2 -> (
+            match Instr.decode w2 with
+            | Ok (Instr.Bsr { ra = ra2; disp }) ->
+              let target = addr + 8 + (4 * disp) in
+              if ra2 <> Reg.ra then
+                diag Error Bad_stub site "push form links through %s, not ra"
+                  (Reg.name ra2)
+              else if target <> Rewrite.decomp_entry_push sq then
+                diag Error Bad_stub site
+                  "push form targets 0x%x, not the push entry" target
+              else check_tag ~site key (addr + 8)
+            | Ok _ | Error _ ->
+              diag Error Bad_stub site "push form lacks its bsr word"))
+        | Ok _ | Error _ ->
+          diag Error Bad_stub site
+            "stub does not start with a bsr or a push of ra"))
+    sq.Rewrite.stub_addrs;
+
+  (* --- no transfer into a removed region's interior ------------------ *)
+  let check_target ~site ~same_rid (fname, d) =
+    match region_of (fname, d) with
+    | None -> ()
+    | Some r ->
+      if not (same_rid = Some r || is_entry fname d) then
+        diag Error Dangling_transfer site
+          "targets the interior of removed region %d (%s block %d)" r fname d
+  in
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      Array.iteri
+        (fun i (b : Prog.Block.t) ->
+          let site = Printf.sprintf "%s.b%d" f.name i in
+          let rid = region_of (f.name, i) in
+          List.iter
+            (function
+              | Prog.Load_addr (_, Prog.Func_addr g) ->
+                (* A materialised code address is absolute: even within
+                   the same region it must name a bound label. *)
+                check_target ~site ~same_rid:None (g, 0)
+              | Prog.Load_addr (_, Prog.Table_addr _) | Prog.Instr _ -> ())
+            b.items;
+          (match b.term with
+          | Prog.Call { callee; _ } ->
+            let same_rid =
+              match (rid, fully_in callee) with
+              | Some r, Some r' when r = r' -> Some r
+              | _ -> None
+            in
+            check_target ~site ~same_rid (callee, 0)
+          | Prog.Fallthrough _ | Prog.Jump _ | Prog.Branch _
+          | Prog.Call_indirect _ | Prog.Jump_indirect _ | Prog.Return _
+          | Prog.No_return ->
+            ());
+          List.iter
+            (fun d -> check_target ~site ~same_rid:rid (f.name, d))
+            (Prog.successors f i))
+        f.blocks;
+      Array.iteri
+        (fun tid entries ->
+          Array.iteri
+            (fun k d ->
+              check_target
+                ~site:(Printf.sprintf "%s.table%d[%d]" f.name tid k)
+                ~same_rid:None (f.name, d))
+            entries)
+        f.tables)
+    p.Prog.funcs;
+
+  (* --- unchanged calls in compressed code are buffer-safe ------------ *)
+  let has_compressed fname =
+    match Hashtbl.find_opt func_of fname with
+    | None -> false
+    | Some (f : Prog.Func.t) ->
+      let any = ref false in
+      Array.iteri
+        (fun i _ -> if region_of (fname, i) <> None then any := true)
+        f.blocks;
+      !any
+  in
+  let bsafe = Buffer_safe.analyze_sharp p ~has_compressed in
+  let addr_to_func = Hashtbl.create 64 in
+  List.iter
+    (fun (g, a) -> Hashtbl.replace addr_to_func a g)
+    sq.Rewrite.func_entry_addrs;
+  let buf_lo = sq.Rewrite.buffer_base in
+  let buf_hi = sq.Rewrite.buffer_base + (4 * sq.Rewrite.buffer_words) in
+  Array.iter
+    (fun (img : Rewrite.region_image) ->
+      let pos = ref 0 in
+      List.iter
+        (fun w ->
+          (match w with
+          | Rewrite.Plain (Instr.Bsr { disp; _ }) ->
+            let target = sq.Rewrite.buffer_base + (4 * (!pos + 1 + disp)) in
+            if not (target >= buf_lo && target < buf_hi) then begin
+              let site = Printf.sprintf "region %d @ %d" img.Rewrite.rid !pos in
+              match Hashtbl.find_opt addr_to_func target with
+              | None ->
+                diag Error Unsafe_call site
+                  "plain bsr targets 0x%x, which is not a function entry"
+                  target
+              | Some g ->
+                if not (Buffer_safe.is_safe bsafe g) then
+                  diag Error Unsafe_call site
+                    "unchanged call to %s, which is not buffer-safe under \
+                     the sharpened analysis"
+                    g
+            end
+          | Rewrite.Plain _ | Rewrite.Expand_call _ | Rewrite.Expand_calli _ ->
+            ());
+          pos :=
+            !pos
+            + (match w with
+              | Rewrite.Plain _ -> 1
+              | Rewrite.Expand_call _ | Rewrite.Expand_calli _ -> 2))
+        img.Rewrite.words)
+    sq.Rewrite.images;
+
+  (* --- indirect calls with an empty candidate set -------------------- *)
+  List.iter
+    (fun (s : Consts.call_site) ->
+      match s.Consts.resolution with
+      | `Fallback [] ->
+        diag Warning Unresolved_indirect
+          (Printf.sprintf "%s.b%d" s.Consts.caller s.Consts.block)
+          "indirect call with an empty candidate set: no function's address \
+           is ever taken"
+      | `Exact _ | `Fallback _ -> ())
+    (Consts.indirect_call_sites p);
+
+  List.rev !diags
+
+let render diags =
+  let t =
+    Report.Table.create ~title:"lint diagnostics"
+      [ ("severity", Report.Table.Left); ("kind", Report.Table.Left);
+        ("site", Report.Table.Left); ("message", Report.Table.Left) ]
+  in
+  List.iter
+    (fun d ->
+      Report.Table.add_row t
+        [ severity_name d.severity; kind_name d.kind; d.site; d.message ])
+    diags;
+  Report.Table.render t
+
+let to_json diags =
+  let open Report.Json in
+  List
+    (List.map
+       (fun d ->
+         Obj
+           [ ("severity", String (severity_name d.severity));
+             ("kind", String (kind_name d.kind)); ("site", String d.site);
+             ("message", String d.message) ])
+       diags)

@@ -1,0 +1,70 @@
+(** Whole-image static verification of a squashed executable
+    ([squashc lint]).
+
+    {!Check.check} validates the mechanical structure of the image (stream
+    round-trips, offset tables, footprint sums).  This module proves the
+    {e semantic} invariants the rewrite relies on, without executing
+    anything, and reports violations as typed diagnostics:
+
+    - {b stubs} ({!Bad_stub}): every entry stub decodes to the 2- or
+      3-word form, its [bsr] targets the decompressor entry matching its
+      return-address register, and its tag names a real region and the
+      correct instruction-boundary offset of its block in that region's
+      image.
+    - {b transfers} ({!Dangling_transfer}): no surviving branch,
+      fall-through, call, jump-table entry or materialised code address
+      targets the {e interior} of a removed region — every such target is
+      either never-compressed code or a region entry (which is where the
+      stub lives).  Intra-region edges and calls to a callee wholly inside
+      the same region are exempt, exactly mirroring the rewrite's plan.
+    - {b stub registers} ({!Live_stub_reg}): the return-address register
+      of every 2-word stub is dead at its block's entry, per an
+      independent liveness analysis ({!Dataflow.Liveness}) — deliberately
+      not the {!Cfg.liveness} the rewrite itself consulted.
+    - {b unchanged calls} ({!Unsafe_call}): every plain [bsr] the rewrite
+      left in compressed code (the Section 6.1 optimisation) targets a
+      known function entry whose callee is buffer-safe under the sharpened
+      analysis ({!Buffer_safe.analyze_sharp}).  Since the sharpened safe
+      set contains the conservative one, images built with either analysis
+      verify.
+    - {b unresolved indirection} ({!Unresolved_indirect}, warning): an
+      indirect call whose candidate set is empty — no function's address
+      is ever taken — cannot be verified further and would trap at run
+      time. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Bad_stub
+  | Dangling_transfer
+  | Live_stub_reg
+  | Unsafe_call
+  | Unresolved_indirect
+
+type diag = {
+  severity : severity;
+  kind : kind;
+  site : string;  (** Where: ["func.b3"], ["func.table0[2]"], ["region 1 @ 7"]. *)
+  message : string;
+}
+
+val run : Rewrite.t -> diag list
+(** All diagnostics, in discovery order.  Self-contained: recomputes the
+    address-taken set, the sharpened buffer-safe analysis and the liveness
+    facts from the image's own program and regions. *)
+
+val errors : diag list -> diag list
+(** The [Error]-severity subset ([squashc lint] exits 1 when non-empty). *)
+
+val kind_name : kind -> string
+(** Stable kebab-case name: ["bad-stub"], ["dangling-transfer"], … *)
+
+val severity_name : severity -> string
+val message : diag -> string
+(** One-line rendering: ["error bad-stub @ site: …"]. *)
+
+val render : diag list -> string
+(** Aligned text table of the diagnostics. *)
+
+val to_json : diag list -> Report.Json.t
+(** [[{"severity": …, "kind": …, "site": …, "message": …}, …]]. *)

@@ -402,7 +402,8 @@ let bsafe () =
       [ ("Program", Report.Table.Left); ("safe funcs", Report.Table.Right);
         ("total funcs", Report.Table.Right);
         ("safe call sites in regions", Report.Table.Right);
-        ("total call sites", Report.Table.Right);
+        ("direct sites", Report.Table.Right);
+        ("indirect sites", Report.Table.Right);
         ("share", Report.Table.Right) ]
   in
   List.iter
@@ -411,14 +412,14 @@ let bsafe () =
       let r = Exp_data.squash_result p (opts 0.0) in
       let safe = List.length (Buffer_safe.safe_functions r.Squash.buffer_safe) in
       let total = List.length p.Exp_data.squeezed.Prog.funcs in
-      let `Safe_calls sc, `Total_calls tc =
+      let `Safe_calls sc, `Direct_calls dc, `Indirect_calls ic =
         Buffer_safe.stats p.Exp_data.squeezed r.Squash.buffer_safe
           ~in_region:(fun f b -> Regions.block_region r.Squash.regions f b <> None)
       in
       Report.Table.add_row t
         [ wl.Workload.name; string_of_int safe; string_of_int total;
-          string_of_int sc; string_of_int tc;
-          (if tc = 0 then "-" else Report.Table.cell_percent (float_of_int sc /. float_of_int tc)) ])
+          string_of_int sc; string_of_int dc; string_of_int ic;
+          (if dc = 0 then "-" else Report.Table.cell_percent (float_of_int sc /. float_of_int dc)) ])
     Workloads.all;
   Report.Table.render t
 
@@ -431,6 +432,7 @@ let ablation () =
     [ ("default", base);
       ("packing off", { base with Squash.pack = false });
       ("buffer-safe off", { base with Squash.use_buffer_safe = false });
+      ("sharp buffer-safe", { base with Squash.sharp_buffer_safe = true });
       ("unswitch off", { base with Squash.unswitch = false });
       ("MTF codec", { base with Squash.codec = `Split_stream_mtf });
       ("LZSS codec", { base with Squash.codec = `Lzss });

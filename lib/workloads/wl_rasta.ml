@@ -24,11 +24,19 @@ int rasta_state[12];
 int delta_prev[12];
 
 int ras_checksum;
+int mix_hook;
 int silent_frames; int active_frames;
 
-int ras_mix(int v) {
+// The checksum mixer is installed through a function pointer at start-up
+// (real speech front ends swap feature post-processing the same way); the
+// dispatch makes every mix an indirect call.
+int ras_mix_xor(int v) {
   ras_checksum = ((ras_checksum * 157) ^ (v & 16777215)) & 1073741823;
   return ras_checksum;
+}
+
+int ras_mix(int v) {
+  return mix_hook(v);
 }
 
 // --- tables ------------------------------------------------------------
@@ -204,6 +212,7 @@ int calibrate() {
   }
   out_kv("calibration-band", best);
   lib_assert(iabs(best - 4) <= 2, "calibration way off");
+  ras_mix((best << 8) | 77);
   return 0;
 }
 
@@ -222,6 +231,7 @@ int sext16r(int v) {
 int main() {
   int mode; int nframes; int f; int i;
   ras_checksum = 23;
+  mix_hook = &ras_mix_xor;
   mode = getw();
   nframes = getw();
   validate(mode, nframes);

@@ -1,0 +1,253 @@
+(* The dataflow layer: the generic solver, the liveness client, and the
+   constant/address propagation behind indirect-target resolution. *)
+
+let parse src =
+  match Asm.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let func p name =
+  match Prog.find_func p name with
+  | Some f -> f
+  | None -> Alcotest.failf "no function %s" name
+
+(* A diamond with a loop around it: enough shape to exercise join points
+   and iteration in both directions. *)
+let diamond_src =
+  {|
+.entry main
+func main {
+.0:
+  li t0, 10
+  li t1, 0
+.1:
+  if eq t0 goto .4 else .2
+.2:
+  add t1, t0, t1
+  goto .3
+.3:
+  sub t0, t0, t0
+  goto .1
+.4:
+  add t1, zero, a0
+  sys exit
+  halt
+}
+|}
+
+let check_liveness_equal name (f : Prog.Func.t) =
+  let expect = Cfg.liveness f in
+  let got = Dataflow.Liveness.solve f in
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s.%s live_in[%d]" name f.Prog.Func.name i)
+        want got.Cfg.live_in.(i))
+    expect.Cfg.live_in;
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s.%s live_out[%d]" name f.Prog.Func.name i)
+        want got.Cfg.live_out.(i))
+    expect.Cfg.live_out
+
+(* Reachability as a trivial forward client: a one-bit lattice with an
+   identity transfer.  Exercises the solver's edge propagation
+   independently of the liveness client. *)
+module Reach = Dataflow.Make (struct
+  type t = bool
+
+  let bottom = false
+  let join = ( || )
+  let equal = Bool.equal
+end)
+
+let check_reachable_equal name (f : Prog.Func.t) =
+  let expect = Cfg.reachable f in
+  let got =
+    Reach.solve ~direction:Dataflow.Forward ~init:true
+      ~transfer:(fun _ fact -> fact)
+      f
+  in
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s.%s reachable[%d]" name f.Prog.Func.name i)
+        want got.Reach.before.(i))
+    expect
+
+let solver_tests =
+  [
+    Alcotest.test_case "liveness client matches Cfg.liveness (diamond)" `Quick
+      (fun () ->
+        let p = parse diamond_src in
+        List.iter (check_liveness_equal "diamond") p.Prog.funcs);
+    Alcotest.test_case "forward reachability client matches Cfg.reachable"
+      `Quick (fun () ->
+        let p = parse diamond_src in
+        List.iter (check_reachable_equal "diamond") p.Prog.funcs);
+    Alcotest.test_case "liveness client matches Cfg.liveness (workloads)"
+      `Slow (fun () ->
+        List.iter
+          (fun wl ->
+            let p = fst (Squeeze.run (Workload.compile wl)) in
+            List.iter (check_liveness_equal wl.Workload.name) p.Prog.funcs)
+          Workloads.all);
+  ]
+
+(* --- constant/address propagation ---------------------------------- *)
+
+let exact_src =
+  {|
+.entry main
+func main {
+.0:
+  la t0, &target
+  icall (t0)
+.1:
+  sys exit
+  halt
+}
+func target {
+.0:
+  ret
+}
+|}
+
+let join_src =
+  {|
+.entry main
+func main {
+.0:
+  if eq a0 goto .1 else .2
+.1:
+  la t0, &f
+  goto .3
+.2:
+  la t0, &g
+  goto .3
+.3:
+  icall (t0)
+.4:
+  sys exit
+  halt
+}
+func f {
+.0:
+  ret
+}
+func g {
+.0:
+  ret
+}
+|}
+
+let table_src =
+  {|
+.entry main
+func main {
+.0:
+  la t0, &table0
+  ldw t0, 0(t0)
+  ijump (t0)
+.1:
+  li t1, 1
+  goto .3
+.2:
+  li t1, 2
+  goto .3
+.3:
+  sys exit
+  halt
+  table 0: .1 .2
+}
+|}
+
+let resolution =
+  Alcotest.testable
+    (fun ppf -> function
+      | `Exact g -> Format.fprintf ppf "exact %s" g
+      | `Fallback gs ->
+        Format.fprintf ppf "fallback [%s]" (String.concat "; " gs))
+    ( = )
+
+let consts_tests =
+  [
+    Alcotest.test_case "a materialised address resolves the icall exactly"
+      `Quick (fun () ->
+        let p = parse exact_src in
+        let c = Consts.analyze (func p "main") in
+        (match Consts.call_target c 0 with
+        | `Exact g -> Alcotest.(check string) "target" "target" g
+        | `Unknown -> Alcotest.fail "expected an exact resolution");
+        match Consts.indirect_call_sites p with
+        | [ s ] ->
+          Alcotest.(check string) "caller" "main" s.Consts.caller;
+          Alcotest.(check int) "block" 0 s.Consts.block;
+          Alcotest.(check resolution)
+            "resolution" (`Exact "target") s.Consts.resolution
+        | sites ->
+          Alcotest.failf "expected one indirect site, got %d"
+            (List.length sites));
+    Alcotest.test_case "a two-path join falls back to the address-taken set"
+      `Quick (fun () ->
+        let p = parse join_src in
+        let c = Consts.analyze (func p "main") in
+        (match Consts.call_target c 3 with
+        | `Unknown -> ()
+        | `Exact g -> Alcotest.failf "join should not resolve, got %s" g);
+        Alcotest.(check (list string))
+          "address-taken" [ "f"; "g" ] (Consts.address_taken p);
+        match Consts.indirect_call_sites p with
+        | [ s ] ->
+          Alcotest.(check resolution)
+            "resolution"
+            (`Fallback [ "f"; "g" ])
+            s.Consts.resolution
+        | sites ->
+          Alcotest.failf "expected one indirect site, got %d"
+            (List.length sites));
+    Alcotest.test_case "a table load proves the dispatch table" `Quick
+      (fun () ->
+        let p = parse table_src in
+        let c = Consts.analyze (func p "main") in
+        Alcotest.(check (option int)) "table" (Some 0) (Consts.jump_table c 0));
+    Alcotest.test_case "resolve_tables annotates the site and shrinks preds"
+      `Quick (fun () ->
+        let p = parse table_src in
+        let before = Cfg.preds (func p "main") in
+        (* The unannotated ijump makes every block a successor of block 0,
+           including block 0 itself. *)
+        Alcotest.(check bool)
+          "dispatch over-approximated before" true
+          (List.mem 0 before.(0));
+        let p', sites = Consts.resolve_tables p in
+        Alcotest.(check (list (pair string int)))
+          "resolved sites" [ ("main", 0) ] sites;
+        let f' = func p' "main" in
+        (match f'.Prog.Func.blocks.(0).Prog.Block.term with
+        | Prog.Jump_indirect { table = Some 0; _ } -> ()
+        | _ -> Alcotest.fail "site was not annotated with table 0");
+        let after = Cfg.preds f' in
+        Alcotest.(check (list int)) "entry block has no preds" [] after.(0);
+        Alcotest.(check (list int)) "case .1 preds" [ 0 ] after.(1);
+        Alcotest.(check (list int)) "case .2 preds" [ 0 ] after.(2);
+        Alcotest.(check (list int)) "join preds" [ 1; 2 ] after.(3));
+    Alcotest.test_case "annotate_callgraph records resolved edges" `Quick
+      (fun () ->
+        let p = parse join_src in
+        let cg = Cfg.Callgraph.of_prog p in
+        Alcotest.(check (list string))
+          "no edges before" []
+          (Cfg.Callgraph.indirect_callees cg "main");
+        Consts.annotate_callgraph p cg;
+        Alcotest.(check (list string))
+          "candidate edges" [ "f"; "g" ]
+          (Cfg.Callgraph.indirect_callees cg "main"));
+  ]
+
+let suite =
+  [
+    ("analysis: dataflow solver", solver_tests);
+    ("analysis: consts", consts_tests);
+  ]

@@ -234,6 +234,7 @@ int main() { return pad(4) & 255; }
             { base with Squash.gamma = 0.5 };
             { base with Squash.pack = false };
             { base with Squash.use_buffer_safe = false };
+            { base with Squash.sharp_buffer_safe = true };
             { base with Squash.unswitch = false };
             { base with Squash.decomp_words = 128 };
             { base with Squash.max_stubs = 4 };

@@ -109,7 +109,8 @@ let ordering_tests =
         let _, stats = manual_squash Squash.default_options p prof in
         Alcotest.(check (list string))
           "pass order"
-          [ "cold"; "unswitch"; "exclude"; "regions"; "buffer-safe"; "rewrite" ]
+          [ "resolve"; "cold"; "unswitch"; "exclude"; "regions"; "buffer-safe";
+            "rewrite" ]
           (List.map (fun (s : Pass.stats) -> s.Pass.pass_name)
              stats.Pipeline.passes));
     Alcotest.test_case "missing prerequisite is rejected up front" `Quick
