@@ -307,17 +307,19 @@ let squash_cmd =
                 propagation, else the address-taken set) instead of \
                 poisoning its whole call chain.")
   in
-  let codec =
-    let codec_conv =
+  let coder =
+    let coder_conv =
       Arg.enum
-        [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf); ("lzss", `Lzss) ]
+        [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf);
+          ("lzss", `Lzss); ("context", `Context) ]
     in
     Arg.(
-      value & opt codec_conv `Split_stream
-      & info [ "codec" ] ~docv:"CODEC"
+      value & opt coder_conv `Split_stream
+      & info [ "coder" ] ~docv:"CODER"
           ~doc:"Compression backend: $(b,huffman) (split-stream canonical \
                 Huffman, the paper's scheme), $(b,mtf) (move-to-front \
-                variant), or $(b,lzss).")
+                variant), $(b,lzss), or $(b,context) (order-1 \
+                context-modeled split streams).")
   in
   let linear_regions =
     Arg.(
@@ -353,9 +355,17 @@ let squash_cmd =
       & info [ "stats-json" ] ~docv:"FILE"
           ~doc:"Write per-pass timing and size statistics as JSON.")
   in
+  let stream_bits =
+    Arg.(
+      value & flag
+      & info [ "stream-bits" ]
+          ~doc:"Print the per-stream compressed-bits breakdown \
+                (bits/instruction over the compressed regions, code tables \
+                included in the total).")
+  in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
-      no_unswitch sharp_bsafe codec linear_regions verify trace_passes check_each
-      stats_json =
+      no_unswitch sharp_bsafe coder linear_regions verify trace_passes check_each
+      stats_json stream_bits =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -374,7 +384,7 @@ let squash_cmd =
         use_buffer_safe = not no_bsafe;
         sharp_buffer_safe = sharp_bsafe;
         unswitch = not no_unswitch;
-        codec;
+        coder;
         regions_strategy = (if linear_regions then `Linear else `Dfs);
       }
     in
@@ -398,6 +408,32 @@ let squash_cmd =
       exit 1);
     Format.printf "%a@." Squash.pp_summary result;
     if trace_passes then print_string (Pipeline.render_stats result.Squash.stats);
+    let region_streams () =
+      Array.map
+        (fun (img : Rewrite.region_image) -> img.Rewrite.stream)
+        result.Squash.squashed.Rewrite.images
+    in
+    let coder_stream_bits () =
+      Compress.stream_bits result.Squash.squashed.Rewrite.codes (region_streams ())
+    in
+    if stream_bits then begin
+      let codes = result.Squash.squashed.Rewrite.codes in
+      let per_stream = coder_stream_bits () in
+      let instrs = Squash.compressed_instr_count result in
+      let payload = List.fold_left (fun acc (_, b) -> acc + b) 0 per_stream in
+      let tbl = Compress.table_bits codes in
+      Format.printf "@.coder %s: per-stream bits over %d compressed instructions@."
+        (Compress.coder_name codes) instrs;
+      List.iter
+        (fun (name, b) ->
+          Format.printf "  %-10s %8d bits  %6.2f bits/instr@." name b
+            (float_of_int b /. float_of_int (max 1 instrs)))
+        per_stream;
+      Format.printf "  %-10s %8d bits  %6.2f bits/instr@." "tables" tbl
+        (float_of_int tbl /. float_of_int (max 1 instrs));
+      Format.printf "  %-10s %8d bits  %6.2f bits/instr@." "total" (payload + tbl)
+        (float_of_int (payload + tbl) /. float_of_int (max 1 instrs))
+    end;
     let runtime_stats = ref None in
     if verify then begin
       let timing =
@@ -422,9 +458,17 @@ let squash_cmd =
     match stats_json with
     | None -> ()
     | Some path -> (
+      let codes = result.Squash.squashed.Rewrite.codes in
       let doc =
         Report.Json.Obj
-          ([ ("schema", Report.Json.String "pgcc-squash-stats-v2");
+          ([ ("schema", Report.Json.String "pgcc-squash-stats-v3");
+             ("coder", Report.Json.String (Compress.coder_name codes));
+             ("table_bits", Report.Json.Int (Compress.table_bits codes));
+             ("stream_bits",
+              Report.Json.Obj
+                (List.map
+                   (fun (name, b) -> (name, Report.Json.Int b))
+                   (coder_stream_bits ())));
              ("pipeline", Pipeline.stats_json result.Squash.stats);
              ("metrics", Obs.Metrics.to_json metrics) ]
           @
@@ -441,8 +485,9 @@ let squash_cmd =
     (Cmd.info "squash" ~doc:"Profile-guided compression; report the footprint.")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
-      $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ codec
-      $ linear_regions $ verify $ trace_passes $ check_each $ stats_json)
+      $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ coder
+      $ linear_regions $ verify $ trace_passes $ check_each $ stats_json
+      $ stream_bits)
 
 (* --- attrib ----------------------------------------------------------- *)
 
@@ -702,6 +747,18 @@ let lint_cmd =
                 (the verifier always checks unchanged calls against it, so \
                 both builds must lint clean).")
   in
+  let coder =
+    let coder_conv =
+      Arg.enum
+        [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf);
+          ("lzss", `Lzss); ("context", `Context) ]
+    in
+    Arg.(
+      value & opt coder_conv `Split_stream
+      & info [ "coder" ] ~docv:"CODER"
+          ~doc:"Compression backend to build (and stream-verify) the images \
+                with: $(b,huffman), $(b,mtf), $(b,lzss), or $(b,context).")
+  in
   let json_out =
     Arg.(
       value
@@ -709,7 +766,7 @@ let lint_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write per-image diagnostics and safe-call counts as JSON.")
   in
-  let run names thetas k_bytes sharp json_out =
+  let run names thetas k_bytes sharp coder json_out =
     let wls =
       match names with
       | [] -> Workloads.all
@@ -748,6 +805,7 @@ let lint_cmd =
                 Squash.theta;
                 k_bytes;
                 sharp_buffer_safe = sharp;
+                coder;
               }
             in
             let result = Squash.run ~options prog profile in
@@ -833,7 +891,7 @@ let lint_cmd =
              transfers into removed regions, stub-register liveness, and \
              buffer-safety of unchanged calls.  Exits 1 on any \
              error-severity diagnostic.")
-    Term.(const run $ workloads_arg $ thetas $ k_bytes $ sharp $ json_out)
+    Term.(const run $ workloads_arg $ thetas $ k_bytes $ sharp $ coder $ json_out)
 
 (* --- workloads ---------------------------------------------------------- *)
 

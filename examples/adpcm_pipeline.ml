@@ -39,7 +39,7 @@ let () =
         if img.Rewrite.buffer_words > best.Rewrite.buffer_words then img else best)
       sq.Rewrite.images.(0) sq.Rewrite.images
   in
-  let instrs, bits =
+  let instrs, { Compress.bits; _ } =
     Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
       ~bit_offset:sq.Rewrite.blob_offsets.(biggest.Rewrite.rid) ()
   in

@@ -1,0 +1,104 @@
+type work = { bits : int; steps : int }
+
+module type S = sig
+  type model
+
+  val name : string
+  val build : Instr.t list array -> model
+  val encode_regions : model -> Instr.t list array -> string * int array
+
+  val decode_region :
+    model -> string -> bit_offset:int -> bit_end:int -> Instr.t list * work
+
+  val table_bits : model -> int
+  val stream_stats : model -> (string * int * float) list
+  val stream_bits : model -> Instr.t list array -> (string * int) list
+end
+
+let stream_count = List.length Instr.all_streams
+
+(* Field width of each stream, for storing D entries. *)
+let stream_value_bits = function
+  | Instr.Opcode -> 6
+  | Instr.Mem_ra | Instr.Mem_rb | Instr.Br_ra | Instr.Op_ra | Instr.Op_rb
+  | Instr.Op_rc | Instr.Jmp_ra | Instr.Jmp_rb ->
+    5
+  | Instr.Mem_disp | Instr.Jmp_hint | Instr.Sys_func -> 16
+  | Instr.Br_disp -> 21
+  | Instr.Op_lit -> 8
+  | Instr.Op_func -> 7
+
+let with_sentinel instrs = instrs @ [ Instr.Sentinel ]
+
+(* Visit every (stream, value) of an instruction, opcode first. *)
+let iter_fields f ins =
+  f Instr.Opcode (Instr.opcode_value ins);
+  List.iter (fun (s, v) -> f s v) (Instr.fields ins)
+
+let stream_values regions =
+  let values = Array.make stream_count [] in
+  Array.iter
+    (fun instrs ->
+      List.iter
+        (iter_fields (fun s v ->
+             let i = Instr.stream_index s in
+             values.(i) <- v :: values.(i)))
+        (with_sentinel instrs))
+    regions;
+  Array.map List.rev values
+
+let freqs_of_values vs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    vs;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] |> List.sort compare
+
+let region_bytes instrs =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun ins ->
+      let w = Instr.encode ins in
+      Buffer.add_char b (Char.chr (w land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 8) land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 16) land 0xFF));
+      Buffer.add_char b (Char.chr ((w lsr 24) land 0xFF)))
+    (with_sentinel instrs);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Move-to-front state: one recency array per stream. *)
+
+module Mtf_state = struct
+  type t = int array array  (* per stream; [||] when the stream is absent *)
+
+  let create (alphabets : int array array) : t = Array.map Array.copy alphabets
+
+  let reset t (alphabets : int array array) =
+    Array.iteri (fun i a -> Array.blit a 0 t.(i) 0 (Array.length a)) alphabets
+
+  (* Rank of [v] in stream [si], then move it to the front. *)
+  let rank_of t si v =
+    let a = t.(si) in
+    let n = Array.length a in
+    let rec find i = if i >= n then -1 else if a.(i) = v then i else find (i + 1) in
+    let r = find 0 in
+    if r < 0 then failwith "Coder: MTF symbol not in alphabet";
+    for j = r downto 1 do
+      a.(j) <- a.(j - 1)
+    done;
+    a.(0) <- v;
+    r
+
+  (* Value at [rank] in stream [si], then move it to the front. *)
+  let value_at t si rank =
+    let a = t.(si) in
+    if rank < 0 || rank >= Array.length a then
+      failwith "Coder: MTF rank out of range";
+    let v = a.(rank) in
+    for j = rank downto 1 do
+      a.(j) <- a.(j - 1)
+    done;
+    a.(0) <- v;
+    v
+end

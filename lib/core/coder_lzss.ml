@@ -1,0 +1,50 @@
+(* Byte-oriented LZSS over each region's encoded instruction words — the
+   "other algorithms" of the paper's future-work section, kept as the
+   non-Huffman point of the coder ablation.  The model is empty: LZSS
+   ships no tables. *)
+
+module M = struct
+  type model = unit
+
+  let name = "lzss"
+  let build _regions = ()
+
+  let encode_regions () regions =
+    let blob = Buffer.create 4096 in
+    let offsets =
+      Array.map
+        (fun instrs ->
+          let off = 8 * Buffer.length blob in
+          Buffer.add_string blob (Lzss.compress (Coder.region_bytes instrs));
+          off)
+        regions
+    in
+    (Buffer.contents blob, offsets)
+
+  let decode_region () blob ~bit_offset ~bit_end =
+    if bit_offset land 7 <> 0 || bit_end land 7 <> 0 then
+      failwith "Coder_lzss.decode_region: offsets must be byte-aligned";
+    let lo = bit_offset / 8 and hi = bit_end / 8 in
+    if lo > hi || hi > String.length blob then
+      failwith "Coder_lzss.decode_region: bad slice";
+    let bytes, steps = Lzss.decompress (String.sub blob lo (hi - lo)) in
+    if String.length bytes mod 4 <> 0 then
+      failwith "Coder_lzss.decode_region: output not word-aligned";
+    let nwords = String.length bytes / 4 in
+    let rec go i acc =
+      if i >= nwords then failwith "Coder_lzss.decode_region: missing sentinel"
+      else begin
+        let byte j = Char.code bytes.[(4 * i) + j] in
+        let w = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
+        match Instr.decode w with
+        | Error msg -> failwith ("Coder_lzss.decode_region: " ^ msg)
+        | Ok Instr.Sentinel -> List.rev acc
+        | Ok ins -> go (i + 1) (ins :: acc)
+      end
+    in
+    (go 0 [], { Coder.bits = 8 * (hi - lo); steps })
+
+  let table_bits () = 0
+  let stream_stats () = []
+  let stream_bits () _regions = []
+end

@@ -1,0 +1,230 @@
+(* The paper's split-stream backends as coder instances: plain canonical
+   Huffman per stream (Section 3) and the move-to-front variant.  The model
+   types are exposed so {!Compress.codes} can hold them as pure data. *)
+
+type plain_model = { per_stream : Canonical.t option array }
+
+type mtf_model = {
+  mtf_per_stream : Canonical.t option array;  (* codes over MTF ranks *)
+  alphabets : int array array;  (* sorted distinct values per stream *)
+}
+
+let code_for per_stream stream =
+  match per_stream.(Instr.stream_index stream) with
+  | Some c -> c
+  | None -> failwith ("Coder_split: no code for stream " ^ Instr.stream_name stream)
+
+let codeword_bits per_stream stream v =
+  match Canonical.codeword (code_for per_stream stream) v with
+  | Some (_, len) -> len
+  | None -> failwith ("Coder_split: symbol outside alphabet of " ^ Instr.stream_name stream)
+
+let huffman_table_bits per_stream =
+  List.fold_left
+    (fun acc stream ->
+      match per_stream.(Instr.stream_index stream) with
+      | None -> acc
+      | Some c ->
+        acc + Canonical.table_bits ~value_bits:(Coder.stream_value_bits stream) c)
+    0 Instr.all_streams
+
+let huffman_stream_stats per_stream =
+  List.filter_map
+    (fun stream ->
+      match per_stream.(Instr.stream_index stream) with
+      | None -> None
+      | Some c ->
+        Some
+          ( Instr.stream_name stream,
+            Canonical.symbol_count c,
+            float_of_int (Canonical.max_length c) ))
+    Instr.all_streams
+
+let render_stream_bits totals =
+  List.filter_map
+    (fun stream ->
+      let b = totals.(Instr.stream_index stream) in
+      if b = 0 then None else Some (Instr.stream_name stream, b))
+    Instr.all_streams
+
+module Plain = struct
+  type model = plain_model
+
+  let name = "huffman"
+
+  let build regions =
+    let values = Coder.stream_values regions in
+    let per_stream =
+      Array.map
+        (fun vs ->
+          match vs with
+          | [] -> None
+          | _ :: _ -> Some (Canonical.of_freqs (Coder.freqs_of_values vs)))
+        values
+    in
+    { per_stream }
+
+  let encode_regions { per_stream } regions =
+    let w = Bitio.Writer.create () in
+    let offsets =
+      Array.map
+        (fun instrs ->
+          let off = Bitio.Writer.length_bits w in
+          List.iter
+            (Coder.iter_fields (fun s v -> Canonical.encode (code_for per_stream s) w v))
+            (Coder.with_sentinel instrs);
+          off)
+        regions
+    in
+    (Bitio.Writer.contents w, offsets)
+
+  let decode_region { per_stream } blob ~bit_offset ~bit_end:_ =
+    let r = Bitio.Reader.of_string ~start_bit:bit_offset blob in
+    let bits = ref 0 in
+    let read stream =
+      let v, b = Canonical.decode (code_for per_stream stream) r in
+      bits := !bits + b;
+      v
+    in
+    let rec go acc =
+      let opcode = read Instr.Opcode in
+      match Instr.rebuild ~opcode (fun s -> read s) with
+      | Error msg -> failwith ("Coder_split.decode_region: " ^ msg)
+      | Ok Instr.Sentinel -> List.rev acc
+      | Ok ins -> go (ins :: acc)
+    in
+    let instrs = go [] in
+    (instrs, { Coder.bits = !bits; steps = 0 })
+
+  let table_bits { per_stream } = huffman_table_bits per_stream
+  let stream_stats { per_stream } = huffman_stream_stats per_stream
+
+  let stream_bits { per_stream } regions =
+    let totals = Array.make Coder.stream_count 0 in
+    Array.iter
+      (fun instrs ->
+        List.iter
+          (Coder.iter_fields (fun s v ->
+               let si = Instr.stream_index s in
+               totals.(si) <- totals.(si) + codeword_bits per_stream s v))
+          (Coder.with_sentinel instrs))
+      regions;
+    render_stream_bits totals
+end
+
+(* [Mtf] below shadows the huffman library's list transformer, so the
+   what-if accounting that needs it lives up here. *)
+let mtf_gain_bits regions =
+  let values = Coder.stream_values regions in
+  List.map
+    (fun stream ->
+      let vs = values.(Instr.stream_index stream) in
+      match vs with
+      | [] -> (Instr.stream_name stream, 0)
+      | _ :: _ ->
+        let plain = Huffman.total_encoded_bits (Coder.freqs_of_values vs) in
+        let alphabet = List.sort_uniq compare vs in
+        let ranks = Mtf.encode ~alphabet vs in
+        let mtf = Huffman.total_encoded_bits (Coder.freqs_of_values ranks) in
+        (Instr.stream_name stream, mtf - plain))
+    Instr.all_streams
+
+module Mtf = struct
+  type model = mtf_model
+
+  let name = "mtf"
+
+  let build regions =
+    let values = Coder.stream_values regions in
+    let alphabets =
+      Array.map (fun vs -> Array.of_list (List.sort_uniq compare vs)) values
+    in
+    (* Rank statistics: replay the per-region MTF walk. *)
+    let rank_values = Array.make Coder.stream_count [] in
+    let state = Coder.Mtf_state.create alphabets in
+    Array.iter
+      (fun instrs ->
+        Coder.Mtf_state.reset state alphabets;
+        List.iter
+          (Coder.iter_fields (fun s v ->
+               let si = Instr.stream_index s in
+               let r = Coder.Mtf_state.rank_of state si v in
+               rank_values.(si) <- r :: rank_values.(si)))
+          (Coder.with_sentinel instrs))
+      regions;
+    let mtf_per_stream =
+      Array.map
+        (fun rs ->
+          match rs with
+          | [] -> None
+          | _ :: _ -> Some (Canonical.of_freqs (Coder.freqs_of_values rs)))
+        rank_values
+    in
+    { mtf_per_stream; alphabets }
+
+  let encode_regions { mtf_per_stream; alphabets } regions =
+    let w = Bitio.Writer.create () in
+    let state = Coder.Mtf_state.create alphabets in
+    let offsets =
+      Array.map
+        (fun instrs ->
+          let off = Bitio.Writer.length_bits w in
+          Coder.Mtf_state.reset state alphabets;
+          List.iter
+            (Coder.iter_fields (fun s v ->
+                 let si = Instr.stream_index s in
+                 let r = Coder.Mtf_state.rank_of state si v in
+                 Canonical.encode (code_for mtf_per_stream s) w r))
+            (Coder.with_sentinel instrs);
+          off)
+        regions
+    in
+    (Bitio.Writer.contents w, offsets)
+
+  let decode_region { mtf_per_stream; alphabets } blob ~bit_offset ~bit_end:_ =
+    let r = Bitio.Reader.of_string ~start_bit:bit_offset blob in
+    let bits = ref 0 and steps = ref 0 in
+    let state = Coder.Mtf_state.create alphabets in
+    let read stream =
+      let rank, b = Canonical.decode (code_for mtf_per_stream stream) r in
+      bits := !bits + b;
+      (* Walking the recency list costs rank steps. *)
+      steps := !steps + rank;
+      Coder.Mtf_state.value_at state (Instr.stream_index stream) rank
+    in
+    let rec go acc =
+      let opcode = read Instr.Opcode in
+      match Instr.rebuild ~opcode (fun s -> read s) with
+      | Error msg -> failwith ("Coder_split.decode_region: " ^ msg)
+      | Ok Instr.Sentinel -> List.rev acc
+      | Ok ins -> go (ins :: acc)
+    in
+    let instrs = go [] in
+    (instrs, { Coder.bits = !bits; steps = !steps })
+
+  let table_bits { mtf_per_stream; alphabets } =
+    (* Rank codes are cheap to describe, but the alphabets must ship too. *)
+    huffman_table_bits mtf_per_stream
+    + List.fold_left
+        (fun acc stream ->
+          let si = Instr.stream_index stream in
+          acc + (Coder.stream_value_bits stream * Array.length alphabets.(si)))
+        0 Instr.all_streams
+
+  let stream_stats { mtf_per_stream; _ } = huffman_stream_stats mtf_per_stream
+
+  let stream_bits { mtf_per_stream; alphabets } regions =
+    let totals = Array.make Coder.stream_count 0 in
+    let state = Coder.Mtf_state.create alphabets in
+    Array.iter
+      (fun instrs ->
+        Coder.Mtf_state.reset state alphabets;
+        List.iter
+          (Coder.iter_fields (fun s v ->
+               let si = Instr.stream_index s in
+               let r = Coder.Mtf_state.rank_of state si v in
+               totals.(si) <- totals.(si) + codeword_bits mtf_per_stream s r))
+          (Coder.with_sentinel instrs))
+      regions;
+    render_stream_bits totals
+end

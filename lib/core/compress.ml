@@ -1,324 +1,64 @@
-type backend = [ `Split_stream | `Split_stream_mtf | `Lzss ]
+(* Backend dispatch for the coder abstraction.  The model data lives in a
+   plain variant so squash results stay marshal-safe; [pack] wraps it in a
+   first-class {!Coder.S} module at each use site. *)
 
-let stream_count = List.length Instr.all_streams
-
-(* Field width of each stream, for storing D entries. *)
-let stream_value_bits = function
-  | Instr.Opcode -> 6
-  | Instr.Mem_ra | Instr.Mem_rb | Instr.Br_ra | Instr.Op_ra | Instr.Op_rb
-  | Instr.Op_rc | Instr.Jmp_ra | Instr.Jmp_rb ->
-    5
-  | Instr.Mem_disp | Instr.Jmp_hint | Instr.Sys_func -> 16
-  | Instr.Br_disp -> 21
-  | Instr.Op_lit -> 8
-  | Instr.Op_func -> 7
+type backend = [ `Split_stream | `Split_stream_mtf | `Lzss | `Context ]
+type work = Coder.work = { bits : int; steps : int }
 
 type codes =
-  | Huffman of { per_stream : Canonical.t option array }
-  | Huffman_mtf of {
-      per_stream : Canonical.t option array;  (* codes over MTF ranks *)
-      alphabets : int array array;  (* sorted distinct values per stream *)
-    }
+  | Huffman of Coder_split.plain_model
+  | Huffman_mtf of Coder_split.mtf_model
   | Lzss_codec
+  | Context_codes of Coder_context.model
+
+type packed = Packed : (module Coder.S with type model = 'm) * 'm -> packed
+
+let pack = function
+  | Huffman m -> Packed ((module Coder_split.Plain), m)
+  | Huffman_mtf m -> Packed ((module Coder_split.Mtf), m)
+  | Lzss_codec -> Packed ((module Coder_lzss.M), ())
+  | Context_codes m -> Packed ((module Coder_context.M), m)
 
 let backend_of = function
   | Huffman _ -> `Split_stream
   | Huffman_mtf _ -> `Split_stream_mtf
   | Lzss_codec -> `Lzss
-
-let with_sentinel instrs = instrs @ [ Instr.Sentinel ]
-
-(* Visit every (stream, value) of an instruction, opcode first. *)
-let iter_fields f ins =
-  f Instr.Opcode (Instr.opcode_value ins);
-  List.iter (fun (s, v) -> f s v) (Instr.fields ins)
-
-let stream_values regions =
-  let values = Array.make stream_count [] in
-  Array.iter
-    (fun instrs ->
-      List.iter
-        (iter_fields (fun s v ->
-             let i = Instr.stream_index s in
-             values.(i) <- v :: values.(i)))
-        (with_sentinel instrs))
-    regions;
-  Array.map List.rev values
-
-let freqs_of_values vs =
-  let tbl = Hashtbl.create 64 in
-  List.iter
-    (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
-    vs;
-  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] |> List.sort compare
-
-(* ------------------------------------------------------------------ *)
-(* Move-to-front state: one recency array per stream, reset per region. *)
-
-module Mtf_state = struct
-  type t = int array array  (* per stream; [||] when the stream is absent *)
-
-  let create (alphabets : int array array) : t = Array.map Array.copy alphabets
-
-  let reset t (alphabets : int array array) =
-    Array.iteri (fun i a -> Array.blit a 0 t.(i) 0 (Array.length a)) alphabets
-
-  (* Rank of [v] in stream [si], then move it to the front. *)
-  let rank_of t si v =
-    let a = t.(si) in
-    let n = Array.length a in
-    let rec find i = if i >= n then -1 else if a.(i) = v then i else find (i + 1) in
-    let r = find 0 in
-    if r < 0 then failwith "Compress: MTF symbol not in alphabet";
-    for j = r downto 1 do
-      a.(j) <- a.(j - 1)
-    done;
-    a.(0) <- v;
-    r
-
-  (* Value at [rank] in stream [si], then move it to the front. *)
-  let value_at t si rank =
-    let a = t.(si) in
-    if rank < 0 || rank >= Array.length a then
-      failwith "Compress: MTF rank out of range";
-    let v = a.(rank) in
-    for j = rank downto 1 do
-      a.(j) <- a.(j - 1)
-    done;
-    a.(0) <- v;
-    v
-end
-
-(* ------------------------------------------------------------------ *)
-
-let build_huffman regions =
-  let values = stream_values regions in
-  let per_stream =
-    Array.map
-      (fun vs ->
-        match vs with [] -> None | _ :: _ -> Some (Canonical.of_freqs (freqs_of_values vs)))
-      values
-  in
-  Huffman { per_stream }
-
-let build_huffman_mtf regions =
-  let values = stream_values regions in
-  let alphabets =
-    Array.map (fun vs -> Array.of_list (List.sort_uniq compare vs)) values
-  in
-  (* Rank statistics: replay the per-region MTF walk. *)
-  let rank_values = Array.make stream_count [] in
-  let state = Mtf_state.create alphabets in
-  Array.iter
-    (fun instrs ->
-      Mtf_state.reset state alphabets;
-      List.iter
-        (iter_fields (fun s v ->
-             let si = Instr.stream_index s in
-             let r = Mtf_state.rank_of state si v in
-             rank_values.(si) <- r :: rank_values.(si)))
-        (with_sentinel instrs))
-    regions;
-  let per_stream =
-    Array.map
-      (fun rs ->
-        match rs with
-        | [] -> None
-        | _ :: _ -> Some (Canonical.of_freqs (freqs_of_values rs)))
-      rank_values
-  in
-  Huffman_mtf { per_stream; alphabets }
+  | Context_codes _ -> `Context
 
 let build_codes ?(backend = `Split_stream) regions =
   match backend with
-  | `Split_stream -> build_huffman regions
-  | `Split_stream_mtf -> build_huffman_mtf regions
+  | `Split_stream -> Huffman (Coder_split.Plain.build regions)
+  | `Split_stream_mtf -> Huffman_mtf (Coder_split.Mtf.build regions)
   | `Lzss -> Lzss_codec
+  | `Context -> Context_codes (Coder_context.M.build regions)
 
-let code_for per_stream stream =
-  match per_stream.(Instr.stream_index stream) with
-  | Some c -> c
-  | None -> failwith ("Compress: no code for stream " ^ Instr.stream_name stream)
-
-(* ------------------------------------------------------------------ *)
-(* Encoding *)
-
-let region_bytes instrs =
-  let b = Buffer.create 256 in
-  List.iter
-    (fun ins ->
-      let w = Instr.encode ins in
-      Buffer.add_char b (Char.chr (w land 0xFF));
-      Buffer.add_char b (Char.chr ((w lsr 8) land 0xFF));
-      Buffer.add_char b (Char.chr ((w lsr 16) land 0xFF));
-      Buffer.add_char b (Char.chr ((w lsr 24) land 0xFF)))
-    (with_sentinel instrs);
-  Buffer.contents b
+let coder_name codes =
+  let (Packed ((module C), _)) = pack codes in
+  C.name
 
 let encode_regions codes regions =
-  match codes with
-  | Huffman { per_stream } ->
-    let w = Bitio.Writer.create () in
-    let offsets =
-      Array.map
-        (fun instrs ->
-          let off = Bitio.Writer.length_bits w in
-          List.iter
-            (iter_fields (fun s v -> Canonical.encode (code_for per_stream s) w v))
-            (with_sentinel instrs);
-          off)
-        regions
-    in
-    (Bitio.Writer.contents w, offsets)
-  | Huffman_mtf { per_stream; alphabets } ->
-    let w = Bitio.Writer.create () in
-    let state = Mtf_state.create alphabets in
-    let offsets =
-      Array.map
-        (fun instrs ->
-          let off = Bitio.Writer.length_bits w in
-          Mtf_state.reset state alphabets;
-          List.iter
-            (iter_fields (fun s v ->
-                 let si = Instr.stream_index s in
-                 let r = Mtf_state.rank_of state si v in
-                 Canonical.encode (code_for per_stream s) w r))
-            (with_sentinel instrs);
-          off)
-        regions
-    in
-    (Bitio.Writer.contents w, offsets)
-  | Lzss_codec ->
-    let blob = Buffer.create 4096 in
-    let offsets =
-      Array.map
-        (fun instrs ->
-          let off = 8 * Buffer.length blob in
-          Buffer.add_string blob (Lzss.compress (region_bytes instrs));
-          off)
-        regions
-    in
-    (Buffer.contents blob, offsets)
-
-(* ------------------------------------------------------------------ *)
-(* Decoding *)
-
-let decode_huffman ~ranked per_stream alphabets blob bit_offset =
-  let r = Bitio.Reader.of_string ~start_bit:bit_offset blob in
-  let opcode_code = code_for per_stream Instr.Opcode in
-  let work = ref 0 in
-  let state =
-    if ranked then Some (Mtf_state.create alphabets) else None
-  in
-  let read stream =
-    let code =
-      if Instr.equal_stream stream Instr.Opcode then opcode_code
-      else code_for per_stream stream
-    in
-    let v, bits = Canonical.decode code r in
-    work := !work + bits;
-    match state with
-    | None -> v
-    | Some st ->
-      (* v is a rank; walking the recency list costs rank steps. *)
-      work := !work + v;
-      Mtf_state.value_at st (Instr.stream_index stream) v
-  in
-  let rec go acc =
-    let opcode = read Instr.Opcode in
-    match Instr.rebuild ~opcode (fun s -> read s) with
-    | Error msg -> failwith ("Compress.decode_region: " ^ msg)
-    | Ok Instr.Sentinel -> List.rev acc
-    | Ok ins -> go (ins :: acc)
-  in
-  let instrs = go [] in
-  (instrs, !work)
-
-let decode_lzss blob bit_offset bit_end =
-  if bit_offset land 7 <> 0 || bit_end land 7 <> 0 then
-    failwith "Compress.decode_region: LZSS offsets must be byte-aligned";
-  let lo = bit_offset / 8 and hi = bit_end / 8 in
-  if lo > hi || hi > String.length blob then
-    failwith "Compress.decode_region: bad LZSS slice";
-  let bytes, steps = Lzss.decompress (String.sub blob lo (hi - lo)) in
-  if String.length bytes mod 4 <> 0 then
-    failwith "Compress.decode_region: LZSS output not word-aligned";
-  let nwords = String.length bytes / 4 in
-  let rec go i acc =
-    if i >= nwords then failwith "Compress.decode_region: missing sentinel"
-    else begin
-      let byte j = Char.code bytes.[(4 * i) + j] in
-      let w = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
-      match Instr.decode w with
-      | Error msg -> failwith ("Compress.decode_region: " ^ msg)
-      | Ok Instr.Sentinel -> List.rev acc
-      | Ok ins -> go (i + 1) (ins :: acc)
-    end
-  in
-  (go 0 [], steps)
+  let (Packed ((module C), m)) = pack codes in
+  C.encode_regions m regions
 
 let decode_region codes blob ~bit_offset ?bit_end () =
   let bit_end = Option.value ~default:(8 * String.length blob) bit_end in
-  match codes with
-  | Huffman { per_stream } ->
-    decode_huffman ~ranked:false per_stream [||] blob bit_offset
-  | Huffman_mtf { per_stream; alphabets } ->
-    decode_huffman ~ranked:true per_stream alphabets blob bit_offset
-  | Lzss_codec -> decode_lzss blob bit_offset bit_end
+  let (Packed ((module C), m)) = pack codes in
+  C.decode_region m blob ~bit_offset ~bit_end
 
-(* ------------------------------------------------------------------ *)
-(* Accounting and statistics *)
-
-let huffman_table_bits per_stream =
-  List.fold_left
-    (fun acc stream ->
-      match per_stream.(Instr.stream_index stream) with
-      | None -> acc
-      | Some c -> acc + Canonical.table_bits ~value_bits:(stream_value_bits stream) c)
-    0 Instr.all_streams
-
-let table_bits = function
-  | Huffman { per_stream } -> huffman_table_bits per_stream
-  | Huffman_mtf { per_stream; alphabets } ->
-    (* Rank codes are cheap to describe, but the alphabets must ship too. *)
-    huffman_table_bits per_stream
-    + List.fold_left
-        (fun acc stream ->
-          let si = Instr.stream_index stream in
-          acc + (stream_value_bits stream * Array.length alphabets.(si)))
-        0 Instr.all_streams
-  | Lzss_codec -> 0
+let table_bits codes =
+  let (Packed ((module C), m)) = pack codes in
+  C.table_bits m
 
 let compressed_bits codes regions =
   let blob, _ = encode_regions codes regions in
   8 * String.length blob
 
 let stream_stats codes =
-  match codes with
-  | Lzss_codec -> []
-  | Huffman { per_stream } | Huffman_mtf { per_stream; _ } ->
-    List.filter_map
-      (fun stream ->
-        match per_stream.(Instr.stream_index stream) with
-        | None -> None
-        | Some c ->
-          Some
-            ( Instr.stream_name stream,
-              Canonical.symbol_count c,
-              float_of_int (Canonical.max_length c) ))
-      Instr.all_streams
+  let (Packed ((module C), m)) = pack codes in
+  C.stream_stats m
 
-let mtf_gain_bits regions =
-  let values = stream_values regions in
-  List.map
-    (fun stream ->
-      let vs = values.(Instr.stream_index stream) in
-      match vs with
-      | [] -> (Instr.stream_name stream, 0)
-      | _ :: _ ->
-        let plain = Huffman.total_encoded_bits (freqs_of_values vs) in
-        let alphabet = List.sort_uniq compare vs in
-        let ranks = Mtf.encode ~alphabet vs in
-        let mtf = Huffman.total_encoded_bits (freqs_of_values ranks) in
-        (Instr.stream_name stream, mtf - plain))
-    Instr.all_streams
+let stream_bits codes regions =
+  let (Packed ((module C), m)) = pack codes in
+  C.stream_bits m regions
+
+let mtf_gain_bits = Coder_split.mtf_gain_bits

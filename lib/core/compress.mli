@@ -1,5 +1,5 @@
-(** Compression of instruction sequences, with three interchangeable
-    backends:
+(** Compression of instruction sequences, with four interchangeable
+    backends dispatched through the {!Coder.S} signature:
 
     - [`Split_stream] (the paper's scheme, Section 3): each of the 15
       instruction field types gets its own canonical Huffman code, built
@@ -14,38 +14,50 @@
     - [`Lzss] (the "other algorithms" of the future-work section): the
       encoded instruction words of a region, as little-endian bytes,
       compressed with byte-oriented LZSS.
+    - [`Context] (beyond the paper): order-1 context modeling.  Opcodes are
+      conditioned on the previous opcode, every other stream on the current
+      opcode, and register streams are move-to-front coded over per-region
+      recency lists that never ship.  See {!Coder_context}.
 
     Each region's stream ends with an encoded [Sentinel], at which
     decompression stops (paper, Section 2.1). *)
 
-type backend = [ `Split_stream | `Split_stream_mtf | `Lzss ]
+type backend = [ `Split_stream | `Split_stream_mtf | `Lzss | `Context ]
+
+type work = Coder.work = {
+  bits : int;  (** Bits consumed from the blob. *)
+  steps : int;  (** Model steps: MTF walks, context-table picks, LZSS copies. *)
+}
 
 type codes
+(** Pure data (marshal-safe): a backend tag plus its model. *)
 
 val build_codes : ?backend:backend -> Instr.t list array -> codes
-(** Build the codec state from all region instruction sequences (the
+(** Build the coder model from all region instruction sequences (the
     sentinels are added internally).  Default backend: [`Split_stream]. *)
 
 val backend_of : codes -> backend
+
+val coder_name : codes -> string
+(** The backend's stable lower-case name: "huffman", "mtf", "lzss" or
+    "context". *)
 
 val encode_regions : codes -> Instr.t list array -> string * int array
 (** [(blob, offsets)]: the compressed bytes and each region's starting bit
     offset (always byte-aligned for [`Lzss]). *)
 
 val decode_region :
-  codes -> string -> bit_offset:int -> ?bit_end:int -> unit -> Instr.t list * int
+  codes -> string -> bit_offset:int -> ?bit_end:int -> unit -> Instr.t list * work
 (** Decode one region (the sentinel is consumed but not returned).  Returns
-    the instructions and the decoder {e work units} — DECODE-loop
-    iterations, plus move-to-front list steps, plus LZSS copy steps — which
-    the runtime converts into cycles.  [bit_end] bounds the region's bytes
-    (required information for [`Lzss]; ignored by the Huffman backends,
-    which stop at the sentinel).
+    the instructions and the decode {!work}, which the runtime converts
+    into cycles.  [bit_end] bounds the region's bits (required information
+    for [`Lzss]; the Huffman-family backends stop at the sentinel).
     @raise Failure on a corrupt stream. *)
 
 val table_bits : codes -> int
 (** Footprint of the code representations that must ship with the blob:
-    [N]/[D] arrays per stream (plus the move-to-front alphabets); 0 for
-    [`Lzss]. *)
+    [N]/[D] arrays per code (plus the move-to-front alphabets and the
+    context ids); 0 for [`Lzss]. *)
 
 val compressed_bits : codes -> Instr.t list array -> int
 (** Total encoded size of the given regions in bits (whole bytes),
@@ -54,6 +66,11 @@ val compressed_bits : codes -> Instr.t list array -> int
 val stream_stats : codes -> (string * int * float) list
 (** Per stream: name, distinct symbols, max codeword length.  Empty for
     [`Lzss]. *)
+
+val stream_bits : codes -> Instr.t list array -> (string * int) list
+(** Encoded bits contributed by each stream over the given regions
+    (excluding tables); streams that contribute nothing are omitted.
+    Empty for [`Lzss], which has no stream structure. *)
 
 val mtf_gain_bits : Instr.t list array -> (string * int) list
 (** For each stream, the change in total Huffman-coded bits if the stream

@@ -8,7 +8,7 @@ type options = {
   unswitch : bool;
   decomp_words : int;
   max_stubs : int;
-  codec : Compress.backend;
+  coder : Compress.backend;
   regions_strategy : Regions.strategy;
 }
 
@@ -23,7 +23,7 @@ let default_options =
     unswitch = true;
     decomp_words = Rewrite.default_decomp_words;
     max_stubs = Rewrite.default_max_stubs;
-    codec = `Split_stream;
+    coder = `Split_stream;
     regions_strategy = `Dfs;
   }
 

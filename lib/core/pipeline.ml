@@ -263,7 +263,7 @@ let rewrite_pass =
             ~regions:(Pass.get_regions ~who:"rewrite" st)
             ~buffer_safe:(Pass.get_buffer_safe ~who:"rewrite" st)
             ~decomp_words:o.Pass.decomp_words ~max_stubs:o.Pass.max_stubs
-            ~codec:o.Pass.codec ()
+            ~coder:o.Pass.coder ()
         in
         { st with Pass.squashed = Some sq });
     note =

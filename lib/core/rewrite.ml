@@ -138,7 +138,7 @@ let layout_region ~region_of ~buffer_safe ~fully_in (r : Regions.region) plans_o
 (* ------------------------------------------------------------------ *)
 
 let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_words)
-    ?(max_stubs = default_max_stubs) ?(codec = `Split_stream) () =
+    ?(max_stubs = default_max_stubs) ?(coder = `Split_stream) () =
   let func_of = Hashtbl.create 64 in
   List.iter (fun (f : Prog.Func.t) -> Hashtbl.replace func_of f.name f) p.funcs;
   let block_of fname i = (Hashtbl.find func_of fname).Prog.Func.blocks.(i) in
@@ -377,7 +377,7 @@ let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_wor
   in
   (* Phase 4: compress. *)
   let streams = Array.map (fun (img : region_image) -> img.stream) images in
-  let codes = Compress.build_codes ~backend:codec streams in
+  let codes = Compress.build_codes ~backend:coder streams in
   let blob, blob_offsets = Compress.encode_regions codes streams in
   let buffer_words =
     2 + Array.fold_left (fun acc (img : region_image) -> max acc img.buffer_words) 0 images

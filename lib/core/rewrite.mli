@@ -87,7 +87,7 @@ val build :
   buffer_safe:Buffer_safe.t ->
   ?decomp_words:int ->
   ?max_stubs:int ->
-  ?codec:Compress.backend ->
+  ?coder:Compress.backend ->
   unit ->
   t
 

@@ -1,6 +1,7 @@
 type stats = {
   mutable decompressions : int;
   mutable bits_decoded : int;
+  mutable model_steps : int;
   mutable words_materialised : int;
   mutable stub_creates : int;
   mutable stub_reuses : int;
@@ -18,6 +19,7 @@ let stats_to_json (s : stats) =
     [
       ("decompressions", Int s.decompressions);
       ("bits_decoded", Int s.bits_decoded);
+      ("model_steps", Int s.model_steps);
       ("words_materialised", Int s.words_materialised);
       ("stub_creates", Int s.stub_creates);
       ("stub_reuses", Int s.stub_reuses);
@@ -34,6 +36,7 @@ let stats_to_json (s : stats) =
 let observe_stats (o : Obs.t) (s : stats) =
   Obs.incr o ~by:s.decompressions "runtime.decompressions";
   Obs.incr o ~by:s.bits_decoded "runtime.bits_decoded";
+  Obs.incr o ~by:s.model_steps "runtime.model_steps";
   Obs.incr o ~by:s.words_materialised "runtime.words_materialised";
   Obs.incr o ~by:s.stub_creates "runtime.stub_creates";
   Obs.incr o ~by:s.stub_reuses "runtime.stub_reuses";
@@ -73,7 +76,7 @@ let decompress st vm rid =
     Obs.event o
       { ts = Obs.Event.Cycles (Vm.cycles vm);
         payload = Obs.Event.Decomp_begin { region = rid } });
-  let instrs, bits =
+  let instrs, { Compress.bits; steps } =
     Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
       ~bit_offset:offsets.(rid) ?bit_end ()
   in
@@ -105,11 +108,13 @@ let decompress st vm rid =
   st.current_region <- rid;
   st.stats.decompressions <- st.stats.decompressions + 1;
   st.stats.bits_decoded <- st.stats.bits_decoded + bits;
+  st.stats.model_steps <- st.stats.model_steps + steps;
   st.stats.words_materialised <- st.stats.words_materialised + !pos;
   st.stats.per_region.(rid) <- st.stats.per_region.(rid) + 1;
   let charged =
     st.cost.Cost.decomp_invoke
     + (bits * st.cost.Cost.decomp_per_bit)
+    + (steps * st.cost.Cost.decomp_per_step)
     + (!pos * st.cost.Cost.decomp_per_instr)
     + st.cost.Cost.icache_flush
   in
@@ -125,6 +130,7 @@ let decompress st vm rid =
           Obs.Event.Decomp_end { region = rid; bits; words = !pos; cycles = charged } };
     Obs.incr o "runtime.decompressions";
     Obs.incr o ~by:bits "runtime.bits_decoded";
+    Obs.incr o ~by:steps "runtime.model_steps";
     Obs.incr o ~by:!pos "runtime.words_materialised";
     if st.last_decomp_end >= 0 then
       Obs.observe o "runtime.decomp_interarrival_cycles" (now - st.last_decomp_end);
@@ -282,6 +288,7 @@ let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
     {
       decompressions = 0;
       bits_decoded = 0;
+      model_steps = 0;
       words_materialised = 0;
       stub_creates = 0;
       stub_reuses = 0;

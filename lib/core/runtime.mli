@@ -8,12 +8,16 @@
     decode cache, standing in for the instruction-cache flush), creating
     and reference-counting restore stubs in the stub area — and charges
     simulated cycles derived from that work via the {!Cost.model}:
-    [decomp_invoke + bits·decomp_per_bit + words·decomp_per_instr +
-    icache_flush] per decompression. *)
+    [decomp_invoke + bits·decomp_per_bit + steps·decomp_per_step +
+    words·decomp_per_instr + icache_flush] per decompression, where the
+    bits and model steps come from the coder's {!Compress.work} report. *)
 
 type stats = {
   mutable decompressions : int;
   mutable bits_decoded : int;
+  mutable model_steps : int;
+      (** Coder model steps beyond bit consumption (MTF walks,
+          context-table selections, LZSS copy steps). *)
   mutable words_materialised : int;
   mutable stub_creates : int;
   mutable stub_reuses : int;

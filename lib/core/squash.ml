@@ -8,7 +8,7 @@ type options = Pass.options = {
   unswitch : bool;
   decomp_words : int;
   max_stubs : int;
-  codec : Compress.backend;
+  coder : Compress.backend;
   regions_strategy : Regions.strategy;
 }
 

@@ -23,7 +23,7 @@ type options = Pass.options = {
   unswitch : bool;  (** Jump-table unswitching (Section 6.2). *)
   decomp_words : int;
   max_stubs : int;
-  codec : Compress.backend;  (** Compression backend (Section 3 and its
+  coder : Compress.backend;  (** Compression backend (Section 3 and its
                                  variants); default [`Split_stream]. *)
   regions_strategy : Regions.strategy;  (** Region construction algorithm. *)
 }

@@ -6,6 +6,7 @@ type kind =
   | Live_stub_reg
   | Unsafe_call
   | Unresolved_indirect
+  | Stream_mismatch
 
 type diag = {
   severity : severity;
@@ -20,6 +21,7 @@ let kind_name = function
   | Live_stub_reg -> "live-stub-reg"
   | Unsafe_call -> "unsafe-call"
   | Unresolved_indirect -> "unresolved-indirect"
+  | Stream_mismatch -> "stream-mismatch"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -244,6 +246,35 @@ let run (sq : Rewrite.t) =
               | Rewrite.Plain _ -> 1
               | Rewrite.Expand_call _ | Rewrite.Expand_calli _ -> 2))
         img.Rewrite.words)
+    sq.Rewrite.images;
+
+  (* --- every compressed stream decodes back to its region image ------ *)
+  let offsets = sq.Rewrite.blob_offsets in
+  Array.iteri
+    (fun rid (img : Rewrite.region_image) ->
+      let site = Printf.sprintf "region %d" rid in
+      let bit_end =
+        if rid + 1 < Array.length offsets then Some offsets.(rid + 1) else None
+      in
+      match
+        Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+          ~bit_offset:offsets.(rid) ?bit_end ()
+      with
+      | exception Failure msg ->
+        diag Error Stream_mismatch site "stream does not decode: %s" msg
+      | exception Invalid_argument msg ->
+        diag Error Stream_mismatch site "stream reads past its end: %s" msg
+      | decoded, work ->
+        if not (List.equal Instr.equal decoded img.Rewrite.stream) then
+          diag Error Stream_mismatch site
+            "decoded stream disagrees with the region image (%d vs %d \
+             instructions)"
+            (List.length decoded)
+            (List.length img.Rewrite.stream)
+        else if work.Compress.bits < 0 || work.Compress.steps < 0 then
+          diag Error Stream_mismatch site
+            "decoder reported negative work (%d bits, %d steps)"
+            work.Compress.bits work.Compress.steps)
     sq.Rewrite.images;
 
   (* --- indirect calls with an empty candidate set -------------------- *)

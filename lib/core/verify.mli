@@ -30,7 +30,11 @@
     - {b unresolved indirection} ({!Unresolved_indirect}, warning): an
       indirect call whose candidate set is empty — no function's address
       is ever taken — cannot be verified further and would trap at run
-      time. *)
+      time.
+    - {b streams} ({!Stream_mismatch}): every region's slice of the
+      compressed blob decodes — under whichever coder built the image —
+      back to exactly the region image's instruction stream, without
+      raising and with non-negative reported work. *)
 
 type severity = Error | Warning
 
@@ -40,6 +44,7 @@ type kind =
   | Live_stub_reg
   | Unsafe_call
   | Unresolved_indirect
+  | Stream_mismatch
 
 type diag = {
   severity : severity;

@@ -1,7 +1,7 @@
 (* Bump whenever the Marshal layout of any cached payload changes
    (v2: hook_invocations in Vm.outcome, per-region cycles in
    Runtime.stats). *)
-let schema_version = 2
+let schema_version = 3
 
 let default_dir = "_cache"
 

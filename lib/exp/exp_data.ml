@@ -23,15 +23,16 @@ let workload_digest (wl : Workload.t) =
 
 let options_key (o : Squash.options) =
   Printf.sprintf
-    "o1;theta=%h;k=%d;gamma=%h;pack=%b;bsafe=%b;sharp=%b;unswitch=%b;decomp=%d;stubs=%d;codec=%s;regions=%s"
+    "o2;theta=%h;k=%d;gamma=%h;pack=%b;bsafe=%b;sharp=%b;unswitch=%b;decomp=%d;stubs=%d;coder=%s;regions=%s"
     o.Squash.theta o.Squash.k_bytes o.Squash.gamma o.Squash.pack
     o.Squash.use_buffer_safe o.Squash.sharp_buffer_safe o.Squash.unswitch
     o.Squash.decomp_words
     o.Squash.max_stubs
-    (match o.Squash.codec with
+    (match o.Squash.coder with
     | `Split_stream -> "huffman"
     | `Split_stream_mtf -> "mtf"
-    | `Lzss -> "lzss")
+    | `Lzss -> "lzss"
+    | `Context -> "context")
     (match o.Squash.regions_strategy with `Dfs -> "dfs" | `Linear -> "linear")
 
 (* In-process memo tables.  Every one is a domain-safe compute-once table

@@ -13,6 +13,8 @@ type metrics = {
   squashed_words : int;
   size_ratio : float;
   size_reduction : float;
+  coder : string;
+  table_bits : int;
   cycles : int option;
   baseline_cycles : int option;
   time_ratio : float option;
@@ -82,6 +84,8 @@ let eval_cell c =
     squashed_words;
     size_ratio = float_of_int squashed_words /. float_of_int original_words;
     size_reduction = Squash.size_reduction r;
+    coder = Compress.coder_name r.Squash.squashed.Rewrite.codes;
+    table_bits = Compress.table_bits r.Squash.squashed.Rewrite.codes;
     cycles;
     baseline_cycles;
     time_ratio;
@@ -166,7 +170,9 @@ let cell_json (c, outcome) =
           ("original_words", Report.Json.Int m.original_words);
           ("squashed_words", Report.Json.Int m.squashed_words);
           ("size_ratio", Report.Json.Float m.size_ratio);
-          ("size_reduction", Report.Json.Float m.size_reduction) ]
+          ("size_reduction", Report.Json.Float m.size_reduction);
+          ("coder", Report.Json.String m.coder);
+          ("table_bits", Report.Json.Int m.table_bits) ]
       @ (match m.cycles with
         | None -> []
         | Some cy ->

@@ -22,6 +22,8 @@ type metrics = {
   squashed_words : int;
   size_ratio : float;  (** squashed / original (squeezed) words. *)
   size_reduction : float;
+  coder : string;  (** Backend name ({!Compress.coder_name}). *)
+  table_bits : int;  (** Shipped code-table footprint in bits. *)
   cycles : int option;  (** Timing-run cycles (when [timing]). *)
   baseline_cycles : int option;
   time_ratio : float option;

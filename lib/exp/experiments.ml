@@ -434,8 +434,9 @@ let ablation () =
       ("buffer-safe off", { base with Squash.use_buffer_safe = false });
       ("sharp buffer-safe", { base with Squash.sharp_buffer_safe = true });
       ("unswitch off", { base with Squash.unswitch = false });
-      ("MTF codec", { base with Squash.codec = `Split_stream_mtf });
-      ("LZSS codec", { base with Squash.codec = `Lzss });
+      ("MTF coder", { base with Squash.coder = `Split_stream_mtf });
+      ("LZSS coder", { base with Squash.coder = `Lzss });
+      ("Context coder", { base with Squash.coder = `Context });
       ("linear regions", { base with Squash.regions_strategy = `Linear }) ]
   in
   ignore (submit (grid_cells (List.map snd variants)));
@@ -485,6 +486,101 @@ let ablation () =
          variants
     @ [ "" ]);
   Report.Table.render t
+
+(* ------------------------------------------------------------------ *)
+
+let coders () =
+  (* Head-to-head: the paper's split-stream coder vs the order-1 context
+     coder, on everything the regions pass hands to the coder at θ=1.0
+     (all compressible code).  Bits/instruction includes the shipped code
+     tables, so a context model only wins by genuinely out-coding the
+     baseline's single-code-per-stream scheme. *)
+  let theta = 1.0 in
+  let huff = opts theta in
+  let ctx = { huff with Squash.coder = `Context } in
+  ignore (submit (grid_cells [ huff; ctx ]));
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Coder ablation at θ=%g: total compressed bits/instruction (incl. tables)"
+           theta)
+      [ ("Program", Report.Table.Left); ("instrs", Report.Table.Right);
+        ("huffman b/i", Report.Table.Right); ("context b/i", Report.Table.Right);
+        ("Δ", Report.Table.Right); ("huffman tbl", Report.Table.Right);
+        ("context tbl", Report.Table.Right) ]
+  in
+  let wins = ref 0 and total = ref 0 in
+  let ratios = ref [] in
+  let stream_rows = Hashtbl.create 16 in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let bits_per_instr o =
+        let r = Exp_data.squash_result p o in
+        let codes = r.Squash.squashed.Rewrite.codes in
+        let streams =
+          Array.map
+            (fun (img : Rewrite.region_image) -> img.Rewrite.stream)
+            r.Squash.squashed.Rewrite.images
+        in
+        let stream_bits = Compress.stream_bits codes streams in
+        let payload = List.fold_left (fun acc (_, b) -> acc + b) 0 stream_bits in
+        let table = Compress.table_bits codes in
+        let instrs = Squash.compressed_instr_count r in
+        (payload + table, table, instrs, stream_bits)
+      in
+      let hb, ht, hi, h_streams = bits_per_instr huff in
+      let cb, ct, ci, c_streams = bits_per_instr ctx in
+      assert (hi = ci);
+      let per i total = float_of_int total /. float_of_int (max 1 i) in
+      incr total;
+      if cb < hb then incr wins;
+      ratios := (per hi (cb - hb) /. per hi hb) :: !ratios;
+      List.iter
+        (fun (name, b) ->
+          let h, c = Option.value ~default:(0, 0) (Hashtbl.find_opt stream_rows name) in
+          Hashtbl.replace stream_rows name (h + b, c))
+        h_streams;
+      List.iter
+        (fun (name, b) ->
+          let h, c = Option.value ~default:(0, 0) (Hashtbl.find_opt stream_rows name) in
+          Hashtbl.replace stream_rows name (h, c + b))
+        c_streams;
+      Report.Table.add_row t
+        [ wl.Workload.name; string_of_int hi;
+          Report.Table.cell_float ~decimals:2 (per hi hb);
+          Report.Table.cell_float ~decimals:2 (per ci cb);
+          Report.Table.cell_percent ~decimals:1
+            (float_of_int (cb - hb) /. float_of_int hb);
+          string_of_int ht; string_of_int ct ])
+    Workloads.all;
+  Report.Table.add_separator t;
+  Report.Table.add_row t
+    [ Printf.sprintf "context wins %d/%d" !wins !total; ""; ""; ""; ""; ""; "" ];
+  record_metric "coder_context_wins"
+    (Report.Json.Obj
+       [ ("wins", Report.Json.Int !wins); ("total", Report.Json.Int !total) ]);
+  (* Where the bits move: per-stream totals summed over all workloads. *)
+  let t2 =
+    Report.Table.create
+      ~title:"Per-stream payload bits, summed over all workloads (θ=1.0)"
+      [ ("Stream", Report.Table.Left); ("huffman", Report.Table.Right);
+        ("context", Report.Table.Right); ("Δ", Report.Table.Right) ]
+  in
+  List.iter
+    (fun stream ->
+      let name = Instr.stream_name stream in
+      match Hashtbl.find_opt stream_rows name with
+      | None -> ()
+      | Some (h, c) ->
+        Report.Table.add_row t2
+          [ name; string_of_int h; string_of_int c;
+            (if h = 0 then "-"
+             else Report.Table.cell_percent ~decimals:1
+                    (float_of_int (c - h) /. float_of_int h)) ])
+    Instr.all_streams;
+  Report.Table.render t ^ "\n" ^ Report.Table.render t2
 
 (* ------------------------------------------------------------------ *)
 
@@ -613,4 +709,4 @@ let passes () =
 let all =
   [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);
     ("F7", fig7); ("S3-gamma", gamma); ("S2-stubs", stubs); ("S6-bsafe", bsafe);
-    ("A1-ablation", ablation); ("P1-passes", passes) ]
+    ("A1-ablation", ablation); ("C1-coders", coders); ("P1-passes", passes) ]

@@ -20,9 +20,8 @@ val symbol_count : t -> int
 val max_length : t -> int
 
 val counts : t -> int array
-(** [N]: index [i] holds the number of codewords of length [i]; index 0 is
-    0.  Length [max_length t + 1] array... the array has
-    [max_length t + 1] entries. *)
+(** [N]: an array of [max_length t + 1] entries where index [i] holds the
+    number of codewords of length [i] (index 0 is always 0). *)
 
 val symbols : t -> int array
 (** [D]: symbols in codeword order. *)

@@ -8,6 +8,7 @@ type model = {
   syscall : int;
   decomp_invoke : int;
   decomp_per_bit : int;
+  decomp_per_step : int;
   decomp_per_instr : int;
   icache_flush : int;
 }
@@ -23,6 +24,7 @@ let default =
     syscall = 30;
     decomp_invoke = 150;
     decomp_per_bit = 4;
+    decomp_per_step = 4;
     decomp_per_instr = 12;
     icache_flush = 200;
   }

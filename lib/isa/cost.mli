@@ -18,6 +18,9 @@ type model = {
       (** Fixed overhead per decompressor call: register save/restore,
           argument unpacking, dispatch. *)
   decomp_per_bit : int;  (** Cycles per bit consumed by the DECODE loop. *)
+  decomp_per_step : int;
+      (** Cycles per model step beyond bit consumption: move-to-front
+          recency-list walks, context-table selections, LZSS copy steps. *)
   decomp_per_instr : int;
       (** Cycles per instruction materialised into the runtime buffer
           (field reassembly + store). *)

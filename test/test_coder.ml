@@ -1,0 +1,178 @@
+(* The coder abstraction: every backend round-trips arbitrary regions
+   byte-identically with sane work accounting, refuses truncated streams,
+   and the context coder actually earns its keep on the workload suite. *)
+
+open QCheck
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let backends =
+  [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf); ("lzss", `Lzss);
+    ("context", `Context) ]
+
+(* Region bodies must not contain the sentinel: it terminates decoding, so
+   an interior one would legitimately truncate the stream. *)
+let gen_body_instr =
+  Gen.map
+    (function Instr.Sentinel -> Instr.Nop | i -> i)
+    Test_instr.gen_instr
+
+let print_regions rs =
+  String.concat " | "
+    (List.map
+       (fun r -> String.concat "; " (List.map Instr.to_string r))
+       rs)
+
+let arb_regions =
+  QCheck.make ~print:print_regions
+    Gen.(list_size (int_range 1 6) (list_size (int_range 0 40) gen_body_instr))
+
+let arb_fat_region =
+  QCheck.make ~print:(fun r -> print_regions [ r ])
+    Gen.(list_size (int_range 24 60) gen_body_instr)
+
+let decode_all codes blob offsets regions =
+  Array.mapi
+    (fun i _ ->
+      let bit_end =
+        if i + 1 < Array.length offsets then Some offsets.(i + 1) else None
+      in
+      Compress.decode_region codes blob ~bit_offset:offsets.(i) ?bit_end ())
+    regions
+
+let round_trip_test (name, backend) =
+  Test.make
+    ~name:(Printf.sprintf "%s: regions round-trip with sane work" name)
+    ~count:60 arb_regions (fun rs ->
+      let regions = Array.of_list rs in
+      let codes = Compress.build_codes ~backend regions in
+      assume (Compress.backend_of codes = backend);
+      let blob, offsets = Compress.encode_regions codes regions in
+      let decoded = decode_all codes blob offsets regions in
+      Array.for_all2
+        (fun (instrs, work) original ->
+          List.equal Instr.equal instrs original
+          && work.Compress.bits > 0
+          && work.Compress.steps >= 0)
+        decoded regions)
+
+(* Truncating a stream mid-region must raise (the sentinel is gone and the
+   bits run out), never hang or silently return the full region. *)
+let truncation_test (name, backend) =
+  Test.make
+    ~name:(Printf.sprintf "%s: truncated streams raise" name)
+    ~count:40 arb_fat_region (fun r ->
+      let regions = [| r |] in
+      let codes = Compress.build_codes ~backend regions in
+      let blob, offsets = Compress.encode_regions codes regions in
+      let cut = String.sub blob 0 (String.length blob / 2) in
+      match
+        Compress.decode_region codes cut ~bit_offset:offsets.(0)
+          ~bit_end:(8 * String.length cut) ()
+      with
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true
+      | instrs, _ -> not (List.equal Instr.equal instrs r))
+
+(* Corrupting a byte may still decode to *something* (Huffman codes are
+   complete), but it must terminate: either a raise or some stream. *)
+let corruption_test (name, backend) =
+  Test.make
+    ~name:(Printf.sprintf "%s: corrupt streams terminate" name)
+    ~count:40 arb_fat_region (fun r ->
+      let regions = [| r |] in
+      let codes = Compress.build_codes ~backend regions in
+      let blob, offsets = Compress.encode_regions codes regions in
+      let b = Bytes.of_string blob in
+      let mid = Bytes.length b / 2 in
+      Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x5A));
+      match
+        Compress.decode_region codes (Bytes.to_string b)
+          ~bit_offset:offsets.(0) ~bit_end:(8 * Bytes.length b) ()
+      with
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true
+      | _ -> true)
+
+let property_tests =
+  List.concat_map
+    (fun b -> [ round_trip_test b; truncation_test b; corruption_test b ])
+    backends
+  |> List.map (qcheck ~long:false)
+
+(* --- the workload suite under the context coder --------------------- *)
+
+let fuel = 500_000_000
+
+let squash_with coder wl =
+  let p, _ = Squeeze.run (Workload.compile wl) in
+  let profile, _ = Profile.collect ~fuel p ~input:(Workload.profiling_input wl) in
+  let options =
+    { Squash.default_options with Squash.theta = 1.0; Squash.coder = coder }
+  in
+  Squash.run ~options p profile
+
+let total_bits (r : Squash.result) =
+  let sq = r.Squash.squashed in
+  let streams =
+    Array.map (fun img -> img.Rewrite.stream) sq.Rewrite.images
+  in
+  Compress.compressed_bits sq.Rewrite.codes streams
+  + Compress.table_bits sq.Rewrite.codes
+
+let workload_tests =
+  [
+    Alcotest.test_case "context coder is byte-identical and lint-clean on \
+                        every workload"
+      `Slow
+      (fun () ->
+        List.iter
+          (fun wl ->
+            let r = squash_with `Context wl in
+            let sq = r.Squash.squashed in
+            Alcotest.(check string)
+              (wl.Workload.name ^ " coder") "context"
+              (Compress.coder_name sq.Rewrite.codes);
+            Array.iteri
+              (fun rid (img : Rewrite.region_image) ->
+                let offsets = sq.Rewrite.blob_offsets in
+                let bit_end =
+                  if rid + 1 < Array.length offsets then Some offsets.(rid + 1)
+                  else None
+                in
+                let instrs, work =
+                  Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
+                    ~bit_offset:offsets.(rid) ?bit_end ()
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s region %d stream" wl.Workload.name rid)
+                  true
+                  (List.equal Instr.equal instrs img.Rewrite.stream);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s region %d work" wl.Workload.name rid)
+                  true
+                  (work.Compress.bits > 0 && work.Compress.steps >= 0))
+              sq.Rewrite.images;
+            let errs = Verify.errors (Verify.run sq) in
+            Alcotest.(check int)
+              (wl.Workload.name ^ " lint errors")
+              0 (List.length errs))
+          Workloads.all);
+    Alcotest.test_case "context coder beats huffman on a majority of workloads"
+      `Slow
+      (fun () ->
+        let wins, total =
+          List.fold_left
+            (fun (wins, total) wl ->
+              let ctx = total_bits (squash_with `Context wl) in
+              let huf = total_bits (squash_with `Split_stream wl) in
+              ((if ctx < huf then wins + 1 else wins), total + 1))
+            (0, 0) Workloads.all
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "context wins %d/%d" wins total)
+          true
+          (2 * wins > total));
+  ]
+
+let suite = [ ("coder", property_tests @ workload_tests) ]

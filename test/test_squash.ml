@@ -366,13 +366,13 @@ int main() {
 
 let checker_tests =
   [
-    Alcotest.test_case "Check accepts images from every codec and θ" `Quick
+    Alcotest.test_case "Check accepts images from every coder and θ" `Quick
       (fun () ->
         let p = squeeze (compile hot_cold_src) in
         List.iter
-          (fun (theta, codec) ->
+          (fun (theta, coder) ->
             let r =
-              squash ~options:{ Squash.default_options with Squash.theta; codec }
+              squash ~options:{ Squash.default_options with Squash.theta; coder }
                 ~profile_input:"n" p
             in
             match Check.check r.Squash.squashed with
@@ -380,7 +380,8 @@ let checker_tests =
             | Error es ->
               Alcotest.failf "θ=%g: %s" theta (String.concat "; " es))
           [ (0.0, `Split_stream); (1.0, `Split_stream); (1.0, `Split_stream_mtf);
-            (1.0, `Lzss); (0.001, `Split_stream) ]);
+            (1.0, `Lzss); (1.0, `Context); (0.001, `Split_stream);
+            (0.001, `Context) ]);
     Alcotest.test_case "Check rejects a corrupted offset table" `Quick (fun () ->
         let p = squeeze (compile hot_cold_src) in
         let r =
@@ -460,13 +461,13 @@ let checker_tests =
 
 let variant_tests =
   [
-    Alcotest.test_case "MTF codec round-trips and runs" `Quick (fun () ->
+    Alcotest.test_case "MTF coder round-trips and runs" `Quick (fun () ->
         let p = squeeze (compile hot_cold_src) in
         let r =
           squash
             ~options:
               { Squash.default_options with Squash.theta = 1.0;
-                codec = `Split_stream_mtf }
+                coder = `Split_stream_mtf }
             ~profile_input:"n" p
         in
         Alcotest.(check bool) "backend recorded" true
@@ -475,17 +476,33 @@ let variant_tests =
         let o2, stats = run_squashed ~input:"x" r in
         check_same "mtf" o1 o2;
         Alcotest.(check bool) "decompressed" true (stats.Runtime.decompressions > 0));
-    Alcotest.test_case "LZSS codec round-trips and runs" `Quick (fun () ->
+    Alcotest.test_case "LZSS coder round-trips and runs" `Quick (fun () ->
         let p = squeeze (compile hot_cold_src) in
         let r =
           squash
             ~options:
-              { Squash.default_options with Squash.theta = 1.0; codec = `Lzss }
+              { Squash.default_options with Squash.theta = 1.0; coder = `Lzss }
             ~profile_input:"n" p
         in
         let o1 = run_orig ~input:"x" p in
         let o2, _ = run_squashed ~input:"x" r in
         check_same "lzss" o1 o2);
+    Alcotest.test_case "Context coder round-trips and runs" `Quick (fun () ->
+        let p = squeeze (compile hot_cold_src) in
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; coder = `Context }
+            ~profile_input:"n" p
+        in
+        Alcotest.(check bool) "backend recorded" true
+          (Compress.backend_of r.Squash.squashed.Rewrite.codes = `Context);
+        Alcotest.(check string) "coder name" "context"
+          (Compress.coder_name r.Squash.squashed.Rewrite.codes);
+        let o1 = run_orig ~input:"x" p in
+        let o2, stats = run_squashed ~input:"x" r in
+        check_same "context" o1 o2;
+        Alcotest.(check bool) "decompressed" true (stats.Runtime.decompressions > 0));
     Alcotest.test_case "linear region strategy preserves behaviour" `Quick
       (fun () ->
         let p = squeeze (compile hot_cold_src) in
@@ -499,14 +516,14 @@ let variant_tests =
         let o1 = run_orig ~input:"x" p in
         let o2, _ = run_squashed ~input:"x" r in
         check_same "linear" o1 o2);
-    Alcotest.test_case "all region streams round-trip under every codec" `Quick
+    Alcotest.test_case "all region streams round-trip under every coder" `Quick
       (fun () ->
         let p = squeeze (compile hot_cold_src) in
         List.iter
-          (fun codec ->
+          (fun coder ->
             let r =
               squash
-                ~options:{ Squash.default_options with Squash.theta = 1.0; codec }
+                ~options:{ Squash.default_options with Squash.theta = 1.0; coder }
                 p
             in
             let sq = r.Squash.squashed in
@@ -523,9 +540,10 @@ let variant_tests =
                 in
                 if not (List.equal Instr.equal decoded img.Rewrite.stream) then
                   Alcotest.failf "region %d stream mismatch" i;
-                Alcotest.(check bool) "work positive" true (work > 0))
+                Alcotest.(check bool) "work positive" true
+                  (work.Compress.bits > 0 && work.Compress.steps >= 0))
               sq.Rewrite.images)
-          [ `Split_stream; `Split_stream_mtf; `Lzss ]);
+          [ `Split_stream; `Split_stream_mtf; `Lzss; `Context ]);
   ]
 
 let differential_tests =
@@ -581,9 +599,12 @@ let differential_tests =
             done)
           [ ("mtf",
              { Squash.default_options with Squash.theta = 1.0;
-               codec = `Split_stream_mtf });
+               coder = `Split_stream_mtf });
             ("lzss",
-             { Squash.default_options with Squash.theta = 1.0; codec = `Lzss });
+             { Squash.default_options with Squash.theta = 1.0; coder = `Lzss });
+            ("context",
+             { Squash.default_options with Squash.theta = 1.0;
+               coder = `Context });
             ("linear",
              { Squash.default_options with Squash.theta = 1.0;
                regions_strategy = `Linear }) ]);
