@@ -39,6 +39,14 @@ let micro_tests () =
       ignore (Canonical.decode code r)
     done
   in
+  (* The pre-table decoder (one bit per loop iteration), kept as the
+     slow-path fallback — benched against the table-driven decode above. *)
+  let decode_bitloop_512 () =
+    let r = Bitio.Reader.of_string encoded in
+    for _ = 1 to 512 do
+      ignore (Canonical.decode_bitloop code r)
+    done
+  in
   (* A squashed workload for decompression and end-to-end timing. *)
   let prepared = Exp_data.prepare (List.hd Workloads.all) in
   let result =
@@ -64,6 +72,7 @@ let micro_tests () =
   let huffman_build () = ignore (Canonical.of_freqs freqs) in
   [
     Test.make ~name:"canonical-decode-512sym" (Staged.stage decode_512);
+    Test.make ~name:"canonical-bitloop-512sym" (Staged.stage decode_bitloop_512);
     Test.make ~name:"canonical-build-48sym" (Staged.stage huffman_build);
     Test.make
       ~name:(Printf.sprintf "decompress-region-%dw" biggest.Rewrite.buffer_words)

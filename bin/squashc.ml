@@ -102,6 +102,14 @@ let prepare prog_name no_squeeze =
   let prog = if no_squeeze then prog else fst (Squeeze.run prog) in
   (prog, wl)
 
+let cache_slots_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cache-slots" ] ~docv:"N"
+        ~doc:"Number of decompressed-region cache slots the runtime keeps \
+              resident (default 1; each extra slot costs one buffer's worth \
+              of RAM and saves re-inflations).")
+
 (* --- compile -------------------------------------------------------- *)
 
 let compile_cmd =
@@ -160,7 +168,8 @@ let run_cmd =
       & info [ "k" ] ~docv:"BYTES"
           ~doc:"Runtime-buffer bound for the $(b,--trace) squash.")
   in
-  let run prog_name no_squeeze inputs fuel trace_out trace_format theta k_bytes =
+  let run prog_name no_squeeze inputs fuel trace_out trace_format theta k_bytes
+      cache_slots =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     match trace_out with
@@ -179,7 +188,7 @@ let run_cmd =
       let options = { Squash.default_options with Squash.theta; k_bytes } in
       let result = Squash.run ~options ~obs prog profile in
       let outcome, stats =
-        Runtime.run ~fuel ~obs result.Squash.squashed ~input
+        Runtime.run ~fuel ~slots:cache_slots ~obs result.Squash.squashed ~input
       in
       print_string outcome.Vm.output;
       let tr = Option.get obs.Obs.trace in
@@ -188,11 +197,11 @@ let run_cmd =
         write_file path (Report.Json.to_string (Obs.Trace.to_chrome tr) ^ "\n")
       | `Jsonl -> write_file path (Obs.Trace.to_jsonl tr));
       Printf.eprintf
-        "[exit %d, %d instructions, %d cycles, %d decompressions; %d events \
-         (%d dropped) -> %s]\n"
+        "[exit %d, %d instructions, %d cycles, %d decompressions, %d cache \
+         hits; %d events (%d dropped) -> %s]\n"
         outcome.Vm.exit_code outcome.Vm.icount outcome.Vm.cycles
-        stats.Runtime.decompressions (Obs.Trace.emitted tr)
-        (Obs.Trace.dropped tr) path;
+        stats.Runtime.decompressions stats.Runtime.cache_hits
+        (Obs.Trace.emitted tr) (Obs.Trace.dropped tr) path;
       exit outcome.Vm.exit_code
   in
   Cmd.v
@@ -201,7 +210,7 @@ let run_cmd =
              squash it and trace the squashed execution).")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ fuel $ trace_out
-      $ trace_format $ theta $ k_bytes)
+      $ trace_format $ theta $ k_bytes $ cache_slots_arg)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -364,8 +373,8 @@ let squash_cmd =
                 included in the total).")
   in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
-      no_unswitch sharp_bsafe coder linear_regions verify trace_passes check_each
-      stats_json stream_bits =
+      no_unswitch sharp_bsafe coder linear_regions verify cache_slots
+      trace_passes check_each stats_json stream_bits =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -440,15 +449,18 @@ let squash_cmd =
         match wl with Some wl -> Workload.timing_input wl | None -> input
       in
       let baseline = Vm.run (Vm.of_image (Layout.emit prog) ~input:timing) in
-      let outcome, stats = Runtime.run ~obs result.Squash.squashed ~input:timing in
+      let outcome, stats =
+        Runtime.run ~slots:cache_slots ~obs result.Squash.squashed ~input:timing
+      in
       runtime_stats := Some stats;
       if
         outcome.Vm.output = baseline.Vm.output
         && outcome.Vm.exit_code = baseline.Vm.exit_code
       then
         Format.printf
-          "verified: identical behaviour; %d decompressions, %.2fx cycles@."
-          stats.Runtime.decompressions
+          "verified: identical behaviour; %d decompressions, %d cache hits, \
+           %.2fx cycles@."
+          stats.Runtime.decompressions stats.Runtime.cache_hits
           (float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles)
       else begin
         Format.printf "VERIFICATION FAILED: behaviour diverged@.";
@@ -486,8 +498,8 @@ let squash_cmd =
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
       $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ coder
-      $ linear_regions $ verify $ trace_passes $ check_each $ stats_json
-      $ stream_bits)
+      $ linear_regions $ verify $ cache_slots_arg $ trace_passes $ check_each
+      $ stats_json $ stream_bits)
 
 (* --- attrib ----------------------------------------------------------- *)
 
@@ -517,7 +529,8 @@ let attrib_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the attribution rows and totals as JSON.")
   in
-  let run prog_name no_squeeze inputs theta k_bytes profile_file json_out =
+  let run prog_name no_squeeze inputs theta k_bytes cache_slots profile_file
+      json_out =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -534,12 +547,16 @@ let attrib_cmd =
     let timing =
       match wl with Some wl -> Workload.timing_input wl | None -> input
     in
-    let outcome, stats = Runtime.run result.Squash.squashed ~input:timing in
+    let outcome, stats =
+      Runtime.run ~slots:cache_slots result.Squash.squashed ~input:timing
+    in
     let a = Attrib.compute ~profile result stats in
     print_string (Attrib.render a);
     Printf.printf
-      "overhead: %d decompressions, %d cycles (%.2f%% of %d total cycles)\n"
-      a.Attrib.total_decompressions a.Attrib.total_cycles
+      "overhead: %d decompressions (%d cache hits), %d cycles (%.2f%% of %d \
+       total cycles)\n"
+      a.Attrib.total_decompressions stats.Runtime.cache_hits
+      a.Attrib.total_cycles
       (if outcome.Vm.cycles > 0 then
          100.0 *. float_of_int a.Attrib.total_cycles
          /. float_of_int outcome.Vm.cycles
@@ -557,7 +574,7 @@ let attrib_cmd =
              region.")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
-      $ profile_file $ json_out)
+      $ cache_slots_arg $ profile_file $ json_out)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -641,8 +658,8 @@ let grid_cmd =
       & info [ "engine-stats" ]
           ~doc:"Print the per-job wall-clock table after the grid.")
   in
-  let run names thetas ks timing jobs no_cache cache_dir json_out csv_out
-      stats_flag =
+  let run names thetas ks timing cache_slots jobs no_cache cache_dir json_out
+      csv_out stats_flag =
     let wls =
       match names with
       | [] -> Workloads.all
@@ -670,7 +687,7 @@ let grid_cmd =
             (fun theta ->
               List.map
                 (fun wl ->
-                  Exp_grid.cell ~timing wl
+                  Exp_grid.cell ~timing ~slots:cache_slots wl
                     { Squash.default_options with Squash.theta; k_bytes = k })
                 wls)
             thetas)
@@ -715,8 +732,8 @@ let grid_cmd =
        ~doc:"Run a workload x theta x K sweep on the parallel experiment \
              engine.")
     Term.(
-      const run $ workloads_arg $ thetas $ ks $ timing $ jobs $ no_cache
-      $ cache_dir $ json_out $ csv_out $ stats_flag)
+      const run $ workloads_arg $ thetas $ ks $ timing $ cache_slots_arg $ jobs
+      $ no_cache $ cache_dir $ json_out $ csv_out $ stats_flag)
 
 (* --- lint ------------------------------------------------------------- *)
 

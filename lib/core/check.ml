@@ -94,7 +94,9 @@ let check (sq : Rewrite.t) =
       | decoded, _ ->
         if not (List.equal Instr.equal decoded img.Rewrite.stream) then
           err "region %d: compressed stream does not decode to its image" rid
-      | exception Failure msg -> err "region %d: decode failed: %s" rid msg);
+      | exception Failure msg -> err "region %d: decode failed: %s" rid msg
+      | exception Bitio.Corrupt_stream msg ->
+        err "region %d: decode failed: %s" rid msg);
       (* Image structure. *)
       let block_heads =
         Hashtbl.fold (fun _ o acc -> o :: acc) img.Rewrite.block_offset []

@@ -236,10 +236,11 @@ module M = struct
     let read stream ctx =
       let si = Instr.stream_index stream in
       let code, is_dedicated = code_for model si ctx in
-      let sym, b = Canonical.decode code r in
+      let sym, b, probes = Canonical.decode code r in
       bits := !bits + b;
-      (* Selecting a context-dedicated table is one model step; walking a
-         recency list costs rank steps. *)
+      (* Decode-table probes, plus one step to select a context-dedicated
+         table; walking a recency list costs rank steps. *)
+      steps := !steps + probes;
       if is_dedicated then incr steps;
       if model.mtf.(si) then begin
         steps := !steps + sym;
@@ -250,7 +251,7 @@ module M = struct
     let rec go prev acc =
       let op = read Instr.Opcode prev in
       match Instr.rebuild ~opcode:op (fun s -> read s op) with
-      | Error msg -> failwith ("Coder_context.decode_region: " ^ msg)
+      | Error msg -> raise (Bitio.Corrupt_stream ("Coder_context.decode_region: " ^ msg))
       | Ok Instr.Sentinel -> List.rev acc
       | Ok ins -> go op (ins :: acc)
     in

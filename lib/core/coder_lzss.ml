@@ -29,15 +29,16 @@ module M = struct
       failwith "Coder_lzss.decode_region: bad slice";
     let bytes, steps = Lzss.decompress (String.sub blob lo (hi - lo)) in
     if String.length bytes mod 4 <> 0 then
-      failwith "Coder_lzss.decode_region: output not word-aligned";
+      raise (Bitio.Corrupt_stream "Coder_lzss.decode_region: output not word-aligned");
     let nwords = String.length bytes / 4 in
     let rec go i acc =
-      if i >= nwords then failwith "Coder_lzss.decode_region: missing sentinel"
+      if i >= nwords then
+        raise (Bitio.Corrupt_stream "Coder_lzss.decode_region: missing sentinel")
       else begin
         let byte j = Char.code bytes.[(4 * i) + j] in
         let w = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
         match Instr.decode w with
-        | Error msg -> failwith ("Coder_lzss.decode_region: " ^ msg)
+        | Error msg -> raise (Bitio.Corrupt_stream ("Coder_lzss.decode_region: " ^ msg))
         | Ok Instr.Sentinel -> List.rev acc
         | Ok ins -> go (i + 1) (ins :: acc)
       end

@@ -80,21 +80,22 @@ module Plain = struct
 
   let decode_region { per_stream } blob ~bit_offset ~bit_end:_ =
     let r = Bitio.Reader.of_string ~start_bit:bit_offset blob in
-    let bits = ref 0 in
+    let bits = ref 0 and steps = ref 0 in
     let read stream =
-      let v, b = Canonical.decode (code_for per_stream stream) r in
+      let v, b, probes = Canonical.decode (code_for per_stream stream) r in
       bits := !bits + b;
+      steps := !steps + probes;
       v
     in
     let rec go acc =
       let opcode = read Instr.Opcode in
       match Instr.rebuild ~opcode (fun s -> read s) with
-      | Error msg -> failwith ("Coder_split.decode_region: " ^ msg)
+      | Error msg -> raise (Bitio.Corrupt_stream ("Coder_split.decode_region: " ^ msg))
       | Ok Instr.Sentinel -> List.rev acc
       | Ok ins -> go (ins :: acc)
     in
     let instrs = go [] in
-    (instrs, { Coder.bits = !bits; steps = 0 })
+    (instrs, { Coder.bits = !bits; steps = !steps })
 
   let table_bits { per_stream } = huffman_table_bits per_stream
   let stream_stats { per_stream } = huffman_stream_stats per_stream
@@ -186,16 +187,16 @@ module Mtf = struct
     let bits = ref 0 and steps = ref 0 in
     let state = Coder.Mtf_state.create alphabets in
     let read stream =
-      let rank, b = Canonical.decode (code_for mtf_per_stream stream) r in
+      let rank, b, probes = Canonical.decode (code_for mtf_per_stream stream) r in
       bits := !bits + b;
-      (* Walking the recency list costs rank steps. *)
-      steps := !steps + rank;
+      (* Walking the recency list costs rank steps on top of the probes. *)
+      steps := !steps + probes + rank;
       Coder.Mtf_state.value_at state (Instr.stream_index stream) rank
     in
     let rec go acc =
       let opcode = read Instr.Opcode in
       match Instr.rebuild ~opcode (fun s -> read s) with
-      | Error msg -> failwith ("Coder_split.decode_region: " ^ msg)
+      | Error msg -> raise (Bitio.Corrupt_stream ("Coder_split.decode_region: " ^ msg))
       | Ok Instr.Sentinel -> List.rev acc
       | Ok ins -> go (ins :: acc)
     in

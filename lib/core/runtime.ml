@@ -3,6 +3,8 @@ type stats = {
   mutable bits_decoded : int;
   mutable model_steps : int;
   mutable words_materialised : int;
+  mutable cache_hits : int;
+  mutable cache_evictions : int;
   mutable stub_creates : int;
   mutable stub_reuses : int;
   mutable stub_frees : int;
@@ -21,6 +23,8 @@ let stats_to_json (s : stats) =
       ("bits_decoded", Int s.bits_decoded);
       ("model_steps", Int s.model_steps);
       ("words_materialised", Int s.words_materialised);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_evictions", Int s.cache_evictions);
       ("stub_creates", Int s.stub_creates);
       ("stub_reuses", Int s.stub_reuses);
       ("stub_frees", Int s.stub_frees);
@@ -32,9 +36,14 @@ let stats_to_json (s : stats) =
 
 (* Replay end-of-run aggregates into a metrics registry.  Used when the
    run itself happened elsewhere (e.g. a cached timing result) so live
-   events never fired; deterministic for a given stats value. *)
+   events never fired; deterministic for a given stats value.  Every
+   decompression is by definition a cache miss, so the miss counter is
+   replayed from [decompressions]. *)
 let observe_stats (o : Obs.t) (s : stats) =
   Obs.incr o ~by:s.decompressions "runtime.decompressions";
+  Obs.incr o ~by:s.decompressions "runtime.cache_misses";
+  Obs.incr o ~by:s.cache_hits "runtime.cache_hits";
+  Obs.incr o ~by:s.cache_evictions "runtime.cache_evictions";
   Obs.incr o ~by:s.bits_decoded "runtime.bits_decoded";
   Obs.incr o ~by:s.model_steps "runtime.model_steps";
   Obs.incr o ~by:s.words_materialised "runtime.words_materialised";
@@ -47,25 +56,81 @@ let observe_stats (o : Obs.t) (s : stats) =
     s.per_region
 
 type stub_slot = { mutable key : int * int; mutable count : int }
-(* key = (region id, return address); count = 0 means free *)
+(* key = (region id, slot-relative resume offset); count = 0 means free.
+   The key is slot-independent on purpose: a region that re-materialises in
+   a different cache slot and makes the same outgoing call reuses the same
+   restore stub, because the stub's tag already names the (region, offset)
+   pair rather than an absolute buffer address. *)
+
+type cache_slot = { mutable rid : int; mutable stamp : int }
+(* One decompressed-region buffer: [rid] is the resident region (-1 when
+   empty), [stamp] the LRU clock value of its last use. *)
 
 type state = {
   sq : Rewrite.t;
   cost : Cost.model;
   stats : stats;
   slots : stub_slot array;
-  by_key : (int * int, int) Hashtbl.t;  (* key -> slot index *)
-  mutable current_region : int;  (* region currently in the buffer; -1 if none *)
+  by_key : (int * int, int) Hashtbl.t;  (* key -> stub slot index *)
+  cache : cache_slot array;
+  region_slot : int array;  (* region id -> cache slot index; -1 if absent *)
+  region_refs : int array;  (* region id -> live restore stubs tagged with it *)
+  mutable tick : int;  (* LRU clock *)
   obs : Obs.t option;
   stub_born : int array;  (* cycle stamp when the slot last became live *)
   mutable last_decomp_end : int;  (* cycle stamp of the previous decompression *)
 }
 
 let stub_addr st slot = st.sq.Rewrite.stub_base + (16 * slot)
+let slot_base st slot = st.sq.Rewrite.buffer_base + (4 * st.sq.Rewrite.buffer_words * slot)
 
-(* Materialise region [rid] into the runtime buffer and charge cycles. *)
-let decompress st vm rid =
+let touch st slot =
+  st.tick <- st.tick + 1;
+  st.cache.(slot).stamp <- st.tick
+
+(* Choose the cache slot for an incoming materialisation: an empty slot if
+   one exists, otherwise evict the least-recently-used slot, preferring
+   victims whose region has no live restore stubs.  (Evicting a referenced
+   region is still functionally safe — stub tags are (region, offset)
+   pairs resolved through the residency map on re-entry — it just makes a
+   future miss more likely, so referenced regions go last.) *)
+let pick_slot st vm =
+  let n = Array.length st.cache in
+  let empty = ref (-1) in
+  for s = n - 1 downto 0 do
+    if st.cache.(s).rid < 0 then empty := s
+  done;
+  if !empty >= 0 then !empty
+  else begin
+    let score s =
+      let c = st.cache.(s) in
+      ((if st.region_refs.(c.rid) > 0 then 1 else 0), c.stamp)
+    in
+    let victim = ref 0 in
+    for s = 1 to n - 1 do
+      if score s < score !victim then victim := s
+    done;
+    let c = st.cache.(!victim) in
+    st.region_slot.(c.rid) <- -1;
+    st.stats.cache_evictions <- st.stats.cache_evictions + 1;
+    (match st.obs with
+    | None -> ()
+    | Some o ->
+      Obs.event o
+        { ts = Obs.Event.Cycles (Vm.cycles vm);
+          payload = Obs.Event.Cache_evict { region = c.rid; slot = !victim } };
+      Obs.incr o "runtime.cache_evictions");
+    c.rid <- -1;
+    !victim
+  end
+
+(* Materialise region [rid] into cache slot [slot] and charge cycles.  The
+   slot decides the buffer base, so every pc-relative displacement and
+   every stub resume offset is computed against this materialisation's
+   address, not a global buffer. *)
+let decompress st vm rid ~slot =
   let sq = st.sq in
+  let base = slot_base st slot in
   let offsets = sq.Rewrite.blob_offsets in
   let bit_end =
     if rid + 1 < Array.length offsets then Some offsets.(rid + 1) else None
@@ -82,12 +147,22 @@ let decompress st vm rid =
   in
   let pos = ref 0 in
   let put w =
-    Vm.store_word vm (sq.Rewrite.buffer_base + (4 * !pos)) w;
+    Vm.store_word vm (base + (4 * !pos)) w;
     incr pos
   in
   let pc_rel_to target =
     (* Displacement for an instruction being placed at position !pos. *)
-    (target - (sq.Rewrite.buffer_base + (4 * (!pos + 1)))) asr 2
+    (target - (base + (4 * (!pos + 1)))) asr 2
+  in
+  let delta = sq.Rewrite.buffer_words * slot in
+  let rebias disp =
+    (* Stream displacements were computed for a slot-0 materialisation
+       (Rewrite's [pc_rel]).  Intra-region targets move with the buffer, so
+       their relative displacement is unchanged; external targets (text,
+       the runtime entry points) sit below the buffer area and must be
+       re-aimed from this slot's base. *)
+    let target0 = sq.Rewrite.buffer_base + (4 * (!pos + 1)) + (4 * disp) in
+    if target0 >= sq.Rewrite.buffer_base then disp else disp - delta
   in
   List.iter
     (fun ins ->
@@ -97,15 +172,20 @@ let decompress st vm rid =
         put
           (Instr.encode
              (Instr.Bsr { ra; disp = pc_rel_to (Rewrite.create_stub_entry sq ra) }));
-        put (Instr.encode (Instr.Br { ra = Reg.zero; disp }))
+        put (Instr.encode (Instr.Br { ra = Reg.zero; disp = rebias disp }))
       | Instr.Jsr { ra; rb; hint = 1 } ->
         put
           (Instr.encode
              (Instr.Bsr { ra; disp = pc_rel_to (Rewrite.create_stub_entry sq ra) }));
         put (Instr.encode (Instr.Jmp { ra = Reg.zero; rb; hint = 0 }))
+      | Instr.Br { ra; disp } -> put (Instr.encode (Instr.Br { ra; disp = rebias disp }))
+      | Instr.Cbr { op; ra; disp } ->
+        put (Instr.encode (Instr.Cbr { op; ra; disp = rebias disp }))
+      | Instr.Bsr { ra; disp } -> put (Instr.encode (Instr.Bsr { ra; disp = rebias disp }))
       | ins -> put (Instr.encode ins))
     instrs;
-  st.current_region <- rid;
+  st.cache.(slot).rid <- rid;
+  st.region_slot.(rid) <- slot;
   st.stats.decompressions <- st.stats.decompressions + 1;
   st.stats.bits_decoded <- st.stats.bits_decoded + bits;
   st.stats.model_steps <- st.stats.model_steps + steps;
@@ -129,6 +209,7 @@ let decompress st vm rid =
         payload =
           Obs.Event.Decomp_end { region = rid; bits; words = !pos; cycles = charged } };
     Obs.incr o "runtime.decompressions";
+    Obs.incr o "runtime.cache_misses";
     Obs.incr o ~by:bits "runtime.bits_decoded";
     Obs.incr o ~by:steps "runtime.model_steps";
     Obs.incr o ~by:!pos "runtime.words_materialised";
@@ -157,6 +238,7 @@ let decomp_hook st ~r ~push_form vm =
       Vm.store_word vm (stub_addr st slot + 8) s.count;
       if s.count = 0 then begin
         Hashtbl.remove st.by_key s.key;
+        st.region_refs.(fst s.key) <- st.region_refs.(fst s.key) - 1;
         st.stats.stub_frees <- st.stats.stub_frees + 1;
         st.stats.live_stubs <- st.stats.live_stubs - 1;
         match st.obs with
@@ -178,8 +260,26 @@ let decomp_hook st ~r ~push_form vm =
     let saved = Vm.load_word vm (Vm.reg vm Reg.sp - 4) in
     Vm.set_reg vm Reg.ra saved
   end;
-  decompress st vm rid;
-  let dest = st.sq.Rewrite.buffer_base + (4 * off) in
+  let slot =
+    match st.region_slot.(rid) with
+    | slot when slot >= 0 ->
+      (* Resident-region fast path: the tagged region is already
+         materialised and still valid (buffer slots are only written by
+         the decompressor), so re-entry pays a flat dispatch cost instead
+         of a full decode. *)
+      st.stats.cache_hits <- st.stats.cache_hits + 1;
+      st.stats.per_region_cycles.(rid) <-
+        st.stats.per_region_cycles.(rid) + st.cost.Cost.decomp_cache_hit;
+      Vm.add_cycles vm st.cost.Cost.decomp_cache_hit;
+      (match st.obs with None -> () | Some o -> Obs.incr o "runtime.cache_hits");
+      slot
+    | _ ->
+      let slot = pick_slot st vm in
+      decompress st vm rid ~slot;
+      slot
+  in
+  touch st slot;
+  let dest = slot_base st slot + (4 * off) in
   Vm.set_pc vm dest;
   match st.obs with
   | None -> ()
@@ -190,12 +290,28 @@ let decomp_hook st ~r ~push_form vm =
 
 (* CreateStub entry for return-address register [r] (paper, Fig. 2): called
    from the buffer just before an outgoing call; redirects the call's return
-   address to a (new or reference-bumped) restore stub. *)
+   address to a (new or reference-bumped) restore stub.  The calling region
+   is recovered from the return address: it must land inside a live cache
+   slot, and that slot's base yields the slot-relative resume offset the
+   stub tag carries. *)
 let create_stub_hook st ~r vm =
   let ret = Vm.reg vm r in
+  let bw = st.sq.Rewrite.buffer_words in
+  let cslot =
+    if bw <= 0 then -1 else (ret - st.sq.Rewrite.buffer_base) / (4 * bw)
+  in
+  if
+    ret < st.sq.Rewrite.buffer_base
+    || cslot >= Array.length st.cache
+    || cslot < 0
+    || st.cache.(cslot).rid < 0
+  then
+    raise
+      (Vm.Trap { pc = Vm.pc vm; reason = "createstub: return address outside a live slot" });
+  let region = st.cache.(cslot).rid in
   (* ret points at the br/jmp word following the bsr in the buffer. *)
-  let resume_off = ((ret - st.sq.Rewrite.buffer_base) / 4) + 1 in
-  let key = (st.current_region, ret) in
+  let resume_off = ((ret - slot_base st cslot) / 4) + 1 in
+  let key = (region, resume_off) in
   let slot =
     match Hashtbl.find_opt st.by_key key with
     | Some slot ->
@@ -209,8 +325,7 @@ let create_stub_hook st ~r vm =
         Obs.event o
           { ts = Obs.Event.Cycles (Vm.cycles vm);
             payload =
-              Obs.Event.Stub_reuse
-                { region = st.current_region; ret; live = st.stats.live_stubs } };
+              Obs.Event.Stub_reuse { region; ret; live = st.stats.live_stubs } };
         Obs.incr o "runtime.stub_reuses");
       slot
     | None ->
@@ -231,11 +346,12 @@ let create_stub_hook st ~r vm =
       let base = stub_addr st slot in
       let bsr_disp = (Rewrite.decomp_entry st.sq r - (base + 4)) asr 2 in
       Vm.store_word vm base (Instr.encode (Instr.Bsr { ra = r; disp = bsr_disp }));
-      if st.current_region > 0xFFFF || resume_off > 0xFFFF then
+      if region > 0xFFFF || resume_off > 0xFFFF then
         raise (Vm.Trap { pc = Vm.pc vm; reason = "createstub: tag overflow" });
-      Vm.store_word vm (base + 4) ((st.current_region lsl 16) lor resume_off);
+      Vm.store_word vm (base + 4) ((region lsl 16) lor resume_off);
       Vm.store_word vm (base + 8) 1;
       Vm.store_word vm (base + 12) (ret land Word.mask);
+      st.region_refs.(region) <- st.region_refs.(region) + 1;
       st.stats.stub_creates <- st.stats.stub_creates + 1;
       st.stats.live_stubs <- st.stats.live_stubs + 1;
       if st.stats.live_stubs > st.stats.max_live_stubs then
@@ -248,19 +364,20 @@ let create_stub_hook st ~r vm =
         Obs.event o
           { ts = Obs.Event.Cycles now;
             payload =
-              Obs.Event.Stub_create
-                { region = st.current_region; ret; live = st.stats.live_stubs } };
+              Obs.Event.Stub_create { region; ret; live = st.stats.live_stubs } };
         Obs.incr o "runtime.stub_creates";
         Obs.max_gauge o "runtime.max_live_stubs" st.stats.live_stubs);
       slot
   in
   Vm.set_reg vm r (stub_addr st slot);
-  (* CreateStub itself is short; charge a flat handful of cycles. *)
-  Vm.add_cycles vm 20;
+  Vm.add_cycles vm st.cost.Cost.stub_invoke;
   Vm.set_pc vm ret
 
-let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
+let launch ?(cost = Cost.default) ?fuel ?obs ?(slots = 1) (sq : Rewrite.t) ~input =
+  if slots < 1 then invalid_arg "Runtime.launch: slots must be >= 1";
   let nregions = Array.length sq.Rewrite.images in
+  if sq.Rewrite.buffer_base + (4 * sq.Rewrite.buffer_words * slots) > Layout.data_base
+  then invalid_arg "Runtime.launch: cache slots overflow the buffer area";
   (* Assemble the loadable text: the Easm image, plus the offset table and
      blob words at blob_base.  Both live inside one flat array starting at
      text_base (the gap is zero words). *)
@@ -290,6 +407,8 @@ let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
       bits_decoded = 0;
       model_steps = 0;
       words_materialised = 0;
+      cache_hits = 0;
+      cache_evictions = 0;
       stub_creates = 0;
       stub_reuses = 0;
       stub_frees = 0;
@@ -306,7 +425,10 @@ let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
       stats;
       slots = Array.init sq.Rewrite.max_stubs (fun _ -> { key = (-1, -1); count = 0 });
       by_key = Hashtbl.create 16;
-      current_region = -1;
+      cache = Array.init slots (fun _ -> { rid = -1; stamp = 0 });
+      region_slot = Array.make (max 1 nregions) (-1);
+      region_refs = Array.make (max 1 nregions) 0;
+      tick = 0;
       obs;
       stub_born = Array.make (max 1 sq.Rewrite.max_stubs) 0;
       last_decomp_end = -1;
@@ -322,6 +444,6 @@ let launch ?(cost = Cost.default) ?fuel ?obs (sq : Rewrite.t) ~input =
     (decomp_hook st ~r:Reg.ra ~push_form:true);
   (vm, stats)
 
-let run ?cost ?fuel ?obs sq ~input =
-  let vm, stats = launch ?cost ?fuel ?obs sq ~input in
+let run ?cost ?fuel ?obs ?slots sq ~input =
+  let vm, stats = launch ?cost ?fuel ?obs ?slots sq ~input in
   (Vm.run vm, stats)

@@ -4,21 +4,40 @@
 
     The engine performs the real work against simulated memory — canonical
     Huffman decoding from the compressed bitstream, materialising
-    instruction words into the runtime buffer (which invalidates the VM's
-    decode cache, standing in for the instruction-cache flush), creating
-    and reference-counting restore stubs in the stub area — and charges
-    simulated cycles derived from that work via the {!Cost.model}:
+    instruction words into a runtime buffer slot (which invalidates the
+    VM's decode cache, standing in for the instruction-cache flush),
+    creating and reference-counting restore stubs in the stub area — and
+    charges simulated cycles derived from that work via the {!Cost.model}:
     [decomp_invoke + bits·decomp_per_bit + steps·decomp_per_step +
     words·decomp_per_instr + icache_flush] per decompression, where the
-    bits and model steps come from the coder's {!Compress.work} report. *)
+    bits and model steps come from the coder's {!Compress.work} report.
+
+    The buffer is a {e cache} of [slots] decompressed-region slots (paper:
+    one).  A decompressor entry whose region is already resident jumps
+    straight back into the buffer for a flat [decomp_cache_hit] charge;
+    otherwise the least-recently-used slot is evicted (slots whose region
+    holds live restore stubs are evicted last) and the region is
+    materialised into it.  Stub resume tags carry (region, slot-relative
+    offset) pairs resolved through the residency map at re-entry, so a
+    region may move between slots — or be evicted entirely — without
+    invalidating any live stub. *)
 
 type stats = {
   mutable decompressions : int;
   mutable bits_decoded : int;
   mutable model_steps : int;
-      (** Coder model steps beyond bit consumption (MTF walks,
-          context-table selections, LZSS copy steps). *)
+      (** Coder model steps: decode-table probes plus work beyond bit
+          consumption (MTF walks, context-table selections, LZSS copy
+          steps). *)
   mutable words_materialised : int;
+  mutable cache_hits : int;
+      (** Decompressor entries that found their region already resident in
+          a buffer slot (each one is a decompression avoided; misses equal
+          [decompressions]). *)
+  mutable cache_evictions : int;
+      (** Resident regions displaced to make room for another
+          materialisation (always 0 when every live region fits the slot
+          count). *)
   mutable stub_creates : int;
   mutable stub_reuses : int;
   mutable stub_frees : int;
@@ -26,7 +45,8 @@ type stats = {
   mutable max_live_stubs : int;  (** Paper: at most 9 at θ = 0.01. *)
   per_region : int array;  (** Decompression count per region. *)
   per_region_cycles : int array;
-      (** Simulated cycles charged for decompressing each region (sums to
+      (** Simulated cycles charged for decompressing each region,
+          including the flat re-entry charges of its cache hits (sums to
           the total runtime-overhead cycles attributable to the
           decompressor). *)
 }
@@ -37,21 +57,37 @@ val stats_to_json : stats -> Report.Json.t
     [squashc] and the bench harness. *)
 
 val observe_stats : Obs.t -> stats -> unit
-(** Replay end-of-run aggregates into a metrics registry (counters, the
-    [runtime.max_live_stubs] gauge, the region re-decompression
-    histogram).  For runs that happened elsewhere — e.g. a cached timing
-    result — where live events never fired. *)
+(** Replay end-of-run aggregates into a metrics registry (counters
+    including [runtime.cache_hits] / [runtime.cache_misses] /
+    [runtime.cache_evictions], the [runtime.max_live_stubs] gauge, the
+    region re-decompression histogram).  For runs that happened elsewhere
+    — e.g. a cached timing result — where live events never fired. *)
 
 val launch :
-  ?cost:Cost.model -> ?fuel:int -> ?obs:Obs.t -> Rewrite.t -> input:string -> Vm.t * stats
+  ?cost:Cost.model ->
+  ?fuel:int ->
+  ?obs:Obs.t ->
+  ?slots:int ->
+  Rewrite.t ->
+  input:string ->
+  Vm.t * stats
 (** Create a VM loaded with the squashed image (text, offset table,
-    compressed blob, stub area, buffer) and hook the runtime in.  With
-    [obs], the runtime emits decompression begin/end, buffer-entry and
+    compressed blob, stub area, buffer slots) and hook the runtime in.
+    [slots] (default 1) is the number of decompressed-region cache slots;
+    slot [s] occupies [buffer_base + 4·buffer_words·s].  With [obs], the
+    runtime emits decompression begin/end, buffer-entry, cache-evict and
     stub create/reuse/free events (timestamped in simulated cycles) and
     bumps the [runtime.*] metrics; without it the only overhead is one
-    branch per instrumented site, and the outcome is byte-identical. *)
+    branch per instrumented site, and the outcome is byte-identical.
+    @raise Invalid_argument if [slots < 1] or the slot array would overrun
+    the buffer area (which ends at the data segment). *)
 
 val run :
-  ?cost:Cost.model -> ?fuel:int -> ?obs:Obs.t -> Rewrite.t -> input:string ->
+  ?cost:Cost.model ->
+  ?fuel:int ->
+  ?obs:Obs.t ->
+  ?slots:int ->
+  Rewrite.t ->
+  input:string ->
   Vm.outcome * stats
 (** [launch] then {!Vm.run}. *)

@@ -260,6 +260,8 @@ let run (sq : Rewrite.t) =
         Compress.decode_region sq.Rewrite.codes sq.Rewrite.blob
           ~bit_offset:offsets.(rid) ?bit_end ()
       with
+      | exception Bitio.Corrupt_stream msg ->
+        diag Error Stream_mismatch site "stream does not decode: %s" msg
       | exception Failure msg ->
         diag Error Stream_mismatch site "stream does not decode: %s" msg
       | exception Invalid_argument msg ->

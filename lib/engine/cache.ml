@@ -1,7 +1,8 @@
 (* Bump whenever the Marshal layout of any cached payload changes
    (v2: hook_invocations in Vm.outcome, per-region cycles in
-   Runtime.stats). *)
-let schema_version = 3
+   Runtime.stats; v3: the coder variant in Compress.codes; v4: decode
+   tables inside Canonical.t, cache counters in Runtime.stats). *)
+let schema_version = 4
 
 let default_dir = "_cache"
 

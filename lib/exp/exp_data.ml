@@ -83,8 +83,11 @@ let squash_result p options =
         ~key:(Cache.digest [ p.digest; okey ])
         (fun () -> Squash.run ~options p.squeezed p.profile))
 
-let timing_run p (r : Squash.result) =
-  let okey = options_key r.Squash.options in
+let timing_run ?(slots = 1) p (r : Squash.result) =
+  let okey =
+    options_key r.Squash.options
+    ^ if slots = 1 then "" else Printf.sprintf "|slots=%d" slots
+  in
   Memo.get timing_memo (p.digest ^ "|" ^ okey) (fun () ->
       (* The divergence check runs before the entry is persisted, so a
          cached timing outcome is always a verified one. *)
@@ -92,7 +95,7 @@ let timing_run p (r : Squash.result) =
         ~key:(Cache.digest [ p.digest; okey ])
         (fun () ->
           let input = Workload.timing_input p.wl in
-          let outcome, stats = Runtime.run ~fuel r.Squash.squashed ~input in
+          let outcome, stats = Runtime.run ~fuel ~slots r.Squash.squashed ~input in
           let baseline = baseline_timing p in
           if
             outcome.Vm.output <> baseline.Vm.output

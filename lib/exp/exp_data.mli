@@ -58,11 +58,14 @@ val baseline_timing : prepared -> Vm.outcome
 val squash_result : prepared -> Squash.options -> Squash.result
 (** Memoized by (content digest, full option record). *)
 
-val timing_run : prepared -> Squash.result -> Vm.outcome * Runtime.stats
+val timing_run :
+  ?slots:int -> prepared -> Squash.result -> Vm.outcome * Runtime.stats
 (** Run the squashed program on the timing input, checking that its output
-    matches the baseline exactly.  Memoized like {!squash_result}; a
-    persisted entry was verified before it was stored.  @raise Failure on
-    a behaviour mismatch. *)
+    matches the baseline exactly.  [slots] (default 1) is the runtime's
+    region-cache slot count; it is part of the memo and persistent-cache
+    key, since it changes cycle counts without changing the image.
+    Memoized like {!squash_result}; a persisted entry was verified before
+    it was stored.  @raise Failure on a behaviour mismatch. *)
 
 val theta_grid : float list
 (** [0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0] *)

@@ -1,11 +1,17 @@
-type cell = { wl : Workload.t; options : Squash.options; timing : bool }
+type cell = {
+  wl : Workload.t;
+  options : Squash.options;
+  timing : bool;
+  slots : int;
+}
 
-let cell ?(timing = false) wl options = { wl; options; timing }
+let cell ?(timing = false) ?(slots = 1) wl options = { wl; options; timing; slots }
 
 let cell_label c =
-  Printf.sprintf "%s θ=%s K=%d%s" c.wl.Workload.name
+  Printf.sprintf "%s θ=%s K=%d%s%s" c.wl.Workload.name
     (Exp_data.theta_label c.options.Squash.theta)
     c.options.Squash.k_bytes
+    (if c.slots = 1 then "" else Printf.sprintf " slots=%d" c.slots)
     (if c.timing then " +timing" else "")
 
 type metrics = {
@@ -60,7 +66,7 @@ let eval_cell c =
   let r = Exp_data.squash_result p c.options in
   let cycles, baseline_cycles, time_ratio, decompressions, runtime =
     if c.timing then begin
-      let outcome, stats = Exp_data.timing_run p r in
+      let outcome, stats = Exp_data.timing_run ~slots:c.slots p r in
       let baseline = Exp_data.baseline_timing p in
       (* The timing run may have been served from the memo or the
          persistent cache, in which case no live runtime events fired;
@@ -101,6 +107,7 @@ let classify = function
     (`Invariant,
      Printf.sprintf "pass %S broke an invariant: %s" pass
        (String.concat "; " errors))
+  | Bitio.Corrupt_stream msg -> (`Failed, "corrupt stream: " ^ msg)
   | Failure msg -> (`Failed, msg)
   | e -> (`Exception, Printexc.to_string e)
 
@@ -160,6 +167,7 @@ let cell_json (c, outcome) =
       ("theta", Report.Json.Float c.options.Squash.theta);
       ("k_bytes", Report.Json.Int c.options.Squash.k_bytes);
       ("options", Report.Json.String (Exp_data.options_key c.options));
+      ("slots", Report.Json.Int c.slots);
       ("timing", Report.Json.Bool c.timing) ]
   in
   match outcome with

@@ -12,9 +12,14 @@
     before rendering; [squashc grid] and the determinism regression drive
     {!run} directly. *)
 
-type cell = { wl : Workload.t; options : Squash.options; timing : bool }
+type cell = {
+  wl : Workload.t;
+  options : Squash.options;
+  timing : bool;
+  slots : int;  (** Runtime region-cache slots for the timing run. *)
+}
 
-val cell : ?timing:bool -> Workload.t -> Squash.options -> cell
+val cell : ?timing:bool -> ?slots:int -> Workload.t -> Squash.options -> cell
 val cell_label : cell -> string
 
 type metrics = {
@@ -56,8 +61,8 @@ val eval_cell : cell -> metrics
 (** Evaluate one cell on the calling domain (raises on failure). *)
 
 val classify : exn -> Engine.error_kind * string
-(** Map [Vm.Trap] (fuel vs machine trap), [Pipeline.Check_failed] and
-    [Failure] to structured error kinds. *)
+(** Map [Vm.Trap] (fuel vs machine trap), [Pipeline.Check_failed],
+    [Bitio.Corrupt_stream] and [Failure] to structured error kinds. *)
 
 val run : ?jobs:int -> cell list -> results * Engine.stats
 (** Evaluate every cell; results are in submission order. *)

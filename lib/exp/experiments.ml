@@ -706,7 +706,107 @@ let passes () =
   record_metric "region_formation_speedup" (Report.Json.Float speedup);
   Report.Table.render t ^ "\n" ^ Report.Table.render t2
 
+(* ------------------------------------------------------------------ *)
+
+let slots_counts = [ 1; 2; 4; 8 ]
+let slots_thetas = [ 1e-3; 1e-2 ]
+
+let slots_surface () =
+  (* The Fig. 7-style surface for the region cache: slowdown vs squeezed
+     as the slot count grows, at two aggressive thresholds.  Extra slots
+     trade memory ((slots-1)·buffer_words words of RAM per benchmark) for
+     fewer re-inflations; slots=1 already benefits from the resident-region
+     fast path (a stub return into the still-materialised region is a
+     cache hit, not a decompression). *)
+  ignore
+    (submit
+       (List.concat_map
+          (fun slots ->
+            List.concat_map
+              (fun theta ->
+                List.map
+                  (fun wl -> Exp_grid.cell ~timing:true ~slots wl (opts theta))
+                  Workloads.all)
+              slots_thetas)
+          slots_counts));
+  let hits_total = ref 0 in
+  let metric_rows = ref [] in
+  let sections =
+    List.map
+      (fun theta ->
+        let t =
+          Report.Table.create
+            ~title:
+              (Printf.sprintf
+                 "Slots surface at θ=%s: slowdown vs squeezed\n\
+                  (cells are time ratio, then decompressions/cache hits)"
+                 (Exp_data.theta_label theta))
+            (("Program", Report.Table.Left)
+            :: List.map
+                 (fun s -> (Printf.sprintf "slots=%d" s, Report.Table.Right))
+                 slots_counts
+            @ [ ("extra RAM (words)", Report.Table.Right) ])
+        in
+        let per_slot = Hashtbl.create 8 in
+        List.iter
+          (fun wl ->
+            let p = Exp_data.prepare wl in
+            let baseline = Exp_data.baseline_timing p in
+            let r = Exp_data.squash_result p (opts theta) in
+            let bw = r.Squash.squashed.Rewrite.buffer_words in
+            let cells =
+              List.map
+                (fun slots ->
+                  let outcome, stats = Exp_data.timing_run ~slots p r in
+                  let ratio =
+                    float_of_int outcome.Vm.cycles
+                    /. float_of_int baseline.Vm.cycles
+                  in
+                  hits_total := !hits_total + stats.Runtime.cache_hits;
+                  Hashtbl.replace per_slot slots
+                    (ratio
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt per_slot slots));
+                  metric_rows :=
+                    Report.Json.Obj
+                      [ ("workload", Report.Json.String wl.Workload.name);
+                        ("theta", Report.Json.Float theta);
+                        ("slots", Report.Json.Int slots);
+                        ("time_ratio", Report.Json.Float ratio);
+                        ("decompressions",
+                         Report.Json.Int stats.Runtime.decompressions);
+                        ("cache_hits", Report.Json.Int stats.Runtime.cache_hits);
+                        ("cache_evictions",
+                         Report.Json.Int stats.Runtime.cache_evictions) ]
+                    :: !metric_rows;
+                  Printf.sprintf "%.3f %d/%d" ratio stats.Runtime.decompressions
+                    stats.Runtime.cache_hits)
+                slots_counts
+            in
+            Report.Table.add_row t
+              (wl.Workload.name :: cells
+              @ [ string_of_int ((List.fold_left max 1 slots_counts - 1) * bw) ]))
+          Workloads.all;
+        Report.Table.add_separator t;
+        Report.Table.add_row t
+          ("geo. mean"
+          :: List.map
+               (fun slots ->
+                 Report.Table.cell_float ~decimals:3
+                   (Report.gmean
+                      (Option.value ~default:[]
+                         (Hashtbl.find_opt per_slot slots))))
+               slots_counts
+          @ [ "" ]);
+        Report.Table.render t)
+      slots_thetas
+  in
+  record_metric "cache_hits_total" (Report.Json.Int !hits_total);
+  record_metric "slots_surface" (Report.Json.List (List.rev !metric_rows));
+  String.concat "\n" sections
+
 let all =
   [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);
     ("F7", fig7); ("S3-gamma", gamma); ("S2-stubs", stubs); ("S6-bsafe", bsafe);
-    ("A1-ablation", ablation); ("C1-coders", coders); ("P1-passes", passes) ]
+    ("A1-ablation", ablation); ("C1-coders", coders); ("P1-passes", passes);
+    ("S7-slots", slots_surface) ]

@@ -51,6 +51,11 @@ val passes : unit -> string
     before/after of region formation at θ=1.0 (per-round rescan reference
     vs the incremental packer, identical partitions checked). *)
 
+val slots_surface : unit -> string
+(** The region-cache surface: slowdown vs squeezed for slot counts
+    1/2/4/8 at two aggressive thresholds, with decompression and
+    cache-hit counts and the extra RAM cost of the added slots. *)
+
 val drain_metrics : unit -> (string * Report.Json.t) list
 (** Key metrics recorded by the experiments run since the last drain
     (e.g. geo-mean size reduction, region-formation seconds), for the

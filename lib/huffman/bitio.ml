@@ -1,3 +1,7 @@
+exception Corrupt_stream of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt_stream s)) fmt
+
 module Writer = struct
   type t = { buf : Buffer.t; mutable acc : int; mutable nacc : int; mutable bits : int }
 
@@ -34,7 +38,7 @@ module Reader = struct
 
   let next_bit t =
     let byte = t.pos lsr 3 in
-    if byte >= String.length t.data then invalid_arg "Bitio.Reader: past end of stream";
+    if byte >= String.length t.data then corrupt "Bitio.Reader: past end of stream";
     let bit = (Char.code t.data.[byte] lsr (7 - (t.pos land 7))) land 1 in
     t.pos <- t.pos + 1;
     bit
@@ -45,6 +49,27 @@ module Reader = struct
       v := (!v lsl 1) lor next_bit t
     done;
     !v
+
+  (* The probe window of the table-driven decoder.  Bits past the end of
+     the string read as zero so a probe near the end is always legal; only
+     [advance] commits to consumption and enforces the bound. *)
+  let peek t ~bits =
+    if bits < 0 || bits > 56 then invalid_arg "Bitio.Reader.peek: bad width";
+    let len = String.length t.data in
+    let lead = t.pos land 7 in
+    let nbytes = (lead + bits + 7) lsr 3 in
+    let first = t.pos lsr 3 in
+    let acc = ref 0 in
+    for i = first to first + nbytes - 1 do
+      acc := (!acc lsl 8) lor (if i < len then Char.code t.data.[i] else 0)
+    done;
+    (!acc lsr ((8 * nbytes) - lead - bits)) land ((1 lsl bits) - 1)
+
+  let advance t ~bits =
+    if bits < 0 then invalid_arg "Bitio.Reader.advance: bad width";
+    if t.pos + bits > 8 * String.length t.data then
+      corrupt "Bitio.Reader: past end of stream";
+    t.pos <- t.pos + bits
 
   let pos t = t.pos
   let seek t p = t.pos <- p

@@ -97,13 +97,15 @@ let decompress input =
            incr steps
          end
          else begin
-           if !i + 1 >= n then failwith "Lzss.decompress: truncated reference";
+           if !i + 1 >= n then
+             raise (Bitio.Corrupt_stream "Lzss.decompress: truncated reference");
            let v = Char.code input.[!i] lor (Char.code input.[!i + 1] lsl 8) in
            i := !i + 2;
            let offset = (v lsr 4) + 1 in
            let len = (v land 0xF) + min_match in
            let start = Buffer.length out - offset in
-           if start < 0 then failwith "Lzss.decompress: reference before start";
+           if start < 0 then
+             raise (Bitio.Corrupt_stream "Lzss.decompress: reference before start");
            for k = 0 to len - 1 do
              (* Self-overlapping copies are valid (runs). *)
              Buffer.add_char out (Buffer.nth out (start + k));
@@ -113,5 +115,6 @@ let decompress input =
          incr item
        done
      done
-   with Invalid_argument _ -> failwith "Lzss.decompress: corrupt stream");
+   with Invalid_argument _ ->
+     raise (Bitio.Corrupt_stream "Lzss.decompress: corrupt stream"));
   (Buffer.contents out, !steps)

@@ -16,4 +16,4 @@ val compress : string -> string
 val decompress : string -> string * int
 (** Returns the original bytes and the number of decoder steps (one per
     literal plus one per copied byte), used for cycle accounting.
-    @raise Failure on a corrupt stream. *)
+    @raise Bitio.Corrupt_stream on a corrupt stream. *)

@@ -10,7 +10,9 @@ type model = {
   decomp_per_bit : int;
   decomp_per_step : int;
   decomp_per_instr : int;
+  decomp_cache_hit : int;
   icache_flush : int;
+  stub_invoke : int;
 }
 
 let default =
@@ -26,7 +28,9 @@ let default =
     decomp_per_bit = 4;
     decomp_per_step = 4;
     decomp_per_instr = 12;
+    decomp_cache_hit = 40;
     icache_flush = 200;
+    stub_invoke = 20;
   }
 
 let instr_cost m instr ~taken =

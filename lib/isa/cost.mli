@@ -24,7 +24,18 @@ type model = {
   decomp_per_instr : int;
       (** Cycles per instruction materialised into the runtime buffer
           (field reassembly + store). *)
+  decomp_cache_hit : int;
+      (** Flat cost of a decompressor entry that finds its region already
+          resident in a buffer slot: dispatch, tag load, residency check
+          and the jump back into the buffer — no decoding, no stores, no
+          cache flush. *)
   icache_flush : int;  (** Flat cost of the post-decompression cache flush. *)
+  stub_invoke : int;
+      (** Flat cost of one CreateStub call (paper, Fig. 2): hash the
+          (region, return address) key, bump or initialise a stub slot and
+          redirect the return register.  Previously hard-coded at its
+          default of 20 inside the runtime; a field so sweeps can vary
+          it. *)
 }
 
 val default : model

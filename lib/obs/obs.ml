@@ -8,6 +8,7 @@ module Event = struct
     | Stub_create of { region : int; ret : int; live : int }
     | Stub_reuse of { region : int; ret : int; live : int }
     | Stub_free of { region : int; ret : int; live : int }
+    | Cache_evict of { region : int; slot : int }
     | Pass_begin of { name : string }
     | Pass_end of { name : string; elapsed_s : float }
     | Job_submit of { label : string }
@@ -24,6 +25,7 @@ module Event = struct
     | Stub_create _ -> "stub_create"
     | Stub_reuse _ -> "stub_reuse"
     | Stub_free _ -> "stub_free"
+    | Cache_evict _ -> "cache_evict"
     | Pass_begin _ -> "pass_begin"
     | Pass_end _ -> "pass_end"
     | Job_submit _ -> "job_submit"
@@ -45,6 +47,8 @@ module Event = struct
     | Stub_reuse { region; ret; live }
     | Stub_free { region; ret; live } ->
       [ ("region", Int region); ("ret", Int ret); ("live", Int live) ]
+    | Cache_evict { region; slot } ->
+      [ ("region", Int region); ("slot", Int slot) ]
     | Pass_begin { name } -> [ ("pass", String name) ]
     | Pass_end { name; elapsed_s } ->
       [ ("pass", String name); ("elapsed_s", Float elapsed_s) ]
@@ -163,7 +167,7 @@ module Trace = struct
                  ~extra:[ ("dur", Float (float_of_int cycles)) ]
                  (Event.fields e))
           | Event.Buffer_enter _ | Event.Stub_create _ | Event.Stub_reuse _
-          | Event.Stub_free _ ->
+          | Event.Stub_free _ | Event.Cache_evict _ ->
             Some (instant ~cat:"runtime" e)
           | Event.Pass_end { name; elapsed_s } ->
             let end_us =

@@ -36,6 +36,9 @@ module Event : sig
     | Stub_reuse of { region : int; ret : int; live : int }
     | Stub_free of { region : int; ret : int; live : int }
         (** [live] is the live-stub depth {e after} the transition. *)
+    | Cache_evict of { region : int; slot : int }
+        (** A resident region was evicted from a buffer cache slot to make
+            room for another materialisation. *)
     | Pass_begin of { name : string }
     | Pass_end of { name : string; elapsed_s : float }
     | Job_submit of { label : string }

@@ -29,8 +29,26 @@ let unit_tests =
     Alcotest.test_case "reading past the end fails" `Quick (fun () ->
         let r = Bitio.Reader.of_string "" in
         match Bitio.Reader.next_bit r with
-        | exception Invalid_argument _ -> ()
+        | exception Bitio.Corrupt_stream _ -> ()
         | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "peek zero-pads past the end; advance does not" `Quick
+      (fun () ->
+        let r = Bitio.Reader.of_string "\xFF" in
+        Alcotest.(check int) "peek 12" 0b1111_1111_0000 (Bitio.Reader.peek r ~bits:12);
+        Bitio.Reader.advance r ~bits:8;
+        Alcotest.(check int) "peek 4 at end" 0 (Bitio.Reader.peek r ~bits:4);
+        match Bitio.Reader.advance r ~bits:1 with
+        | exception Bitio.Corrupt_stream _ -> ()
+        | () -> Alcotest.fail "expected Corrupt_stream");
+    Alcotest.test_case "peek is aligned with next_bit at odd offsets" `Quick
+      (fun () ->
+        let r = Bitio.Reader.of_string "\xB7\x1D" in
+        ignore (Bitio.Reader.next_bit r);
+        ignore (Bitio.Reader.next_bit r);
+        ignore (Bitio.Reader.next_bit r);
+        (* Bits 3.. of 0b1011_0111_0001_1101: 1_0111_0001_1 = 0x2E3. *)
+        Alcotest.(check int) "peek 10" 0b1_0111_0001_1 (Bitio.Reader.peek r ~bits:10);
+        Alcotest.(check int) "pos unmoved" 3 (Bitio.Reader.pos r));
     Alcotest.test_case "seek and pos" `Quick (fun () ->
         let r = Bitio.Reader.of_string "\xFF\x00" in
         Bitio.Reader.seek r 8;
@@ -55,6 +73,21 @@ let prop_tests =
            List.iter (fun (bits, v) -> Bitio.Writer.put w ~bits v) chunks;
            Bitio.Writer.length_bits w
            = List.fold_left (fun acc (bits, _) -> acc + bits) 0 chunks));
+    qcheck
+      (QCheck.Test.make ~name:"peek+advance agrees with read" ~count:500
+         arb_chunks (fun chunks ->
+           let w = Bitio.Writer.create () in
+           List.iter (fun (bits, v) -> Bitio.Writer.put w ~bits v) chunks;
+           let data = Bitio.Writer.contents w in
+           let rp = Bitio.Reader.of_string data in
+           let rr = Bitio.Reader.of_string data in
+           List.for_all
+             (fun (bits, _) ->
+               let p = Bitio.Reader.peek rp ~bits in
+               Bitio.Reader.advance rp ~bits;
+               p = Bitio.Reader.read rr ~bits
+               && Bitio.Reader.pos rp = Bitio.Reader.pos rr)
+             chunks));
   ]
 
 let suite = [ ("bitio", unit_tests @ prop_tests) ]

@@ -75,18 +75,50 @@ let unit_tests =
         let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
         List.iter
           (fun s ->
-            let s', bits = Canonical.decode c r in
+            let s', bits, probes = Canonical.decode c r in
             Alcotest.(check int) "symbol" s s';
             let _, len = Option.get (Canonical.codeword c s) in
-            Alcotest.(check int) "bits" len bits)
+            Alcotest.(check int) "bits" len bits;
+            Alcotest.(check bool) "probes >= 1" true (probes >= 1))
           [ 1; 4; 2; 3 ]);
     Alcotest.test_case "corrupt stream fails instead of looping" `Quick (fun () ->
         (* A code where "11" is no codeword prefix extension: alphabet {a} only. *)
         let c = Canonical.of_freqs [ (0, 5) ] in
         let r = Bitio.Reader.of_string "\xFF" in
         match Canonical.decode c r with
-        | exception Failure _ -> ()
+        | exception Bitio.Corrupt_stream _ -> ()
         | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "over-full length multiset is rejected" `Quick (fun () ->
+        (* Three 1-bit codes cannot coexist: Kraft sum 3/2 > 1. *)
+        match Canonical.of_lengths [ (0, 1); (1, 1); (2, 1) ] with
+        | exception Canonical.Invalid_code _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_code");
+    Alcotest.test_case "out-of-range length is rejected" `Quick (fun () ->
+        match Canonical.of_lengths [ (0, 0) ] with
+        | exception Canonical.Invalid_code _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_code");
+    Alcotest.test_case "under-full single-symbol code is legal" `Quick (fun () ->
+        let c = Canonical.of_lengths [ (9, 1) ] in
+        Alcotest.(check (option (pair int int)))
+          "codeword" (Some (0, 1)) (Canonical.codeword c 9));
+    Alcotest.test_case "truncated stream terminates with Corrupt_stream" `Quick
+      (fun () ->
+        let c = Canonical.of_freqs [ (0, 1); (1, 1); (2, 1); (3, 1) ] in
+        let w = Bitio.Writer.create () in
+        List.iter (Canonical.encode c w) [ 0; 1; 2; 3 ];
+        let full = Bitio.Writer.contents w in
+        let r = Bitio.Reader.of_string (String.sub full 0 0) in
+        (match Canonical.decode c r with
+        | exception Bitio.Corrupt_stream _ -> ()
+        | _ -> Alcotest.fail "expected Corrupt_stream on empty stream");
+        (* Drain a full byte's worth of symbols then hit the end. *)
+        let r = Bitio.Reader.of_string (String.sub full 0 1) in
+        let rec drain () =
+          match Canonical.decode c r with
+          | _ -> drain ()
+          | exception Bitio.Corrupt_stream _ -> ()
+        in
+        drain ());
     Alcotest.test_case "mtf known example" `Quick (fun () ->
         let alphabet = [ 0; 1; 2; 3 ] in
         let ranks = Mtf.encode ~alphabet [ 2; 2; 0; 1; 1 ] in
@@ -121,7 +153,11 @@ let prop_tests =
            let w = Bitio.Writer.create () in
            List.iter (Canonical.encode c w) syms;
            let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
-           List.for_all (fun s -> fst (Canonical.decode c r) = s) syms));
+           List.for_all
+             (fun s ->
+               let s', _, _ = Canonical.decode c r in
+               s' = s)
+             syms));
     qcheck
       (QCheck.Test.make ~name:"canonical codewords are prefix-free" ~count:200
          arb_freqs (fun freqs ->
@@ -152,9 +188,47 @@ let prop_tests =
            let total = Bitio.Writer.length_bits w in
            let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
            let consumed =
-             List.fold_left (fun acc _ -> acc + snd (Canonical.decode c r)) 0 syms
+             List.fold_left
+               (fun acc _ ->
+                 let _, bits, _ = Canonical.decode c r in
+                 acc + bits)
+               0 syms
            in
            consumed = total));
+    qcheck
+      (QCheck.Test.make
+         ~name:"table decode == bit-loop decode (symbols, positions, work)"
+         ~count:300 arb_symbol_seq (fun syms ->
+           let c = Canonical.of_freqs (freqs_of_seq syms) in
+           let w = Bitio.Writer.create () in
+           List.iter (Canonical.encode c w) syms;
+           let data = Bitio.Writer.contents w in
+           let rt = Bitio.Reader.of_string data in
+           let rb = Bitio.Reader.of_string data in
+           List.for_all
+             (fun _ ->
+               let st, bt, probes = Canonical.decode c rt in
+               let sb, bb = Canonical.decode_bitloop c rb in
+               st = sb && bt = bb
+               && Bitio.Reader.pos rt = Bitio.Reader.pos rb
+               && probes >= 1
+               && probes <= 1 + bt)
+             syms));
+    qcheck
+      (QCheck.Test.make ~name:"Kraft-violating length multisets are rejected"
+         ~count:300 arb_freqs (fun freqs ->
+           (* Take a valid assignment and shorten one codeword of length >= 2:
+              the result always over-fills the Kraft budget. *)
+           let lengths = Huffman.code_lengths freqs in
+           match
+             List.partition (fun (_, l) -> l >= 2) lengths
+           with
+           | [], _ -> QCheck.assume_fail ()
+           | (s, l) :: rest, short ->
+             let bad = ((s, l - 1) :: rest) @ short in
+             (match Canonical.of_lengths bad with
+             | exception Canonical.Invalid_code _ -> true
+             | _ -> false)));
   ]
 
 let suite = [ ("huffman", unit_tests @ prop_tests) ]

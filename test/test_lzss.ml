@@ -31,7 +31,7 @@ let unit_tests =
         Alcotest.(check int) "steps" (String.length s) steps);
     Alcotest.test_case "corrupt stream fails cleanly" `Quick (fun () ->
         match Lzss.decompress "\xff\x00" with
-        | exception Failure _ -> ()
+        | exception Bitio.Corrupt_stream _ -> ()
         | _, _ -> ());
   ]
 

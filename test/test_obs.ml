@@ -485,8 +485,8 @@ let workload_tests =
           (fun c ->
             let s = c.traced_stats in
             let expected =
-              s.Runtime.decompressions + s.Runtime.stub_creates
-              + s.Runtime.stub_reuses
+              s.Runtime.decompressions + s.Runtime.cache_hits
+              + s.Runtime.stub_creates + s.Runtime.stub_reuses
             in
             Alcotest.(check int)
               (c.wl_name ^ " outcome counter")

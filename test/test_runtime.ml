@@ -99,6 +99,168 @@ int main() {
             let outcome, _ = Runtime.run r.Squash.squashed ~input in
             Alcotest.(check string) "output" expected outcome.Vm.output)
           [ ("\001", "2\n"); ("\010", "20\n"); ("", "-1\n") ]);
+    Alcotest.test_case
+      "resident region is not re-inflated on stub return" `Quick (fun () ->
+        (* The recursion returns through restore stubs into a region that is
+           still materialised: each such re-entry must be a cache hit, not a
+           fresh decompression, and behaviour must be unchanged. *)
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; k_bytes = 64 }
+            p
+        in
+        let baseline = Vm.run (Vm.of_image (Layout.emit p) ~input:"") in
+        let outcome, stats =
+          Runtime.run ~fuel:50_000_000 r.Squash.squashed ~input:""
+        in
+        Alcotest.(check string) "output" baseline.Vm.output outcome.Vm.output;
+        Alcotest.(check int) "exit" baseline.Vm.exit_code outcome.Vm.exit_code;
+        Alcotest.(check bool) "stub returns hit the resident region" true
+          (stats.Runtime.cache_hits > 0);
+        (* Every decompressor entry is either a hit or a decompression. *)
+        Alcotest.(check bool) "decompressions dropped" true
+          (stats.Runtime.decompressions
+          < stats.Runtime.decompressions + stats.Runtime.cache_hits));
+    Alcotest.test_case "extra slots reduce decompressions, not behaviour"
+      `Quick (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; k_bytes = 64 }
+            p
+        in
+        let o1, s1 =
+          Runtime.run ~fuel:50_000_000 ~slots:1 r.Squash.squashed ~input:""
+        in
+        let o4, s4 =
+          Runtime.run ~fuel:50_000_000 ~slots:4 r.Squash.squashed ~input:""
+        in
+        Alcotest.(check string) "output" o1.Vm.output o4.Vm.output;
+        Alcotest.(check int) "exit" o1.Vm.exit_code o4.Vm.exit_code;
+        Alcotest.(check bool) "fewer or equal decompressions" true
+          (s4.Runtime.decompressions <= s1.Runtime.decompressions);
+        (* Same decompressor entries either way, just a different split. *)
+        Alcotest.(check int) "entries conserved"
+          (s1.Runtime.decompressions + s1.Runtime.cache_hits)
+          (s4.Runtime.decompressions + s4.Runtime.cache_hits));
+    Alcotest.test_case "stub creation goes through the cost model" `Quick
+      (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; k_bytes = 64 }
+            p
+        in
+        let cheap = { Cost.default with Cost.stub_invoke = 1 } in
+        let dear = { Cost.default with Cost.stub_invoke = 4000 } in
+        let o1, s1 =
+          Runtime.run ~cost:cheap ~fuel:50_000_000 r.Squash.squashed ~input:""
+        in
+        let o2, s2 =
+          Runtime.run ~cost:dear ~fuel:50_000_000 r.Squash.squashed ~input:""
+        in
+        Alcotest.(check int) "same behaviour" o1.Vm.exit_code o2.Vm.exit_code;
+        Alcotest.(check bool) "stubs were created" true
+          (s1.Runtime.stub_creates > 0);
+        Alcotest.(check int) "same stub traffic"
+          (s1.Runtime.stub_creates + s1.Runtime.stub_reuses)
+          (s2.Runtime.stub_creates + s2.Runtime.stub_reuses);
+        Alcotest.(check bool) "dearer stubs, more cycles" true
+          (o2.Vm.cycles > o1.Vm.cycles));
+    Alcotest.test_case "cache-hit re-entry goes through the cost model" `Quick
+      (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash
+            ~options:
+              { Squash.default_options with Squash.theta = 1.0; k_bytes = 64 }
+            p
+        in
+        let cheap = { Cost.default with Cost.decomp_cache_hit = 1 } in
+        let dear = { Cost.default with Cost.decomp_cache_hit = 4000 } in
+        let o1, s1 =
+          Runtime.run ~cost:cheap ~fuel:50_000_000 r.Squash.squashed ~input:""
+        in
+        let o2, _ =
+          Runtime.run ~cost:dear ~fuel:50_000_000 r.Squash.squashed ~input:""
+        in
+        Alcotest.(check int) "same behaviour" o1.Vm.exit_code o2.Vm.exit_code;
+        Alcotest.(check bool) "hits occurred" true (s1.Runtime.cache_hits > 0);
+        Alcotest.(check bool) "dearer hits, more cycles" true
+          (o2.Vm.cycles > o1.Vm.cycles));
+    Alcotest.test_case "launch validates the slot count" `Quick (fun () ->
+        let p, _ = Squeeze.run (compile fib_src) in
+        let r =
+          squash ~options:{ Squash.default_options with Squash.theta = 1.0 } p
+        in
+        (match Runtime.run ~slots:0 r.Squash.squashed ~input:"" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "slots=0 must be rejected");
+        match Runtime.run ~slots:10_000_000 r.Squash.squashed ~input:"" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "an overflowing slot count must be rejected");
   ]
 
-let suite = [ ("runtime", unit_tests) ]
+(* Byte-identical behaviour for every slot count, across the real workload
+   suite at two thresholds, under the default coder.  This is the
+   functional-correctness half of the Fig. 7-style slots sweep. *)
+let cache_correctness_tests =
+  [
+    Alcotest.test_case "every slot count is byte-identical on all workloads"
+      `Slow (fun () ->
+        let fuel = 2_000_000_000 in
+        List.iter
+          (fun (wl : Workload.t) ->
+            let p, _ = Squeeze.run (Workload.compile wl) in
+            let profile, _ =
+              Profile.collect ~fuel p ~input:(Workload.profiling_input wl)
+            in
+            List.iter
+              (fun theta ->
+                let r =
+                  Squash.run
+                    ~options:{ Squash.default_options with Squash.theta } p
+                    profile
+                in
+                let input = Workload.timing_input wl in
+                let ref_outcome, ref_stats =
+                  Runtime.run ~fuel ~slots:1 r.Squash.squashed ~input
+                in
+                List.iter
+                  (fun slots ->
+                    let outcome, stats =
+                      Runtime.run ~fuel ~slots r.Squash.squashed ~input
+                    in
+                    let label fmt =
+                      Printf.ksprintf
+                        (fun s ->
+                          Printf.sprintf "%s θ=%g slots=%d: %s"
+                            wl.Workload.name theta slots s)
+                        fmt
+                    in
+                    Alcotest.(check string)
+                      (label "output") ref_outcome.Vm.output outcome.Vm.output;
+                    Alcotest.(check int)
+                      (label "exit") ref_outcome.Vm.exit_code
+                      outcome.Vm.exit_code;
+                    Alcotest.(check int)
+                      (label "icount") ref_outcome.Vm.icount outcome.Vm.icount;
+                    Alcotest.(check bool)
+                      (label "no more decompressions than slots=1") true
+                      (stats.Runtime.decompressions
+                      <= ref_stats.Runtime.decompressions);
+                    Alcotest.(check int)
+                      (label "decompressor entries conserved")
+                      (ref_stats.Runtime.decompressions
+                      + ref_stats.Runtime.cache_hits)
+                      (stats.Runtime.decompressions + stats.Runtime.cache_hits))
+                  [ 2; 3; 5; 8 ])
+              [ 1e-3; 0.01 ])
+          Workloads.all);
+  ]
+
+let suite = [ ("runtime", unit_tests @ cache_correctness_tests) ]
