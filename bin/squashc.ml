@@ -244,7 +244,50 @@ let profile_cmd =
           ~doc:"For a built-in workload: use its timing input (default is \
                 the profiling input).")
   in
-  let run prog_name no_squeeze input_files input_texts timing out =
+  let sample_period =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-period" ] ~docv:"N"
+          ~doc:"Collect a sampled profile: record about one in $(docv) \
+                executed instructions and scale the estimate up (0, the \
+                default, collects exact counts; 1 is exact via the sampler).")
+  in
+  let sample_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "sample-seed" ] ~docv:"S"
+          ~doc:"Seed for the sampler's stride jitter; a fixed seed makes \
+                sampled profiles byte-reproducible.")
+  in
+  let merge_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "merge" ] ~docv:"FILE"
+          ~doc:"Merge a previously collected profile into the result \
+                (repeatable), weighted by $(b,--merge-weight).")
+  in
+  let merge_weight =
+    Arg.(
+      value & opt float 1.0
+      & info [ "merge-weight" ] ~docv:"W"
+          ~doc:"Weight applied to each $(b,--merge) profile's counts.")
+  in
+  let decay_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "decay" ] ~docv:"F"
+          ~doc:"Exponential aging factor in [0,1].  With $(b,--merge), it \
+                ages each merged-in (old) profile before merging; without, \
+                it ages the collected profile itself.")
+  in
+  let truncate_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "truncate" ] ~docv:"K"
+          ~doc:"Keep only the $(docv) heaviest blocks of the final profile.")
+  in
+  let run prog_name no_squeeze input_files input_texts timing sample_period
+      sample_seed merge_files merge_weight decay_arg truncate_arg out =
     let prog, wl = prepare prog_name no_squeeze in
     let inputs =
       match (List.map read_file input_files @ input_texts, wl) with
@@ -254,10 +297,16 @@ let profile_cmd =
            else Workload.profiling_input wl) ]
       | [], None -> [ "" ]
     in
+    let collect input =
+      if sample_period > 0 then
+        Profile.collect_sampled ~period:sample_period ~seed:sample_seed prog
+          ~input
+      else Profile.collect prog ~input
+    in
     let profile =
       List.fold_left
         (fun acc input ->
-          let profile, outcome = Profile.collect prog ~input in
+          let profile, outcome = collect input in
           Printf.eprintf "[exit %d, %d instructions profiled]\n"
             outcome.Vm.exit_code outcome.Vm.icount;
           match acc with
@@ -269,16 +318,130 @@ let profile_cmd =
     if List.length inputs > 1 then
       Format.eprintf "[merged %d training runs: %a]@." (List.length inputs)
         Profile.pp_summary profile;
+    (* Lifecycle post-processing: age and fold in old profiles, then
+       truncate — the order a production pipeline applies them. *)
+    let old_profiles =
+      List.map (fun path -> or_die (Profile.of_string (read_file path))) merge_files
+    in
+    let profile =
+      match (old_profiles, decay_arg) with
+      | [], None -> profile
+      | [], Some f -> Profile_ops.decay profile ~factor:f
+      | olds, _ ->
+        List.fold_left
+          (fun acc old ->
+            let old =
+              match decay_arg with
+              | None -> old
+              | Some f -> Profile_ops.decay old ~factor:f
+            in
+            Profile_ops.merge ~w:merge_weight acc old)
+          profile olds
+    in
+    let profile =
+      match truncate_arg with
+      | None -> profile
+      | Some keep -> Profile_ops.truncate_top profile ~keep
+    in
     let text = Profile.to_string profile in
     match out with None -> print_string text | Some path -> write_file path text
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Collect a basic-block execution profile (merging the runs of \
-             every given input).")
+             every given input), exactly or via periodic sampling, \
+             optionally folding in and aging previously saved profiles.")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_files $ input_texts $ timing
-      $ out)
+      $ sample_period $ sample_seed $ merge_files $ merge_weight $ decay_arg
+      $ truncate_arg $ out)
+
+(* --- profdiff --------------------------------------------------------- *)
+
+let profdiff_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A.prof" ~doc:"First profile file.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B.prof" ~doc:"Second profile file.")
+  in
+  let max_distance =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-distance" ] ~docv:"X"
+          ~doc:"Exit with status 1 if the distance exceeds $(docv) (for CI \
+                bounds).")
+  in
+  let movers =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show the $(docv) blocks whose weight share moved the most.")
+  in
+  let run a_path b_path max_distance movers =
+    let a = or_die (Profile.of_string (read_file a_path)) in
+    let b = or_die (Profile.of_string (read_file b_path)) in
+    let d = Profile_ops.distance a b in
+    Format.printf "a: %a@.b: %a@." Profile.pp_summary a Profile.pp_summary b;
+    Printf.printf "distance %.6f\noverlap %.6f\n" d (Profile_ops.overlap a b);
+    (* Largest per-block movements of normalised weight share. *)
+    let ta = float_of_int (max 1 (Profile.total_weight a)) in
+    let tb = float_of_int (max 1 (Profile.total_weight b)) in
+    let shares =
+      let tbl = Hashtbl.create 512 in
+      Profile.fold
+        (fun key ~freq:_ ~weight () ->
+          Hashtbl.replace tbl key (float_of_int weight /. ta, 0.0))
+        a ();
+      Profile.fold
+        (fun key ~freq:_ ~weight () ->
+          let sa, _ =
+            Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl key)
+          in
+          Hashtbl.replace tbl key (sa, float_of_int weight /. tb))
+        b ();
+      Hashtbl.fold (fun key (sa, sb) acc -> (key, sa, sb) :: acc) tbl []
+    in
+    let sorted =
+      List.sort
+        (fun (ka, sa, sb) (kb, sa', sb') ->
+          match compare (Float.abs (sb' -. sa')) (Float.abs (sb -. sa)) with
+          | 0 -> compare ka kb
+          | c -> c)
+        shares
+    in
+    let t =
+      Report.Table.create ~title:"Largest weight-share movements"
+        [ ("Block", Report.Table.Left); ("share in A", Report.Table.Right);
+          ("share in B", Report.Table.Right); ("Δ", Report.Table.Right) ]
+    in
+    List.iteri
+      (fun i ((f, blk), sa, sb) ->
+        if i < movers then
+          Report.Table.add_row t
+            [ Printf.sprintf "%s.%d" f blk;
+              Report.Table.cell_percent ~decimals:2 sa;
+              Report.Table.cell_percent ~decimals:2 sb;
+              Printf.sprintf "%+.2f%%" (100.0 *. (sb -. sa)) ])
+      sorted;
+    print_string (Report.Table.render t);
+    match max_distance with
+    | Some bound when d > bound ->
+      Printf.eprintf "squashc: distance %.6f exceeds bound %.6f\n" d bound;
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "profdiff"
+       ~doc:"Compare two saved profiles: total-variation distance on \
+             normalised block weights, plus the largest movers.")
+    Term.(const run $ a_arg $ b_arg $ max_distance $ movers)
 
 (* --- squash ----------------------------------------------------------- *)
 
@@ -372,9 +535,17 @@ let squash_cmd =
                 (bits/instruction over the compressed regions, code tables \
                 included in the total).")
   in
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Run the whole-image static verifier over the finished image \
+                (as pipeline pass $(b,lint)); exit 1 on any error-severity \
+                diagnostic.")
+  in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
       no_unswitch sharp_bsafe coder linear_regions verify cache_slots
-      trace_passes check_each stats_json stream_bits =
+      trace_passes check_each stats_json stream_bits lint =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -404,7 +575,7 @@ let squash_cmd =
     let metrics = Obs.Metrics.create () in
     let obs = Obs.create ~metrics () in
     let result =
-      try Squash.run ~options ~check_each ?trace ~obs prog profile with
+      try Squash.run ~options ~check_each ~lint ?trace ~obs prog profile with
       | Pipeline.Check_failed { pass; errors } ->
         Printf.eprintf "squashc: pass %S broke an invariant:\n" pass;
         List.iter (fun e -> Printf.eprintf "squashc:   %s\n" e) errors;
@@ -499,7 +670,7 @@ let squash_cmd =
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
       $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ coder
       $ linear_regions $ verify $ cache_slots_arg $ trace_passes $ check_each
-      $ stats_json $ stream_bits)
+      $ stats_json $ stream_bits $ lint_flag)
 
 (* --- attrib ----------------------------------------------------------- *)
 
@@ -927,7 +1098,8 @@ let main =
   Cmd.group
     (Cmd.info "squashc" ~version:"1.0.0"
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
-    [ compile_cmd; run_cmd; profile_cmd; squash_cmd; attrib_cmd; stats_cmd;
+    [ compile_cmd; run_cmd; profile_cmd; profdiff_cmd; squash_cmd; attrib_cmd;
+      stats_cmd;
       grid_cmd; lint_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

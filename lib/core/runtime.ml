@@ -373,7 +373,8 @@ let create_stub_hook st ~r vm =
   Vm.add_cycles vm st.cost.Cost.stub_invoke;
   Vm.set_pc vm ret
 
-let launch ?(cost = Cost.default) ?fuel ?obs ?(slots = 1) (sq : Rewrite.t) ~input =
+let launch ?(cost = Cost.default) ?fuel ?obs ?profile ?(slots = 1) (sq : Rewrite.t)
+    ~input =
   if slots < 1 then invalid_arg "Runtime.launch: slots must be >= 1";
   let nregions = Array.length sq.Rewrite.images in
   if sq.Rewrite.buffer_base + (4 * sq.Rewrite.buffer_words * slots) > Layout.data_base
@@ -396,7 +397,7 @@ let launch ?(cost = Cost.default) ?fuel ?obs ?(slots = 1) (sq : Rewrite.t) ~inpu
       flat.(w) <- flat.(w) lor (Char.code c lsl (8 * (i land 3))))
     sq.Rewrite.blob;
   let vm =
-    Vm.create ~cost ?fuel ~text_base:Layout.text_base ~text:flat
+    Vm.create ~cost ?fuel ?profile ~text_base:Layout.text_base ~text:flat
       ~entry:sq.Rewrite.entry_addr ~data_base:Layout.data_base
       ~data_words:sq.Rewrite.prog.Prog.data_words
       ~data_init:sq.Rewrite.prog.Prog.data_init ~input ()

@@ -67,12 +67,18 @@ val launch :
   ?cost:Cost.model ->
   ?fuel:int ->
   ?obs:Obs.t ->
+  ?profile:bool ->
   ?slots:int ->
   Rewrite.t ->
   input:string ->
   Vm.t * stats
 (** Create a VM loaded with the squashed image (text, offset table,
     compressed blob, stub area, buffer slots) and hook the runtime in.
+    With [~profile:true] the VM counts per-word executions of the whole
+    flat image — [Exp_data.reprofile_squashed] maps them back to source
+    blocks through the rewrite's owner array (buffer executions fall
+    outside the counted text, mirroring a real sampled-PC profiler that
+    cannot attribute scratch-buffer PCs).
     [slots] (default 1) is the number of decompressed-region cache slots;
     slot [s] occupies [buffer_base + 4·buffer_words·s].  With [obs], the
     runtime emits decompression begin/end, buffer-entry, cache-evict and

@@ -2,7 +2,7 @@
    (v2: hook_invocations in Vm.outcome, per-region cycles in
    Runtime.stats; v3: the coder variant in Compress.codes; v4: decode
    tables inside Canonical.t, cache counters in Runtime.stats). *)
-let schema_version = 4
+let schema_version = 5
 
 let default_dir = "_cache"
 

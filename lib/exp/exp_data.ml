@@ -19,7 +19,8 @@ let current_cache () = !cache
 
 let workload_digest (wl : Workload.t) =
   Cache.digest
-    [ wl.Workload.source; Workload.profiling_input wl; Workload.timing_input wl ]
+    [ wl.Workload.source; Workload.profiling_input wl; Workload.timing_input wl;
+      Workload.drift_input wl ]
 
 let options_key (o : Squash.options) =
   Printf.sprintf
@@ -43,12 +44,14 @@ let prepared_memo : prepared Memo.t = Memo.create ()
 let baseline_memo : Vm.outcome Memo.t = Memo.create ()
 let squash_memo : Squash.result Memo.t = Memo.create ()
 let timing_memo : (Vm.outcome * Runtime.stats) Memo.t = Memo.create ()
+let profile_memo : Profile.t Memo.t = Memo.create ()
 
 let reset () =
   Memo.clear prepared_memo;
   Memo.clear baseline_memo;
   Memo.clear squash_memo;
-  Memo.clear timing_memo
+  Memo.clear timing_memo;
+  Memo.clear profile_memo
 
 let prepare (wl : Workload.t) =
   let digest = workload_digest wl in
@@ -69,24 +72,83 @@ let prepare (wl : Workload.t) =
       { wl; digest; input_prog; squeezed; squeeze_stats; profile;
         profile_outcome })
 
-let baseline_timing p =
-  Memo.get baseline_memo p.digest (fun () ->
-      Cache.memo !cache ~kind:"baseline" ~key:p.digest (fun () ->
-          Vm.run
-            (Vm.of_image ~fuel (Layout.emit p.squeezed)
-               ~input:(Workload.timing_input p.wl))))
+(* ------------------------------------------------------------------ *)
+(* Profile provenance (lifecycle experiments).  A [profile_spec] names
+   which profile guides compression; its label is part of every memo and
+   persistent-cache key downstream, so an estimated (sampled / decayed /
+   truncated) profile can never alias the exact one in [_cache/]. *)
 
-let squash_result p options =
-  let okey = options_key options in
+type profile_spec =
+  | Pexact
+  | Poracle
+  | Psampled of { period : int; seed : int }
+  | Pdecayed of { factor : float; steps : int }
+  | Ptruncated of { keep : int }
+
+let spec_label = function
+  | Pexact -> "exact"
+  | Poracle -> "oracle"
+  | Psampled { period; seed } -> Printf.sprintf "sampled;p=%d;s=%d" period seed
+  | Pdecayed { factor; steps } -> Printf.sprintf "decay;f=%h;n=%d" factor steps
+  | Ptruncated { keep } -> Printf.sprintf "trunc;k=%d" keep
+
+type run_input = [ `Timing | `Drift ]
+
+let run_label = function `Timing -> "timing" | `Drift -> "drift"
+
+let run_input_string p = function
+  | `Timing -> Workload.timing_input p.wl
+  | `Drift -> Workload.drift_input p.wl
+
+let profile_for p spec =
+  match spec with
+  | Pexact -> p.profile
+  | _ ->
+    Memo.get profile_memo
+      (p.digest ^ "|" ^ spec_label spec)
+      (fun () ->
+        Cache.memo !cache ~kind:"profile"
+          ~key:(Cache.digest [ p.digest; spec_label spec ])
+          (fun () ->
+            match spec with
+            | Pexact -> p.profile
+            | Poracle ->
+              fst (Profile.collect ~fuel p.squeezed ~input:(Workload.drift_input p.wl))
+            | Psampled { period; seed } ->
+              fst
+                (Profile.collect_sampled ~fuel ~period ~seed p.squeezed
+                   ~input:(Workload.profiling_input p.wl))
+            | Pdecayed { factor; steps } ->
+              let rec go n prof =
+                if n <= 0 then prof else go (n - 1) (Profile_ops.decay prof ~factor)
+              in
+              go steps p.profile
+            | Ptruncated { keep } -> Profile_ops.truncate_top p.profile ~keep))
+
+let baseline_timing ?(on = `Timing) p =
+  let key = p.digest ^ "|run=" ^ run_label on in
+  Memo.get baseline_memo key (fun () ->
+      Cache.memo !cache ~kind:"baseline"
+        ~key:(Cache.digest [ p.digest; run_label on ])
+        (fun () ->
+          Vm.run
+            (Vm.of_image ~fuel (Layout.emit p.squeezed) ~input:(run_input_string p on))))
+
+let squash_result ?(pspec = Pexact) p options =
+  let okey = options_key options ^ "|profile=" ^ spec_label pspec in
   Memo.get squash_memo (p.digest ^ "|" ^ okey) (fun () ->
       Cache.memo !cache ~kind:"squash"
         ~key:(Cache.digest [ p.digest; okey ])
-        (fun () -> Squash.run ~options p.squeezed p.profile))
+        (fun () -> Squash.run ~options p.squeezed (profile_for p pspec)))
 
-let timing_run ?(slots = 1) p (r : Squash.result) =
+let squash_with_profile p options profile =
+  Squash.run ~options p.squeezed profile
+
+let timing_run ?(slots = 1) ?(pspec = Pexact) ?(on = `Timing) p (r : Squash.result) =
   let okey =
     options_key r.Squash.options
-    ^ if slots = 1 then "" else Printf.sprintf "|slots=%d" slots
+    ^ (if slots = 1 then "" else Printf.sprintf "|slots=%d" slots)
+    ^ "|profile=" ^ spec_label pspec ^ "|run=" ^ run_label on
   in
   Memo.get timing_memo (p.digest ^ "|" ^ okey) (fun () ->
       (* The divergence check runs before the entry is persisted, so a
@@ -94,18 +156,54 @@ let timing_run ?(slots = 1) p (r : Squash.result) =
       Cache.memo !cache ~kind:"timing"
         ~key:(Cache.digest [ p.digest; okey ])
         (fun () ->
-          let input = Workload.timing_input p.wl in
+          let input = run_input_string p on in
           let outcome, stats = Runtime.run ~fuel ~slots r.Squash.squashed ~input in
-          let baseline = baseline_timing p in
+          let baseline = baseline_timing ~on p in
           if
             outcome.Vm.output <> baseline.Vm.output
             || outcome.Vm.exit_code <> baseline.Vm.exit_code
           then
             failwith
               (Printf.sprintf
-                 "%s: squashed program diverged from baseline (θ=%g)"
-                 p.wl.Workload.name r.Squash.options.Squash.theta);
+                 "%s: squashed program diverged from baseline (θ=%g, profile=%s, \
+                  run=%s)"
+                 p.wl.Workload.name r.Squash.options.Squash.theta (spec_label pspec)
+                 (run_label on));
           (outcome, stats)))
+
+(* Re-profile an already-squashed image: run it under the profiling VM and
+   map per-word counts back to source blocks through the rewrite's owner
+   array.  Executions inside the decompression buffer fall outside the
+   owned words, exactly like a PC sampler that cannot attribute scratch
+   addresses — compressed (cold) code is invisible to the re-profile. *)
+let reprofile_squashed (r : Squash.result) ~input =
+  let vm, _stats = Runtime.launch ~fuel ~profile:true r.Squash.squashed ~input in
+  let outcome = Vm.run vm in
+  let counts = Option.get (Vm.counts vm) in
+  let owners = r.Squash.squashed.Rewrite.text.Easm.owners in
+  let acc = Hashtbl.create 512 in
+  Array.iteri
+    (fun i owner ->
+      match owner with
+      | None -> ()
+      | Some key ->
+        if i < Array.length counts && counts.(i) > 0 then begin
+          let freq0, weight0 =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt acc key)
+          in
+          let first = i = 0 || owners.(i - 1) <> Some key in
+          Hashtbl.replace acc key
+            ((if first then counts.(i) else freq0), weight0 + counts.(i))
+        end)
+    owners;
+  let profile =
+    Profile.of_entries ~source:(Profile.Derived "reprofile")
+      (Hashtbl.fold
+         (fun k (f, w) lst -> ((k, f, w) : (string * int) * int * int) :: lst)
+         acc []
+      |> List.sort compare)
+  in
+  (profile, outcome)
 
 let theta_grid = [ 0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ]
 

@@ -40,10 +40,37 @@ val set_cache : Cache.t option -> unit
 val current_cache : unit -> Cache.t option
 
 val workload_digest : Workload.t -> string
-(** Content digest of source text + profiling input + timing input. *)
+(** Content digest of source text + profiling, timing and drift inputs. *)
 
 val options_key : Squash.options -> string
 (** Canonical fingerprint of the full option record (every field). *)
+
+(** Which profile guides compression (the P8 lifecycle axis).  The spec's
+    {!spec_label} is folded into every downstream memo and persistent-cache
+    key, so results built from estimated profiles never alias exact ones. *)
+type profile_spec =
+  | Pexact  (** The exact profile from the profiling input (status quo). *)
+  | Poracle
+      (** Exact profile collected on the {e drift} input — the best case
+          for a drift-input run, upper-bounding every other spec. *)
+  | Psampled of { period : int; seed : int }
+      (** {!Profile.collect_sampled} on the profiling input. *)
+  | Pdecayed of { factor : float; steps : int }
+      (** The exact profile aged by [steps] applications of
+          {!Profile_ops.decay}. *)
+  | Ptruncated of { keep : int }  (** {!Profile_ops.truncate_top}. *)
+
+val spec_label : profile_spec -> string
+(** Canonical key fragment, e.g. ["sampled;p=64;s=7"]. *)
+
+type run_input = [ `Timing | `Drift ]
+(** Which canonical input a timing/baseline run executes. *)
+
+val run_label : run_input -> string
+
+val profile_for : prepared -> profile_spec -> Profile.t
+(** Materialise the spec'd profile (memoized; persisted under kind
+    ["profile"] keyed by workload digest + spec label). *)
 
 val reset : unit -> unit
 (** Clear the in-process memo tables (the persistent cache is untouched).
@@ -52,20 +79,45 @@ val reset : unit -> unit
 val prepare : Workload.t -> prepared
 (** Memoized by workload name + content digest. *)
 
-val baseline_timing : prepared -> Vm.outcome
-(** The squeezed program on the timing input; memoized per workload. *)
+val baseline_timing : ?on:run_input -> prepared -> Vm.outcome
+(** The squeezed program on the selected run input (default [`Timing]);
+    memoized per workload and input. *)
 
-val squash_result : prepared -> Squash.options -> Squash.result
-(** Memoized by (content digest, full option record). *)
+val squash_result :
+  ?pspec:profile_spec -> prepared -> Squash.options -> Squash.result
+(** Memoized by (content digest, full option record, profile spec).
+    [pspec] (default [Pexact]) selects the guiding profile via
+    {!profile_for}. *)
+
+val squash_with_profile :
+  prepared -> Squash.options -> Profile.t -> Squash.result
+(** Unmemoized squash under an arbitrary caller-supplied profile — for
+    iterative re-profiling loops whose profiles are not spec-addressable. *)
 
 val timing_run :
-  ?slots:int -> prepared -> Squash.result -> Vm.outcome * Runtime.stats
-(** Run the squashed program on the timing input, checking that its output
-    matches the baseline exactly.  [slots] (default 1) is the runtime's
-    region-cache slot count; it is part of the memo and persistent-cache
-    key, since it changes cycle counts without changing the image.
-    Memoized like {!squash_result}; a persisted entry was verified before
-    it was stored.  @raise Failure on a behaviour mismatch. *)
+  ?slots:int ->
+  ?pspec:profile_spec ->
+  ?on:run_input ->
+  prepared ->
+  Squash.result ->
+  Vm.outcome * Runtime.stats
+(** Run the squashed program on the selected run input (default
+    [`Timing]), checking that its output matches the matching baseline
+    exactly.  [slots] (default 1) is the runtime's region-cache slot
+    count; it, the profile spec and the run input are all part of the memo
+    and persistent-cache key, since they change cycle counts (or the
+    image) without changing the workload.  [pspec] must name the profile
+    the squash result was built from.  Memoized like {!squash_result}; a
+    persisted entry was verified before it was stored.
+    @raise Failure on a behaviour mismatch. *)
+
+val reprofile_squashed : Squash.result -> input:string -> Profile.t * Vm.outcome
+(** Re-profile an already-squashed image: run it with per-word counting
+    and map counts back to source blocks through the rewrite's owner
+    array.  Code executed inside the decompression buffer is unattributed
+    (it lies outside the owned words), mirroring a PC sampler that cannot
+    see scratch addresses.  The profile's source is [Derived "reprofile"];
+    the outcome is the squashed run's, for behaviour verification. *)
 
 val theta_grid : float list
 (** [0.0; 1e-5; 5e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0] *)

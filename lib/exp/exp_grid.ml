@@ -3,15 +3,23 @@ type cell = {
   options : Squash.options;
   timing : bool;
   slots : int;
+  pspec : Exp_data.profile_spec;
+  run_on : Exp_data.run_input;
 }
 
-let cell ?(timing = false) ?(slots = 1) wl options = { wl; options; timing; slots }
+let cell ?(timing = false) ?(slots = 1) ?(pspec = Exp_data.Pexact)
+    ?(run_on = `Timing) wl options =
+  { wl; options; timing; slots; pspec; run_on }
 
 let cell_label c =
-  Printf.sprintf "%s θ=%s K=%d%s%s" c.wl.Workload.name
+  Printf.sprintf "%s θ=%s K=%d%s%s%s%s" c.wl.Workload.name
     (Exp_data.theta_label c.options.Squash.theta)
     c.options.Squash.k_bytes
     (if c.slots = 1 then "" else Printf.sprintf " slots=%d" c.slots)
+    (match c.pspec with
+    | Exp_data.Pexact -> ""
+    | s -> " p=" ^ Exp_data.spec_label s)
+    (match c.run_on with `Timing -> "" | `Drift -> " run=drift")
     (if c.timing then " +timing" else "")
 
 type metrics = {
@@ -63,11 +71,13 @@ let eval_cell c =
     raise (Vm.Trap { pc = 0; reason = "injected fault" })
   | _ -> ());
   let p = Exp_data.prepare c.wl in
-  let r = Exp_data.squash_result p c.options in
+  let r = Exp_data.squash_result ~pspec:c.pspec p c.options in
   let cycles, baseline_cycles, time_ratio, decompressions, runtime =
     if c.timing then begin
-      let outcome, stats = Exp_data.timing_run ~slots:c.slots p r in
-      let baseline = Exp_data.baseline_timing p in
+      let outcome, stats =
+        Exp_data.timing_run ~slots:c.slots ~pspec:c.pspec ~on:c.run_on p r
+      in
+      let baseline = Exp_data.baseline_timing ~on:c.run_on p in
       (* The timing run may have been served from the memo or the
          persistent cache, in which case no live runtime events fired;
          replaying the aggregates keeps the metrics snapshot identical
@@ -168,6 +178,8 @@ let cell_json (c, outcome) =
       ("k_bytes", Report.Json.Int c.options.Squash.k_bytes);
       ("options", Report.Json.String (Exp_data.options_key c.options));
       ("slots", Report.Json.Int c.slots);
+      ("profile", Report.Json.String (Exp_data.spec_label c.pspec));
+      ("run_on", Report.Json.String (Exp_data.run_label c.run_on));
       ("timing", Report.Json.Bool c.timing) ]
   in
   match outcome with

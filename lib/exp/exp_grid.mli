@@ -17,9 +17,22 @@ type cell = {
   options : Squash.options;
   timing : bool;
   slots : int;  (** Runtime region-cache slots for the timing run. *)
+  pspec : Exp_data.profile_spec;  (** Which profile guides compression. *)
+  run_on : Exp_data.run_input;  (** Input for the timing run/baseline. *)
 }
 
-val cell : ?timing:bool -> ?slots:int -> Workload.t -> Squash.options -> cell
+val cell :
+  ?timing:bool ->
+  ?slots:int ->
+  ?pspec:Exp_data.profile_spec ->
+  ?run_on:Exp_data.run_input ->
+  Workload.t ->
+  Squash.options ->
+  cell
+(** [pspec] defaults to [Pexact] and [run_on] to [`Timing] — the
+    historical grid cell.  The P8 lifecycle cells vary both. *)
+
+
 val cell_label : cell -> string
 
 type metrics = {

@@ -805,8 +805,248 @@ let slots_surface () =
   record_metric "slots_surface" (Report.Json.List (List.rev !metric_rows));
   String.concat "\n" sections
 
+(* ------------------------------------------------------------------ *)
+
+let p8_theta = 1e-3
+let p8_periods = [ 1; 16; 64; 256 ]
+let p8_seed = 7
+let p8_decay_factor = 0.5
+let p8_decay_steps = [ 1; 2; 4; 8 ]
+let p8_truncate_keep = 16
+
+(* The lifecycle axis: which profile guides compression.  Every variant is
+   run on the drift input, so "exact(A)" is the realistic cross-input case
+   (train on A, run on B) and "oracle(B)" its best-case bound. *)
+let p8_specs =
+  [ ("exact(A)", Exp_data.Pexact); ("oracle(B)", Exp_data.Poracle) ]
+  @ List.map
+      (fun period ->
+        ( Printf.sprintf "sampled p=%d" period,
+          Exp_data.Psampled { period; seed = p8_seed } ))
+      p8_periods
+  @ List.map
+      (fun steps ->
+        ( Printf.sprintf "decay n=%d" steps,
+          Exp_data.Pdecayed { factor = p8_decay_factor; steps } ))
+      p8_decay_steps
+  @ [ ( Printf.sprintf "top-%d" p8_truncate_keep,
+        Exp_data.Ptruncated { keep = p8_truncate_keep } ) ]
+
+let lifecycle () =
+  let o = opts p8_theta in
+  ignore
+    (submit
+       (List.concat_map
+          (fun (_, pspec) ->
+            List.map
+              (fun wl -> Exp_grid.cell ~timing:true ~pspec ~run_on:`Drift wl o)
+              Workloads.all)
+          p8_specs));
+  let spec_cols =
+    List.map (fun (name, _) -> (name, Report.Table.Right)) p8_specs
+  in
+  let t_size =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "P8(a): footprint under lifecycle profiles at θ=%g\n\
+            (squashed/squeezed; compressed with the column's profile)"
+           p8_theta)
+      (("Program", Report.Table.Left) :: spec_cols)
+  in
+  let t_time =
+    Report.Table.create
+      ~title:
+        "P8(b): slowdown on the drift input (cycles vs squeezed on the same \
+         input)"
+      (("Program", Report.Table.Left) :: spec_cols)
+  in
+  let t_dist =
+    Report.Table.create
+      ~title:
+        "P8(c): profile distance to the drift-input oracle\n\
+         (total variation on normalised block weights, 0=identical)"
+      (("Program", Report.Table.Left) :: spec_cols)
+  in
+  let acc : (string, float list) Hashtbl.t = Hashtbl.create 64 in
+  let push key v =
+    Hashtbl.replace acc key (v :: Option.value ~default:[] (Hashtbl.find_opt acc key))
+  in
+  let mean_of key =
+    Report.gmean (Option.value ~default:[] (Hashtbl.find_opt acc key))
+  in
+  let avg_of key =
+    match Option.value ~default:[] (Hashtbl.find_opt acc key) with
+    | [] -> 0.0
+    | vs -> List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+  in
+  let metric_rows = ref [] in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let baseline = Exp_data.baseline_timing ~on:`Drift p in
+      let oracle_profile = Exp_data.profile_for p Exp_data.Poracle in
+      let size_cells, time_cells, dist_cells =
+        List.fold_left
+          (fun (sc, tc, dc) (name, pspec) ->
+            let r = Exp_data.squash_result ~pspec p o in
+            let outcome, _stats = Exp_data.timing_run ~pspec ~on:`Drift p r in
+            let sratio =
+              float_of_int r.Squash.squashed_words
+              /. float_of_int r.Squash.original_words
+            in
+            let tratio =
+              float_of_int outcome.Vm.cycles /. float_of_int baseline.Vm.cycles
+            in
+            let dist =
+              Profile_ops.distance (Exp_data.profile_for p pspec) oracle_profile
+            in
+            push ("size:" ^ name) sratio;
+            push ("time:" ^ name) tratio;
+            push ("dist:" ^ name) dist;
+            metric_rows :=
+              Report.Json.Obj
+                [ ("workload", Report.Json.String wl.Workload.name);
+                  ("profile", Report.Json.String (Exp_data.spec_label pspec));
+                  ("size_ratio", Report.Json.Float sratio);
+                  ("time_ratio", Report.Json.Float tratio);
+                  ("distance", Report.Json.Float dist) ]
+              :: !metric_rows;
+            ( Report.Table.cell_float ~decimals:3 sratio :: sc,
+              Report.Table.cell_float ~decimals:3 tratio :: tc,
+              Report.Table.cell_float ~decimals:3 dist :: dc ))
+          ([], [], []) p8_specs
+      in
+      Report.Table.add_row t_size (wl.Workload.name :: List.rev size_cells);
+      Report.Table.add_row t_time (wl.Workload.name :: List.rev time_cells);
+      Report.Table.add_row t_dist (wl.Workload.name :: List.rev dist_cells))
+    Workloads.all;
+  let add_mean tbl kind agg =
+    Report.Table.add_separator tbl;
+    Report.Table.add_row tbl
+      ((match agg with `Geo -> "geo. mean" | `Avg -> "mean")
+      :: List.map
+           (fun (name, _) ->
+             Report.Table.cell_float ~decimals:3
+               (match agg with
+               | `Geo -> mean_of (kind ^ ":" ^ name)
+               | `Avg -> avg_of (kind ^ ":" ^ name)))
+           p8_specs)
+  in
+  add_mean t_size "size" `Geo;
+  add_mean t_time "time" `Geo;
+  add_mean t_dist "dist" `Avg;
+  (* Degradation surfaces: fidelity (sampling period) and staleness
+     (decay applications) against footprint, slowdown and distance. *)
+  let chart_fidelity =
+    Report.Chart.create
+      ~title:
+        "P8: degradation vs sampling period (geo-mean footprint & slowdown,\n\
+         mean distance to oracle; drift-input runs)"
+      ~x_labels:(List.map string_of_int p8_periods)
+      ~height:12 ()
+  in
+  let series kind agg names =
+    List.map
+      (fun n ->
+        match agg with `Geo -> mean_of (kind ^ ":" ^ n) | `Avg -> avg_of (kind ^ ":" ^ n))
+      names
+  in
+  let sampled_names = List.map (fun p -> Printf.sprintf "sampled p=%d" p) p8_periods in
+  Report.Chart.add_series chart_fidelity ~name:"footprint"
+    (series "size" `Geo sampled_names);
+  Report.Chart.add_series chart_fidelity ~name:"slowdown"
+    (series "time" `Geo sampled_names);
+  Report.Chart.add_series chart_fidelity ~name:"distance"
+    (series "dist" `Avg sampled_names);
+  let chart_staleness =
+    Report.Chart.create
+      ~title:
+        (Printf.sprintf
+           "P8: degradation vs staleness (decay %g applied n times)"
+           p8_decay_factor)
+      ~x_labels:(List.map string_of_int p8_decay_steps)
+      ~height:12 ()
+  in
+  let decayed_names = List.map (fun n -> Printf.sprintf "decay n=%d" n) p8_decay_steps in
+  Report.Chart.add_series chart_staleness ~name:"footprint"
+    (series "size" `Geo decayed_names);
+  Report.Chart.add_series chart_staleness ~name:"slowdown"
+    (series "time" `Geo decayed_names);
+  Report.Chart.add_series chart_staleness ~name:"distance"
+    (series "dist" `Avg decayed_names);
+  record_metric "lifecycle" (Report.Json.List (List.rev !metric_rows));
+  (* Iterative stability: squash, re-profile the squashed image on the
+     profiling input (buffer executions are unattributable, so compressed
+     code stays cold), re-squash with the derived profile, and require the
+     footprint to settle.  Each intermediate image's behaviour is checked
+     against the unsquashed profiling run. *)
+  let t_stab =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "P8(d): iterative stability at θ=%g — squash, re-profile the \
+            squashed image, re-squash\n\
+            (squashed words per iteration; Δ is the last step's relative \
+            change)"
+           p8_theta)
+      [ ("Program", Report.Table.Left); ("iter0", Report.Table.Right);
+        ("iter1", Report.Table.Right); ("iter2", Report.Table.Right);
+        ("Δ last", Report.Table.Right); ("reprofile dist", Report.Table.Right) ]
+  in
+  let stab_rows = ref [] in
+  List.iter
+    (fun wl ->
+      let p = Exp_data.prepare wl in
+      let verify (outcome : Vm.outcome) =
+        if
+          outcome.Vm.output <> p.Exp_data.profile_outcome.Vm.output
+          || outcome.Vm.exit_code <> p.Exp_data.profile_outcome.Vm.exit_code
+        then
+          failwith
+            (wl.Workload.name
+           ^ ": squashed image diverged on the profiling input during \
+              re-profiling")
+      in
+      let input = Workload.profiling_input wl in
+      let r0 = Exp_data.squash_result p o in
+      let prof1, out0 = Exp_data.reprofile_squashed r0 ~input in
+      verify out0;
+      let r1 = Exp_data.squash_with_profile p o prof1 in
+      let prof2, out1 = Exp_data.reprofile_squashed r1 ~input in
+      verify out1;
+      let r2 = Exp_data.squash_with_profile p o prof2 in
+      let _, out2 = Exp_data.reprofile_squashed r2 ~input in
+      verify out2;
+      let s0 = r0.Squash.squashed_words in
+      let s1 = r1.Squash.squashed_words in
+      let s2 = r2.Squash.squashed_words in
+      let delta = Float.abs (float_of_int (s2 - s1)) /. float_of_int (max 1 s1) in
+      if delta > 0.10 then
+        failwith
+          (Printf.sprintf "%s: iterative re-squash did not converge (Δ=%.1f%%)"
+             wl.Workload.name (100.0 *. delta));
+      let rdist = Profile_ops.distance p.Exp_data.profile prof1 in
+      stab_rows :=
+        Report.Json.Obj
+          [ ("workload", Report.Json.String wl.Workload.name);
+            ("iter0", Report.Json.Int s0); ("iter1", Report.Json.Int s1);
+            ("iter2", Report.Json.Int s2); ("delta", Report.Json.Float delta);
+            ("reprofile_distance", Report.Json.Float rdist) ]
+        :: !stab_rows;
+      Report.Table.add_row t_stab
+        [ wl.Workload.name; string_of_int s0; string_of_int s1; string_of_int s2;
+          Report.Table.cell_percent ~decimals:2 delta;
+          Report.Table.cell_float ~decimals:3 rdist ])
+    Workloads.all;
+  record_metric "lifecycle_stability" (Report.Json.List (List.rev !stab_rows));
+  String.concat "\n"
+    [ Report.Table.render t_size; Report.Table.render t_time;
+      Report.Table.render t_dist; Report.Chart.render chart_fidelity;
+      Report.Chart.render chart_staleness; Report.Table.render t_stab ]
+
 let all =
   [ ("T1", table1); ("F3", fig3); ("F4", fig4); ("F5", fig5); ("F6", fig6);
     ("F7", fig7); ("S3-gamma", gamma); ("S2-stubs", stubs); ("S6-bsafe", bsafe);
     ("A1-ablation", ablation); ("C1-coders", coders); ("P1-passes", passes);
-    ("S7-slots", slots_surface) ]
+    ("S7-slots", slots_surface); ("P8-lifecycle", lifecycle) ]

@@ -56,6 +56,17 @@ val slots_surface : unit -> string
     1/2/4/8 at two aggressive thresholds, with decompression and
     cache-hit counts and the extra RAM cost of the added slots. *)
 
+val lifecycle : unit -> string
+(** P8: robustness of profile-guided compression across the profile
+    lifecycle.  Every workload is compressed under exact (cross-input),
+    oracle, sampled (periods 1/16/64/256), decayed (0.5ⁿ staleness chain)
+    and top-K-truncated profiles, then run on the distribution-shifted
+    drift input with behaviour verified against the unsquashed baseline;
+    reports footprint, slowdown and profile distance to the oracle, the
+    degradation surfaces vs sampling period and staleness, and an
+    iterative-stability pass (squash → re-profile the squashed image →
+    re-squash, asserting footprint convergence). *)
+
 val drain_metrics : unit -> (string * Report.Json.t) list
 (** Key metrics recorded by the experiments run since the last drain
     (e.g. geo-mean size reduction, region-formation seconds), for the

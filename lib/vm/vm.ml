@@ -1,5 +1,7 @@
 exception Trap of { pc : int; reason : string }
 
+type sampler = { period : int; seed : int }
+
 type t = {
   mem : int array;  (* word-indexed *)
   decoded : Instr.t option array;
@@ -23,15 +25,38 @@ type t = {
   mutable heap_break : int;
   mutable hook_invocations : int;
   mutable obs : Obs.t option;
+  sampler : sampler option;
+  mutable sample_countdown : int;
+  mutable sample_rng : int;
+  mutable sample_hits : int;
+  mutable sample_skips : int;
 }
 
 let trap t reason = raise (Trap { pc = t.pc; reason })
 
 let mem_words = Layout.mem_bytes / 4
 
-let create ?(cost = Cost.default) ?(fuel = 1_000_000_000) ?(profile = false) ~text_base
-    ~text ~entry ~data_base ~data_words ~data_init ~input () =
+(* Deterministic xorshift step, kept positive so [mod] below is safe. *)
+let xorshift s =
+  let s = s lxor (s lsl 13) land max_int in
+  let s = s lxor (s lsr 7) in
+  s lxor (s lsl 17) land max_int
+
+(* Number of instructions until the sampler fires again: the period plus a
+   small seeded jitter so sampling does not phase-lock with loop bodies.
+   A period of 1 always yields a stride of 1 (degenerates to exact). *)
+let next_stride t (s : sampler) =
+  t.sample_rng <- xorshift t.sample_rng;
+  let span = max 1 (s.period / 4) in
+  let jitter = (t.sample_rng mod span) - (s.period / 8) in
+  max 1 (s.period + jitter)
+
+let create ?(cost = Cost.default) ?(fuel = 1_000_000_000) ?(profile = false) ?sampler
+    ~text_base ~text ~entry ~data_base ~data_words ~data_init ~input () =
   if text_base land 3 <> 0 then invalid_arg "Vm.create: unaligned text base";
+  (match sampler with
+  | Some s when s.period < 1 -> invalid_arg "Vm.create: sample period must be >= 1"
+  | _ -> ());
   let mem = Array.make mem_words 0 in
   Array.blit text 0 mem (text_base / 4) (Array.length text);
   List.iter
@@ -42,34 +67,51 @@ let create ?(cost = Cost.default) ?(fuel = 1_000_000_000) ?(profile = false) ~te
     data_init;
   let regs = Array.make Reg.count 0 in
   regs.(Reg.sp) <- Layout.stack_top;
-  {
-    mem;
-    decoded = Array.make mem_words None;
-    regs;
-    pc = entry;
-    running = true;
-    exit_code = None;
-    icount = 0;
-    cycles = 0;
-    fuel;
-    cost;
-    input;
-    in_pos = 0;
-    output = Buffer.create 4096;
-    counts = (if profile then Some (Array.make (Array.length text) 0) else None);
-    text_base;
-    text_words = Array.length text;
-    hook_lo = max_int;
-    hook_hi = min_int;
-    hooks = Hashtbl.create 8;
-    heap_break = data_base + (4 * data_words);
-    hook_invocations = 0;
-    obs = None;
-  }
+  let t =
+    {
+      mem;
+      decoded = Array.make mem_words None;
+      regs;
+      pc = entry;
+      running = true;
+      exit_code = None;
+      icount = 0;
+      cycles = 0;
+      fuel;
+      cost;
+      input;
+      in_pos = 0;
+      output = Buffer.create 4096;
+      counts = (if profile then Some (Array.make (Array.length text) 0) else None);
+      text_base;
+      text_words = Array.length text;
+      hook_lo = max_int;
+      hook_hi = min_int;
+      hooks = Hashtbl.create 8;
+      heap_break = data_base + (4 * data_words);
+      hook_invocations = 0;
+      obs = None;
+      sampler;
+      sample_countdown = 0;
+      sample_rng = 0;
+      sample_hits = 0;
+      sample_skips = 0;
+    }
+  in
+  (match sampler with
+  | None -> ()
+  | Some s ->
+    (* Seed the stride generator; xorshift has a fixed point at 0, so mix
+       in a non-zero constant.  The first fire offset is itself drawn from
+       the generator, keeping two same-seed runs byte-identical. *)
+    t.sample_rng <- (s.seed lxor 0x2545F4914F6CDD1) land max_int;
+    if t.sample_rng = 0 then t.sample_rng <- 1;
+    t.sample_countdown <- next_stride t s);
+  t
 
-let of_image ?cost ?fuel ?profile (img : Layout.image) ~input =
-  create ?cost ?fuel ?profile ~text_base:img.Layout.text_base ~text:img.Layout.text
-    ~entry:img.Layout.entry_addr ~data_base:img.Layout.data_base
+let of_image ?cost ?fuel ?profile ?sampler (img : Layout.image) ~input =
+  create ?cost ?fuel ?profile ?sampler ~text_base:img.Layout.text_base
+    ~text:img.Layout.text ~entry:img.Layout.entry_addr ~data_base:img.Layout.data_base
     ~data_words:img.Layout.data_words ~data_init:img.Layout.data_init ~input ()
 
 let pc t = t.pc
@@ -115,6 +157,8 @@ let hook_invocations t = t.hook_invocations
 let set_obs t o = t.obs <- Some o
 let exited t = t.exit_code
 let counts t = t.counts
+let sample_hits t = t.sample_hits
+let sample_skips t = t.sample_skips
 let output_so_far t = Buffer.contents t.output
 
 let install_hook t ~addr f =
@@ -245,9 +289,24 @@ let fetch t =
 let record_count t =
   match t.counts with
   | None -> ()
-  | Some arr ->
-    let idx = (t.pc - t.text_base) lsr 2 in
-    if idx >= 0 && idx < t.text_words then arr.(idx) <- arr.(idx) + 1
+  | Some arr -> (
+    match t.sampler with
+    | None ->
+      let idx = (t.pc - t.text_base) lsr 2 in
+      if idx >= 0 && idx < t.text_words then arr.(idx) <- arr.(idx) + 1
+    | Some s ->
+      t.sample_countdown <- t.sample_countdown - 1;
+      if t.sample_countdown <= 0 then begin
+        t.sample_countdown <- next_stride t s;
+        t.sample_hits <- t.sample_hits + 1;
+        (match t.obs with None -> () | Some o -> Obs.incr o "vm.sample_hits");
+        let idx = (t.pc - t.text_base) lsr 2 in
+        if idx >= 0 && idx < t.text_words then arr.(idx) <- arr.(idx) + 1
+      end
+      else begin
+        t.sample_skips <- t.sample_skips + 1;
+        match t.obs with None -> () | Some o -> Obs.incr o "vm.sample_skips"
+      end)
 
 let rec step t =
   if not t.running then false

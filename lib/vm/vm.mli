@@ -12,11 +12,19 @@
       decompressor/CreateStub runtime this way while still charging
       simulated cycles;
     - {b profiling}: optional per-text-word execution counts, from which
-      {!Profile} derives basic-block frequencies. *)
+      {!Profile} derives basic-block frequencies; a {!sampler} degrades
+      the exact counts to deterministic periodic samples. *)
 
 type t
 
 exception Trap of { pc : int; reason : string }
+
+type sampler = { period : int; seed : int }
+(** Statistical profiling: instead of counting every executed text word,
+    count roughly one in [period] (the stride is [period] plus a small
+    jitter drawn from a [seed]ed xorshift generator, so sampling does not
+    phase-lock with loop bodies yet stays fully reproducible).  A period
+    of 1 degenerates to exact counting. *)
 
 (** {1 Construction} *)
 
@@ -24,6 +32,7 @@ val create :
   ?cost:Cost.model ->
   ?fuel:int ->
   ?profile:bool ->
+  ?sampler:sampler ->
   text_base:int ->
   text:int array ->
   entry:int ->
@@ -35,9 +44,17 @@ val create :
   t
 (** [fuel] bounds the number of executed instructions (default 1e9);
     exceeding it raises [Trap].  [input] is the byte stream served by the
-    [getc]/[getw] syscalls. *)
+    [getc]/[getw] syscalls.  [sampler] only matters with [~profile:true];
+    @raise Invalid_argument if its period is < 1. *)
 
-val of_image : ?cost:Cost.model -> ?fuel:int -> ?profile:bool -> Layout.image -> input:string -> t
+val of_image :
+  ?cost:Cost.model ->
+  ?fuel:int ->
+  ?profile:bool ->
+  ?sampler:sampler ->
+  Layout.image ->
+  input:string ->
+  t
 
 (** {1 Execution} *)
 
@@ -86,6 +103,16 @@ val install_hook : t -> addr:int -> (t -> unit) -> unit
 
 val counts : t -> int array option
 (** Per-text-word execution counts when created with [~profile:true];
-    index [i] counts executions of the word at [text_base + 4*i]. *)
+    index [i] counts executions of the word at [text_base + 4*i].  Under a
+    {!sampler} these are sampled hit counts, not exact executions. *)
+
+val sample_hits : t -> int
+(** Instructions the sampler chose to record (0 without a sampler).  Also
+    bumped on the obs sink as ["vm.sample_hits"]. *)
+
+val sample_skips : t -> int
+(** Instructions the sampler skipped (0 without a sampler; with one,
+    [sample_hits + sample_skips] equals the profiled instruction count).
+    Also bumped on the obs sink as ["vm.sample_skips"]. *)
 
 val output_so_far : t -> string

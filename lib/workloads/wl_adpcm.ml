@@ -301,6 +301,10 @@ let timing_input =
     (Wl_input.word_string
        ((3 :: 6000 :: Wl_input.speech ~seed:77 ~samples:6000)))
 
+let drift_input =
+  lazy
+    (Wl_input.word_string ((3 :: 4000 :: Wl_input.speech ~seed:131 ~samples:4000)))
+
 let workload =
   {
     Workload.name = "adpcm";
@@ -308,4 +312,5 @@ let workload =
     source;
     profiling_input;
     timing_input;
+    drift_input;
   }

@@ -307,6 +307,11 @@ let timing_input =
     (Wl_input.word_string
        ((2 :: 96 :: 96 :: Wl_input.image ~seed:97 ~width:96 ~height:96)))
 
+let drift_input =
+  lazy
+    (Wl_input.word_string
+       ((2 :: 64 :: 64 :: Wl_input.image ~seed:137 ~width:64 ~height:64)))
+
 let workload =
   {
     Workload.name = "epic";
@@ -314,4 +319,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

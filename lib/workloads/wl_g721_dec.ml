@@ -96,6 +96,7 @@ let dec_input ~mode ~seed ~samples =
 
 let profiling_input = lazy (dec_input ~mode:2 ~seed:23 ~samples:1500)
 let timing_input = lazy (dec_input ~mode:2 ~seed:93 ~samples:9000)
+let drift_input = lazy (dec_input ~mode:2 ~seed:143 ~samples:5000)
 
 let workload =
   {
@@ -104,4 +105,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

@@ -85,6 +85,9 @@ let profiling_input =
 let timing_input =
   lazy (Wl_input.word_string (3 :: 8000 :: Wl_input.speech ~seed:91 ~samples:8000))
 
+let drift_input =
+  lazy (Wl_input.word_string (3 :: 5000 :: Wl_input.speech ~seed:139 ~samples:5000))
+
 let workload =
   {
     Workload.name = "g721_enc";
@@ -92,6 +95,7 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }
 
 (* Encode a speech waveform through the VM to produce a real code stream

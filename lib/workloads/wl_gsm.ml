@@ -306,6 +306,9 @@ let profiling_input =
 let timing_input =
   lazy (Wl_input.word_string (2 :: 32 :: Wl_input.speech ~seed:95 ~samples:(32 * 160)))
 
+let drift_input =
+  lazy (Wl_input.word_string (2 :: 20 :: Wl_input.speech ~seed:149 ~samples:(20 * 160)))
+
 let workload =
   {
     Workload.name = "gsm";
@@ -313,4 +316,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

@@ -142,6 +142,7 @@ let dec_input ~mode ~seed ~width ~height =
 
 let profiling_input = lazy (dec_input ~mode:2 ~seed:53 ~width:48 ~height:48)
 let timing_input = lazy (dec_input ~mode:2 ~seed:101 ~width:96 ~height:96)
+let drift_input = lazy (dec_input ~mode:2 ~seed:155 ~width:64 ~height:64)
 
 let workload =
   {
@@ -150,4 +151,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

@@ -252,6 +252,11 @@ let timing_input =
     (Wl_input.word_string
        ((3 :: 75 :: 96 :: 96 :: Wl_input.image ~seed:99 ~width:96 ~height:96)))
 
+let drift_input =
+  lazy
+    (Wl_input.word_string
+       ((3 :: 85 :: 64 :: 64 :: Wl_input.image ~seed:151 ~width:64 ~height:64)))
+
 let workload =
   {
     Workload.name = "jpeg_enc";
@@ -259,6 +264,7 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }
 
 (* Produce a coefficient stream for jpeg_dec by running mode 2 in the VM. *)

@@ -178,6 +178,7 @@ let dec_input ~mode ~seed ~frames =
 
 let profiling_input = lazy (dec_input ~mode:2 ~seed:63 ~frames:2)
 let timing_input = lazy (dec_input ~mode:2 ~seed:105 ~frames:7)
+let drift_input = lazy (dec_input ~mode:2 ~seed:173 ~frames:4)
 
 let workload =
   {
@@ -186,4 +187,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

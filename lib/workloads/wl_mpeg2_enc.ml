@@ -261,6 +261,11 @@ let timing_input =
     (Wl_input.word_string
        (3 :: 48 :: 32 :: 7 :: Wl_input.video ~seed:103 ~width:48 ~height:32 ~frames:7))
 
+let drift_input =
+  lazy
+    (Wl_input.word_string
+       (3 :: 48 :: 32 :: 5 :: Wl_input.video ~seed:157 ~width:48 ~height:32 ~frames:5))
+
 let workload =
   {
     Workload.name = "mpeg2enc";
@@ -268,6 +273,7 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }
 
 let encoded_stream ~seed ~width ~height ~frames =

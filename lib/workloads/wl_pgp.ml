@@ -349,6 +349,19 @@ let timing_input =
      in
      Wl_input.word_string (2 :: String.length doc :: words))
 
+let drift_input =
+  lazy
+    (let doc = Wl_input.document ~seed:163 ~bytes:9000 in
+     let words =
+       List.init ((String.length doc + 3) / 4) (fun i ->
+           let b j =
+             let idx = (4 * i) + j in
+             if idx < String.length doc then Char.code doc.[idx] else 0
+           in
+           b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+     in
+     Wl_input.word_string (2 :: String.length doc :: words))
+
 let workload =
   {
     Workload.name = "pgp";
@@ -356,4 +369,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

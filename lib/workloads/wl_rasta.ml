@@ -262,6 +262,10 @@ let timing_input =
     (Wl_input.word_string
        (2 :: 64 :: Wl_input.speech ~seed:109 ~samples:(64 * 128)))
 
+let drift_input =
+  lazy
+    (Wl_input.word_string (2 :: 40 :: Wl_input.speech ~seed:167 ~samples:(40 * 128)))
+
 let workload =
   {
     Workload.name = "rasta";
@@ -269,4 +273,5 @@ let workload =
     source = full_source;
     profiling_input;
     timing_input;
+    drift_input;
   }

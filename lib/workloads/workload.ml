@@ -4,6 +4,7 @@ type t = {
   source : string;
   profiling_input : string Lazy.t;
   timing_input : string Lazy.t;
+  drift_input : string Lazy.t;
 }
 
 let compile t =
@@ -14,3 +15,4 @@ let compile t =
 
 let profiling_input t = Lazy.force t.profiling_input
 let timing_input t = Lazy.force t.timing_input
+let drift_input t = Lazy.force t.drift_input

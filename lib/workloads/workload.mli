@@ -6,7 +6,12 @@
     a larger {e timing} input — with somewhat different characteristics —
     used to measure execution time.  The split matters: code that is cold
     during profiling may still run at timing time, which is what produces
-    the paper's runtime overhead curve. *)
+    the paper's runtime overhead curve.
+
+    A third {e drift} input exists for the profile-lifecycle experiments
+    (P8): it is deliberately distribution-shifted relative to both the
+    profiling and timing inputs (different generator seed and size), so
+    "train on A, run on B" cells have a genuine A/B axis. *)
 
 type t = {
   name : string;  (** Matches the paper's benchmark name, e.g. "adpcm". *)
@@ -14,6 +19,7 @@ type t = {
   source : string;  (** MiniC source text. *)
   profiling_input : string Lazy.t;
   timing_input : string Lazy.t;
+  drift_input : string Lazy.t;
 }
 
 val compile : t -> Prog.t
@@ -22,3 +28,4 @@ val compile : t -> Prog.t
 
 val profiling_input : t -> string
 val timing_input : t -> string
+val drift_input : t -> string

@@ -199,6 +199,7 @@ let test_wl name source =
     source;
     profiling_input = lazy "";
     timing_input = lazy "";
+    drift_input = lazy "";
   }
 
 let exp_data_tests =

@@ -144,12 +144,33 @@ let error_tests =
         | Error _ -> ()
         | Ok _ -> Alcotest.failf "parse of %S should fail" text)
   in
+  let expect_error_at name text lineno =
+    Alcotest.test_case name `Quick (fun () ->
+        match Profile.of_string text with
+        | Ok _ -> Alcotest.failf "parse of %S should fail" text
+        | Error e ->
+          let prefix = Printf.sprintf "line %d:" lineno in
+          if not (String.length e >= String.length prefix
+                 && String.sub e 0 (String.length prefix) = prefix)
+          then Alcotest.failf "error %S should be positioned at %S" e prefix)
+  in
   [
     expect_error "non-numeric total" "total x\n";
     expect_error "missing field" "main 1 2\n";
     expect_error "extra field" "main 1 2 3 4\n";
     expect_error "non-numeric block" "main b 2 3\n";
     expect_error "truncated header" "tot";
+    expect_error "missing total line" "main 0 1 2\n";
+    expect_error_at "negative freq" "total 2\nmain 0 -1 2\n" 2;
+    expect_error_at "negative weight" "total 2\nmain 0 1 -2\n" 2;
+    expect_error_at "negative total" "total -2\nmain 0 1 2\n" 1;
+    expect_error_at "duplicate entry" "total 5\nmain 0 1 2\nmain 0 1 3\n" 3;
+    expect_error "inconsistent total" "total 7\nmain 0 1 2\nhot 0 1 3\n";
+    expect_error_at "duplicate total" "total 2\ntotal 2\nmain 0 1 2\n" 2;
+    expect_error_at "bad source line" "source magic\ntotal 0\n" 1;
+    expect_error_at "duplicate source" "source sampled 4 1\nsource sampled 4 1\ntotal 0\n" 2;
+    expect_error_at "source after total" "total 0\nsource sampled 4 1\n" 2;
+    expect_error_at "sampled period zero" "source sampled 0 1\ntotal 0\n" 1;
     Alcotest.test_case "truncated input is an error" `Quick (fun () ->
         let p = compile looping in
         let prof, _ = Profile.collect p ~input:"" in
@@ -162,6 +183,114 @@ let error_tests =
         | Ok _ -> Alcotest.fail "truncated text should not parse");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Provenance: the source line round-trips, and serialisation is
+   deterministic (equal profiles are byte-identical). *)
+
+let provenance_tests =
+  let parse text =
+    match Profile.of_string text with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  [
+    Alcotest.test_case "exact profiles omit the source line" `Quick (fun () ->
+        let p = compile looping in
+        let prof, _ = Profile.collect p ~input:"" in
+        Alcotest.(check bool) "source is Exact" true
+          (Profile.source prof = Profile.Exact);
+        let text = Profile.to_string prof in
+        Alcotest.(check bool) "starts with total" true
+          (String.length text >= 6 && String.sub text 0 6 = "total "));
+    Alcotest.test_case "sampled source round-trips" `Quick (fun () ->
+        let text = "source sampled 64 9\ntotal 5\nmain 0 1 5\n" in
+        let prof = parse text in
+        (match Profile.source prof with
+        | Profile.Sampled { period = 64; seed = 9 } -> ()
+        | _ -> Alcotest.fail "expected Sampled {64; 9}");
+        Alcotest.(check string) "byte round-trip" text (Profile.to_string prof));
+    Alcotest.test_case "derived source round-trips" `Quick (fun () ->
+        let text =
+          "source derived exact |> decay 0.5 |> truncate top 4\n\
+           total 5\nmain 0 1 5\n"
+        in
+        let prof = parse text in
+        (match Profile.source prof with
+        | Profile.Derived "exact |> decay 0.5 |> truncate top 4" -> ()
+        | _ -> Alcotest.fail "expected Derived recipe");
+        Alcotest.(check string) "byte round-trip" text (Profile.to_string prof));
+    Alcotest.test_case "serialisation is order-independent" `Quick (fun () ->
+        let p = compile looping in
+        let a, _ = Profile.collect p ~input:"" in
+        let b, _ = Profile.collect p ~input:"" in
+        Alcotest.(check string) "merge a b = merge b a (bytes)"
+          (Profile.to_string (Profile.merge a b))
+          (Profile.to_string (Profile.merge b a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sampled collection: determinism, accounting, and period-1 exactness. *)
+
+let sampled_tests =
+  [
+    Alcotest.test_case "sampled collection is deterministic" `Quick (fun () ->
+        let p = compile looping in
+        let a, _ = Profile.collect_sampled ~period:16 ~seed:5 p ~input:"" in
+        let b, _ = Profile.collect_sampled ~period:16 ~seed:5 p ~input:"" in
+        Alcotest.(check string) "same seed, same bytes" (Profile.to_string a)
+          (Profile.to_string b));
+    Alcotest.test_case "sampled profiles record their provenance" `Quick
+      (fun () ->
+        let p = compile looping in
+        let prof, _ = Profile.collect_sampled ~period:16 ~seed:5 p ~input:"" in
+        match Profile.source prof with
+        | Profile.Sampled { period = 16; seed = 5 } -> ()
+        | _ -> Alcotest.fail "expected Sampled {16; 5}");
+    Alcotest.test_case "period 1 reproduces the exact profile" `Quick (fun () ->
+        let p = compile looping in
+        let exact, _ = Profile.collect p ~input:"" in
+        let sampled, _ =
+          Profile.collect_sampled ~period:1 ~seed:42 p ~input:""
+        in
+        Alcotest.(check bool) "same entries" true
+          (Profile.entries exact = Profile.entries sampled);
+        Alcotest.(check int) "same total" (Profile.total_weight exact)
+          (Profile.total_weight sampled));
+    Alcotest.test_case "period < 1 is rejected" `Quick (fun () ->
+        let p = compile looping in
+        match Profile.collect_sampled ~period:0 ~seed:1 p ~input:"" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "period 0 should raise");
+    Alcotest.test_case "sampler hits + skips = profiled instructions" `Quick
+      (fun () ->
+        let p = compile looping in
+        let img = Layout.emit p in
+        let vm =
+          Vm.of_image ~profile:true
+            ~sampler:{ Vm.period = 16; seed = 5 }
+            img ~input:""
+        in
+        let outcome = Vm.run vm in
+        Alcotest.(check int) "accounting"
+          outcome.Vm.icount
+          (Vm.sample_hits vm + Vm.sample_skips vm));
+    Alcotest.test_case "sampled total approximates the exact total" `Quick
+      (fun () ->
+        let p = compile looping in
+        let exact, _ = Profile.collect p ~input:"" in
+        let sampled, _ =
+          Profile.collect_sampled ~period:8 ~seed:3 p ~input:""
+        in
+        let e = float_of_int (Profile.total_weight exact) in
+        let s = float_of_int (Profile.total_weight sampled) in
+        let rel = abs_float (s -. e) /. e in
+        if rel > 0.5 then
+          Alcotest.failf "sampled total %g too far from exact %g (%.0f%%)" s e
+            (100. *. rel));
+  ]
+
 let suite =
   [ ("profile", unit_tests);
-    ("profile-serialisation", qcheck roundtrip_prop :: error_tests) ]
+    ("profile-serialisation", qcheck roundtrip_prop :: error_tests);
+    ("profile-provenance", provenance_tests);
+    ("profile-sampling", sampled_tests) ]
