@@ -10,7 +10,11 @@
                                                # wall-clock + key metrics
      dune exec bench/main.exe -- --jobs N      # engine pool size (default:
                                                # $JOBS, then domain count)
-     dune exec bench/main.exe -- --no-cache    # skip the _cache/ store     *)
+     dune exec bench/main.exe -- --no-cache    # skip the _cache/ store
+     dune exec bench/main.exe -- --repeat N    # time each experiment N times
+                                               # (for benchdiff significance)
+     dune exec bench/main.exe -- --no-ledger   # skip the _bench/history.jsonl
+                                               # run-ledger append           *)
 
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '#')
@@ -129,8 +133,12 @@ let run_micro () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs = ref None and no_cache = ref false in
+  let repeat = ref 1 and no_ledger = ref false in
+  let json = ref None in
   let rec split_json acc = function
-    | "--json" :: file :: rest -> (List.rev_append acc rest, Some file)
+    | "--json" :: file :: rest ->
+      json := Some file;
+      split_json acc rest
     | "--json" :: [] ->
       prerr_endline "--json requires a file argument";
       exit 1
@@ -145,20 +153,35 @@ let () =
     | "--jobs" :: [] ->
       prerr_endline "--jobs requires a positive integer";
       exit 1
+    | "--repeat" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some r when r >= 1 ->
+        repeat := r;
+        split_json acc rest
+      | Some _ | None ->
+        prerr_endline "--repeat requires a positive integer";
+        exit 1)
+    | "--repeat" :: [] ->
+      prerr_endline "--repeat requires a positive integer";
+      exit 1
     | "--no-cache" :: rest ->
       no_cache := true;
       split_json acc rest
+    | "--no-ledger" :: rest ->
+      no_ledger := true;
+      split_json acc rest
     | a :: rest -> split_json (a :: acc) rest
-    | [] -> (List.rev acc, None)
+    | [] -> List.rev acc
   in
-  let ids, json_file = split_json [] args in
+  let ids = split_json [] args in
+  let json_file = !json in
   Exp_grid.set_jobs !jobs;
   (* One sink for the whole run: the engine emits job submit/start/finish
      spans into the trace from every worker domain, and each timing cell
      replays its runtime aggregates into the metrics registry. *)
   let obs = Obs.full () in
   Exp_grid.set_obs (Some obs);
-  let cache = if !no_cache then None else Some (Cache.create ()) in
+  let cache = if !no_cache then None else Some (Cache.create ~obs ()) in
   Exp_data.set_cache cache;
   Printf.printf "engine: %d jobs; cache: %s\n%!" (Exp_grid.jobs ())
     (match cache with None -> "disabled" | Some c -> Cache.dir c);
@@ -170,29 +193,46 @@ let () =
   let t0 = Unix.gettimeofday () in
   let unknown = ref [] in
   let recorded = ref [] in
-  let record id dt =
+  let samples_by_id = ref [] in
+  (* Metrics are drained once per experiment, after its last repetition,
+     so with [--repeat n] each experiment's counters cover all n runs. *)
+  let record id samples =
+    samples_by_id := (id, samples) :: !samples_by_id;
     recorded :=
       Report.Json.Obj
         [ ("id", Report.Json.String id);
-          ("seconds", Report.Json.Float dt);
+          ("seconds", Report.Json.Float (Report.Stats.mean samples));
+          ( "samples",
+            Report.Json.List
+              (List.map (fun s -> Report.Json.Float s) samples) );
           ("metrics", Report.Json.Obj (Experiments.drain_metrics ())) ]
       :: !recorded
+  in
+  (* Time [f] [--repeat] times; only the first repetition's report is
+     printed (later ones are warm re-measurements for the t-test). *)
+  let timed_samples f =
+    List.init !repeat (fun rep ->
+        let start = Unix.gettimeofday () in
+        let out = f () in
+        let dt = Unix.gettimeofday () -. start in
+        if rep = 0 then print_string out;
+        dt)
   in
   List.iter
     (fun id ->
       match List.assoc_opt id Experiments.all with
       | Some f ->
         hr id;
-        let start = Unix.gettimeofday () in
-        print_string (f ());
-        record id (Unix.gettimeofday () -. start);
+        record id (timed_samples f);
         Printf.printf "[%s done at %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
       | None ->
         if id = "micro" then begin
           hr "micro (bechamel)";
-          let start = Unix.gettimeofday () in
-          run_micro ();
-          record id (Unix.gettimeofday () -. start)
+          record id
+            (List.init !repeat (fun _ ->
+                 let start = Unix.gettimeofday () in
+                 run_micro ();
+                 Unix.gettimeofday () -. start))
         end
         else unknown := id :: !unknown)
     requested;
@@ -201,32 +241,45 @@ let () =
   (match cache with
   | None -> ()
   | Some c -> print_endline (Cache.render_stats c));
+  (* A representative runtime-stats sample (first workload, θ=0.01),
+     served from the memo/cache when warm.  Its scalar counters are
+     deterministic at a fixed revision, which is what lets benchdiff
+     treat any drift in them as a behaviour change. *)
+  let runtime_sample =
+    let wl = List.hd Workloads.all in
+    let p = Exp_data.prepare wl in
+    let r =
+      Exp_data.squash_result p
+        { Squash.default_options with Squash.theta = 0.01 }
+    in
+    let _, stats = Exp_data.timing_run p r in
+    Report.Json.Obj
+      [ ("workload", Report.Json.String wl.Workload.name);
+        ("theta", Report.Json.Float 0.01);
+        ("stats", Runtime.stats_to_json stats) ]
+  in
+  let provenance =
+    [ ("schema", Report.Json.String "pgcc-bench-v2");
+      ("timestamp", Report.Json.String (Ledger.timestamp ()));
+      ( "rev",
+        match Ledger.git_rev () with
+        | Some r -> Report.Json.String r
+        | None -> Report.Json.Null );
+      ("jobs", Report.Json.Int (Exp_grid.jobs ()));
+      ("repeat", Report.Json.Int !repeat);
+      ("total_seconds", Report.Json.Float total) ]
+  in
+  let cache_field =
+    match cache with
+    | None -> []
+    | Some c -> [ ("cache", Cache.stats_json c) ]
+  in
   (match json_file with
   | None -> ()
   | Some file ->
-    (* A representative runtime-stats sample (first workload, θ=0.01),
-       served from the memo/cache when warm. *)
-    let runtime_sample =
-      let wl = List.hd Workloads.all in
-      let p = Exp_data.prepare wl in
-      let r =
-        Exp_data.squash_result p
-          { Squash.default_options with Squash.theta = 0.01 }
-      in
-      let _, stats = Exp_data.timing_run p r in
-      Report.Json.Obj
-        [ ("workload", Report.Json.String wl.Workload.name);
-          ("theta", Report.Json.Float 0.01);
-          ("stats", Runtime.stats_to_json stats) ]
-    in
     let doc =
       Report.Json.Obj
-        ([ ("schema", Report.Json.String "pgcc-bench-v1");
-           ("total_seconds", Report.Json.Float total);
-           ("jobs", Report.Json.Int (Exp_grid.jobs ())) ]
-        @ (match cache with
-          | None -> []
-          | Some c -> [ ("cache", Cache.stats_json c) ])
+        (provenance @ cache_field
         @ [ ("experiments", Report.Json.List (List.rev !recorded));
             ( "metrics",
               match obs.Obs.metrics with
@@ -243,6 +296,30 @@ let () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %s\n" file);
+  (if not !no_ledger then
+     (* The history line keeps only what benchdiff consumes — provenance,
+        samples and the deterministic counters — so years of runs stay a
+        few kilobytes. *)
+     let slim =
+       List.rev_map
+         (fun (id, samples) ->
+           Report.Json.Obj
+             [ ("id", Report.Json.String id);
+               ("seconds", Report.Json.Float (Report.Stats.mean samples));
+               ( "samples",
+                 Report.Json.List
+                   (List.map (fun s -> Report.Json.Float s) samples) ) ])
+         !samples_by_id
+     in
+     let entry =
+       Report.Json.Obj
+         (provenance @ cache_field
+         @ [ ("experiments", Report.Json.List slim);
+             ("runtime_sample", runtime_sample) ])
+     in
+     match Ledger.append entry with
+     | Ok path -> Printf.printf "ledger: appended to %s\n" path
+     | Error msg -> Printf.eprintf "ledger: append failed: %s\n" msg);
   match List.rev !unknown with
   | [] -> ()
   | ids ->

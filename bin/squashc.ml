@@ -644,7 +644,7 @@ let squash_cmd =
       let codes = result.Squash.squashed.Rewrite.codes in
       let doc =
         Report.Json.Obj
-          ([ ("schema", Report.Json.String "pgcc-squash-stats-v3");
+          ([ ("schema", Report.Json.String "pgcc-squash-stats-v4");
              ("coder", Report.Json.String (Compress.coder_name codes));
              ("table_bits", Report.Json.Int (Compress.table_bits codes));
              ("stream_bits",
@@ -698,10 +698,20 @@ let attrib_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the attribution rows and totals as JSON.")
+          ~doc:"Write the attribution rows and totals as JSON \
+                (schema pgcc-attrib-v1, loadable by $(b,--compare)).")
+  in
+  let compare_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:"A saved attribution JSON (from a previous $(b,--json)) to \
+                diff this run against: per-region signed cycle and share \
+                deltas, with the saved run as side A.")
   in
   let run prog_name no_squeeze inputs theta k_bytes cache_slots profile_file
-      json_out =
+      json_out compare_file =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -733,19 +743,47 @@ let attrib_cmd =
          /. float_of_int outcome.Vm.cycles
        else 0.0)
       outcome.Vm.cycles;
-    match json_out with
+    let params =
+      [ ("prog", Report.Json.String prog_name);
+        ("theta", Report.Json.Float theta);
+        ("k_bytes", Report.Json.Int k_bytes);
+        ("slots", Report.Json.Int cache_slots) ]
+    in
+    (match json_out with
     | None -> ()
     | Some path ->
-      write_file path (Report.Json.to_string (Attrib.to_json a) ^ "\n")
+      write_file path
+        (Report.Json.to_string
+           (Attrib.to_json ~params ~run_cycles:outcome.Vm.cycles a)
+        ^ "\n"));
+    match compare_file with
+    | None -> ()
+    | Some path -> (
+      match Attrib.Saved.load_file path with
+      | Error msg ->
+        Printf.eprintf "squashc: %s\n" msg;
+        exit 1
+      | Ok saved ->
+        let here =
+          Attrib.to_saved ~run_cycles:outcome.Vm.cycles
+            ~params:
+              [ ("prog", prog_name);
+                ("theta", Printf.sprintf "%g" theta);
+                ("k_bytes", string_of_int k_bytes);
+                ("slots", string_of_int cache_slots) ]
+            a
+        in
+        print_newline ();
+        print_string (Attrib.render_diff saved here))
   in
   Cmd.v
     (Cmd.info "attrib"
        ~doc:"Per-region runtime-overhead attribution: squash, run the \
              timing input, and break the decompression cycles down by \
-             region.")
+             region (optionally diffed against a saved run).")
     Term.(
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
-      $ cache_slots_arg $ profile_file $ json_out)
+      $ cache_slots_arg $ profile_file $ json_out $ compare_file)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -829,8 +867,24 @@ let grid_cmd =
       & info [ "engine-stats" ]
           ~doc:"Print the per-job wall-clock table after the grid.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Trace the grid run into sharded per-domain sinks (engine \
+                job spans, pipeline pass spans, cache latencies) and write \
+                the deterministic merged export here.")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:"Trace file format: $(b,chrome) or $(b,jsonl).")
+  in
   let run names thetas ks timing cache_slots jobs no_cache cache_dir json_out
-      csv_out stats_flag =
+      csv_out stats_flag trace_out trace_format =
     let wls =
       match names with
       | [] -> Workloads.all
@@ -845,10 +899,21 @@ let grid_cmd =
               exit 2)
           names
     in
+    let obs =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+        (* One shard per worker domain plus the submitting main domain, so
+           the sink's fast path stays uncontended whatever the host's core
+           count says. *)
+        let pool = (match jobs with Some j -> j | None -> Exp_grid.jobs ()) in
+        Some (Obs.full ~shards:(pool + 1) ())
+    in
     let cache =
-      if no_cache then None else Some (Cache.create ~dir:cache_dir ())
+      if no_cache then None else Some (Cache.create ~dir:cache_dir ?obs ())
     in
     Exp_data.set_cache cache;
+    Exp_grid.set_obs obs;
     (* Workload-innermost order so the first [jobs] cells touch distinct
        workloads and the prepare stages parallelise. *)
     let cells =
@@ -875,6 +940,23 @@ let grid_cmd =
     (match cache with
     | None -> ()
     | Some c -> print_endline (Cache.render_stats c));
+    (match (trace_out, obs) with
+    | Some path, Some o ->
+      let tr = Option.get o.Obs.trace in
+      (match trace_format with
+      | `Chrome ->
+        write_file path (Report.Json.to_string (Obs.Trace.to_chrome tr) ^ "\n")
+      | `Jsonl -> write_file path (Obs.Trace.to_jsonl tr));
+      let per_shard =
+        Array.to_list (Obs.Trace.shard_stats tr)
+        |> List.mapi (fun sid (e, d) -> Printf.sprintf "%d:%d/%d" sid e d)
+      in
+      Printf.printf "trace: %d events (%d dropped) on %d shards [%s] -> %s\n"
+        (Obs.Trace.emitted tr) (Obs.Trace.dropped tr)
+        (Obs.Trace.shard_count tr)
+        (String.concat " " per_shard)
+        path
+    | _ -> ());
     let doc =
       Report.Json.Obj
         ([ ("schema", Report.Json.String "pgcc-grid-v1");
@@ -904,7 +986,98 @@ let grid_cmd =
              engine.")
     Term.(
       const run $ workloads_arg $ thetas $ ks $ timing $ cache_slots_arg $ jobs
-      $ no_cache $ cache_dir $ json_out $ csv_out $ stats_flag)
+      $ no_cache $ cache_dir $ json_out $ csv_out $ stats_flag $ trace_out
+      $ trace_format)
+
+(* --- benchdiff -------------------------------------------------------- *)
+
+let benchdiff_cmd =
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A.json" ~doc:"Baseline run (bench --json output).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B.json" ~doc:"Candidate run to compare against A.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.10
+      & info [ "threshold" ] ~docv:"REL"
+          ~doc:"Relative wall-clock slowdown above which an experiment is \
+                flagged (0.10 = 10% slower); statistical significance is \
+                still required when both runs carry repeated samples.")
+  in
+  let counter_threshold =
+    Arg.(
+      value & opt float 0.0
+      & info [ "counter-threshold" ] ~docv:"REL"
+          ~doc:"Relative drift tolerated in the deterministic runtime \
+                counters (default 0: any drift flags).")
+  in
+  let run file_a file_b threshold counter_threshold =
+    let load f =
+      match Benchdiff.load_file f with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "squashc: %s\n" msg;
+        exit 2
+    in
+    let a = load file_a and b = load file_b in
+    let report =
+      Benchdiff.compare_runs ~wall_threshold:threshold ~counter_threshold a b
+    in
+    print_string (Benchdiff.render a b report);
+    if Benchdiff.regressed report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:"Compare two benchmark runs with repeated-sample statistics; \
+             exit 1 on a significant regression (for CI gates).")
+    Term.(const run $ file_a $ file_b $ threshold $ counter_threshold)
+
+(* --- tracediff -------------------------------------------------------- *)
+
+let tracediff_cmd =
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"Baseline trace (chrome or jsonl export).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Candidate trace to compare against A.")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show only the N largest duration deltas (0 = all).")
+  in
+  let run file_a file_b top =
+    let load f =
+      match Tracediff.load_file f with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "squashc: %s\n" msg;
+        exit 2
+    in
+    let a = load file_a and b = load file_b in
+    let top = if top <= 0 then None else Some top in
+    print_string (Tracediff.render ?top a b)
+  in
+  Cmd.v
+    (Cmd.info "tracediff"
+       ~doc:"Diff the span profiles of two exported traces: per span name, \
+             signed count and duration deltas.")
+    Term.(const run $ file_a $ file_b $ top)
 
 (* --- lint ------------------------------------------------------------- *)
 
@@ -1100,6 +1273,6 @@ let main =
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
     [ compile_cmd; run_cmd; profile_cmd; profdiff_cmd; squash_cmd; attrib_cmd;
       stats_cmd;
-      grid_cmd; lint_cmd; workloads_cmd ]
+      grid_cmd; benchdiff_cmd; tracediff_cmd; lint_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -112,12 +112,17 @@ let render t =
       string_of_int t.total_cycles; ""; ""; "" ];
   Report.Table.render tbl
 
-let to_json t =
+let to_json ?(params = []) ?run_cycles t =
   let open Report.Json in
   Obj
-    [ ("total_decompressions", Int t.total_decompressions);
-      ("total_cycles", Int t.total_cycles);
-      ( "regions",
+    ([ ("schema", String "pgcc-attrib-v1") ]
+    @ (if params = [] then [] else [ ("params", Obj params) ])
+    @ (match run_cycles with
+      | Some c -> [ ("run_cycles", Int c) ]
+      | None -> [])
+    @ [ ("total_decompressions", Int t.total_decompressions);
+        ("total_cycles", Int t.total_cycles);
+        ( "regions",
         List
           (List.map
              (fun r ->
@@ -129,4 +134,228 @@ let to_json t =
                    ("decompressions", Int r.decompressions);
                    ("cycles", Int r.cycles); ("share", Float r.share);
                    ("funcs", List (List.map (fun f -> String f) r.funcs)) ])
-             t.rows) ) ]
+             t.rows) ) ])
+
+(* --- differential attribution ----------------------------------------- *)
+
+(* The subset of an attribution that survives a JSON round-trip: enough to
+   compare two runs region-by-region without re-running either. *)
+module Saved = struct
+  type row = { rid : int; decompressions : int; cycles : int; share : float }
+
+  type t = {
+    rows : row list;
+    total_decompressions : int;
+    total_cycles : int;
+    run_cycles : int option;
+        (** Total simulated cycles of the timing run, when recorded —
+            enables the overhead-share-of-run comparison. *)
+    params : (string * string) list;
+        (** Provenance (workload, theta, ...) as printable strings. *)
+  }
+
+  let of_json doc =
+    let module J = Report.Json in
+    let int_field ~what j name =
+      match J.member name j with
+      | Some (J.Int i) -> Ok i
+      | Some _ | None ->
+        Error (Printf.sprintf "%s: missing integer field %S" what name)
+    in
+    match J.member "schema" doc with
+    | Some (J.String "pgcc-attrib-v1") -> (
+      let ( let* ) = Result.bind in
+      let* total_decompressions =
+        int_field ~what:"attrib json" doc "total_decompressions"
+      in
+      let* total_cycles = int_field ~what:"attrib json" doc "total_cycles" in
+      let run_cycles =
+        match J.member "run_cycles" doc with
+        | Some (J.Int c) -> Some c
+        | Some _ | None -> None
+      in
+      let params =
+        match J.member "params" doc with
+        | Some (J.Obj fields) ->
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | J.String s -> Some (k, s)
+              | J.Int i -> Some (k, string_of_int i)
+              | J.Float f -> Some (k, Printf.sprintf "%g" f)
+              | _ -> None)
+            fields
+        | Some _ | None -> []
+      in
+      match J.member "regions" doc with
+      | Some (J.List regions) ->
+        let* rows =
+          List.fold_left
+            (fun acc r ->
+              let* acc = acc in
+              let* rid = int_field ~what:"attrib region" r "rid" in
+              let* decompressions =
+                int_field ~what:"attrib region" r "decompressions"
+              in
+              let* cycles = int_field ~what:"attrib region" r "cycles" in
+              let share =
+                match Option.bind (J.member "share" r) J.to_float_opt with
+                | Some s -> s
+                | None -> 0.0
+              in
+              Ok ({ rid; decompressions; cycles; share } :: acc))
+            (Ok []) regions
+        in
+        Ok
+          {
+            rows = List.rev rows;
+            total_decompressions;
+            total_cycles;
+            run_cycles;
+            params;
+          }
+      | Some _ | None -> Error "attrib json: missing \"regions\" list")
+    | Some (J.String other) ->
+      Error
+        (Printf.sprintf "unsupported attrib schema %S (expected %S)" other
+           "pgcc-attrib-v1")
+    | Some _ | None ->
+      Error
+        "missing \"schema\" field (re-save with squashc attrib --json; \
+         pre-v1 files carry no schema)"
+
+  let load_file path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in_noerr ic;
+      (match Report.Json.of_string s with
+      | Error msg -> Error (path ^ ": invalid JSON: " ^ msg)
+      | Ok doc -> (
+        match of_json doc with
+        | Ok v -> Ok v
+        | Error msg -> Error (path ^ ": " ^ msg)))
+
+  let overhead_share t =
+    match t.run_cycles with
+    | Some rc when rc > 0 ->
+      Some (float_of_int t.total_cycles /. float_of_int rc)
+    | Some _ | None -> None
+end
+
+let to_saved ?run_cycles ?(params = []) (a : t) : Saved.t =
+  {
+    Saved.rows =
+      List.map
+        (fun (r : row) ->
+          { Saved.rid = r.rid; decompressions = r.decompressions;
+            cycles = r.cycles; share = r.share })
+        a.rows;
+    total_decompressions = a.total_decompressions;
+    total_cycles = a.total_cycles;
+    run_cycles;
+    params;
+  }
+
+type delta = {
+  drid : int;
+  cycles_a : int;
+  cycles_b : int;
+  share_a : float;
+  share_b : float;
+  decomp_a : int;
+  decomp_b : int;
+}
+
+let diff (a : Saved.t) (b : Saved.t) =
+  let find rows rid =
+    List.find_opt (fun (r : Saved.row) -> r.Saved.rid = rid) rows
+  in
+  let rids =
+    List.sort_uniq compare
+      (List.map (fun (r : Saved.row) -> r.Saved.rid) a.Saved.rows
+      @ List.map (fun (r : Saved.row) -> r.Saved.rid) b.Saved.rows)
+  in
+  List.map
+    (fun rid ->
+      let ra = find a.Saved.rows rid and rb = find b.Saved.rows rid in
+      let cy = function Some (r : Saved.row) -> r.Saved.cycles | None -> 0 in
+      let sh = function Some (r : Saved.row) -> r.Saved.share | None -> 0.0 in
+      let dc = function
+        | Some (r : Saved.row) -> r.Saved.decompressions
+        | None -> 0
+      in
+      {
+        drid = rid;
+        cycles_a = cy ra;
+        cycles_b = cy rb;
+        share_a = sh ra;
+        share_b = sh rb;
+        decomp_a = dc ra;
+        decomp_b = dc rb;
+      })
+    rids
+  |> List.sort (fun x y ->
+         match
+           compare
+             (abs (y.cycles_b - y.cycles_a))
+             (abs (x.cycles_b - x.cycles_a))
+         with
+         | 0 -> compare x.drid y.drid
+         | c -> c)
+
+let render_diff (a : Saved.t) (b : Saved.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let describe label (s : Saved.t) =
+    pf "%s: %s\n" label
+      (if s.Saved.params = [] then "(no params recorded)"
+       else
+         String.concat " "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) s.Saved.params))
+  in
+  describe "A" a;
+  describe "B" b;
+  let tbl =
+    Report.Table.create ~title:"attribution diff (B - A)"
+      [ ("region", Report.Table.Right); ("cycles A", Report.Table.Right);
+        ("cycles B", Report.Table.Right); ("d cycles", Report.Table.Right);
+        ("share A", Report.Table.Right); ("share B", Report.Table.Right);
+        ("d share", Report.Table.Right); ("decomp A", Report.Table.Right);
+        ("decomp B", Report.Table.Right) ]
+  in
+  let interesting =
+    List.filter
+      (fun d ->
+        d.cycles_a <> 0 || d.cycles_b <> 0 || d.decomp_a <> 0
+        || d.decomp_b <> 0)
+      (diff a b)
+  in
+  List.iter
+    (fun d ->
+      Report.Table.add_row tbl
+        [ string_of_int d.drid; string_of_int d.cycles_a;
+          string_of_int d.cycles_b;
+          Printf.sprintf "%+d" (d.cycles_b - d.cycles_a);
+          Report.Table.cell_percent ~decimals:1 d.share_a;
+          Report.Table.cell_percent ~decimals:1 d.share_b;
+          Printf.sprintf "%+.1fpp" (100.0 *. (d.share_b -. d.share_a));
+          string_of_int d.decomp_a; string_of_int d.decomp_b ])
+    interesting;
+  Report.Table.add_separator tbl;
+  Report.Table.add_row tbl
+    [ "total"; string_of_int a.Saved.total_cycles;
+      string_of_int b.Saved.total_cycles;
+      Printf.sprintf "%+d" (b.Saved.total_cycles - a.Saved.total_cycles);
+      ""; ""; ""; string_of_int a.Saved.total_decompressions;
+      string_of_int b.Saved.total_decompressions ];
+  Buffer.add_string buf (Report.Table.render tbl);
+  (match (Saved.overhead_share a, Saved.overhead_share b) with
+  | Some sa, Some sb ->
+    pf "overhead share of run: %.1f%% -> %.1f%% (%+.1fpp)\n" (100.0 *. sa)
+      (100.0 *. sb)
+      (100.0 *. (sb -. sa))
+  | _ -> ());
+  Buffer.contents buf

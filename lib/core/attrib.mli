@@ -35,4 +35,54 @@ val compute : ?profile:Profile.t -> Squash.result -> Runtime.stats -> t
 val render : t -> string
 (** Aligned table, one row per region plus a totals line. *)
 
-val to_json : t -> Report.Json.t
+val to_json :
+  ?params:(string * Report.Json.t) list -> ?run_cycles:int -> t ->
+  Report.Json.t
+(** Schema [pgcc-attrib-v1].  [params] records provenance (workload,
+    theta, ...) and [run_cycles] the timing run's total simulated cycles;
+    both make the saved file usable as one side of a {!diff}. *)
+
+(** A saved attribution, as reloaded from [squashc attrib --json] output —
+    the subset that supports region-by-region comparison of two runs. *)
+module Saved : sig
+  type row = { rid : int; decompressions : int; cycles : int; share : float }
+
+  type t = {
+    rows : row list;
+    total_decompressions : int;
+    total_cycles : int;
+    run_cycles : int option;
+        (** Total simulated cycles of the timing run, when recorded. *)
+    params : (string * string) list;
+        (** Provenance (workload, theta, ...) as printable strings. *)
+  }
+
+  val of_json : Report.Json.t -> (t, string) result
+  val load_file : string -> (t, string) result
+
+  val overhead_share : t -> float option
+  (** [total_cycles / run_cycles] — the decompression overhead as a share
+      of the whole run; [None] when [run_cycles] was not recorded. *)
+end
+
+val to_saved : ?run_cycles:int -> ?params:(string * string) list -> t ->
+  Saved.t
+
+type delta = {
+  drid : int;
+  cycles_a : int;
+  cycles_b : int;
+  share_a : float;
+  share_b : float;
+  decomp_a : int;
+  decomp_b : int;
+}
+
+val diff : Saved.t -> Saved.t -> delta list
+(** Union of both runs' regions (absent side contributes zeros), sorted by
+    absolute cycle delta descending, then region id. *)
+
+val render_diff : Saved.t -> Saved.t -> string
+(** Signed per-region table (regions idle on both sides are omitted)
+    plus, when both sides recorded [run_cycles], the overall
+    overhead-share-of-run shift. *)

@@ -77,6 +77,8 @@ type stats = {
   instrs_after : int;
   words_before : int;
   words_after : int;
+  alloc_words : int;
+  major_collections : int;
   note : string;
 }
 

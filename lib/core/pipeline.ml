@@ -365,22 +365,34 @@ let execute ?(check_each = false) ?trace ?obs ~passes st =
       (fun (st, acc) (p : Pass.t) ->
         let instrs_before = Prog.instr_count st.Pass.prog in
         let words_before = Pass.footprint st in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now () in
+        let g0 = Gc.quick_stat () in
         (match obs with
         | None -> ()
         | Some o ->
           Obs.event o
-            { ts = Obs.Event.Wall t0;
+            { ts = Obs.Event.Mono t0;
               payload = Obs.Event.Pass_begin { name = p.Pass.name } });
         let st' = p.Pass.transform st in
-        let elapsed_s = Unix.gettimeofday () -. t0 in
+        let elapsed_s = Obs.Clock.now () -. t0 in
+        let g1 = Gc.quick_stat () in
+        let alloc_words =
+          int_of_float
+            (Float.max 0.0
+               (g1.Gc.minor_words +. g1.Gc.major_words -. g1.Gc.promoted_words
+               -. (g0.Gc.minor_words +. g0.Gc.major_words
+                  -. g0.Gc.promoted_words)))
+        in
+        let major_collections = g1.Gc.major_collections - g0.Gc.major_collections in
         (match obs with
         | None -> ()
         | Some o ->
           Obs.event o
-            { ts = Obs.Event.Wall (t0 +. elapsed_s);
+            { ts = Obs.Event.Mono (t0 +. elapsed_s);
               payload = Obs.Event.Pass_end { name = p.Pass.name; elapsed_s } };
-          Obs.incr o "pipeline.passes_run");
+          Obs.incr o "pipeline.passes_run";
+          Obs.observe o "pipeline.pass_alloc_words" alloc_words;
+          Obs.max_gauge o "gc.top_heap_words" g1.Gc.top_heap_words);
         (if check_each then
            match check_state st' with
            | Ok () -> ()
@@ -394,6 +406,8 @@ let execute ?(check_each = false) ?trace ?obs ~passes st =
             instrs_after = Prog.instr_count st'.Pass.prog;
             words_before;
             words_after = Pass.footprint st';
+            alloc_words;
+            major_collections;
             note = p.Pass.note st';
           }
         in
@@ -421,7 +435,8 @@ let render_stats rs =
       [ ("pass", Report.Table.Left); ("time (ms)", Report.Table.Right);
         ("share", Report.Table.Right); ("instrs", Report.Table.Right);
         ("Δinstrs", Report.Table.Right); ("words", Report.Table.Right);
-        ("Δwords", Report.Table.Right); ("note", Report.Table.Left) ]
+        ("Δwords", Report.Table.Right); ("alloc (kw)", Report.Table.Right);
+        ("note", Report.Table.Left) ]
   in
   List.iter
     (fun (s : Pass.stats) ->
@@ -436,12 +451,14 @@ let render_stats rs =
           Printf.sprintf "%+d" (s.Pass.instrs_after - s.Pass.instrs_before);
           string_of_int s.Pass.words_after;
           Printf.sprintf "%+d" (s.Pass.words_after - s.Pass.words_before);
+          Report.Table.cell_float ~decimals:1
+            (float_of_int s.Pass.alloc_words /. 1000.0);
           s.Pass.note ])
     rs.passes;
   Report.Table.add_separator t;
   Report.Table.add_row t
     [ "total"; Report.Table.cell_float ~decimals:2 (1000.0 *. rs.total_s);
-      ""; ""; ""; ""; ""; "" ];
+      ""; ""; ""; ""; ""; ""; "" ];
   Report.Table.render t
 
 let stats_json rs =
@@ -459,5 +476,7 @@ let stats_json rs =
                    ("instrs_after", Int s.Pass.instrs_after);
                    ("words_before", Int s.Pass.words_before);
                    ("words_after", Int s.Pass.words_after);
+                   ("alloc_words", Int s.Pass.alloc_words);
+                   ("major_collections", Int s.Pass.major_collections);
                    ("note", String s.Pass.note) ])
              rs.passes) ) ]

@@ -1,22 +1,26 @@
 (* Bump whenever the Marshal layout of any cached payload changes
    (v2: hook_invocations in Vm.outcome, per-region cycles in
    Runtime.stats; v3: the coder variant in Compress.codes; v4: decode
-   tables inside Canonical.t, cache counters in Runtime.stats). *)
-let schema_version = 5
+   tables inside Canonical.t, cache counters in Runtime.stats; v6:
+   alloc_words/major_collections in Pass.stats, marshalled inside every
+   Squash.result's pipeline stats). *)
+let schema_version = 6
 
 let default_dir = "_cache"
 
 type t = {
   root : string;
   m : Mutex.t;
+  obs : Obs.t option;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
   mutable errors : int;
 }
 
-let create ?(dir = default_dir) () =
-  { root = dir; m = Mutex.create (); hits = 0; misses = 0; stores = 0; errors = 0 }
+let create ?(dir = default_dir) ?obs () =
+  { root = dir; m = Mutex.create (); obs; hits = 0; misses = 0; stores = 0;
+    errors = 0 }
 
 let dir t = t.root
 
@@ -43,10 +47,23 @@ let count t f =
   f t;
   Mutex.unlock t.m
 
+(* Lookup latency lands in a hit or miss histogram: a hit's cost is
+   dominated by unmarshalling the payload, a miss's by the failed open —
+   the p95 gap between the two is what says whether _cache/ still pays. *)
+let observe_lookup t ~hit dt_s =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Obs.observe o
+      (if hit then "cache.hit_latency_us" else "cache.miss_latency_us")
+      (int_of_float (1e6 *. dt_s))
+
 let find t ~kind ~key =
+  let t0 = Obs.Clock.now () in
   match open_in_bin (entry_path t ~kind ~key) with
   | exception Sys_error _ ->
     count t (fun t -> t.misses <- t.misses + 1);
+    observe_lookup t ~hit:false (Obs.Clock.now () -. t0);
     None
   | ic ->
     let v =
@@ -63,6 +80,7 @@ let find t ~kind ~key =
           (* A file was present but unreadable: stale schema or torn entry. *)
           t.misses <- t.misses + 1;
           t.errors <- t.errors + 1);
+    observe_lookup t ~hit:(v <> None) (Obs.Clock.now () -. t0);
     v
 
 let rec mkdir_p path =

@@ -23,8 +23,10 @@ val schema_version : int
 val default_dir : string
 (** ["_cache"]. *)
 
-val create : ?dir:string -> unit -> t
-(** The directory is created lazily on first {!store}. *)
+val create : ?dir:string -> ?obs:Obs.t -> unit -> t
+(** The directory is created lazily on first {!store}.  When [obs] is
+    given, every {!find} records its lookup latency into the
+    [cache.hit_latency_us] / [cache.miss_latency_us] histograms. *)
 
 val dir : t -> string
 

@@ -18,7 +18,12 @@ let error_json e =
       ("kind", Report.Json.String (kind_to_string e.kind));
       ("message", Report.Json.String e.message) ]
 
-type job_stat = { label : string; wall_s : float; worker : int }
+type job_stat = {
+  label : string;
+  wall_s : float;
+  worker : int;
+  alloc_words : int;
+}
 
 type stats = {
   pool : int;
@@ -47,7 +52,8 @@ let stats_json s =
               Report.Json.Obj
                 [ ("label", Report.Json.String j.label);
                   ("wall_seconds", Report.Json.Float j.wall_s);
-                  ("worker", Report.Json.Int j.worker) ])
+                  ("worker", Report.Json.Int j.worker);
+                  ("alloc_words", Report.Json.Int j.alloc_words) ])
             s.job_stats)) ]
 
 let render_stats s =
@@ -138,40 +144,64 @@ let run ?jobs ?obs ?(classify = fun e -> (`Exception, Printexc.to_string e))
   in
   let times = Array.make n 0.0 in
   let workers = Array.make n 0 in
-  let t0 = Unix.gettimeofday () in
+  let allocs = Array.make n 0 in
+  let submitted = Array.make n 0.0 in
+  let t0 = Obs.Clock.now () in
   let run_one ~worker i =
-    let start = Unix.gettimeofday () in
+    let start = Obs.Clock.now () in
+    let g0 = Gc.quick_stat () in
     (match obs with
     | None -> ()
     | Some o ->
       Obs.event o
-        { ts = Obs.Event.Wall start;
-          payload = Obs.Event.Job_start { label = label i; worker } });
+        { ts = Obs.Event.Mono start;
+          payload = Obs.Event.Job_start { label = label i; worker } };
+      (match submitted.(i) with
+      | s when s > 0.0 ->
+        Obs.observe o "engine.queue_wait_us"
+          (int_of_float (1e6 *. Float.max 0.0 (start -. s)))
+      | _ -> ()));
     (results.(i) <-
        (match thunks.(i) () with
        | v -> Ok v
        | exception e ->
          let kind, message = classify e in
          Error { label = label i; kind; message }));
-    let stop = Unix.gettimeofday () in
+    let stop = Obs.Clock.now () in
+    let g1 = Gc.quick_stat () in
+    (* Approximate words allocated by the job on this domain: minor plus
+       promoted-free major allocation.  Other domains' major allocations
+       can leak into the major counter, so this is attribution, not an
+       exact account. *)
+    let alloc_words =
+      int_of_float
+        (Float.max 0.0
+           (g1.Gc.minor_words +. g1.Gc.major_words -. g1.Gc.promoted_words
+           -. (g0.Gc.minor_words +. g0.Gc.major_words -. g0.Gc.promoted_words)))
+    in
     times.(i) <- stop -. start;
     workers.(i) <- worker;
+    allocs.(i) <- alloc_words;
     match obs with
     | None -> ()
     | Some o ->
       let ok = match results.(i) with Ok _ -> true | Error _ -> false in
       Obs.event o
-        { ts = Obs.Event.Wall stop;
+        { ts = Obs.Event.Mono stop;
           payload =
             Obs.Event.Job_finish { label = label i; worker; ok; wall_s = times.(i) } };
-      Obs.incr o (if ok then "engine.jobs_succeeded" else "engine.jobs_failed")
+      Obs.incr o (if ok then "engine.jobs_succeeded" else "engine.jobs_failed");
+      Obs.observe o "engine.job_wall_us" (int_of_float (1e6 *. times.(i)));
+      Obs.observe o "engine.job_alloc_words" alloc_words;
+      Obs.max_gauge o "gc.top_heap_words" g1.Gc.top_heap_words
   in
   let submit i =
+    submitted.(i) <- Obs.Clock.now ();
     match obs with
     | None -> ()
     | Some o ->
       Obs.event o
-        { ts = Obs.Event.Wall (Unix.gettimeofday ());
+        { ts = Obs.Event.Mono submitted.(i);
           payload = Obs.Event.Job_submit { label = label i } };
       Obs.incr o "engine.jobs_submitted"
   in
@@ -203,7 +233,7 @@ let run ?jobs ?obs ?(classify = fun e -> (`Exception, Printexc.to_string e))
     worker 0;
     Array.iter Domain.join spawned
   end;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Obs.Clock.now () -. t0 in
   let busy_s = Array.fold_left ( +. ) 0.0 times in
   let failed =
     Array.fold_left
@@ -212,7 +242,8 @@ let run ?jobs ?obs ?(classify = fun e -> (`Exception, Printexc.to_string e))
   in
   let job_stats =
     List.init n (fun i ->
-        { label = label i; wall_s = times.(i); worker = workers.(i) })
+        { label = label i; wall_s = times.(i); worker = workers.(i);
+          alloc_words = allocs.(i) })
   in
   ( results,
     { pool; submitted = n; succeeded = n - failed; failed; wall_s; busy_s;

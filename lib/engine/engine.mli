@@ -33,8 +33,13 @@ val error_json : job_error -> Report.Json.t
 
 type job_stat = {
   label : string;
-  wall_s : float;  (** Wall clock spent inside the job. *)
+  wall_s : float;  (** Wall clock (monotonic) spent inside the job. *)
   worker : int;  (** Index of the pool worker that ran it (0 = caller). *)
+  alloc_words : int;
+      (** Approximate words allocated while the job ran on its domain
+          ([Gc.quick_stat] delta: minor plus promoted-free major).
+          Attribution, not an exact per-job account — concurrent domains
+          share the major counters. *)
 }
 
 type stats = {
@@ -69,6 +74,8 @@ val run :
     [classify] turns an escaped exception into a structured error (default:
     [`Exception] with [Printexc.to_string]); [label] names job [i] for
     error messages and per-job stats.  [obs] receives
-    submit/start/finish job events (wall clock; emission is
-    mutex-protected inside the sink, so worker domains may share one) and
-    [engine.jobs_*] counters. *)
+    submit/start/finish job events (monotonic host clock; each worker
+    domain emits into its own trace shard, so tracing does not serialise
+    the pool), the [engine.jobs_*] counters, the [engine.job_wall_us] /
+    [engine.job_alloc_words] / [engine.queue_wait_us] histograms and the
+    [gc.top_heap_words] max-gauge. *)

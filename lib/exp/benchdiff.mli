@@ -1,0 +1,73 @@
+(** Statistical comparison of two benchmark runs.
+
+    Loads the JSON written by [bench --json] (schemas [pgcc-bench-v1] and
+    [pgcc-bench-v2]) or a line of the {!Ledger} history, and compares runs
+    experiment-by-experiment.  Wall-clock times are treated as noisy
+    repeated samples: a run is flagged as regressed only when the mean
+    shift exceeds the threshold {e and} a Welch two-sample t-test at 95%
+    rejects "same distribution" (single-sample runs have no variance
+    estimate, so any above-threshold shift counts — the conservative
+    choice for a CI gate).  Runtime counters from the representative
+    sample are deterministic at a fixed revision, so any relative drift
+    beyond the (default zero) counter threshold is flagged. *)
+
+type exp = { id : string; samples : float list }
+
+type run = {
+  schema : string;
+  rev : string option;
+  timestamp : string option;
+  jobs : int option;
+  repeat : int option;
+  experiments : exp list;
+  counters : (string * float) list;
+      (** Scalar fields of [runtime_sample.stats]. *)
+}
+
+val of_json : Report.Json.t -> (run, string) result
+val of_string : string -> (run, string) result
+val load_file : string -> (run, string) result
+
+type delta = {
+  id : string;
+  n_a : int;
+  n_b : int;
+  mean_a : float;
+  mean_b : float;
+  ci_a : float;  (** 95% CI half-widths; 0 for single samples. *)
+  ci_b : float;
+  rel : float;  (** (mean_b - mean_a) / mean_a. *)
+  significant : bool;
+  regressed : bool;
+}
+
+type counter_delta = {
+  name : string;
+  value_a : float;
+  value_b : float;
+  crel : float;
+  drifted : bool;
+}
+
+type report = {
+  wall_threshold : float;
+  counter_threshold : float;
+  deltas : delta list;
+  counter_deltas : counter_delta list;
+  only_a : string list;  (** Experiment ids present only in run A. *)
+  only_b : string list;
+}
+
+val compare_runs :
+  ?wall_threshold:float -> ?counter_threshold:float -> run -> run -> report
+(** Defaults: [wall_threshold = 0.10] (10% slower means regressed,
+    improvements never flag), [counter_threshold = 0.0] (any counter
+    drift flags). *)
+
+val regressed : report -> bool
+(** True when any experiment regressed or any counter drifted — the
+    condition under which [squashc benchdiff] exits non-zero. *)
+
+val render : run -> run -> report -> string
+(** Human-readable comparison table with provenance, per-experiment means,
+    CIs and verdicts. *)

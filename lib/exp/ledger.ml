@@ -1,0 +1,89 @@
+let default_dir = "_bench"
+
+let history_name = "history.jsonl"
+
+(* Dereference .git/HEAD by hand: the harness must not shell out to git
+   (benchmarks run with the working directory as their only interface, and
+   a subprocess would also pollute the engine-span trace).  Handles the
+   three on-disk encodings: detached HEAD (raw hex), a loose ref file, and
+   a ref packed into .git/packed-refs. *)
+let git_rev ?(repo_root = ".") () =
+  let read_line_of path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let l = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      close_in_noerr ic;
+      l
+  in
+  let is_hex s =
+    String.length s = 40
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         s
+  in
+  let git = Filename.concat repo_root ".git" in
+  match read_line_of (Filename.concat git "HEAD") with
+  | None -> None
+  | Some head ->
+    if is_hex head then Some head
+    else
+      let prefix = "ref: " in
+      let plen = String.length prefix in
+      if String.length head <= plen || String.sub head 0 plen <> prefix then
+        None
+      else
+        let ref_name = String.sub head plen (String.length head - plen) in
+        let loose =
+          match read_line_of (Filename.concat git ref_name) with
+          | Some l when is_hex l -> Some l
+          | Some _ | None -> None
+        in
+        let packed () =
+          match open_in (Filename.concat git "packed-refs") with
+          | exception Sys_error _ -> None
+          | ic ->
+            let found = ref None in
+            (try
+               while !found = None do
+                 let line = String.trim (input_line ic) in
+                 (* "<40-hex> <refname>"; '^' lines are peeled tags. *)
+                 if String.length line > 41 && line.[0] <> '#' && line.[0] <> '^'
+                 then
+                   let hex = String.sub line 0 40 in
+                   let name = String.sub line 41 (String.length line - 41) in
+                   if is_hex hex && name = ref_name then found := Some hex
+               done
+             with End_of_file -> ());
+            close_in_noerr ic;
+            !found
+        in
+        (match loose with Some _ -> loose | None -> packed ())
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let append ?(dir = default_dir) doc =
+  let path = Filename.concat dir history_name in
+  match
+    mkdir_p dir;
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    output_string oc (Report.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc
+  with
+  | () -> Ok path
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)

@@ -1,0 +1,27 @@
+(** The bench run-ledger: an append-only JSONL history of benchmark runs.
+
+    Each [bench] invocation appends one self-describing JSON record to
+    [_bench/history.jsonl] carrying provenance (git revision, UTC
+    timestamp, engine pool size, repeat count) alongside the per-experiment
+    wall-clock samples, so any two runs — across revisions or across
+    machines — can later be compared with [squashc benchdiff].  The file is
+    plain line-delimited JSON: greppable, mergeable, and safe to truncate. *)
+
+val default_dir : string
+(** ["_bench"]. *)
+
+val history_name : string
+(** ["history.jsonl"] — the ledger file inside {!default_dir}. *)
+
+val git_rev : ?repo_root:string -> unit -> string option
+(** The current HEAD commit hash, read directly from [.git] (HEAD,
+    loose refs, then [packed-refs]) without spawning a subprocess.
+    [None] outside a git checkout or on an unparseable ref. *)
+
+val timestamp : unit -> string
+(** Current UTC time as [YYYY-MM-DDTHH:MM:SSZ]. *)
+
+val append : ?dir:string -> Report.Json.t -> (string, string) result
+(** Append one record as a single line to [<dir>/history.jsonl], creating
+    the directory as needed.  Returns the path written, or an error
+    message — ledger failures must never fail the benchmark run itself. *)

@@ -1,5 +1,18 @@
+module Clock = struct
+  (* Host-side timestamps come from the OS monotonic clock (via bechamel's
+     noalloc binding), so spans can never go negative under NTP slew the
+     way Unix.gettimeofday stamps could.  Values are seconds since an
+     arbitrary origin; [epoch_offset] (sampled once, lazily) rebases them
+     onto the Unix epoch for human consumption in export headers. *)
+  let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+  let epoch_offset =
+    let off = lazy (Unix.gettimeofday () -. now ()) in
+    fun () -> Lazy.force off
+end
+
 module Event = struct
-  type clock = Cycles of int | Wall of float
+  type clock = Cycles of int | Mono of float
 
   type payload =
     | Decomp_begin of { region : int }
@@ -64,76 +77,149 @@ module Event = struct
     let clock, ts =
       match e.ts with
       | Cycles c -> ("cycles", Int c)
-      | Wall w -> ("wall", Float w)
+      | Mono m -> ("mono", Float m)
     in
     Obj (("ev", String (name e)) :: ("clock", String clock) :: ("ts", ts)
         :: fields e)
 end
 
 module Trace = struct
-  let schema_version = 1
+  (* v2: sharded rings, the Mono clock (was Wall), per-shard accounting
+     and the epoch offset in export headers. *)
+  let schema_version = 2
 
-  (* A bounded ring: [next] counts every emission ever made; slot
-     [i mod capacity] holds emission [i], so once [next > capacity] the
-     oldest [next - capacity] events have been overwritten (= dropped). *)
-  type t = {
+  (* One bounded ring per shard.  [next] counts every emission the shard
+     ever saw; slot [i mod capacity] holds emission [i], so once
+     [next > capacity] the oldest [next - capacity] events have been
+     overwritten (= dropped).  Emitting locks only the shard's own mutex:
+     with one shard per domain the fast path is uncontended, which is what
+     lets a JOBS=32 engine run trace without serialising on the sink. *)
+  type shard = {
     buf : Event.t array;
     capacity : int;
     mutable next : int;
     m : Mutex.t;
   }
 
+  type t = { shards : shard array }
+
   let dummy =
     { Event.ts = Event.Cycles 0; payload = Event.Decomp_begin { region = -1 } }
 
-  let create ?(capacity = 65536) () =
+  let create ?(capacity = 65536) ?(shards = 1) () =
     if capacity < 1 then invalid_arg "Obs.Trace.create: capacity < 1";
-    { buf = Array.make capacity dummy; capacity; next = 0; m = Mutex.create () }
+    if shards < 1 then invalid_arg "Obs.Trace.create: shards < 1";
+    (* [capacity] is the total event budget, split across the shards. *)
+    let per_shard = max 1 (capacity / shards) in
+    { shards =
+        Array.init shards (fun _ ->
+            { buf = Array.make per_shard dummy; capacity = per_shard; next = 0;
+              m = Mutex.create () }) }
 
-  let emit t e =
-    Mutex.lock t.m;
-    t.buf.(t.next mod t.capacity) <- e;
-    t.next <- t.next + 1;
-    Mutex.unlock t.m
+  let shard_count t = Array.length t.shards
 
-  let emitted t = t.next
-  let dropped t = max 0 (t.next - t.capacity)
-  let length t = min t.next t.capacity
+  let emit_into t ~shard e =
+    let s = t.shards.(shard mod Array.length t.shards) in
+    Mutex.lock s.m;
+    s.buf.(s.next mod s.capacity) <- e;
+    s.next <- s.next + 1;
+    Mutex.unlock s.m
 
-  let events t =
-    Mutex.lock t.m;
-    let n = length t in
-    let first = t.next - n in
-    let evs = List.init n (fun i -> t.buf.((first + i) mod t.capacity)) in
-    Mutex.unlock t.m;
-    evs
+  let emit t e = emit_into t ~shard:(Domain.self () :> int) e
+
+  let shard_emitted s = s.next
+  let shard_dropped s = max 0 (s.next - s.capacity)
+  let shard_length s = min s.next s.capacity
+
+  let shard_stats t =
+    Array.map (fun s -> (shard_emitted s, shard_dropped s)) t.shards
+
+  let emitted t =
+    Array.fold_left (fun acc s -> acc + shard_emitted s) 0 t.shards
+
+  let dropped t =
+    Array.fold_left (fun acc s -> acc + shard_dropped s) 0 t.shards
+
+  let length t =
+    Array.fold_left (fun acc s -> acc + shard_length s) 0 t.shards
+
+  (* The deterministic merge.  Each retained event is keyed by
+     (track, clock value, shard id, per-shard sequence number) and the
+     whole set is sorted by that key: the host (Mono) track first, then
+     the simulated (Cycles) track, each ordered by clock, with ties
+     broken by shard id and then emission order within the shard.  The
+     result is a pure function of the shard contents — any interleaving
+     of emissions that lands the same events in the same shards exports
+     byte-identically. *)
+  let keyed_events t =
+    let all = ref [] in
+    Array.iteri
+      (fun sid s ->
+        Mutex.lock s.m;
+        let n = shard_length s in
+        let first = s.next - n in
+        for i = n - 1 downto 0 do
+          let seq = first + i in
+          let e = s.buf.(seq mod s.capacity) in
+          let track, clock =
+            match e.Event.ts with
+            | Event.Mono m -> (0, m)
+            | Event.Cycles c -> (1, float_of_int c)
+          in
+          all := ((track, clock, sid, seq), e) :: !all
+        done;
+        Mutex.unlock s.m)
+      t.shards;
+    List.sort (fun (ka, _) (kb, _) -> compare ka kb) !all
+
+  let events t = List.map snd (keyed_events t)
+
+  (* --- export headers ---------------------------------------------- *)
+
+  let shards_json t =
+    Report.Json.List
+      (Array.to_list
+         (Array.mapi
+            (fun sid s ->
+              Report.Json.Obj
+                [ ("shard", Report.Json.Int sid);
+                  ("emitted", Report.Json.Int (shard_emitted s));
+                  ("dropped", Report.Json.Int (shard_dropped s)) ])
+            t.shards))
+
+  let header_fields t =
+    [ ("emitted", Report.Json.Int (emitted t));
+      ("dropped", Report.Json.Int (dropped t));
+      ("shards", shards_json t);
+      ("mono_epoch_offset", Report.Json.Float (Clock.epoch_offset ())) ]
 
   (* --- Chrome trace-event export ---------------------------------- *)
 
   (* Two clock domains become two Chrome "processes": pid 0 is the
      simulated machine (1 cycle rendered as 1 µs), pid 1 is the host
-     (wall seconds rebased to the earliest wall event).  Spans are
-     synthesised from end events only, so a wrapped ring can never emit
-     a begin without its end. *)
+     (monotonic seconds rebased to the earliest host event; add the
+     header's mono_epoch_offset to recover absolute wall time).  Spans
+     are synthesised from end events only, so a wrapped ring can never
+     emit a begin without its end. *)
   let sim_pid = 0
   let host_pid = 1
 
   let to_chrome t =
     let open Report.Json in
     let evs = events t in
-    let wall_base =
+    let mono_base =
       List.fold_left
         (fun acc (e : Event.t) ->
           match e.Event.ts with
-          | Event.Wall w -> Float.min acc w
+          | Event.Mono m -> Float.min acc m
           | Event.Cycles _ -> acc)
         Float.infinity evs
     in
-    let wall_us w = 1e6 *. (w -. wall_base) in
+    let mono_us m = 1e6 *. (m -. mono_base) in
     let ts_us (e : Event.t) =
       match e.Event.ts with
       | Event.Cycles c -> Float (float_of_int c)
-      | Event.Wall w -> Float (wall_us w)
+      | Event.Mono m -> Float (mono_us m)
     in
     let ev ~name ~cat ~ph ~ts ~pid ~tid ?(extra = []) args =
       Obj
@@ -158,7 +244,7 @@ module Trace = struct
             let start =
               match e.Event.ts with
               | Event.Cycles c -> float_of_int (c - cycles)
-              | Event.Wall w -> wall_us w
+              | Event.Mono m -> mono_us m
             in
             Some
               (ev
@@ -172,7 +258,7 @@ module Trace = struct
           | Event.Pass_end { name; elapsed_s } ->
             let end_us =
               match e.Event.ts with
-              | Event.Wall w -> wall_us w
+              | Event.Mono m -> mono_us m
               | Event.Cycles c -> float_of_int c
             in
             Some
@@ -185,7 +271,7 @@ module Trace = struct
           | Event.Job_finish { label; worker; wall_s; _ } ->
             let end_us =
               match e.Event.ts with
-              | Event.Wall w -> wall_us w
+              | Event.Mono m -> mono_us m
               | Event.Cycles c -> float_of_int c
             in
             Some
@@ -204,12 +290,11 @@ module Trace = struct
     Obj
       [ ("schema", String (Printf.sprintf "pgcc-trace-v%d" schema_version));
         ("displayTimeUnit", String "ms");
-        ( "otherData",
-          Obj [ ("emitted", Int (emitted t)); ("dropped", Int (dropped t)) ] );
+        ("otherData", Obj (header_fields t));
         ( "traceEvents",
           List
             (process_name sim_pid "sq32 simulated cycles"
-            :: process_name host_pid "host wall clock"
+            :: process_name host_pid "host monotonic clock"
             :: rows) ) ]
 
   let to_jsonl t =
@@ -217,11 +302,10 @@ module Trace = struct
     Buffer.add_string b
       (Report.Json.to_string
          (Report.Json.Obj
-            [ ( "schema",
-                Report.Json.String
-                  (Printf.sprintf "pgcc-trace-v%d" schema_version) );
-              ("emitted", Report.Json.Int (emitted t));
-              ("dropped", Report.Json.Int (dropped t)) ]));
+            (( "schema",
+               Report.Json.String
+                 (Printf.sprintf "pgcc-trace-v%d" schema_version) )
+            :: header_fields t)));
     Buffer.add_char b '\n';
     List.iter
       (fun e ->
@@ -320,6 +404,41 @@ module Metrics = struct
         | Some h -> h.sum
         | None -> 0)
 
+  (* Quantile estimation from the log₂ buckets: walk the CDF to the
+     bucket holding the target rank and interpolate linearly inside its
+     [lo, hi] value range.  The estimate is exact when all samples in the
+     target bucket share one value and within a factor of two otherwise —
+     the usual latency-histogram contract — and is clamped to the
+     observed min/max so tight distributions report tight quantiles. *)
+  let quantile_of h q =
+    if h.count = 0 then None
+    else begin
+      let rank = q *. float_of_int h.count in
+      let rec go i cum =
+        if i >= nbuckets then float_of_int h.max_v
+        else
+          let c = h.buckets.(i) in
+          if c > 0 && float_of_int (cum + c) >= rank then begin
+            let lo = if i = 0 then 0 else 1 lsl i in
+            let hi = (1 lsl (i + 1)) - 1 in
+            let frac =
+              let f = (rank -. float_of_int cum) /. float_of_int c in
+              Float.max 0.0 (Float.min 1.0 f)
+            in
+            float_of_int lo +. (frac *. float_of_int (hi - lo))
+          end
+          else go (i + 1) (cum + c)
+      in
+      let v = go 0 0 in
+      Some (Float.max (float_of_int h.min_v) (Float.min (float_of_int h.max_v) v))
+    end
+
+  let histogram_quantile t name q =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> quantile_of h q
+        | None -> None)
+
   let sorted_bindings tbl =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -337,10 +456,14 @@ module Metrics = struct
               (Obj [ ("lo", Int lo); ("hi", Int hi); ("count", Int h.buckets.(i)) ]))
         (List.init nbuckets Fun.id)
     in
+    let quant q =
+      match quantile_of h q with None -> Null | Some v -> Float v
+    in
     Obj
       [ ("count", Int h.count); ("sum", Int h.sum);
         ("min", if h.count = 0 then Null else Int h.min_v);
         ("max", if h.count = 0 then Null else Int h.max_v);
+        ("p50", quant 0.50); ("p95", quant 0.95); ("p99", quant 0.99);
         ("buckets", List buckets) ]
 
   let to_json t =
@@ -366,8 +489,13 @@ type t = { trace : Trace.t option; metrics : Metrics.t option }
 
 let create ?trace ?metrics () = { trace; metrics }
 
-let full ?capacity () =
-  { trace = Some (Trace.create ?capacity ());
+let full ?capacity ?shards () =
+  let shards =
+    match shards with
+    | Some s -> s
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  { trace = Some (Trace.create ?capacity ~shards ());
     metrics = Some (Metrics.create ()) }
 
 let event t e = match t.trace with Some tr -> Trace.emit tr e | None -> ()
@@ -393,4 +521,5 @@ let snapshot_json t =
           Obj
             [ ("emitted", Int (Trace.emitted tr));
               ("dropped", Int (Trace.dropped tr));
+              ("shards", Trace.shards_json tr);
               ("events", List (List.map Event.to_json (Trace.events tr))) ] ) ]

@@ -5,26 +5,47 @@
     squash runtime, the pass pipeline and the experiment engine guards its
     emission behind a single branch on an optional {!t} sink.
 
-    {b Trace} is a bounded ring buffer of {!Event.t} values.  When the ring
-    wraps, the oldest events are overwritten and counted as dropped — a
-    long run keeps its tail, which is what the runtime-overhead analysis
-    wants, and memory stays bounded.  Timestamps are heterogeneous by
-    design: the VM side stamps events in {e simulated cycles} (the clock
-    the paper's overhead model runs on), the pipeline and engine stamp in
-    host wall-clock seconds.  Exporters render to the Chrome trace-event
-    JSON format (loadable in Perfetto / [chrome://tracing]; simulated and
-    host clocks become separate process tracks) and to JSONL (one event
-    per line, with a header line carrying the schema version and the drop
-    count).
+    {b Trace} is a set of bounded per-shard ring buffers of {!Event.t}
+    values.  Emission picks a shard by the emitting domain's id and locks
+    only that shard's mutex, so worker domains tracing concurrently do
+    not contend on one ring; a JOBS=32 engine run scales.  When a shard's
+    ring wraps, its oldest events are overwritten and counted as dropped
+    {e per shard} — a long run keeps its tail, which is what the
+    runtime-overhead analysis wants, and memory stays bounded.  At export
+    time the shards are merged deterministically: events sort by
+    (clock track, timestamp, shard id, per-shard emission order), so the
+    export is a pure function of the shard contents regardless of how
+    emissions interleaved.  Timestamps are heterogeneous by design: the
+    VM side stamps events in {e simulated cycles} (the clock the paper's
+    overhead model runs on), the pipeline and engine stamp in host
+    {e monotonic} seconds ({!Clock}).  Exporters render to the Chrome
+    trace-event JSON format (loadable in Perfetto / [chrome://tracing];
+    simulated and host clocks become separate process tracks) and to
+    JSONL (one event per line, with a header line carrying the schema
+    version, aggregate and per-shard drop accounting, and the monotonic
+    clock's epoch offset).
 
     {b Metrics} is a registry of named counters, gauges and log₂-bucketed
-    histograms, snapshotting to {!Report.Json}.  All operations are
-    thread-safe (the engine emits from multiple domains). *)
+    histograms with p50/p95/p99 quantile estimates, snapshotting to
+    {!Report.Json}.  All operations are thread-safe (the engine emits
+    from multiple domains). *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic host time in seconds since an arbitrary origin (the OS
+      monotonic clock; never jumps backwards, unlike
+      [Unix.gettimeofday]). *)
+
+  val epoch_offset : unit -> float
+  (** [wall - mono] sampled once per process: add it to a {!now} value to
+      recover an approximate Unix-epoch timestamp.  Recorded in every
+      export header. *)
+end
 
 module Event : sig
   type clock =
     | Cycles of int  (** Simulated cycles (VM-side events). *)
-    | Wall of float  (** Host wall clock, Unix epoch seconds. *)
+    | Mono of float  (** Host monotonic seconds ({!Clock.now}). *)
 
   type payload =
     | Decomp_begin of { region : int }
@@ -49,41 +70,67 @@ module Event : sig
 
   val name : t -> string
   (** Short type tag, e.g. ["decomp_end"]. *)
+
+  val to_json : t -> Report.Json.t
+  (** The JSONL object shape: [{"ev", "clock", "ts", ...fields}]. *)
 end
 
 module Trace : sig
   type t
 
   val schema_version : int
+  (** 2: sharded rings, the monotonic host clock, per-shard drop
+      accounting in export headers. *)
 
-  val create : ?capacity:int -> unit -> t
-  (** Bounded ring; default capacity 65536 events.  @raise Invalid_argument
-      if [capacity < 1]. *)
+  val create : ?capacity:int -> ?shards:int -> unit -> t
+  (** [capacity] (default 65536) is the {e total} event budget, split
+      evenly across [shards] rings (default 1; each ring holds at least
+      one event).  @raise Invalid_argument if either is [< 1]. *)
+
+  val shard_count : t -> int
 
   val emit : t -> Event.t -> unit
-  (** Append, overwriting the oldest event once full.  Thread-safe. *)
+  (** Append to the emitting domain's shard ([Domain.self () mod
+      shard_count]), overwriting that shard's oldest event once full.
+      Thread-safe; only the target shard's mutex is taken. *)
+
+  val emit_into : t -> shard:int -> Event.t -> unit
+  (** Append to an explicit shard (reduced mod [shard_count]).  Exists so
+      determinism tests can control shard placement exactly; production
+      call sites use {!emit}. *)
 
   val emitted : t -> int
-  (** Total events ever emitted (retained + dropped). *)
+  (** Total events ever emitted across all shards (retained + dropped). *)
 
   val dropped : t -> int
   val length : t -> int
 
+  val shard_stats : t -> (int * int) array
+  (** Per-shard [(emitted, dropped)], indexed by shard id. *)
+
   val events : t -> Event.t list
-  (** Retained events, oldest first. *)
+  (** The deterministic merge of every shard's retained events: sorted by
+      clock track (host {!Event.Mono} first, then simulated
+      {!Event.Cycles}), then timestamp, then shard id, then per-shard
+      emission order.  A pure function of the shard contents. *)
 
   val to_chrome : t -> Report.Json.t
   (** Chrome trace-event JSON: spans ([ph:"X"]) for decompressions, passes
       and jobs, instants for stub transitions, buffer entries and job
       submissions.  Simulated-cycle events live on pid 0 (1 cycle = 1 µs
-      tick); wall-clock events on pid 1, rebased to the earliest wall
-      timestamp.  Begin/start markers are not exported separately — every
-      span is synthesised from its end event, so a wrapped ring never
-      produces unbalanced pairs. *)
+      tick); host events on pid 1, rebased to the earliest host timestamp.
+      [otherData] carries aggregate and per-shard emitted/dropped counts
+      and the monotonic clock's epoch offset.  Begin/start markers are not
+      exported separately — every span is synthesised from its end event,
+      so a wrapped ring never produces unbalanced pairs. *)
 
   val to_jsonl : t -> string
   (** One JSON object per line; the first line is a header with the schema
-      version and drop count. *)
+      version, aggregate and per-shard drop accounting, and the epoch
+      offset. *)
+
+  val shards_json : t -> Report.Json.t
+  (** The per-shard accounting array as exported in both headers. *)
 end
 
 module Metrics : sig
@@ -110,10 +157,18 @@ module Metrics : sig
   val histogram_count : t -> string -> int
   val histogram_sum : t -> string -> int
 
+  val histogram_quantile : t -> string -> float -> float option
+  (** [histogram_quantile t name q] estimates the [q]-quantile (q ∈
+      [0, 1]) by linear interpolation inside the log₂ bucket holding the
+      target rank, clamped to the observed min/max; [None] for an empty
+      or unknown histogram.  Every snapshot reports p50/p95/p99 through
+      this estimator. *)
+
   val to_json : t -> Report.Json.t
   (** [{"counters": {...}, "gauges": {...}, "histograms": {name:
-      {"count", "sum", "min", "max", "buckets": [{"lo","hi","count"}]}}}],
-      keys sorted for deterministic output. *)
+      {"count", "sum", "min", "max", "p50", "p95", "p99",
+      "buckets": [{"lo","hi","count"}]}}}], keys sorted for deterministic
+      output. *)
 end
 
 type t = { trace : Trace.t option; metrics : Metrics.t option }
@@ -122,8 +177,11 @@ type t = { trace : Trace.t option; metrics : Metrics.t option }
 
 val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
 
-val full : ?capacity:int -> unit -> t
-(** Both halves enabled. *)
+val full : ?capacity:int -> ?shards:int -> unit -> t
+(** Both halves enabled.  [shards] defaults to
+    [Domain.recommended_domain_count ()] so engine workers get
+    domain-local rings out of the box; pass [~shards:1] for the
+    single-ring behaviour. *)
 
 val event : t -> Event.t -> unit
 val incr : t -> ?by:int -> string -> unit
@@ -131,6 +189,6 @@ val max_gauge : t -> string -> int -> unit
 val observe : t -> string -> int -> unit
 
 val snapshot_json : t -> Report.Json.t
-(** [{"metrics": ..., "trace": {"emitted", "dropped", "events": [...]}}]
-    with absent halves rendered as [null]; trace events use the JSONL
-    object shape. *)
+(** [{"metrics": ..., "trace": {"emitted", "dropped", "shards",
+    "events": [...]}}] with absent halves rendered as [null]; trace
+    events use the JSONL object shape. *)

@@ -135,6 +135,268 @@ module Json = struct
     let buf = Buffer.create 256 in
     add buf t;
     Buffer.contents buf
+
+  (* A recursive-descent parser for the same subset [to_string] emits
+     (all of JSON minus \u escapes beyond BMP handling: we decode \uXXXX
+     as a raw byte triple only for ASCII, which is all the writer above
+     ever produces).  Numbers parse to [Int] when they are integral
+     literals that fit in an OCaml int, [Float] otherwise, so a
+     write/parse round trip preserves the constructor for every document
+     the writer can produce. *)
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (if !pos >= n then fail "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 'r' -> Buffer.add_char b '\r'
+           | 't' -> Buffer.add_char b '\t'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some c -> c
+               | None -> fail "bad \\u escape"
+             in
+             if code < 0x80 then Buffer.add_char b (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | _ -> fail "bad escape");
+          go ()
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let integral = ref true in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+        | Some ('.' | 'e' | 'E') ->
+          integral := false;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      let lit = String.sub s start (!pos - start) in
+      if !integral then
+        match int_of_string_opt lit with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "bad number")
+      else
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items := parse_value () :: !items;
+              go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          List (Stdlib.List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let fields = ref [ field () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields := field () :: !fields;
+              go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (Stdlib.List.rev !fields)
+        end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos < n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member name = function
+    | Obj fields -> Stdlib.List.assoc_opt name fields
+    | _ -> None
+
+  let to_float_opt = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
+end
+
+module Stats = struct
+  let mean = function
+    | [] -> 0.0
+    | xs ->
+      Stdlib.List.fold_left ( +. ) 0.0 xs /. float_of_int (Stdlib.List.length xs)
+
+  (* Sample (n-1) standard deviation; 0 for fewer than two samples. *)
+  let stddev xs =
+    match xs with
+    | [] | [ _ ] -> 0.0
+    | xs ->
+      let m = mean xs in
+      let n = float_of_int (Stdlib.List.length xs) in
+      sqrt
+        (Stdlib.List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. (n -. 1.0))
+
+  (* Two-sided 97.5th-percentile Student t critical values by degrees of
+     freedom; beyond the table the normal approximation is within 2%. *)
+  let t_table =
+    [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+       2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+       2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+  let t_crit95 df =
+    if df < 1 then t_table.(0)
+    else if df <= Array.length t_table then t_table.(df - 1)
+    else 1.96
+
+  let ci95 xs =
+    match xs with
+    | [] | [ _ ] -> 0.0
+    | xs ->
+      let n = Stdlib.List.length xs in
+      t_crit95 (n - 1) *. stddev xs /. sqrt (float_of_int n)
+
+  (* Welch's unequal-variance t statistic and its Welch–Satterthwaite
+     degrees of freedom.  Needs at least two samples on each side. *)
+  let welch_t xs ys =
+    let nx = Stdlib.List.length xs and ny = Stdlib.List.length ys in
+    if nx < 2 || ny < 2 then None
+    else begin
+      let vx = stddev xs ** 2.0 and vy = stddev ys ** 2.0 in
+      let fx = float_of_int nx and fy = float_of_int ny in
+      let sx = vx /. fx and sy = vy /. fy in
+      let se2 = sx +. sy in
+      if se2 <= 0.0 then
+        (* Zero variance on both sides: any difference in means is exact. *)
+        if mean xs = mean ys then Some (0.0, nx + ny - 2)
+        else Some (Float.infinity, nx + ny - 2)
+      else begin
+        let t = (mean ys -. mean xs) /. sqrt se2 in
+        let denom =
+          (if vx > 0.0 then sx ** 2.0 /. (fx -. 1.0) else 0.0)
+          +. if vy > 0.0 then sy ** 2.0 /. (fy -. 1.0) else 0.0
+        in
+        let df =
+          if denom <= 0.0 then nx + ny - 2
+          else max 1 (int_of_float (se2 ** 2.0 /. denom))
+        in
+        Some (t, df)
+      end
+    end
+
+  (* Two-sided Welch test at 95%: are the two sample means distinguishable
+     from noise?  [None]-producing inputs (a single sample on either side)
+     report [true] — with no variance estimate every difference counts,
+     which is the conservative choice for a regression gate. *)
+  let significant xs ys =
+    match welch_t xs ys with
+    | None -> true
+    | Some (t, df) -> Float.abs t > t_crit95 df
 end
 
 module Chart = struct

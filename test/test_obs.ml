@@ -8,7 +8,7 @@ let fuel = 500_000_000
 (* Trace ring buffer. *)
 
 let pass_ev i =
-  { Obs.Event.ts = Obs.Event.Wall (float_of_int i);
+  { Obs.Event.ts = Obs.Event.Mono (float_of_int i);
     payload = Obs.Event.Pass_begin { name = Printf.sprintf "p%d" i } }
 
 let pass_name (e : Obs.Event.t) =
@@ -50,6 +50,100 @@ let ring_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded sinks: deterministic merge, per-shard accounting, tie-breaks. *)
+
+let shard_tests =
+  [
+    Alcotest.test_case "merge is independent of emission interleaving" `Quick
+      (fun () ->
+        (* The same events land in the same shards under two different
+           interleavings; the export must be byte-identical. *)
+        let ev_for i =
+          { Obs.Event.ts = Obs.Event.Mono (float_of_int (100 + i));
+            payload = Obs.Event.Pass_begin { name = Printf.sprintf "p%d" i } }
+        in
+        let shard_of i = i mod 3 in
+        let tr1 = Obs.Trace.create ~capacity:48 ~shards:3 () in
+        for i = 0 to 11 do
+          Obs.Trace.emit_into tr1 ~shard:(shard_of i) (ev_for i)
+        done;
+        let tr2 = Obs.Trace.create ~capacity:48 ~shards:3 () in
+        (* Shard-major order: all of shard 0 first, then 1, then 2. *)
+        List.iter
+          (fun s ->
+            for i = 0 to 11 do
+              if shard_of i = s then
+                Obs.Trace.emit_into tr2 ~shard:s (ev_for i)
+            done)
+          [ 2; 0; 1 ];
+        Alcotest.(check string)
+          "jsonl identical"
+          (Obs.Trace.to_jsonl tr1)
+          (Obs.Trace.to_jsonl tr2);
+        Alcotest.(check string)
+          "chrome identical"
+          (Report.Json.to_string (Obs.Trace.to_chrome tr1))
+          (Report.Json.to_string (Obs.Trace.to_chrome tr2));
+        Alcotest.(check (list string))
+          "merged order is clock order"
+          (List.init 12 (Printf.sprintf "p%d"))
+          (List.map pass_name (Obs.Trace.events tr1)));
+    Alcotest.test_case "per-shard drop accounting" `Quick (fun () ->
+        (* Total capacity 8 over 2 shards = 4 each.  Six events into shard
+           0 drop two there; three into shard 1 drop none. *)
+        let tr = Obs.Trace.create ~capacity:8 ~shards:2 () in
+        for i = 0 to 5 do
+          Obs.Trace.emit_into tr ~shard:0 (pass_ev i)
+        done;
+        for i = 10 to 12 do
+          Obs.Trace.emit_into tr ~shard:1 (pass_ev i)
+        done;
+        Alcotest.(check (list (pair int int)))
+          "per-shard (emitted, dropped)"
+          [ (6, 2); (3, 0) ]
+          (Array.to_list (Obs.Trace.shard_stats tr));
+        Alcotest.(check int) "total emitted" 9 (Obs.Trace.emitted tr);
+        Alcotest.(check int) "total dropped" 2 (Obs.Trace.dropped tr);
+        Alcotest.(check int) "total length" 7 (Obs.Trace.length tr);
+        (* The oldest two of shard 0 are gone; survivors still merge in
+           clock order. *)
+        Alcotest.(check (list string))
+          "survivors in clock order"
+          [ "p2"; "p3"; "p4"; "p5"; "p10"; "p11"; "p12" ]
+          (List.map pass_name (Obs.Trace.events tr)));
+    Alcotest.test_case "clock ties break by shard id then sequence" `Quick
+      (fun () ->
+        let at_five name =
+          { Obs.Event.ts = Obs.Event.Mono 5.0;
+            payload = Obs.Event.Pass_begin { name } }
+        in
+        let tr = Obs.Trace.create ~capacity:16 ~shards:2 () in
+        (* Emit into shard 1 before shard 0: shard id must win over
+           arrival order. *)
+        Obs.Trace.emit_into tr ~shard:1 (at_five "s1a");
+        Obs.Trace.emit_into tr ~shard:1 (at_five "s1b");
+        Obs.Trace.emit_into tr ~shard:0 (at_five "s0a");
+        Alcotest.(check (list string))
+          "shard id, then per-shard sequence"
+          [ "s0a"; "s1a"; "s1b" ]
+          (List.map pass_name (Obs.Trace.events tr)));
+    Alcotest.test_case "both clock tracks merge host-track first" `Quick
+      (fun () ->
+        let tr = Obs.Trace.create ~capacity:16 ~shards:2 () in
+        Obs.Trace.emit_into tr ~shard:1
+          { Obs.Event.ts = Obs.Event.Cycles 1;
+            payload = Obs.Event.Decomp_begin { region = 7 } };
+        Obs.Trace.emit_into tr ~shard:0 (pass_ev 3);
+        (* Mono events (track 0) sort before Cycles events (track 1)
+           whatever their numeric clock values. *)
+        match List.map (fun (e : Obs.Event.t) -> e.Obs.Event.ts)
+                (Obs.Trace.events tr)
+        with
+        | [ Obs.Event.Mono _; Obs.Event.Cycles 1 ] -> ()
+        | _ -> Alcotest.fail "expected Mono track before Cycles track");
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Exporters, validated through the test suite's own JSON reader. *)
 
 let mixed_trace () =
@@ -64,12 +158,12 @@ let mixed_trace () =
     (Obs.Event.Stub_create { region = 1; ret = 8; live = 1 });
   emit (Obs.Event.Cycles 190)
     (Obs.Event.Stub_free { region = 1; ret = 8; live = 0 });
-  emit (Obs.Event.Wall 10.0) (Obs.Event.Pass_begin { name = "huffman" });
-  emit (Obs.Event.Wall 10.25)
+  emit (Obs.Event.Mono 10.0) (Obs.Event.Pass_begin { name = "huffman" });
+  emit (Obs.Event.Mono 10.25)
     (Obs.Event.Pass_end { name = "huffman"; elapsed_s = 0.25 });
-  emit (Obs.Event.Wall 10.3) (Obs.Event.Job_submit { label = "cell" });
-  emit (Obs.Event.Wall 10.4) (Obs.Event.Job_start { label = "cell"; worker = 2 });
-  emit (Obs.Event.Wall 10.9)
+  emit (Obs.Event.Mono 10.3) (Obs.Event.Job_submit { label = "cell" });
+  emit (Obs.Event.Mono 10.4) (Obs.Event.Job_start { label = "cell"; worker = 2 });
+  emit (Obs.Event.Mono 10.9)
     (Obs.Event.Job_finish { label = "cell"; worker = 2; ok = true; wall_s = 0.5 });
   tr
 
@@ -92,7 +186,7 @@ let exporter_tests =
           Json_check.parse (Report.Json.to_string (Obs.Trace.to_chrome tr))
         in
         Alcotest.(check string)
-          "schema" "pgcc-trace-v1"
+          "schema" "pgcc-trace-v2"
           (str_exn (Json_check.member_exn "schema" doc));
         let other = Json_check.member_exn "otherData" doc in
         Alcotest.(check (float 0.0))
@@ -169,7 +263,7 @@ let exporter_tests =
         let parsed = List.map Json_check.parse lines in
         let header = List.hd parsed in
         Alcotest.(check string)
-          "schema" "pgcc-trace-v1"
+          "schema" "pgcc-trace-v2"
           (str_exn (Json_check.member_exn "schema" header));
         Alcotest.(check (float 0.0))
           "dropped" 0.0
@@ -246,6 +340,62 @@ let metrics_tests =
           "buckets"
           [ (0, 1, 2); (2, 3, 2); (4, 7, 1) ]
           buckets);
+    Alcotest.test_case "quantiles on a concentrated distribution" `Quick
+      (fun () ->
+        (* All mass on one value: every quantile is clamped to it. *)
+        let m = Obs.Metrics.create () in
+        for _ = 1 to 100 do
+          Obs.Metrics.observe m "h" 5
+        done;
+        List.iter
+          (fun q ->
+            Alcotest.(check (option (float 0.0)))
+              (Printf.sprintf "q=%.2f" q)
+              (Some 5.0)
+              (Obs.Metrics.histogram_quantile m "h" q))
+          [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+        Alcotest.(check (option (float 0.0)))
+          "empty histogram" None
+          (Obs.Metrics.histogram_quantile m "missing" 0.5));
+    Alcotest.test_case "quantiles on a skewed distribution" `Quick (fun () ->
+        (* 90 fast observations at 1, 10 slow at 1000: the median sits in
+           the fast bucket, the tail quantiles in the slow one. *)
+        let m = Obs.Metrics.create () in
+        for _ = 1 to 90 do
+          Obs.Metrics.observe m "h" 1
+        done;
+        for _ = 1 to 10 do
+          Obs.Metrics.observe m "h" 1000
+        done;
+        let q p = Option.get (Obs.Metrics.histogram_quantile m "h" p) in
+        Alcotest.(check (float 0.0)) "p50 fast" 1.0 (q 0.5);
+        Alcotest.(check bool) "p95 in the slow bucket" true (q 0.95 >= 512.0);
+        Alcotest.(check bool) "p99 below the observed max" true
+          (q 0.99 <= 1000.0);
+        Alcotest.(check (float 0.0)) "p100 is the max" 1000.0 (q 1.0);
+        (* The snapshot carries the estimates alongside the buckets. *)
+        let doc =
+          Json_check.parse (Report.Json.to_string (Obs.Metrics.to_json m))
+        in
+        let h =
+          Json_check.member_exn "h" (Json_check.member_exn "histograms" doc)
+        in
+        Alcotest.(check (float 0.0))
+          "p50 in snapshot" 1.0
+          (num_exn (Json_check.member_exn "p50" h));
+        Alcotest.(check bool) "p99 in snapshot" true
+          (num_exn (Json_check.member_exn "p99" h) >= 512.0));
+    Alcotest.test_case "quantile interpolates within a bucket" `Quick
+      (fun () ->
+        (* Four values spread across bucket [8,15]: interior quantiles stay
+           inside the bucket and respect min/max clamps. *)
+        let m = Obs.Metrics.create () in
+        List.iter (Obs.Metrics.observe m "h") [ 8; 10; 12; 15 ];
+        let q p = Option.get (Obs.Metrics.histogram_quantile m "h" p) in
+        Alcotest.(check bool) "p50 inside bucket" true
+          (q 0.5 >= 8.0 && q 0.5 <= 15.0);
+        Alcotest.(check (float 0.0)) "p0 is the min" 8.0 (q 0.0);
+        Alcotest.(check (float 0.0)) "p100 is the max" 15.0 (q 1.0));
     Alcotest.test_case "empty registry serialises cleanly" `Quick (fun () ->
         let m = Obs.Metrics.create () in
         let doc = Json_check.parse (Report.Json.to_string (Obs.Metrics.to_json m)) in
@@ -534,11 +684,63 @@ let workload_tests =
           (Lazy.force batch));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The acceptance property for sharded sinks: a traced JOBS=8 grid is
+   byte-identical in outcomes to an untraced one.  Memos and the
+   persistent cache are disabled/reset so both runs really execute. *)
+
+let grid_determinism_tests =
+  [
+    Alcotest.test_case "a traced JOBS=8 grid matches an untraced one" `Slow
+      (fun () ->
+        let cells () =
+          List.map
+            (fun wl ->
+              Exp_grid.cell ~timing:true ~slots:1 wl
+                { Squash.default_options with Squash.theta = 0.01 })
+            [ List.hd Workloads.all ]
+        in
+        Exp_data.set_cache None;
+        let run_with obs =
+          Exp_data.reset ();
+          Exp_grid.set_obs obs;
+          Fun.protect
+            ~finally:(fun () -> Exp_grid.set_obs None)
+            (fun () ->
+              let results, _ = Exp_grid.run ~jobs:8 (cells ()) in
+              results)
+        in
+        let plain = run_with None in
+        let obs = Obs.full ~shards:9 () in
+        let traced = run_with (Some obs) in
+        Alcotest.(check string)
+          "cell outcomes byte-identical"
+          (Exp_grid.to_csv plain) (Exp_grid.to_csv traced);
+        Alcotest.(check string)
+          "cell json byte-identical"
+          (Report.Json.to_string (Exp_grid.to_json plain))
+          (Report.Json.to_string (Exp_grid.to_json traced));
+        let tr = Option.get obs.Obs.trace in
+        Alcotest.(check int) "nine shards" 9 (Obs.Trace.shard_count tr);
+        Alcotest.(check bool) "events recorded" true
+          (Obs.Trace.emitted tr > 0);
+        (* Aggregated accounting equals the per-shard sums. *)
+        let se, sd =
+          Array.fold_left
+            (fun (ae, ad) (e, d) -> (ae + e, ad + d))
+            (0, 0) (Obs.Trace.shard_stats tr)
+        in
+        Alcotest.(check int) "emitted sums" (Obs.Trace.emitted tr) se;
+        Alcotest.(check int) "dropped sums" (Obs.Trace.dropped tr) sd);
+  ]
+
 let suite =
   [
     ("obs.trace", ring_tests);
+    ("obs.shards", shard_tests);
     ("obs.export", exporter_tests);
     ("obs.metrics", metrics_tests);
     ("obs.spans", span_tests);
+    ("obs.grid", grid_determinism_tests);
     ("obs.workloads", workload_tests);
   ]

@@ -102,4 +102,72 @@ let json_tests =
           [ 0.1; 1.0 /. 3.0; 1e300; 5e-324; -0.0; 1234567.89 ]);
   ]
 
-let suite = [ ("report", unit_tests); ("report.json", json_tests) ]
+(* ------------------------------------------------------------------ *)
+(* The built-in parser (Report.Json.of_string), cross-validated against
+   the test suite's independent reader. *)
+
+let parser_tests =
+  [
+    Alcotest.test_case "of_string inverts to_string" `Quick (fun () ->
+        let open Report.Json in
+        let doc =
+          Obj
+            [ ("null", Null); ("yes", Bool true); ("int", Int (-42));
+              ("float", Float 0.25);
+              ("str", String "a\nb\t\"c\"\\d\001");
+              ("list", List [ Int 1; Float 2.5; String "x"; Null ]);
+              ("obj", Obj [ ("k", List []) ]) ]
+        in
+        match of_string (to_string doc) with
+        | Ok doc' -> Alcotest.(check bool) "structural equality" true (doc = doc')
+        | Error msg -> Alcotest.failf "parse failed: %s" msg);
+    Alcotest.test_case "integral literals stay Int, others Float" `Quick
+      (fun () ->
+        let open Report.Json in
+        Alcotest.(check bool) "int" true (of_string "7" = Ok (Int 7));
+        Alcotest.(check bool) "negative int" true
+          (of_string "-12" = Ok (Int (-12)));
+        Alcotest.(check bool) "float" true (of_string "7.5" = Ok (Float 7.5));
+        Alcotest.(check bool) "exponent is float" true
+          (of_string "1e3" = Ok (Float 1000.0)));
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick (fun () ->
+        match Report.Json.of_string {|"\u00e9\u0041"|} with
+        | Ok (Report.Json.String s) ->
+          Alcotest.(check string) "utf8 bytes" "\xc3\xa9A" s
+        | Ok _ -> Alcotest.fail "expected a string"
+        | Error msg -> Alcotest.failf "parse failed: %s" msg);
+    Alcotest.test_case "malformed input is rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Report.Json.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted malformed %S" s)
+          [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated";
+            "{\"a\" 1}"; "nan" ]);
+    Alcotest.test_case "member and to_float_opt navigate documents" `Quick
+      (fun () ->
+        let open Report.Json in
+        let doc = Obj [ ("a", Int 3); ("b", Float 2.5); ("c", Null) ] in
+        Alcotest.(check (option (float 0.0))) "int member" (Some 3.0)
+          (Option.bind (member "a" doc) to_float_opt);
+        Alcotest.(check (option (float 0.0))) "float member" (Some 2.5)
+          (Option.bind (member "b" doc) to_float_opt);
+        Alcotest.(check bool) "null member" true
+          (Option.bind (member "c" doc) to_float_opt = None);
+        Alcotest.(check bool) "missing member" true (member "zzz" doc = None));
+    Alcotest.test_case "agrees with the independent reader on a corpus"
+      `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Report.Json.of_string s with
+            | Error msg -> Alcotest.failf "%S failed: %s" s msg
+            | Ok doc ->
+              Alcotest.(check bool) s true
+                (Json_check.parse s = Json_check.of_report doc))
+          [ "[]"; "{}"; "[[[]]]"; "{\"a\":{\"b\":{\"c\":[1,2,3]}}}";
+            "[1.5,-2,true,false,null,\"s\"]"; "  {  \"k\" : 1 }  " ]);
+  ]
+
+let suite =
+  [ ("report", unit_tests); ("report.json", json_tests);
+    ("report.parse", parser_tests) ]
