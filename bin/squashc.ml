@@ -543,9 +543,17 @@ let squash_cmd =
                 (as pipeline pass $(b,lint)); exit 1 on any error-severity \
                 diagnostic.")
   in
+  let prove_flag =
+    Arg.(
+      value & flag
+      & info [ "prove" ]
+          ~doc:"Run the symbolic equivalence prover over the finished image \
+                (as pipeline pass $(b,prove), two cache slots); exit 1 on \
+                any unproved region.")
+  in
   let run prog_name no_squeeze inputs theta k_bytes profile_file no_pack no_bsafe
       no_unswitch sharp_bsafe coder linear_regions verify cache_slots
-      trace_passes check_each stats_json stream_bits lint =
+      trace_passes check_each stats_json stream_bits lint prove =
     let prog, wl = prepare prog_name no_squeeze in
     let input = resolve_input inputs wl in
     let profile =
@@ -575,7 +583,8 @@ let squash_cmd =
     let metrics = Obs.Metrics.create () in
     let obs = Obs.create ~metrics () in
     let result =
-      try Squash.run ~options ~check_each ~lint ?trace ~obs prog profile with
+      try Squash.run ~options ~check_each ~lint ~prove ?trace ~obs prog profile
+      with
       | Pipeline.Check_failed { pass; errors } ->
         Printf.eprintf "squashc: pass %S broke an invariant:\n" pass;
         List.iter (fun e -> Printf.eprintf "squashc:   %s\n" e) errors;
@@ -670,7 +679,7 @@ let squash_cmd =
       const run $ prog_arg $ squeeze_flag $ input_args $ theta $ k_bytes
       $ profile_file $ no_pack $ no_bsafe $ no_unswitch $ sharp_bsafe $ coder
       $ linear_regions $ verify $ cache_slots_arg $ trace_passes $ check_each
-      $ stats_json $ stream_bits $ lint_flag)
+      $ stats_json $ stream_bits $ lint_flag $ prove_flag)
 
 (* --- attrib ----------------------------------------------------------- *)
 
@@ -1254,6 +1263,150 @@ let lint_cmd =
              error-severity diagnostic.")
     Term.(const run $ workloads_arg $ thetas $ k_bytes $ sharp $ coder $ json_out)
 
+(* --- prove -------------------------------------------------------------- *)
+
+let prove_cmd =
+  let workloads_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Built-in workloads to prove (default: all).")
+  in
+  let thetas =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.001; 0.01; 1.0 ]
+      & info [ "theta" ] ~docv:"T,T,..."
+          ~doc:"Cold-code thresholds to build and prove at.")
+  in
+  let slots_list =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4 ]
+      & info [ "slots" ] ~docv:"N,N,..."
+          ~doc:"Cache-slot counts to prove each image for (every slot's \
+                displacement rebias is checked).")
+  in
+  let k_bytes =
+    Arg.(
+      value & opt int 512
+      & info [ "k" ] ~docv:"BYTES" ~doc:"Runtime buffer size bound.")
+  in
+  let coder =
+    let coder_conv =
+      Arg.enum
+        [ ("huffman", `Split_stream); ("mtf", `Split_stream_mtf);
+          ("lzss", `Lzss); ("context", `Context) ]
+    in
+    Arg.(
+      value & opt coder_conv `Split_stream
+      & info [ "coder" ] ~docv:"CODER"
+          ~doc:"Compression backend to build (and decode through) the \
+                images: $(b,huffman), $(b,mtf), $(b,lzss), or $(b,context).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write per-image proof reports as JSON.")
+  in
+  let run names thetas slots_list k_bytes coder json_out =
+    let wls =
+      match names with
+      | [] -> Workloads.all
+      | names ->
+        List.map
+          (fun n ->
+            match Workloads.find n with
+            | Some wl -> wl
+            | None ->
+              prerr_endline
+                ("squashc: no such workload: " ^ n ^ " (see squashc workloads)");
+              exit 2)
+          names
+    in
+    let t =
+      Report.Table.create ~title:"squashc prove"
+        [ ("Program", Report.Table.Left); ("theta", Report.Table.Right);
+          ("slots", Report.Table.Right); ("regions", Report.Table.Right);
+          ("proved", Report.Table.Right); ("stubs", Report.Table.Right);
+          ("conservative", Report.Table.Right);
+          ("unproved", Report.Table.Right); ("time (s)", Report.Table.Right) ]
+    in
+    let any_failures = ref false in
+    let cells = ref [] in
+    List.iter
+      (fun (wl : Workload.t) ->
+        let prog = fst (Squeeze.run (Workload.compile wl)) in
+        let profile =
+          fst (Profile.collect prog ~input:(Workload.profiling_input wl))
+        in
+        List.iter
+          (fun theta ->
+            let options =
+              { Squash.default_options with Squash.theta; k_bytes; coder }
+            in
+            let result = Squash.run ~options prog profile in
+            let sq = result.Squash.squashed in
+            List.iter
+              (fun slots ->
+                let t0 = Unix.gettimeofday () in
+                let r = Prove.run ~slots sq in
+                let dt = Unix.gettimeofday () -. t0 in
+                if r.Prove.failures <> [] then any_failures := true;
+                Report.Table.add_row t
+                  [ wl.Workload.name; Printf.sprintf "%g" theta;
+                    string_of_int slots; string_of_int r.Prove.regions;
+                    Printf.sprintf "%d/%d" r.Prove.proved r.Prove.blocks;
+                    string_of_int r.Prove.stubs;
+                    string_of_int r.Prove.conservative;
+                    string_of_int (List.length r.Prove.failures);
+                    Printf.sprintf "%.3f" dt ];
+                cells := (wl.Workload.name, theta, slots, r, dt) :: !cells)
+              slots_list)
+          thetas)
+      wls;
+    print_string (Report.Table.render t);
+    List.iter
+      (fun (name, theta, slots, r, _) ->
+        if r.Prove.failures <> [] then begin
+          Printf.printf "%s @ theta=%g, slots=%d:\n" name theta slots;
+          print_endline (Prove.render r)
+        end)
+      (List.rev !cells);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Report.Json.Obj
+          [ ("schema", Report.Json.String "pgcc-prove-v1");
+            ( "cells",
+              Report.Json.List
+                (List.rev_map
+                   (fun (name, theta, slots, r, dt) ->
+                     Report.Json.Obj
+                       [ ("workload", Report.Json.String name);
+                         ("theta", Report.Json.Float theta);
+                         ("slots", Report.Json.Int slots);
+                         ("seconds", Report.Json.Float dt);
+                         ("report", Prove.report_json r) ])
+                   !cells) ) ]
+      in
+      write_file path (Report.Json.to_string doc ^ "\n"));
+    if !any_failures then exit 1
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Translation validation: symbolically execute every compressed \
+             region block and its materialised counterpart (per cache slot) \
+             and prove that registers, memory effects and exit targets \
+             match.  Exits 1 on any unproved region, printing the \
+             divergence trace.")
+    Term.(
+      const run $ workloads_arg $ thetas $ slots_list $ k_bytes $ coder
+      $ json_out)
+
 (* --- workloads ---------------------------------------------------------- *)
 
 let workloads_cmd =
@@ -1273,6 +1426,7 @@ let main =
        ~doc:"Profile-guided code compression for the SQ32 embedded target.")
     [ compile_cmd; run_cmd; profile_cmd; profdiff_cmd; squash_cmd; attrib_cmd;
       stats_cmd;
-      grid_cmd; benchdiff_cmd; tracediff_cmd; lint_cmd; workloads_cmd ]
+      grid_cmd; benchdiff_cmd; tracediff_cmd; lint_cmd; prove_cmd;
+      workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,243 @@
+type value =
+  | Num of Word.t
+  | Init of Reg.t
+  | Code of string
+  | Table of string * int
+  | Load of Instr.mem_op * value * int
+  | Sysres of int
+  | Exp of Instr.alu_op * value * value
+
+type effect =
+  | Store of Instr.mem_op * value * value
+  | Syscall of int * value array
+
+type state = {
+  regs : value array;
+  mutable rev_effects : effect list;
+  mutable seq : int;  (* bumped by every memory write and system call *)
+}
+
+let init_state () =
+  {
+    regs = Array.init Reg.count (fun r -> if r = Reg.zero then Num 0 else Init r);
+    rev_effects = [];
+    seq = 0;
+  }
+
+let reg st r = st.regs.(r)
+let effects st = List.rev st.rev_effects
+
+let set st r v = if r <> Reg.zero then st.regs.(r) <- v
+
+(* [lda]/[ldah] fold over known constants — this is what turns the
+   rewritten side's materialised address pairs into a [Num] — and stay
+   symbolic otherwise.  ALU operations never fold, so both sides of a
+   proof build structurally aligned expressions. *)
+let offset v k = match v with Num n -> Num (Word.add n k) | v -> Exp (Instr.Add, v, Num k)
+
+let step st ins =
+  match ins with
+  | Instr.Nop -> Ok ()
+  | Instr.Sys code ->
+    let a0, a1, a2 =
+      match Reg.args with
+      | a0 :: a1 :: a2 :: _ -> (a0, a1, a2)
+      | _ -> assert false
+    in
+    st.rev_effects <-
+      Syscall (code, [| reg st a0; reg st a1; reg st a2 |]) :: st.rev_effects;
+    set st Reg.rv (Sysres st.seq);
+    st.seq <- st.seq + 1;
+    Ok ()
+  | Instr.Lda { ra; rb; disp } ->
+    set st ra (offset (reg st rb) (Word.of_int disp));
+    Ok ()
+  | Instr.Ldah { ra; rb; disp } ->
+    set st ra (offset (reg st rb) (Word.of_int (disp lsl 16)));
+    Ok ()
+  | Instr.Opr { op; ra; rb; rc } ->
+    let b = match rb with Instr.Reg r -> reg st r | Instr.Imm v -> Num v in
+    set st rc (Exp (op, reg st ra, b));
+    Ok ()
+  | Instr.Mem { op = (Instr.Ldw | Instr.Ldb) as op; ra; rb; disp } ->
+    set st ra (Load (op, offset (reg st rb) (Word.of_int disp), st.seq));
+    Ok ()
+  | Instr.Mem { op = (Instr.Stw | Instr.Stb) as op; ra; rb; disp } ->
+    st.rev_effects <-
+      Store (op, offset (reg st rb) (Word.of_int disp), reg st ra) :: st.rev_effects;
+    st.seq <- st.seq + 1;
+    Ok ()
+  | Instr.Br _ | Instr.Bsr _ | Instr.Bsrx _ | Instr.Cbr _ | Instr.Jmp _
+  | Instr.Jsr _ | Instr.Ret _ | Instr.Sentinel ->
+    Error
+      (Format.asprintf "control transfer in straight-line code: %a" Instr.pp ins)
+
+type exit_desc =
+  | Goto of int
+  | Branch of Instr.cond * value * int * int
+  | Call of { ra : Reg.t; callee : string; return_to : int }
+  | Call_ind of { ra : Reg.t; target : value; return_to : int }
+  | Jump_tab of { target : value; table : int option }
+  | Return of value
+  | Stop
+
+let run_block ~fname (b : Prog.Block.t) =
+  let st = init_state () in
+  let rec items = function
+    | [] -> Ok ()
+    | Prog.Instr ins :: rest -> (
+      match step st ins with Ok () -> items rest | Error _ as e -> e)
+    | Prog.Load_addr (r, Prog.Func_addr g) :: rest ->
+      set st r (Code g);
+      items rest
+    | Prog.Load_addr (r, Prog.Table_addr tid) :: rest ->
+      set st r (Table (fname, tid));
+      items rest
+  in
+  match items b.items with
+  | Error _ as e -> e
+  | Ok () ->
+    let exit_d =
+      match b.term with
+      | Prog.Fallthrough d | Prog.Jump d -> Goto d
+      | Prog.Branch (c, r, taken, fall) -> Branch (c, reg st r, taken, fall)
+      | Prog.Call { ra; callee; return_to } -> Call { ra; callee; return_to }
+      | Prog.Call_indirect { ra; rb; return_to } ->
+        Call_ind { ra; target = reg st rb; return_to }
+      | Prog.Jump_indirect { rb; table } -> Jump_tab { target = reg st rb; table }
+      | Prog.Return { rb } -> Return (reg st rb)
+      | Prog.No_return -> Stop
+    in
+    Ok (st, exit_d)
+
+(* --- equivalence ---------------------------------------------------- *)
+
+type oracle = {
+  func_addr : string -> int option;
+  table_addr : string * int -> int option;
+}
+
+(* Oriented: [a] was computed over the original program (and may contain
+   abstract [Code]/[Table] addresses), [b] over the rewritten image
+   (where those addresses are materialised numbers).  The [Exp (Add, …)]
+   bridge undoes the asymmetric [lda]/[ldah] folding: the original side
+   keeps address arithmetic symbolic because its base is abstract, while
+   the rewritten side folds it into a constant. *)
+let rec equal_value o a b =
+  match (a, b) with
+  | Num x, Num y -> x = y
+  | Init r, Init s -> Reg.equal r s
+  | Code g, Code h -> String.equal g h
+  | Table (f, t), Table (f', t') -> String.equal f f' && t = t'
+  | Sysres n, Sysres m -> n = m
+  | Load (w, x, s), Load (w', y, s') -> w = w' && s = s' && equal_value o x y
+  | Exp (op, x, y), Exp (op', x', y') ->
+    op = op' && equal_value o x x' && equal_value o y y'
+  | Code g, Num n -> o.func_addr g = Some n
+  | Table (f, t), Num n -> o.table_addr (f, t) = Some n
+  | Exp (Instr.Add, x, Num k), Num n -> equal_value o x (Num (Word.sub n k))
+  | (Num _ | Init _ | Code _ | Table _ | Load _ | Sysres _ | Exp _), _ -> false
+
+(* --- rendering ------------------------------------------------------ *)
+
+let mem_name = function
+  | Instr.Ldw -> "ldw"
+  | Instr.Stw -> "stw"
+  | Instr.Ldb -> "ldb"
+  | Instr.Stb -> "stb"
+
+let alu_name op =
+  match op with
+  | Instr.Add -> "add"
+  | Instr.Sub -> "sub"
+  | Instr.Mul -> "mul"
+  | Instr.Div -> "div"
+  | Instr.Rem -> "rem"
+  | Instr.And -> "and"
+  | Instr.Or -> "or"
+  | Instr.Xor -> "xor"
+  | Instr.Sll -> "sll"
+  | Instr.Srl -> "srl"
+  | Instr.Sra -> "sra"
+  | Instr.Cmpeq -> "cmpeq"
+  | Instr.Cmpne -> "cmpne"
+  | Instr.Cmplt -> "cmplt"
+  | Instr.Cmple -> "cmple"
+  | Instr.Cmpult -> "cmpult"
+  | Instr.Cmpule -> "cmpule"
+
+let rec pp_value ppf = function
+  | Num n -> Format.fprintf ppf "0x%x" n
+  | Init r -> Format.fprintf ppf "%s@@entry" (Reg.name r)
+  | Code g -> Format.fprintf ppf "&%s" g
+  | Table (f, t) -> Format.fprintf ppf "&%s.table%d" f t
+  | Load (op, a, s) -> Format.fprintf ppf "%s[%a]#%d" (mem_name op) pp_value a s
+  | Sysres n -> Format.fprintf ppf "sysres#%d" n
+  | Exp (op, a, b) ->
+    Format.fprintf ppf "(%s %a %a)" (alu_name op) pp_value a pp_value b
+
+let pp_effect ppf = function
+  | Store (op, a, v) ->
+    Format.fprintf ppf "%s[%a] := %a" (mem_name op) pp_value a pp_value v
+  | Syscall (code, args) ->
+    Format.fprintf ppf "sys %d(%a, %a, %a)" code pp_value args.(0) pp_value
+      args.(1) pp_value args.(2)
+
+let cond_name = function
+  | Instr.Eq -> "eq"
+  | Instr.Ne -> "ne"
+  | Instr.Lt -> "lt"
+  | Instr.Le -> "le"
+  | Instr.Gt -> "gt"
+  | Instr.Ge -> "ge"
+
+let pp_exit ppf = function
+  | Goto d -> Format.fprintf ppf "goto .%d" d
+  | Branch (c, v, t, f) ->
+    Format.fprintf ppf "if %s %a goto .%d else .%d" (cond_name c) pp_value v t f
+  | Call { ra; callee; return_to } ->
+    Format.fprintf ppf "call %s (ra=%s, resume .%d)" callee (Reg.name ra) return_to
+  | Call_ind { ra; target; return_to } ->
+    Format.fprintf ppf "calli %a (ra=%s, resume .%d)" pp_value target (Reg.name ra)
+      return_to
+  | Jump_tab { target; table } ->
+    Format.fprintf ppf "tabjump %a%s" pp_value target
+      (match table with None -> "" | Some t -> Printf.sprintf " (table %d)" t)
+  | Return v -> Format.fprintf ppf "ret %a" pp_value v
+  | Stop -> Format.fprintf ppf "no-return"
+
+(* --- state comparison ----------------------------------------------- *)
+
+let compare_states o ~orig ~rew =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec regs r =
+    if r >= Reg.count then Ok ()
+    else if r = Reg.zero then regs (r + 1)
+    else if equal_value o orig.regs.(r) rew.regs.(r) then regs (r + 1)
+    else
+      err "register %s diverges:@,  original:  %a@,  rewritten: %a" (Reg.name r)
+        pp_value orig.regs.(r) pp_value rew.regs.(r)
+  in
+  let effect_eq a b =
+    match (a, b) with
+    | Store (op, x, v), Store (op', y, w) ->
+      op = op' && equal_value o x y && equal_value o v w
+    | Syscall (c, args), Syscall (c', args') ->
+      c = c'
+      && Array.length args = Array.length args'
+      && Array.for_all2 (equal_value o) args args'
+    | (Store _ | Syscall _), _ -> false
+  in
+  let rec effs i a b =
+    match (a, b) with
+    | [], [] -> Ok ()
+    | x :: a, y :: b when effect_eq x y -> effs (i + 1) a b
+    | x :: _, y :: _ ->
+      err "effect %d diverges:@,  original:  %a@,  rewritten: %a" i pp_effect x
+        pp_effect y
+    | x :: _, [] -> err "effect %d missing from the rewritten side: %a" i pp_effect x
+    | [], y :: _ -> err "extra effect %d on the rewritten side: %a" i pp_effect y
+  in
+  match regs 0 with
+  | Error _ as e -> e
+  | Ok () -> effs 0 (effects orig) (effects rew)

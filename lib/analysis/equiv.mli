@@ -1,0 +1,94 @@
+(** Word-level symbolic execution for translation validation.
+
+    This module is the target-independent half of the per-region
+    equivalence prover ({!Prove} in the core library drives it over a
+    squashed image).  It provides:
+
+    - a symbolic value domain over 32-bit words: concrete constants,
+      opaque block-entry register values, abstract code/table addresses
+      (the original program's [Load_addr] results, which have {e no}
+      numeric value until a layout pins them), loads stamped with a
+      memory sequence number, and uninterpreted ALU expressions;
+    - a straight-line evaluator with exactly the VM's semantics for
+      non-control instructions ([lda]/[ldah] fold constants, everything
+      else stays symbolic);
+    - an equivalence relation between a value computed over the {e
+      original} program and one computed over its {e rewritten}
+      counterpart, parameterised by an address oracle that says what each
+      abstract code/table address resolved to in the rewritten image;
+    - symbolic execution of an original-program basic block into a final
+      state plus a typed exit descriptor.
+
+    Both sides of a proof start from the same state (every register holds
+    its opaque [Init] value), so proving the final states equivalent
+    establishes block-for-block preservation by induction over the
+    rewritten program's runs, modulo the explicitly stated protocol
+    axioms (see DESIGN.md §6c). *)
+
+type value =
+  | Num of Word.t  (** A known 32-bit constant. *)
+  | Init of Reg.t  (** The register's (opaque) value at block entry. *)
+  | Code of string  (** Address of the named function's entry. *)
+  | Table of string * int  (** Address of jump table [tid] of a function. *)
+  | Load of Instr.mem_op * value * int
+      (** Value loaded (op, address, memory sequence number). *)
+  | Sysres of int  (** Result of the [n]-th system call of the block. *)
+  | Exp of Instr.alu_op * value * value  (** Uninterpreted ALU result. *)
+
+type effect =
+  | Store of Instr.mem_op * value * value  (** (op, address, stored value). *)
+  | Syscall of int * value array
+      (** Call code and the argument registers [a0..a2] at the call. *)
+
+type state
+(** Mutable: registers, observable effects, memory sequence counter. *)
+
+val init_state : unit -> state
+(** Every register holds [Init r] (the zero register holds [Num 0]). *)
+
+val reg : state -> Reg.t -> value
+val effects : state -> effect list
+(** In program order. *)
+
+val step : state -> Instr.t -> (unit, string) result
+(** Execute one non-control-transfer instruction symbolically.  [Error]
+    on a control transfer or marker — those must be handled by the
+    caller's exit classification. *)
+
+type exit_desc =
+  | Goto of int  (** Fallthrough or jump to a block of the same function. *)
+  | Branch of Instr.cond * value * int * int
+      (** (condition, tested value, taken dest, fallthrough dest). *)
+  | Call of { ra : Reg.t; callee : string; return_to : int }
+  | Call_ind of { ra : Reg.t; target : value; return_to : int }
+  | Jump_tab of { target : value; table : int option }
+  | Return of value
+  | Stop  (** [No_return]: control never reaches the block's end. *)
+
+val run_block : fname:string -> Prog.Block.t -> (state * exit_desc, string) result
+(** Symbolically execute an original-program block from [init_state].
+    [Load_addr] items produce the abstract [Code]/[Table] values. *)
+
+(** {1 Equivalence} *)
+
+type oracle = {
+  func_addr : string -> int option;
+      (** Rewritten-image address of the function's entry label. *)
+  table_addr : string * int -> int option;
+      (** Rewritten-image address of a retained jump table. *)
+}
+
+val equal_value : oracle -> value -> value -> bool
+(** [equal_value o orig rew]: do the two values denote the same word in
+    every run?  Structural, plus the oracle bridges: [Code g] (abstract)
+    matches the number the rewritten side materialised for [g] — also
+    through one level of folded [lda]/[ldah] address arithmetic
+    ([Exp (Add, x, Num k)] vs [Num n] reduces to [x] vs [Num (n - k)]). *)
+
+val compare_states : oracle -> orig:state -> rew:state -> (unit, string) result
+(** Registers (all but the zero register) and effect lists must match
+    pointwise; the [Error] names the first divergence. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp_effect : Format.formatter -> effect -> unit
+val pp_exit : Format.formatter -> exit_desc -> unit

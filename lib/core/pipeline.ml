@@ -298,6 +298,33 @@ let lint_pass =
         Printf.sprintf "0 errors, %d warnings" (List.length diags));
   }
 
+let prove_pass =
+  {
+    Pass.name = "prove";
+    descr = "symbolic equivalence proof of every region against its rewrite";
+    paper = "§2–3";
+    requires = [ "rewrite" ];
+    after = [ "lint" ];
+    transform =
+      (fun st ->
+        let sq = Pass.get_squashed ~who:"prove" st in
+        (* Two slots are enough to exercise the slot-relative rebias of
+           every external displacement on top of the slot-0 layout. *)
+        let r = Prove.run ~slots:2 sq in
+        (match r.Prove.failures with
+        | [] -> ()
+        | fs ->
+          raise
+            (Check_failed
+               { pass = "prove"; errors = List.map Prove.failure_message fs }));
+        st);
+    note =
+      (fun st ->
+        let r = Prove.run ~slots:2 (Pass.get_squashed ~who:"prove" st) in
+        Printf.sprintf "%d/%d block proofs, %d conservative" r.Prove.proved
+          r.Prove.blocks r.Prove.conservative);
+  }
+
 let standard =
   [ resolve_pass; cold_pass; unswitch_pass; exclude_pass; regions_pass;
     buffer_safe_pass; rewrite_pass ]
@@ -309,7 +336,9 @@ let of_options (o : Pass.options) =
   if o.Pass.unswitch then standard else skip [ "unswitch" ] standard
 
 let by_name name =
-  List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) (standard @ [ lint_pass ])
+  List.find_opt
+    (fun (p : Pass.t) -> p.Pass.name = name)
+    (standard @ [ lint_pass; prove_pass ])
 
 let names passes = List.map (fun (p : Pass.t) -> p.Pass.name) passes
 

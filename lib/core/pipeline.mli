@@ -45,6 +45,14 @@ val lint_pass : Pass.t
     verify as part of the pipeline, the static counterpart of
     [~check_each]. *)
 
+val prove_pass : Pass.t
+(** Opt-in: {!Prove.run} with two cache slots over the squashed image — the
+    translation-validation counterpart of {!lint_pass}; raises
+    {!Check_failed} (as pass ["prove"]) when any region block cannot be
+    proved equivalent to its materialised rewrite.  Ordered after ["lint"]
+    when both run, so structural diagnostics surface before equivalence
+    ones. *)
+
 val standard : Pass.t list
 (** All seven passes, in paper order. *)
 

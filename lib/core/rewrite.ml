@@ -34,6 +34,11 @@ type t = {
   func_entry_addrs : (string * int) list;
       (* function -> address of its block-0 label (code or entry stub);
          omits functions whose block 0 was removed as a region interior *)
+  block_addrs : ((string * int) * int) list;
+      (* every bound block label -> its text address: hot blocks and
+         region entry stubs (region interiors have no address) *)
+  table_addrs : ((string * int) * int) list;
+      (* (function, table id) -> address of the retained jump table *)
 }
 
 let blob_base = 0x20_0000
@@ -388,15 +393,32 @@ let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_wor
       (fun key () acc -> (key, addr_of key) :: acc)
       regions.Regions.entries []
   in
+  let label_bound fname i =
+    match Hashtbl.find_opt region_of (fname, i) with
+    | None -> true
+    | Some _ -> Regions.is_entry regions fname i
+  in
   let func_entry_addrs =
     List.filter_map
       (fun (f : Prog.Func.t) ->
-        let bound =
-          match Hashtbl.find_opt region_of (f.name, 0) with
-          | None -> true
-          | Some _ -> Regions.is_entry regions f.name 0
-        in
-        if bound then Some (f.name, addr_of (f.name, 0)) else None)
+        if label_bound f.name 0 then Some (f.name, addr_of (f.name, 0)) else None)
+      p.funcs
+  in
+  let block_addrs =
+    List.concat_map
+      (fun (f : Prog.Func.t) ->
+        List.filter_map Fun.id
+          (List.init (Array.length f.blocks) (fun i ->
+               if label_bound f.name i then
+                 Some ((f.name, i), addr_of (f.name, i))
+               else None)))
+      p.funcs
+  in
+  let table_addrs =
+    List.concat_map
+      (fun (f : Prog.Func.t) ->
+        List.init (Array.length f.tables) (fun tid ->
+            ((f.name, tid), table_addr_of (f.name, tid))))
       p.funcs
   in
   {
@@ -419,6 +441,8 @@ let build (p : Prog.t) ~regions ~buffer_safe ?(decomp_words = default_decomp_wor
     push_form_stubs = !push_form_stubs;
     stub_addrs;
     func_entry_addrs;
+    block_addrs;
+    table_addrs;
   }
 
 let blob_words t = ((8 * String.length t.blob) + 31) / 32

@@ -66,6 +66,15 @@ type t = {
           (possible only for uncalled functions) are omitted.  This is the
           reverse map {!Verify} uses to name the callee of a plain [bsr]
           the rewrite left in compressed code. *)
+  block_addrs : ((string * int) * int) list;
+      (** Text address of every {e bound} block label — hot blocks and
+          region entry stubs.  Region interiors have no address (their
+          code exists only in the compressed stream), so they are absent.
+          This is the address oracle the equivalence prover ({!Prove})
+          resolves external branch and call targets against. *)
+  table_addrs : ((string * int) * int) list;
+      (** Text address of each retained jump table, keyed by
+          [(function, table id)]. *)
 }
 
 val decomp_entry : t -> Reg.t -> int

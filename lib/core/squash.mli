@@ -55,8 +55,8 @@ type result = {
 
 val run :
   ?options:options -> ?setjmp_callers:string list -> ?check_each:bool ->
-  ?lint:bool -> ?trace:(string -> unit) -> ?obs:Obs.t -> Prog.t -> Profile.t ->
-  result
+  ?lint:bool -> ?prove:bool -> ?trace:(string -> unit) -> ?obs:Obs.t ->
+  Prog.t -> Profile.t -> result
 (** A thin composition of the standard pass list: equivalent to
     [Pipeline.execute ~passes:(Pipeline.of_options options)] over
     [Pass.init].
@@ -71,8 +71,11 @@ val run :
     that broke an invariant.  [lint] appends {!Pipeline.lint_pass}, running
     the whole-image static verifier ({!Verify}) over the finished image and
     raising {!Pipeline.Check_failed} as pass ["lint"] on any error-severity
-    diagnostic.  [trace] receives a one-line report per pass as it
-    completes; [obs] receives pass-span events (see {!Pipeline.execute}). *)
+    diagnostic.  [prove] appends {!Pipeline.prove_pass}, the symbolic
+    equivalence prover ({!Prove}) over two cache slots, raising
+    {!Pipeline.Check_failed} as pass ["prove"] on any unproved region.
+    [trace] receives a one-line report per pass as it completes; [obs]
+    receives pass-span events (see {!Pipeline.execute}). *)
 
 val size_reduction : result -> float
 (** [(original - squashed) / original], the quantity of Figures 6/7(a). *)

@@ -7,11 +7,15 @@ type kind =
   | Unsafe_call
   | Unresolved_indirect
   | Stream_mismatch
+  | Unreachable_code
+  | Unproved_region
 
 type diag = {
   severity : severity;
   kind : kind;
   site : string;
+  region : int option;
+  addr : int option;
   message : string;
 }
 
@@ -22,6 +26,8 @@ let kind_name = function
   | Unsafe_call -> "unsafe-call"
   | Unresolved_indirect -> "unresolved-indirect"
   | Stream_mismatch -> "stream-mismatch"
+  | Unreachable_code -> "unreachable-code"
+  | Unproved_region -> "unproved-region"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -31,11 +37,29 @@ let message d =
 
 let errors diags = List.filter (fun d -> d.severity = Error) diags
 
+(* Block reachability as a forward {!Dataflow} client over a boolean
+   lattice: the entry block starts [true] and reachability propagates
+   along every CFG edge (indirect jumps through an unknown table reach
+   every block, keeping the analysis conservative). *)
+module Reach = Dataflow.Make (struct
+  type t = bool
+
+  let bottom = false
+  let join = ( || )
+  let equal = Bool.equal
+end)
+
+let reachable_blocks f =
+  let r =
+    Reach.solve ~direction:Dataflow.Forward ~init:true ~transfer:(fun _ fact -> fact) f
+  in
+  r.Reach.before
+
 let run (sq : Rewrite.t) =
   let diags = ref [] in
-  let diag severity kind site fmt =
+  let diag ?region ?addr severity kind site fmt =
     Format.kasprintf
-      (fun message -> diags := { severity; kind; site; message } :: !diags)
+      (fun message -> diags := { severity; kind; site; region; addr; message } :: !diags)
       fmt
   in
   let p = sq.Rewrite.prog in
@@ -83,29 +107,32 @@ let run (sq : Rewrite.t) =
   let nregions = Array.length sq.Rewrite.images in
   let check_tag ~site ((fname, i) as key) addr =
     match word_at addr with
-    | None -> diag Error Bad_stub site "tag word at 0x%x lies outside the text" addr
+    | None ->
+      diag ~addr Error Bad_stub site "tag word at 0x%x lies outside the text" addr
     | Some tag ->
       let rid = tag lsr 16 and off = tag land 0xFFFF in
       if rid >= nregions then
-        diag Error Bad_stub site "tag names region %d, image has %d" rid nregions
+        diag ~addr Error Bad_stub site "tag names region %d, image has %d" rid
+          nregions
       else
         let img = sq.Rewrite.images.(rid) in
         (match Hashtbl.find_opt img.Rewrite.block_offset key with
         | None ->
-          diag Error Bad_stub site "block %s.%d is not laid out in region %d" fname
-            i rid
+          diag ~region:rid ~addr Error Bad_stub site
+            "block %s.%d is not laid out in region %d" fname i rid
         | Some expect ->
           if expect <> off then
-            diag Error Bad_stub site
+            diag ~region:rid ~addr Error Bad_stub site
               "tag offset %d is not the block's instruction boundary %d in \
                region %d"
               off expect rid)
   in
-  let check_stub_reg ~site (fname, i) rf =
+  let check_stub_reg ~site ~addr (fname, i) rf =
     if rf = Reg.sp || rf = Reg.zero then
-      diag Error Live_stub_reg site "stub uses reserved register %s" (Reg.name rf)
+      diag ~addr Error Live_stub_reg site "stub uses reserved register %s"
+        (Reg.name rf)
     else if Cfg.Regset.mem rf (live_in fname i) then
-      diag Error Live_stub_reg site
+      diag ~addr Error Live_stub_reg site
         "stub return-address register %s is live at the block entry"
         (Reg.name rf)
   in
@@ -113,38 +140,39 @@ let run (sq : Rewrite.t) =
     (fun (((fname, i) as key), addr) ->
       let site = Printf.sprintf "%s.b%d" fname i in
       match word_at addr with
-      | None -> diag Error Bad_stub site "stub address 0x%x outside the text" addr
+      | None ->
+        diag ~addr Error Bad_stub site "stub address 0x%x outside the text" addr
       | Some w -> (
         match Instr.decode w with
         | Ok (Instr.Bsr { ra; disp }) ->
           let target = addr + 4 + (4 * disp) in
           if target <> Rewrite.decomp_entry sq ra then
-            diag Error Bad_stub site
+            diag ~addr Error Bad_stub site
               "bsr targets 0x%x, not the decompressor entry for %s" target
               (Reg.name ra)
           else begin
             check_tag ~site key (addr + 4);
-            check_stub_reg ~site key ra
+            check_stub_reg ~site ~addr key ra
           end
         | Ok (Instr.Mem { op = Instr.Stw; ra; rb; disp = -4 })
           when rb = Reg.sp && ra = Reg.ra -> (
           match word_at (addr + 4) with
-          | None -> diag Error Bad_stub site "truncated push-form stub"
+          | None -> diag ~addr Error Bad_stub site "truncated push-form stub"
           | Some w2 -> (
             match Instr.decode w2 with
             | Ok (Instr.Bsr { ra = ra2; disp }) ->
               let target = addr + 8 + (4 * disp) in
               if ra2 <> Reg.ra then
-                diag Error Bad_stub site "push form links through %s, not ra"
+                diag ~addr Error Bad_stub site "push form links through %s, not ra"
                   (Reg.name ra2)
               else if target <> Rewrite.decomp_entry_push sq then
-                diag Error Bad_stub site
+                diag ~addr Error Bad_stub site
                   "push form targets 0x%x, not the push entry" target
               else check_tag ~site key (addr + 8)
             | Ok _ | Error _ ->
-              diag Error Bad_stub site "push form lacks its bsr word"))
+              diag ~addr Error Bad_stub site "push form lacks its bsr word"))
         | Ok _ | Error _ ->
-          diag Error Bad_stub site
+          diag ~addr Error Bad_stub site
             "stub does not start with a bsr or a push of ra"))
     sq.Rewrite.stub_addrs;
 
@@ -154,7 +182,7 @@ let run (sq : Rewrite.t) =
     | None -> ()
     | Some r ->
       if not (same_rid = Some r || is_entry fname d) then
-        diag Error Dangling_transfer site
+        diag ~region:r Error Dangling_transfer site
           "targets the interior of removed region %d (%s block %d)" r fname d
   in
   List.iter
@@ -228,12 +256,13 @@ let run (sq : Rewrite.t) =
               let site = Printf.sprintf "region %d @ %d" img.Rewrite.rid !pos in
               match Hashtbl.find_opt addr_to_func target with
               | None ->
-                diag Error Unsafe_call site
+                diag ~region:img.Rewrite.rid ~addr:target Error Unsafe_call site
                   "plain bsr targets 0x%x, which is not a function entry"
                   target
               | Some g ->
                 if not (Buffer_safe.is_safe bsafe g) then
-                  diag Error Unsafe_call site
+                  diag ~region:img.Rewrite.rid ~addr:target Error Unsafe_call
+                    site
                     "unchanged call to %s, which is not buffer-safe under \
                      the sharpened analysis"
                     g
@@ -261,20 +290,23 @@ let run (sq : Rewrite.t) =
           ~bit_offset:offsets.(rid) ?bit_end ()
       with
       | exception Bitio.Corrupt_stream msg ->
-        diag Error Stream_mismatch site "stream does not decode: %s" msg
+        diag ~region:rid Error Stream_mismatch site "stream does not decode: %s"
+          msg
       | exception Failure msg ->
-        diag Error Stream_mismatch site "stream does not decode: %s" msg
+        diag ~region:rid Error Stream_mismatch site "stream does not decode: %s"
+          msg
       | exception Invalid_argument msg ->
-        diag Error Stream_mismatch site "stream reads past its end: %s" msg
+        diag ~region:rid Error Stream_mismatch site
+          "stream reads past its end: %s" msg
       | decoded, work ->
         if not (List.equal Instr.equal decoded img.Rewrite.stream) then
-          diag Error Stream_mismatch site
+          diag ~region:rid Error Stream_mismatch site
             "decoded stream disagrees with the region image (%d vs %d \
              instructions)"
             (List.length decoded)
             (List.length img.Rewrite.stream)
         else if work.Compress.bits < 0 || work.Compress.steps < 0 then
-          diag Error Stream_mismatch site
+          diag ~region:rid Error Stream_mismatch site
             "decoder reported negative work (%d bits, %d steps)"
             work.Compress.bits work.Compress.steps)
     sq.Rewrite.images;
@@ -290,6 +322,51 @@ let run (sq : Rewrite.t) =
            is ever taken"
       | `Exact _ | `Fallback _ -> ())
     (Consts.indirect_call_sites p);
+
+  (* --- dead surviving blocks ----------------------------------------- *)
+  (* Function-level reachability over the callgraph with the resolved
+     indirect edges, then block-level reachability inside each reachable
+     function (the {!Dataflow} client above).  A surviving block — one
+     the rewrite emitted into the text rather than a compressed stream —
+     that no path reaches is dead weight the squash kept. *)
+  let cg = Cfg.Callgraph.of_prog p in
+  Consts.annotate_callgraph p cg;
+  let reached_funcs = Hashtbl.create 64 in
+  let rec visit g =
+    if Hashtbl.mem func_of g && not (Hashtbl.mem reached_funcs g) then begin
+      Hashtbl.add reached_funcs g ();
+      List.iter visit (Cfg.Callgraph.callees cg g);
+      List.iter visit (Cfg.Callgraph.indirect_callees cg g)
+    end
+  in
+  visit p.Prog.entry;
+  List.iter
+    (fun (f : Prog.Func.t) ->
+      let n = Array.length f.blocks in
+      let emits i =
+        let next = if i + 1 < n then Some (i + 1) else None in
+        Prog.Block.size ~next f.blocks.(i) > 0
+      in
+      if not (Hashtbl.mem reached_funcs f.name) then begin
+        if Array.exists Fun.id (Array.mapi (fun i _ -> emits i) f.blocks) then
+          diag Warning Unreachable_code f.name
+            "function is unreachable from %s over the resolved callgraph"
+            p.Prog.entry
+      end
+      else
+        let before = reachable_blocks f in
+        Array.iteri
+          (fun i _ ->
+            if
+              (not before.(i))
+              && region_of (f.name, i) = None
+              && emits i
+            then
+              diag Warning Unreachable_code
+                (Printf.sprintf "%s.b%d" f.name i)
+                "surviving block is unreachable within its function")
+          f.blocks)
+    p.Prog.funcs;
 
   List.rev !diags
 
@@ -308,11 +385,13 @@ let render diags =
 
 let to_json diags =
   let open Report.Json in
+  let opt_int = function None -> Null | Some v -> Int v in
   List
     (List.map
        (fun d ->
          Obj
            [ ("severity", String (severity_name d.severity));
              ("kind", String (kind_name d.kind)); ("site", String d.site);
+             ("region", opt_int d.region); ("addr", opt_int d.addr);
              ("message", String d.message) ])
        diags)

@@ -34,7 +34,16 @@
     - {b streams} ({!Stream_mismatch}): every region's slice of the
       compressed blob decodes — under whichever coder built the image —
       back to exactly the region image's instruction stream, without
-      raising and with non-negative reported work. *)
+      raising and with non-negative reported work.
+    - {b dead surviving code} ({!Unreachable_code}, warning): a block the
+      rewrite emitted into the text (or a whole surviving function) that
+      is unreachable — function-level over the callgraph with the
+      {!Consts}-resolved indirect edges, block-level via a forward
+      {!Dataflow} reachability client.
+    - {b unproved regions} ({!Unproved_region}): not produced by {!run}
+      itself — the symbolic equivalence prover ({!Prove}) reports its
+      failures through this kind so they land in the same typed
+      severity×kind stream. *)
 
 type severity = Error | Warning
 
@@ -45,11 +54,15 @@ type kind =
   | Unsafe_call
   | Unresolved_indirect
   | Stream_mismatch
+  | Unreachable_code
+  | Unproved_region
 
 type diag = {
   severity : severity;
   kind : kind;
   site : string;  (** Where: ["func.b3"], ["func.table0[2]"], ["region 1 @ 7"]. *)
+  region : int option;  (** Region id the diagnostic is about, if any. *)
+  addr : int option;  (** Byte address in the image, when one is known. *)
   message : string;
 }
 
@@ -72,4 +85,5 @@ val render : diag list -> string
 (** Aligned text table of the diagnostics. *)
 
 val to_json : diag list -> Report.Json.t
-(** [[{"severity": …, "kind": …, "site": …, "message": …}, …]]. *)
+(** [[{"severity": …, "kind": …, "site": …, "region": …, "addr": …,
+    "message": …}, …]]; [region]/[addr] are [null] when unknown. *)
